@@ -1,0 +1,252 @@
+// Package bufferqoe is the public facade of the reproduction of
+// "A QoE Perspective on Sizing Network Buffers" (Hohlfeld, Pujol,
+// Ciucu, Feldmann, Barford — IMC 2014).
+//
+// It exposes three layers:
+//
+//   - experiment runners that regenerate every table and figure of the
+//     paper's evaluation (Run / Experiments);
+//   - scenario probes that answer one question at a time — "what is
+//     the VoIP MOS on a DSL line with a 256-packet modem buffer under
+//     upload congestion?" (MeasureVoIP, MeasureWeb, MeasureVideo);
+//   - buffer sizing calculators for the schemes the paper compares
+//     (SizingSchemes).
+//
+// Everything runs on a deterministic discrete-event simulation of the
+// paper's two testbeds; see DESIGN.md for the substitutions made for
+// the hardware and proprietary-data dependencies.
+package bufferqoe
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/experiments"
+	"bufferqoe/internal/qoe"
+	"bufferqoe/internal/sizing"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/video"
+)
+
+// Options scale an experiment or probe. The zero value uses the
+// defaults documented on each field.
+type Options struct {
+	// Seed drives all randomness (default 42); equal seeds give
+	// bit-identical runs.
+	Seed uint64
+	// Duration is the per-cell background measurement window
+	// (default 30s).
+	Duration time.Duration
+	// Warmup runs background traffic before measuring (default 5s).
+	Warmup time.Duration
+	// Reps is the number of calls/streams/fetches per cell
+	// (default 3).
+	Reps int
+	// ClipSeconds is the video clip length (default 4; paper: 16).
+	ClipSeconds int
+	// CDNFlows sizes the synthetic Section 3 population
+	// (default 200000).
+	CDNFlows int
+}
+
+func (o Options) internal() experiments.Options {
+	return experiments.Options{
+		Seed:        o.Seed,
+		Duration:    o.Duration,
+		Warmup:      o.Warmup,
+		Reps:        o.Reps,
+		ClipSeconds: o.ClipSeconds,
+		CDNFlows:    o.CDNFlows,
+	}
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig7b").
+	ID string
+	// Text is the paper-style rendering of all result grids.
+	Text string
+
+	inner *experiments.Result
+}
+
+// Value returns one cell's numeric value from the i-th grid.
+func (r *Result) Value(grid int, row, col string) float64 {
+	if r.inner == nil || grid >= len(r.inner.Grids) {
+		return 0
+	}
+	return r.inner.Grids[grid].Get(row, col).Value
+}
+
+// Experiments lists all experiment IDs (tables, figures, ablations).
+func Experiments() []string { return experiments.IDs() }
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (*Result, error) {
+	res, err := experiments.Run(id, o.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: res.ID, Text: res.Render(), inner: res}, nil
+}
+
+// Network selects a testbed.
+type Network string
+
+// The two testbeds of Figure 3.
+const (
+	Access   Network = "access"
+	Backbone Network = "backbone"
+)
+
+// Direction selects where the background congestion is applied
+// (access testbed only; the backbone is downstream-only).
+type Direction string
+
+// Congestion directions.
+const (
+	Down  Direction = "down"
+	Up    Direction = "up"
+	Bidir Direction = "bidir"
+)
+
+func (d Direction) internal() (testbed.Direction, error) {
+	switch d {
+	case Down, "":
+		return testbed.DirDown, nil
+	case Up:
+		return testbed.DirUp, nil
+	case Bidir:
+		return testbed.DirBidir, nil
+	default:
+		return 0, fmt.Errorf("bufferqoe: unknown direction %q", d)
+	}
+}
+
+// Scenarios returns the valid workload names for a network (Table 1).
+func Scenarios(n Network) []string {
+	if n == Backbone {
+		return append([]string(nil), testbed.BackboneScenarioNames...)
+	}
+	return append([]string(nil), testbed.AccessScenarioNames...)
+}
+
+// BufferSizes returns the paper's buffer sweep for a network
+// (Table 2).
+func BufferSizes(n Network) []int {
+	if n == Backbone {
+		return append([]int(nil), sizing.BackboneBufferSizes...)
+	}
+	return append([]int(nil), sizing.AccessBufferSizes...)
+}
+
+// VoIPResult is the outcome of a MeasureVoIP probe.
+type VoIPResult struct {
+	// ListenMOS scores the remote-speaker direction, TalkMOS the
+	// user's own. On the backbone only ListenMOS is populated.
+	ListenMOS, TalkMOS float64
+	// ListenRating / TalkRating are the Figure 6a categories.
+	ListenRating, TalkRating string
+}
+
+// MeasureVoIP runs VoIP calls under the named workload and returns
+// median scores.
+func MeasureVoIP(n Network, scenario string, dir Direction, buffer int, o Options) (VoIPResult, error) {
+	if n == Backbone {
+		m := experiments.MeasureVoIPBackbone(scenario, buffer, o.internal())
+		return VoIPResult{
+			ListenMOS:    m,
+			ListenRating: string(qoe.VoIPSatisfaction(m)),
+		}, nil
+	}
+	d, err := dir.internal()
+	if err != nil {
+		return VoIPResult{}, err
+	}
+	listen, talk := experiments.MeasureVoIPAccess(scenario, d, buffer, o.internal())
+	return VoIPResult{
+		ListenMOS:    listen,
+		TalkMOS:      talk,
+		ListenRating: string(qoe.VoIPSatisfaction(listen)),
+		TalkRating:   string(qoe.VoIPSatisfaction(talk)),
+	}, nil
+}
+
+// WebResult is the outcome of a MeasureWeb probe.
+type WebResult struct {
+	MedianPLT time.Duration
+	MOS       float64
+	Rating    string
+}
+
+// MeasureWeb fetches the paper's static page under the named workload
+// and returns the median page load time with its G.1030 score.
+func MeasureWeb(n Network, scenario string, dir Direction, buffer int, o Options) (WebResult, error) {
+	var plt time.Duration
+	var model qoe.WebModel
+	if n == Backbone {
+		plt = experiments.MeasureWebBackbone(scenario, buffer, o.internal())
+		model = qoe.BackboneWebModel()
+	} else {
+		d, err := dir.internal()
+		if err != nil {
+			return WebResult{}, err
+		}
+		plt = experiments.MeasureWebAccess(scenario, d, buffer, o.internal())
+		model = qoe.AccessWebModel()
+	}
+	mos := model.MOS(plt)
+	return WebResult{MedianPLT: plt, MOS: mos, Rating: string(qoe.Rate(mos))}, nil
+}
+
+// VideoResult is the outcome of a MeasureVideo probe.
+type VideoResult struct {
+	SSIM   float64
+	MOS    float64
+	Rating string
+}
+
+// MeasureVideo streams the paper's clip C at "SD" (4 Mbit/s) or "HD"
+// (8 Mbit/s) and returns the median SSIM with its MOS mapping.
+func MeasureVideo(n Network, scenario, profile string, buffer int, o Options) (VideoResult, error) {
+	var p video.Profile
+	switch profile {
+	case "SD", "sd", "":
+		p = video.SD
+	case "HD", "hd":
+		p = video.HD
+	default:
+		return VideoResult{}, fmt.Errorf("bufferqoe: unknown profile %q (want SD or HD)", profile)
+	}
+	var ssim float64
+	if n == Backbone {
+		ssim = experiments.MeasureVideoBackbone(scenario, p, buffer, o.internal())
+	} else {
+		ssim = experiments.MeasureVideoAccess(scenario, p, buffer, o.internal())
+	}
+	mos := qoe.SSIMToMOS(ssim)
+	return VideoResult{SSIM: ssim, MOS: mos, Rating: string(qoe.Rate(mos))}, nil
+}
+
+// Scheme is one buffer sizing recommendation.
+type Scheme struct {
+	Name     string
+	Packets  int
+	MaxDelay time.Duration
+}
+
+// SizingSchemes returns the paper's sizing schemes evaluated for a
+// link of the given rate (bits/s), round-trip time, and expected
+// concurrent flow count.
+func SizingSchemes(rateBps float64, rtt time.Duration, flows int) []Scheme {
+	bdp := sizing.BDPPackets(rateBps, rtt)
+	mk := func(name string, pkts int) Scheme {
+		return Scheme{Name: name, Packets: pkts, MaxDelay: sizing.MaxQueueingDelay(pkts, rateBps)}
+	}
+	return []Scheme{
+		mk("rule-of-thumb (BDP)", bdp),
+		mk("stanford (BDP/sqrt(n))", sizing.StanfordPackets(bdp, flows)),
+		mk("tiny", sizing.TinyPackets()),
+		mk("bloated (10x BDP)", sizing.BloatedPackets(bdp)),
+	}
+}

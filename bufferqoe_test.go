@@ -1,0 +1,150 @@
+package bufferqoe
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func probeOpts() Options {
+	return Options{
+		Seed:        5,
+		Duration:    4 * time.Second,
+		Warmup:      2 * time.Second,
+		Reps:        1,
+		ClipSeconds: 1,
+		CDNFlows:    20000,
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	found := map[string]bool{}
+	for _, id := range ids {
+		found[id] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig1a", "fig7b", "fig11", "abl-aqm"} {
+		if !found[want] {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("bogus", probeOpts()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	res, err := Run("table2", probeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table2" || !strings.Contains(res.Text, "backbone") {
+		t.Fatalf("unexpected result: %+v", res.ID)
+	}
+}
+
+func TestMeasureVoIPAccess(t *testing.T) {
+	r, err := MeasureVoIP(Access, "noBG", Up, 64, probeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ListenMOS < 3.9 || r.TalkMOS < 3.9 {
+		t.Fatalf("idle-line MOS = %+v, want excellent", r)
+	}
+	if r.ListenRating == "" || r.TalkRating == "" {
+		t.Fatal("missing ratings")
+	}
+}
+
+func TestMeasureVoIPBackbone(t *testing.T) {
+	r, err := MeasureVoIP(Backbone, "noBG", "", 749, probeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ListenMOS < 3.9 {
+		t.Fatalf("backbone idle MOS = %v", r.ListenMOS)
+	}
+}
+
+func TestMeasureVoIPBadDirection(t *testing.T) {
+	if _, err := MeasureVoIP(Access, "noBG", "sideways", 64, probeOpts()); err == nil {
+		t.Fatal("expected error for bad direction")
+	}
+}
+
+func TestMeasureWeb(t *testing.T) {
+	r, err := MeasureWeb(Access, "noBG", Down, 64, probeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MedianPLT <= 0 || r.MedianPLT > 2*time.Second {
+		t.Fatalf("PLT = %v", r.MedianPLT)
+	}
+	if r.MOS < 4 {
+		t.Fatalf("idle-line web MOS = %v", r.MOS)
+	}
+}
+
+func TestMeasureVideo(t *testing.T) {
+	r, err := MeasureVideo(Backbone, "noBG", "SD", 749, probeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SSIM < 0.99 {
+		t.Fatalf("idle-line SSIM = %v", r.SSIM)
+	}
+	if _, err := MeasureVideo(Access, "noBG", "4K", 64, probeOpts()); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}
+
+func TestScenariosAndBuffers(t *testing.T) {
+	if len(Scenarios(Access)) != 5 || len(Scenarios(Backbone)) != 6 {
+		t.Fatalf("scenario counts: %d/%d", len(Scenarios(Access)), len(Scenarios(Backbone)))
+	}
+	if len(BufferSizes(Access)) != 6 || len(BufferSizes(Backbone)) != 4 {
+		t.Fatal("buffer sweep sizes wrong")
+	}
+}
+
+func TestSizingSchemes(t *testing.T) {
+	schemes := SizingSchemes(155e6, 60*time.Millisecond, 768)
+	if len(schemes) != 4 {
+		t.Fatalf("schemes = %d", len(schemes))
+	}
+	byName := map[string]Scheme{}
+	for _, s := range schemes {
+		byName[s.Name] = s
+	}
+	bdp := byName["rule-of-thumb (BDP)"]
+	if bdp.Packets < 700 || bdp.Packets > 800 {
+		t.Fatalf("BDP packets = %d", bdp.Packets)
+	}
+	st := byName["stanford (BDP/sqrt(n))"]
+	if st.Packets >= bdp.Packets {
+		t.Fatal("stanford not smaller than BDP")
+	}
+	bloat := byName["bloated (10x BDP)"]
+	if bloat.MaxDelay < 500*time.Millisecond {
+		t.Fatalf("bloat delay = %v", bloat.MaxDelay)
+	}
+}
+
+func TestResultValueAccessor(t *testing.T) {
+	res, err := Run("fig1a", probeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Value(0, "max RTT", "mode (ms)"); v <= 0 {
+		t.Fatalf("accessor value = %v", v)
+	}
+	if v := res.Value(99, "x", "y"); v != 0 {
+		t.Fatalf("out-of-range grid returned %v", v)
+	}
+}

@@ -1,0 +1,88 @@
+package bufferqoe
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHeadlineClaimWorkloadDominates asserts the paper's main finding
+// end-to-end: "network workload, rather than buffer size, is the
+// primary determinant of end-user QoE". Across a workload x buffer
+// grid, the QoE spread attributable to workload must dwarf the spread
+// attributable to buffer size.
+func TestHeadlineClaimWorkloadDominates(t *testing.T) {
+	opt := Options{
+		Seed:     13,
+		Duration: 6 * time.Second,
+		Warmup:   4 * time.Second,
+		Reps:     1,
+	}
+	scenarios := []string{"noBG", "long-many"}
+	buffers := []int{8, 256}
+	mos := map[string]map[int]float64{}
+	for _, sc := range scenarios {
+		mos[sc] = map[int]float64{}
+		for _, buf := range buffers {
+			r, err := MeasureWeb(Access, sc, Up, buf, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mos[sc][buf] = r.MOS
+		}
+	}
+	spread := func(a, b float64) float64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	// Workload effect at each buffer size.
+	workloadEffect := (spread(mos["noBG"][8], mos["long-many"][8]) +
+		spread(mos["noBG"][256], mos["long-many"][256])) / 2
+	// Buffer effect within each workload.
+	bufferEffect := (spread(mos["noBG"][8], mos["noBG"][256]) +
+		spread(mos["long-many"][8], mos["long-many"][256])) / 2
+	if workloadEffect < 2*bufferEffect {
+		t.Fatalf("workload effect %.2f MOS vs buffer effect %.2f MOS: headline claim not reproduced (%v)",
+			workloadEffect, bufferEffect, mos)
+	}
+	if workloadEffect < 1.5 {
+		t.Fatalf("workload effect only %.2f MOS; congestion should be decisive", workloadEffect)
+	}
+}
+
+// TestHeadlineClaimBufferbloatNarrow asserts the paper's second claim:
+// bufferbloat seriously degrades QoE only when buffers are oversized
+// AND sustainably filled — an oversized but idle buffer is harmless.
+func TestHeadlineClaimBufferbloatNarrow(t *testing.T) {
+	opt := Options{
+		Seed:     14,
+		Duration: 6 * time.Second,
+		Warmup:   4 * time.Second,
+		Reps:     1,
+	}
+	// Oversized + idle: excellent.
+	idle, err := MeasureVoIP(Access, "noBG", Up, 256, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.TalkMOS < 4.0 {
+		t.Fatalf("oversized idle buffer talk MOS = %v, want excellent", idle.TalkMOS)
+	}
+	// Oversized + sustainably filled: broken.
+	filled, err := MeasureVoIP(Access, "long-many", Up, 256, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled.TalkMOS > 3.0 {
+		t.Fatalf("oversized filled buffer talk MOS = %v, want degraded", filled.TalkMOS)
+	}
+	// Right-sized + same congestion: clearly better than bloated.
+	small, err := MeasureVoIP(Access, "long-many", Up, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TalkMOS <= filled.TalkMOS {
+		t.Fatalf("small-buffer MOS %v <= bloated %v under congestion", small.TalkMOS, filled.TalkMOS)
+	}
+}

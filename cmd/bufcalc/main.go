@@ -1,0 +1,39 @@
+// Command bufcalc evaluates the paper's buffer sizing schemes for an
+// arbitrary link, and reproduces Table 2 when run without flags.
+//
+// Usage:
+//
+//	bufcalc                              # Table 2
+//	bufcalc -rate 16e6 -rtt 50ms -n 16   # custom link
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"bufferqoe"
+)
+
+func main() {
+	var (
+		rate = flag.Float64("rate", 0, "link rate in bits/s (0 = print Table 2)")
+		rtt  = flag.Duration("rtt", 60*time.Millisecond, "round-trip time")
+		n    = flag.Int("n", 1, "expected concurrent TCP flows")
+	)
+	flag.Parse()
+
+	if *rate == 0 {
+		res, err := bufferqoe.Run("table2", bufferqoe.Options{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Print(res.Text)
+		return
+	}
+	fmt.Printf("link: %.0f bit/s, RTT %v, %d flows\n\n", *rate, *rtt, *n)
+	fmt.Printf("%-24s %10s %14s\n", "scheme", "packets", "max q delay")
+	for _, s := range bufferqoe.SizingSchemes(*rate, *rtt, *n) {
+		fmt.Printf("%-24s %10d %14v\n", s.Name, s.Packets, s.MaxDelay.Round(time.Millisecond/10))
+	}
+}

@@ -1,0 +1,64 @@
+// Command qoebench runs the paper's experiments by ID and prints the
+// regenerated tables and heatmaps.
+//
+// Usage:
+//
+//	qoebench -list
+//	qoebench -exp fig7b
+//	qoebench -exp all -duration 60s -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bufferqoe"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment ID (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		duration = flag.Duration("duration", 30*time.Second, "per-cell background measurement window")
+		warmup   = flag.Duration("warmup", 5*time.Second, "background warmup before measuring")
+		reps     = flag.Int("reps", 3, "calls/streams/fetches per cell")
+		clip     = flag.Int("clip", 4, "video clip length in seconds")
+		flows    = flag.Int("cdnflows", 200000, "synthetic CDN population size (fig1*)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bufferqoe.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "qoebench: -exp required (or -list)")
+		os.Exit(2)
+	}
+	opt := bufferqoe.Options{
+		Seed:        *seed,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Reps:        *reps,
+		ClipSeconds: *clip,
+		CDNFlows:    *flows,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bufferqoe.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := bufferqoe.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s (%.1fs)\n%s\n", id, time.Since(start).Seconds(), res.Text)
+	}
+}

@@ -1,0 +1,28 @@
+// Command wildsim regenerates the paper's Section 3 "buffering in the
+// wild" analysis (Figure 1) on a synthetic CDN population.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bufferqoe"
+)
+
+func main() {
+	var (
+		flows = flag.Int("flows", 400000, "population size")
+		seed  = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	opt := bufferqoe.Options{Seed: *seed, CDNFlows: *flows}
+	for _, id := range []string{"fig1a", "fig1b", "fig1c"} {
+		res, err := bufferqoe.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wildsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s\n%s\n", id, res.Text)
+	}
+}

@@ -1,0 +1,45 @@
+// wild_cdn reproduces the paper's Section 3 "buffering in the wild"
+// study on the synthetic CDN population: per-flow smoothed-RTT
+// statistics are reduced to queueing-delay estimates (max-min sRTT),
+// split by access technology — the measurement that frames bufferbloat
+// as real but rare.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe"
+)
+
+func main() {
+	opt := bufferqoe.Options{
+		Seed:     11,
+		CDNFlows: 400000,
+		Duration: 5 * time.Second,
+		Warmup:   time.Second,
+		Reps:     1,
+	}
+
+	fmt.Println("Buffering in the wild (paper Section 3, Figure 1)")
+	fmt.Println()
+
+	rtts, err := bufferqoe.Run("fig1a", opt)
+	check(err)
+	fmt.Println(rtts.Text)
+
+	qd, err := bufferqoe.Run("fig1c", opt)
+	check(err)
+	fmt.Println(qd.Text)
+
+	fmt.Println("The calibration targets from the paper's 430M-connection")
+	fmt.Println("dataset: ~80% of flows see <100 ms of delay variation;")
+	fmt.Println("only ~2.8% exceed 500 ms and ~1% exceed 1 s — bufferbloat")
+	fmt.Println("can happen, but mostly does not.")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

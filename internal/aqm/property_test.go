@@ -1,0 +1,219 @@
+package aqm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+)
+
+// driveQueue exercises a queue with a pseudo-random interleaving of
+// enqueues and dequeues derived from ops, advancing a synthetic clock,
+// and checks the conservation law accepted = delivered + still-queued
+// (+ internally dropped, reported by the caller-provided counter).
+// It returns false on any violated invariant.
+func driveQueue(q netem.Queue, ops []byte, internalDrops func() uint64) bool {
+	var now sim.Time
+	accepted, delivered := 0, 0
+	seq := uint64(0)
+	for _, op := range ops {
+		now = now.Add(time.Duration(op%13+1) * time.Millisecond)
+		if op%3 != 0 { // two enqueues per dequeue on average
+			seq++
+			p := &netem.Packet{
+				ID:   seq,
+				Size: int(op)%netem.MTU + 1,
+				Flow: netem.Flow{
+					Proto: netem.ProtoUDP,
+					Src:   netem.Addr{Node: 1, Port: uint16(op % 7)},
+					Dst:   netem.Addr{Node: 2, Port: 80},
+				},
+			}
+			if q.Enqueue(p, now) {
+				accepted++
+			}
+		} else if p := q.Dequeue(now); p != nil {
+			delivered++
+		}
+		if q.Len() < 0 || q.Bytes() < 0 {
+			return false
+		}
+		if q.Len() == 0 && q.Bytes() != 0 {
+			return false
+		}
+	}
+	// Drain completely.
+	for {
+		now = now.Add(10 * time.Millisecond)
+		p := q.Dequeue(now)
+		if p == nil {
+			break
+		}
+		delivered++
+	}
+	if q.Len() != 0 || q.Bytes() != 0 {
+		return false
+	}
+	return accepted == delivered+int(internalDrops())
+}
+
+func TestPropertyCoDelConservation(t *testing.T) {
+	f := func(ops []byte, capSeed uint8) bool {
+		c := NewCoDel(int(capSeed)%100 + 1)
+		return driveQueue(c, ops, func() uint64 { return c.Drops })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCoDelECNConservation(t *testing.T) {
+	// With ECN and ECT traffic, marks replace drops: conservation
+	// must hold with the AQM drop count still exact (overflow drops
+	// are rejected enqueues, not internal).
+	f := func(ops []byte, capSeed uint8) bool {
+		c := NewCoDel(int(capSeed)%100 + 1)
+		c.ECN = true
+		var now sim.Time
+		accepted, delivered := 0, 0
+		for _, op := range ops {
+			now = now.Add(time.Duration(op%13+1) * time.Millisecond)
+			if op%3 != 0 {
+				p := &netem.Packet{Size: 1500, ECT: true}
+				if c.Enqueue(p, now) {
+					accepted++
+				}
+			} else if p := c.Dequeue(now); p != nil {
+				delivered++
+			}
+		}
+		for {
+			now = now.Add(10 * time.Millisecond)
+			if c.Dequeue(now) == nil {
+				break
+			}
+			delivered++
+		}
+		return accepted == delivered+int(c.Drops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyREDConservation(t *testing.T) {
+	f := func(ops []byte, capSeed uint8, adaptive bool) bool {
+		r := NewRED(int(capSeed)%100+2, sim.NewRNG(uint64(capSeed), "prop-red"))
+		r.Adaptive = adaptive
+		// RED drops at enqueue (rejections), never internally.
+		return driveQueue(r, ops, func() uint64 { return 0 })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPIEConservation(t *testing.T) {
+	f := func(ops []byte, capSeed uint8) bool {
+		p := NewPIE(int(capSeed)%100+1, sim.NewRNG(uint64(capSeed), "prop-pie"))
+		// PIE also drops only at enqueue.
+		return driveQueue(p, ops, func() uint64 { return 0 })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFQCoDelConservation(t *testing.T) {
+	f := func(ops []byte, capSeed uint8) bool {
+		fq := NewFQCoDel(int(capSeed)%100 + 1)
+		return driveQueue(fq, ops, func() uint64 { return fq.Drops })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAREDMaxPStaysBounded(t *testing.T) {
+	f := func(ops []byte) bool {
+		r := NewARED(64, sim.NewRNG(5, "prop-ared"))
+		var now sim.Time
+		for _, op := range ops {
+			now = now.Add(time.Duration(op%200) * time.Millisecond)
+			if op%2 == 0 {
+				r.Enqueue(&netem.Packet{Size: 1500}, now)
+			} else {
+				r.Dequeue(now)
+			}
+			if r.MaxP < aredMinP-1e-9 || r.MaxP > aredMaxP+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPIEProbabilityBounded(t *testing.T) {
+	f := func(ops []byte) bool {
+		p := NewPIE(1000, sim.NewRNG(6, "prop-pie2"))
+		var now sim.Time
+		for _, op := range ops {
+			now = now.Add(time.Duration(op%50) * time.Millisecond)
+			if op%2 == 0 {
+				p.Enqueue(&netem.Packet{Size: 1500}, now)
+			} else {
+				p.Dequeue(now)
+			}
+			if pr := p.Prob(); pr < 0 || pr > pieMaxProb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFQCoDelPerFlowFIFO: packets of the same flow must leave
+// in arrival order regardless of cross-flow scheduling.
+func TestPropertyFQCoDelPerFlowFIFO(t *testing.T) {
+	f := func(ops []byte) bool {
+		fq := NewFQCoDel(10000)
+		var now sim.Time
+		nextID := uint64(0)
+		lastOut := map[uint16]uint64{}
+		for _, op := range ops {
+			now = now.Add(time.Millisecond)
+			if op%3 != 0 {
+				nextID++
+				port := uint16(op % 5)
+				p := &netem.Packet{
+					ID:   nextID,
+					Size: 500,
+					Flow: netem.Flow{
+						Proto: netem.ProtoUDP,
+						Src:   netem.Addr{Node: 1, Port: port},
+						Dst:   netem.Addr{Node: 2, Port: 80},
+					},
+				}
+				fq.Enqueue(p, now)
+			} else if p := fq.Dequeue(now); p != nil {
+				port := p.Flow.Src.Port
+				if p.ID <= lastOut[port] {
+					return false
+				}
+				lastOut[port] = p.ID
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

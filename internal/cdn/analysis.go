@@ -1,0 +1,83 @@
+package cdn
+
+import (
+	"bufferqoe/internal/stats"
+)
+
+// Analysis is the output of the paper's Section 3 pipeline over a
+// flow population.
+type Analysis struct {
+	// FlowsAnalyzed counts flows passing the >= MinSamples filter.
+	FlowsAnalyzed int
+
+	// MinPDF, AvgPDF, MaxPDF are the log-RTT densities of Figure 1a.
+	MinPDF, AvgPDF, MaxPDF *stats.LogHist
+
+	// MinMax is the Figure 1b 2D histogram (x: max RTT, y: min RTT).
+	MinMax *stats.Hist2D
+
+	// QDelay holds the Figure 1c estimated-queueing-delay densities,
+	// one per access technology plus the complete data set.
+	QDelay map[string]*stats.LogHist
+
+	// Delay-variation marginals (the paper's headline numbers).
+	FracBelow100ms  float64 // paper: ~80%
+	FracAbove500ms  float64 // paper: ~2.8%
+	FracAbove1000ms float64 // paper: ~1%
+
+	// Proximity analysis: flows with min sRTT <= 100 ms.
+	NearFlows         int
+	NearFracBelow100  float64 // paper: ~95%
+	NearFracBelow1000 float64 // paper: ~99.9%
+}
+
+// MinSamplesDefault is the paper's filter: flows with at least 10 RTT
+// samples.
+const MinSamplesDefault = 10
+
+// Analyze runs the Section 3 pipeline.
+func Analyze(flows []FlowRecord, minSamples int) *Analysis {
+	if minSamples <= 0 {
+		minSamples = MinSamplesDefault
+	}
+	a := &Analysis{
+		MinPDF: stats.NewLogHist(1, 10000, 60),
+		AvgPDF: stats.NewLogHist(1, 10000, 60),
+		MaxPDF: stats.NewLogHist(1, 10000, 60),
+		MinMax: stats.NewHist2D(1, 10000, 1, 10000, 40, 40),
+		QDelay: map[string]*stats.LogHist{},
+	}
+	for _, t := range []string{"ADSL", "Cable", "FTTH", "all"} {
+		a.QDelay[t] = stats.NewLogHist(1, 10000, 60)
+	}
+	var dv stats.Sample
+	var nearDV stats.Sample
+	for _, f := range flows {
+		if f.Samples < minSamples {
+			continue
+		}
+		a.FlowsAnalyzed++
+		a.MinPDF.Add(f.MinSRTT)
+		a.AvgPDF.Add(f.AvgSRTT)
+		a.MaxPDF.Add(f.MaxSRTT)
+		a.MinMax.Add(f.MaxSRTT, f.MinSRTT)
+		d := f.DelayVariation()
+		dv.Add(d)
+		a.QDelay["all"].Add(d)
+		if f.Tech != Other {
+			a.QDelay[f.Tech.String()].Add(d)
+		}
+		if f.MinSRTT <= 100 {
+			a.NearFlows++
+			nearDV.Add(d)
+		}
+	}
+	a.FracBelow100ms = dv.FracBelow(100)
+	a.FracAbove500ms = dv.FracAbove(500)
+	a.FracAbove1000ms = dv.FracAbove(1000)
+	if nearDV.N() > 0 {
+		a.NearFracBelow100 = nearDV.FracBelow(100)
+		a.NearFracBelow1000 = nearDV.FracBelow(1000)
+	}
+	return a
+}

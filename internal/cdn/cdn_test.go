@@ -1,0 +1,144 @@
+package cdn
+
+import (
+	"testing"
+)
+
+func genAnalyzed(t *testing.T, n int, seed uint64) ([]FlowRecord, *Analysis) {
+	t.Helper()
+	flows := Generate(Config{Flows: n, Seed: seed})
+	return flows, Analyze(flows, 0)
+}
+
+func TestPopulationShares(t *testing.T) {
+	flows, _ := genAnalyzed(t, 200000, 1)
+	counts := map[AccessTech]int{}
+	for _, f := range flows {
+		counts[f.Tech]++
+	}
+	fracADSL := float64(counts[ADSL]) / float64(len(flows))
+	if fracADSL < 0.68 || fracADSL > 0.72 {
+		t.Fatalf("ADSL share = %.3f, want ~0.70", fracADSL)
+	}
+	fracCable := float64(counts[Cable]) / float64(len(flows))
+	if fracCable < 0.01 || fracCable > 0.02 {
+		t.Fatalf("Cable share = %.4f, want ~0.014", fracCable)
+	}
+	if counts[FTTH] == 0 {
+		t.Fatal("no FTTH flows in 200k population")
+	}
+}
+
+func TestInvariantMinAvgMax(t *testing.T) {
+	flows, _ := genAnalyzed(t, 50000, 2)
+	for _, f := range flows {
+		if !(f.MinSRTT <= f.AvgSRTT && f.AvgSRTT <= f.MaxSRTT) {
+			t.Fatalf("ordering violated: %+v", f)
+		}
+		if f.MinSRTT <= 0 {
+			t.Fatalf("non-positive RTT: %+v", f)
+		}
+	}
+}
+
+func TestCalibrationMatchesPaperMarginals(t *testing.T) {
+	// Paper Section 3: "80% of all the flows experience less than
+	// 100ms of delay variation. Only 2.8% (1%) experience excessive
+	// queueing delays of more than 500ms (1000ms)."
+	_, a := genAnalyzed(t, 300000, 3)
+	if a.FracBelow100ms < 0.72 || a.FracBelow100ms > 0.88 {
+		t.Fatalf("frac <100ms = %.3f, want ~0.80", a.FracBelow100ms)
+	}
+	if a.FracAbove500ms < 0.015 || a.FracAbove500ms > 0.045 {
+		t.Fatalf("frac >500ms = %.4f, want ~0.028", a.FracAbove500ms)
+	}
+	if a.FracAbove1000ms < 0.004 || a.FracAbove1000ms > 0.02 {
+		t.Fatalf("frac >1000ms = %.4f, want ~0.01", a.FracAbove1000ms)
+	}
+	if a.FracAbove1000ms >= a.FracAbove500ms {
+		t.Fatal(">1s fraction not below >500ms fraction")
+	}
+}
+
+func TestProximityAnalysis(t *testing.T) {
+	// Paper: for flows with min RTT <= 100ms, 95% (99.9%) stay below
+	// 100ms (1s) of queueing delay.
+	_, a := genAnalyzed(t, 300000, 4)
+	if a.NearFlows == 0 {
+		t.Fatal("no near flows")
+	}
+	if a.NearFracBelow100 < 0.75 {
+		t.Fatalf("near-flows <100ms = %.3f, want high (~0.95)", a.NearFracBelow100)
+	}
+	if a.NearFracBelow1000 < 0.97 {
+		t.Fatalf("near-flows <1s = %.4f, want ~0.999", a.NearFracBelow1000)
+	}
+	if a.NearFracBelow1000 <= a.NearFracBelow100 {
+		t.Fatal("proximity fractions inconsistent")
+	}
+}
+
+func TestMaxDeviatesFromMin(t *testing.T) {
+	// Figure 1a/1b: the max sRTT distribution must sit clearly to the
+	// right of the min distribution.
+	_, a := genAnalyzed(t, 100000, 5)
+	if a.MaxPDF.Mode() <= a.MinPDF.Mode() {
+		t.Fatalf("max mode %.1f <= min mode %.1f", a.MaxPDF.Mode(), a.MinPDF.Mode())
+	}
+	// And the 2D histogram shows off-diagonal mass.
+	if f := a.MinMax.FracOnDiagonal(1); f > 0.9 {
+		t.Fatalf("min~max for %.2f of flows: no queueing visible", f)
+	}
+}
+
+func TestTechOrdering(t *testing.T) {
+	// Figure 1c: ADSL users see more queueing than FTTH users.
+	flows, _ := genAnalyzed(t, 400000, 6)
+	var adslHigh, adslN, ftthHigh, ftthN int
+	for _, f := range flows {
+		if f.Samples < MinSamplesDefault {
+			continue
+		}
+		switch f.Tech {
+		case ADSL:
+			adslN++
+			if f.DelayVariation() > 200 {
+				adslHigh++
+			}
+		case FTTH:
+			ftthN++
+			if f.DelayVariation() > 200 {
+				ftthHigh++
+			}
+		}
+	}
+	if adslN == 0 || ftthN == 0 {
+		t.Fatal("missing tech populations")
+	}
+	fADSL := float64(adslHigh) / float64(adslN)
+	fFTTH := float64(ftthHigh) / float64(ftthN)
+	if fADSL <= fFTTH {
+		t.Fatalf("ADSL high-queueing frac %.4f <= FTTH %.4f", fADSL, fFTTH)
+	}
+}
+
+func TestSampleFilter(t *testing.T) {
+	flows := []FlowRecord{
+		{Tech: ADSL, Samples: 5, MinSRTT: 10, AvgSRTT: 20, MaxSRTT: 30},
+		{Tech: ADSL, Samples: 15, MinSRTT: 10, AvgSRTT: 20, MaxSRTT: 30},
+	}
+	a := Analyze(flows, 10)
+	if a.FlowsAnalyzed != 1 {
+		t.Fatalf("filter kept %d flows, want 1", a.FlowsAnalyzed)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Flows: 1000, Seed: 7})
+	b := Generate(Config{Flows: 1000, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic generation")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/aqm"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/qoe"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/sizing"
+	"bufferqoe/internal/tcp"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/video"
+	"bufferqoe/internal/web"
+)
+
+// ablationAQM answers the question the bufferbloat debate asks of the
+// paper: how much of the QoE lost to a bloated, sustainably filled
+// uplink buffer does AQM recover? It reruns the paper's worst VoIP
+// case (Figure 7b, 256-packet uplink, upstream long-many workload)
+// with the drop-tail queue swapped for each post-bufferbloat
+// discipline: CoDel (the AQM the paper's §1 cites), RED and its
+// self-tuning ARED variant, PIE (the DOCSIS answer), and FQ-CoDel
+// (the home-router answer, adding flow isolation).
+func ablationAQM(o Options) (*Result, error) {
+	queues := []struct {
+		name    string
+		factory testbed.QueueFactory
+	}{
+		{"drop-tail", nil},
+		{"codel", func(capPkts int) netem.Queue {
+			return aqm.NewCoDelForRate(capPkts, testbed.AccessUpRate)
+		}},
+		{"red", func(capPkts int) netem.Queue { return aqm.NewRED(capPkts, sim.NewRNG(o.Seed, "red")) }},
+		{"ared", func(capPkts int) netem.Queue { return aqm.NewARED(capPkts, sim.NewRNG(o.Seed, "ared")) }},
+		{"pie", func(capPkts int) netem.Queue { return aqm.NewPIE(capPkts, sim.NewRNG(o.Seed, "pie")) }},
+		{"fq-codel", func(capPkts int) netem.Queue {
+			return aqm.NewFQCoDelForRate(capPkts, testbed.AccessUpRate)
+		}},
+	}
+	cols := make([]string, 0, len(queues))
+	for _, q := range queues {
+		cols = append(cols, q.name)
+	}
+	g := NewGrid("Ablation: AQM at a bloated (256-pkt) uplink, upstream long-many workload",
+		[]string{"talk MOS", "listen MOS"}, cols)
+	for _, q := range queues {
+		oq := o
+		listen, talk := voipAccessCellQueue("long-many", testbed.DirUp, 256, oq, q.factory)
+		g.Set("talk MOS", q.name, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
+		g.Set("listen MOS", q.name, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
+	}
+	return &Result{ID: "abl-aqm", Grids: []*Grid{g}}, nil
+}
+
+// voipAccessCellQueue is voipAccessCell with a custom uplink queue
+// discipline.
+func voipAccessCellQueue(name string, dir testbed.Direction, buf int, o Options, qf testbed.QueueFactory) (listen, talk float64) {
+	a := testbed.NewAccess(testbed.Config{
+		BufferUp: buf, BufferDown: buf, Seed: o.Seed, UpQueue: qf,
+	})
+	if name != "noBG" {
+		a.StartWorkload(testbed.AccessScenario(name, dir))
+	}
+	return runVoIPPair(a, o)
+}
+
+// ablationCC revisits the paper's Section 5.2 claim that the choice of
+// background congestion control (Reno vs CUBIC) "does not
+// substantially impact the QoE results": same cell, both algorithms.
+func ablationCC(o Options) (*Result, error) {
+	g := NewGrid("Ablation: background congestion control (access, 64-pkt buffers, bidir long-few)",
+		[]string{"listen MOS", "talk MOS"}, []string{"cubic", "reno"})
+	algos := map[string]func() tcp.CongestionControl{
+		"cubic": tcp.NewCubic,
+		"reno":  tcp.NewReno,
+	}
+	for cc, factory := range algos {
+		a := testbed.NewAccess(testbed.Config{
+			BufferUp: 64, BufferDown: 64, Seed: o.Seed, CC: factory,
+		})
+		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirBidir))
+		listen, talk := runVoIPPair(a, o)
+		g.Set("listen MOS", cc, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
+		g.Set("talk MOS", cc, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
+	}
+	return &Result{ID: "abl-ccalgo", Grids: []*Grid{g}}, nil
+}
+
+// ablationLoadAware evaluates the paper's Section 10 suggestion of
+// load-dependent buffer sizing on WebQoE: static BDP vs static bloat
+// vs the load-aware choice under moderate and high load.
+func ablationLoadAware(o Options) (*Result, error) {
+	bdp := 64
+	scenarios := []struct {
+		name string
+		util float64 // a-priori utilization class for the scheme
+	}{
+		{"short-few", 0.45},
+		{"long-many", 0.99},
+	}
+	g := NewGrid("Ablation: load-aware buffer sizing (access downlink, WebQoE)",
+		[]string{"short-few", "long-many"},
+		[]string{"bdp", "bloat(10x)", "load-aware"})
+	model := qoe.AccessWebModel()
+	for _, sc := range scenarios {
+		n := 24 // rough concurrent-flow estimate for the scheme
+		choices := map[string]int{
+			"bdp":        bdp,
+			"bloat(10x)": sizing.BloatedPackets(bdp),
+			"load-aware": sizing.LoadAware(bdp, n, sc.util),
+		}
+		for label, buf := range choices {
+			a := testbed.NewAccess(testbed.Config{BufferUp: 8, BufferDown: buf, Seed: o.Seed})
+			a.StartWorkload(testbed.AccessScenario(sc.name, testbed.DirDown))
+			web.RegisterServer(a.MediaServerTCP, web.Port)
+			plt := webReps(a.Eng, o, func(done func(web.Result)) {
+				web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
+			})
+			mos := model.MOS(plt)
+			g.Set(sc.name, label, Cell{
+				Value: mos,
+				Text:  fmt.Sprintf("MOS %.1f @%dp", mos, buf),
+				Class: string(qoe.Rate(mos)),
+			})
+		}
+	}
+	return &Result{ID: "abl-loadaware", Grids: []*Grid{g}}, nil
+}
+
+// ablationSmoothing quantifies Section 8.1's point that unsmoothed
+// VLC-style frame bursts overflow access buffers even on an idle
+// link.
+func ablationSmoothing(o Options) (*Result, error) {
+	g := NewGrid("Ablation: video sender smoothing (access, idle link)",
+		[]string{"SSIM", "loss %"}, []string{"smooth-8pkt", "burst-8pkt", "smooth-64pkt", "burst-64pkt"})
+	for _, buf := range []int{8, 64} {
+		for _, smooth := range []bool{true, false} {
+			a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
+			src := video.NewSource(video.ClipC, video.SD, o.ClipSeconds)
+			var got video.Result
+			video.Start(a.MediaServer, a.MediaClient, src,
+				video.Config{Smooth: smooth, Seed: o.Seed},
+				func(r video.Result) { got = r; a.Eng.Halt() })
+			a.Eng.RunFor(cellCap)
+			label := map[bool]string{true: "smooth", false: "burst"}[smooth]
+			col := fmt.Sprintf("%s-%dpkt", label, buf)
+			g.Set("SSIM", col, Cell{Value: got.MeanSSIM})
+			g.Set("loss %", col, Cell{Value: got.LossPct()})
+		}
+	}
+	return &Result{ID: "abl-smoothing", Grids: []*Grid{g}}, nil
+}

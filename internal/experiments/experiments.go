@@ -1,0 +1,196 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, plus the ablation studies DESIGN.md calls out.
+// Each runner builds the right testbed(s), applies the Table 1
+// workload, sweeps the Table 2 buffer configurations, and returns the
+// same rows/series the paper reports, rendered as ASCII grids.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bufferqoe/internal/stats"
+)
+
+// Options scale an experiment run. The zero value gives CLI-friendly
+// defaults; tests and benchmarks shrink them.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Duration is the background-traffic measurement window per cell.
+	Duration time.Duration
+	// Warmup runs background traffic before measuring.
+	Warmup time.Duration
+	// Reps is the number of calls/streams/fetches per cell (the paper
+	// uses 200-2000 calls and 50 streams; medians stabilize far
+	// earlier).
+	Reps int
+	// ClipSeconds is the video clip length (paper: 16 s).
+	ClipSeconds int
+	// CDNFlows sizes the synthetic Section 3 population.
+	CDNFlows int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Duration == 0 {
+		o.Duration = 30 * time.Second
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 5 * time.Second
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.ClipSeconds == 0 {
+		o.ClipSeconds = 4
+	}
+	if o.CDNFlows == 0 {
+		o.CDNFlows = 200000
+	}
+	return o
+}
+
+// Cell is one heatmap/table entry.
+type Cell struct {
+	// Value is the primary numeric result (MOS, ms, %, SSIM...).
+	Value float64
+	// Text overrides the rendered value when set.
+	Text string
+	// Class is an optional category label (G.114 class, MOS rating).
+	Class string
+}
+
+// Grid is a labeled 2D result (rows x columns), the shape of every
+// heatmap in the paper.
+type Grid struct {
+	Title string
+	Rows  []string
+	Cols  []string
+	cells map[string]Cell
+}
+
+// NewGrid creates an empty grid.
+func NewGrid(title string, rows, cols []string) *Grid {
+	return &Grid{Title: title, Rows: rows, Cols: cols, cells: map[string]Cell{}}
+}
+
+func key(row, col string) string { return row + "\x00" + col }
+
+// Set stores a cell.
+func (g *Grid) Set(row, col string, c Cell) { g.cells[key(row, col)] = c }
+
+// Get returns a cell (zero Cell if unset).
+func (g *Grid) Get(row, col string) Cell { return g.cells[key(row, col)] }
+
+// Render draws the grid as an aligned table; cells show the value and
+// class (if any).
+func (g *Grid) Render() string {
+	header := append([]string{""}, g.Cols...)
+	tb := stats.NewTable(header...)
+	for _, r := range g.Rows {
+		row := []string{r}
+		for _, c := range g.Cols {
+			cell := g.Get(r, c)
+			txt := cell.Text
+			if txt == "" {
+				txt = stats.FormatFloat(cell.Value)
+			}
+			if cell.Class != "" {
+				txt += " (" + cell.Class + ")"
+			}
+			row = append(row, txt)
+		}
+		tb.AddRow(row...)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n%s", g.Title, tb.String())
+	return b.String()
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Grids []*Grid
+	Notes []string
+}
+
+// Render concatenates all grids and notes.
+func (r *Result) Render() string {
+	var b strings.Builder
+	for _, g := range r.Grids {
+		b.WriteString(g.Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// runner is one experiment implementation.
+type runner func(Options) (*Result, error)
+
+var registry = map[string]runner{
+	"table1":          table1,
+	"table2":          table2,
+	"fig1a":           fig1a,
+	"fig1b":           fig1b,
+	"fig1c":           fig1c,
+	"fig4a":           func(o Options) (*Result, error) { return fig4(o, "a") },
+	"fig4b":           func(o Options) (*Result, error) { return fig4(o, "b") },
+	"fig4c":           func(o Options) (*Result, error) { return fig4(o, "c") },
+	"fig5":            fig5,
+	"fig7a":           func(o Options) (*Result, error) { return fig7(o, "a") },
+	"fig7b":           func(o Options) (*Result, error) { return fig7(o, "b") },
+	"fig7c":           func(o Options) (*Result, error) { return fig7(o, "c") },
+	"fig8":            fig8,
+	"fig9a":           func(o Options) (*Result, error) { return fig9(o, "a") },
+	"fig9b":           func(o Options) (*Result, error) { return fig9(o, "b") },
+	"fig10a":          func(o Options) (*Result, error) { return fig10(o, "a") },
+	"fig10b":          func(o Options) (*Result, error) { return fig10(o, "b") },
+	"fig10c":          func(o Options) (*Result, error) { return fig10(o, "c") },
+	"fig11":           fig11,
+	"abl-aqm":         ablationAQM,
+	"abl-bic":         ablationBIC,
+	"abl-bytequeue":   ablationByteQueue,
+	"abl-ccalgo":      ablationCC,
+	"abl-ecn":         ablationECN,
+	"abl-iqx":         ablationIQX,
+	"abl-iw10":        ablationIW10,
+	"abl-loadaware":   ablationLoadAware,
+	"abl-smoothing":   ablationSmoothing,
+	"abl-playout":     ablationPlayout,
+	"abl-sack":        ablationSACK,
+	"ext-abr":         extABR,
+	"ext-clips":       extClips,
+	"ext-fqcodel-web": extFQCoDelWeb,
+	"ext-httpvideo":   extHTTPVideo,
+	"ext-jitter":      extJitter,
+	"ext-parweb":      extParWeb,
+	"ext-psnr":        extPSNR,
+	"ext-recovery":    extRecovery,
+}
+
+// IDs returns all experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o.withDefaults())
+}

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/media"
+	"bufferqoe/internal/qoe"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/sizing"
+	"bufferqoe/internal/stats"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/video"
+	"bufferqoe/internal/voip"
+	"bufferqoe/internal/web"
+)
+
+// callSpacing is the gap between successive measurement call starts
+// within one testbed run.
+const callSpacing = 16 * time.Second
+
+// cellCap bounds a single cell's simulated time as a safety net; the
+// engine halts as soon as all repetitions complete.
+const cellCap = 30 * time.Minute
+
+// voipAccessCell runs Reps bidirectional calls over one configured
+// access testbed and returns the median listen/talk MOS.
+func voipAccessCell(name string, dir testbed.Direction, buf int, o Options) (listen, talk float64) {
+	a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
+	if name != "noBG" {
+		a.StartWorkload(testbed.AccessScenario(name, dir))
+	}
+	return runVoIPPair(a, o)
+}
+
+// runVoIPPair schedules Reps simultaneous bidirectional calls on an
+// already-configured access testbed and returns the median MOS of
+// each direction. The two directions of one call share the
+// conversational delay impairment, as in the paper's Section 7.2.
+func runVoIPPair(a *testbed.Access, o Options) (listen, talk float64) {
+	lib := media.Library(o.Seed)
+	var listenS, talkS stats.Sample
+	for i := 0; i < o.Reps; i++ {
+		i := i
+		a.Eng.Schedule(o.Warmup+time.Duration(i)*callSpacing, func() {
+			voip.StartPair(a.MediaClient, a.MediaServer,
+				lib[(2*i)%len(lib)], lib[(2*i+1)%len(lib)], 0,
+				func(pr voip.PairResult) {
+					listenS.Add(pr.Listen.MOS)
+					talkS.Add(pr.Talk.MOS)
+					if listenS.N() == o.Reps {
+						a.Eng.Halt()
+					}
+				})
+		})
+	}
+	a.Eng.RunFor(cellCap)
+	return listenS.Median(), talkS.Median()
+}
+
+// fig7 regenerates the Figure 7 access VoIP heatmaps: variant "a" is
+// download congestion, "b" upload congestion. Variant "c" is the
+// combined up+down scenario the paper describes in §7.2 ("plot not
+// shown": results resemble upload-only, with the listen direction
+// slightly worse from the added downlink traffic).
+func fig7(o Options, variant string) (*Result, error) {
+	dir := testbed.DirDown
+	switch variant {
+	case "b":
+		dir = testbed.DirUp
+	case "c":
+		dir = testbed.DirBidir
+	}
+	scenarios := []string{"noBG", "long-few", "long-many", "short-few", "short-many"}
+	var rows []string
+	for _, half := range []string{"user-listens", "user-talks"} {
+		for _, s := range scenarios {
+			rows = append(rows, half+"/"+s)
+		}
+	}
+	g := NewGrid(fmt.Sprintf("Figure 7%s: VoIP access median MOS, %s congestion", variant, dir),
+		rows, accessBufferCols())
+	for _, buf := range sizing.AccessBufferSizes {
+		col := fmt.Sprintf("%d", buf)
+		for _, s := range scenarios {
+			listen, talk := voipAccessCell(s, dir, buf, o)
+			g.Set("user-listens/"+s, col, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
+			g.Set("user-talks/"+s, col, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
+		}
+	}
+	return &Result{ID: "fig7" + variant, Grids: []*Grid{g}}, nil
+}
+
+// voipBackboneCell runs Reps unidirectional calls and returns the
+// median MOS.
+func voipBackboneCell(name string, buf int, o Options) float64 {
+	b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: o.Seed})
+	if name != "noBG" {
+		b.StartWorkload(testbed.BackboneScenario(name))
+	}
+	lib := media.Library(o.Seed)
+	var mosS stats.Sample
+	for i := 0; i < o.Reps; i++ {
+		i := i
+		b.Eng.Schedule(o.Warmup+time.Duration(i)*callSpacing, func() {
+			voip.Start(b.MediaServer, b.MediaClient, lib[i%len(lib)], 0,
+				func(r voip.Result) {
+					mosS.Add(r.MOS)
+					if mosS.N() == o.Reps {
+						b.Eng.Halt()
+					}
+				})
+		})
+	}
+	b.Eng.RunFor(cellCap)
+	return mosS.Median()
+}
+
+// fig8 regenerates the Figure 8 backbone VoIP heatmap (unidirectional
+// calls, server -> client, as in the paper).
+func fig8(o Options) (*Result, error) {
+	scenarios := testbed.BackboneScenarioNames
+	g := NewGrid("Figure 8: VoIP backbone median MOS", scenarios, backboneBufferCols())
+	for _, buf := range sizing.BackboneBufferSizes {
+		col := fmt.Sprintf("%d", buf)
+		for _, s := range scenarios {
+			m := voipBackboneCell(s, buf, o)
+			g.Set(s, col, Cell{Value: m, Class: string(qoe.VoIPSatisfaction(m))})
+		}
+	}
+	return &Result{ID: "fig8", Grids: []*Grid{g}}, nil
+}
+
+// videoReps streams the clip sequentially Reps times; start is invoked
+// per repetition with the completion callback.
+func videoReps(eng *sim.Engine, o Options, clipDur time.Duration, start func(done func(video.Result))) float64 {
+	var ssims stats.Sample
+	spacing := clipDur + video.StartupDelay + 5*time.Second
+	for i := 0; i < o.Reps; i++ {
+		eng.Schedule(o.Warmup+time.Duration(i)*spacing, func() {
+			start(func(r video.Result) {
+				ssims.Add(r.MeanSSIM)
+				if ssims.N() == o.Reps {
+					eng.Halt()
+				}
+			})
+		})
+	}
+	eng.RunFor(cellCap)
+	return ssims.Median()
+}
+
+// fig9 regenerates the Figure 9 video heatmaps: variant "a" is the
+// access testbed (download congestion only: IPTV is downstream),
+// "b" the backbone.
+func fig9(o Options, variant string) (*Result, error) {
+	profiles := []video.Profile{video.SD, video.HD}
+	clip := video.ClipC // the clip the paper displays
+	clipDur := time.Duration(o.ClipSeconds) * time.Second
+
+	var scenarios []string
+	var cols []string
+	var bufs []int
+	if variant == "a" {
+		scenarios = []string{"noBG", "long-few", "long-many", "short-few", "short-many"}
+		cols, bufs = accessBufferCols(), sizing.AccessBufferSizes
+	} else {
+		scenarios = testbed.BackboneScenarioNames
+		cols, bufs = backboneBufferCols(), sizing.BackboneBufferSizes
+	}
+	var rows []string
+	for _, p := range profiles {
+		for _, s := range scenarios {
+			rows = append(rows, p.Name+"/"+s)
+		}
+	}
+	g := NewGrid(fmt.Sprintf("Figure 9%s: median SSIM (video C)", variant), rows, cols)
+
+	for bi, buf := range bufs {
+		col := cols[bi]
+		for _, s := range scenarios {
+			for _, p := range profiles {
+				src := video.NewSource(clip, p, o.ClipSeconds)
+				var ssim float64
+				if variant == "a" {
+					a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
+					if s != "noBG" {
+						a.StartWorkload(testbed.AccessScenario(s, testbed.DirDown))
+					}
+					ssim = videoReps(a.Eng, o, clipDur, func(done func(video.Result)) {
+						video.Start(a.MediaServer, a.MediaClient, src,
+							video.Config{Smooth: true, Seed: o.Seed}, done)
+					})
+				} else {
+					b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: o.Seed})
+					if s != "noBG" {
+						b.StartWorkload(testbed.BackboneScenario(s))
+					}
+					ssim = videoReps(b.Eng, o, clipDur, func(done func(video.Result)) {
+						video.Start(b.MediaServer, b.MediaClient, src,
+							video.Config{Smooth: true, Seed: o.Seed}, done)
+					})
+				}
+				g.Set(p.Name+"/"+s, col, Cell{
+					Value: ssim,
+					Class: string(qoe.Rate(qoe.SSIMToMOS(ssim))),
+				})
+			}
+		}
+	}
+	return &Result{ID: "fig9" + variant, Grids: []*Grid{g}}, nil
+}
+
+// webReps fetches the page sequentially Reps times and returns the
+// median PLT.
+func webReps(eng *sim.Engine, o Options, fetch func(done func(web.Result))) time.Duration {
+	var plts stats.Sample
+	remaining := o.Reps
+	var next func()
+	next = func() {
+		if remaining == 0 {
+			eng.Halt()
+			return
+		}
+		remaining--
+		fetch(func(r web.Result) {
+			plts.Add(r.PLT.Seconds())
+			eng.Schedule(time.Second, next)
+		})
+	}
+	eng.Schedule(o.Warmup, next)
+	eng.RunFor(cellCap)
+	return time.Duration(plts.Median() * float64(time.Second))
+}
+
+// fig10 regenerates the Figure 10 access WebQoE heatmaps: variant "a"
+// is download congestion, "b" upload congestion. Variant "c" is the
+// combined workload of §9.2 ("not shown": dominated by the upload
+// side, with somewhat shorter PLTs than upload-only).
+func fig10(o Options, variant string) (*Result, error) {
+	dir := testbed.DirDown
+	switch variant {
+	case "b":
+		dir = testbed.DirUp
+	case "c":
+		dir = testbed.DirBidir
+	}
+	model := qoe.AccessWebModel()
+	scenarios := []string{"noBG", "long-few", "long-many", "short-few", "short-many"}
+	g := NewGrid(fmt.Sprintf("Figure 10%s: access median PLT (s) and WebQoE, %s congestion", variant, dir),
+		scenarios, accessBufferCols())
+	for _, buf := range sizing.AccessBufferSizes {
+		col := fmt.Sprintf("%d", buf)
+		for _, s := range scenarios {
+			a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
+			if s != "noBG" {
+				a.StartWorkload(testbed.AccessScenario(s, dir))
+			}
+			web.RegisterServer(a.MediaServerTCP, web.Port)
+			plt := webReps(a.Eng, o, func(done func(web.Result)) {
+				web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
+			})
+			mos := model.MOS(plt)
+			g.Set(s, col, Cell{
+				Value: plt.Seconds(),
+				Text:  fmt.Sprintf("%.2fs/MOS %.1f", plt.Seconds(), mos),
+				Class: string(qoe.Rate(mos)),
+			})
+		}
+	}
+	return &Result{ID: "fig10" + variant, Grids: []*Grid{g}}, nil
+}
+
+// fig11 regenerates the Figure 11 backbone WebQoE heatmap.
+func fig11(o Options) (*Result, error) {
+	model := qoe.BackboneWebModel()
+	scenarios := testbed.BackboneScenarioNames
+	g := NewGrid("Figure 11: backbone median PLT (s) and WebQoE", scenarios, backboneBufferCols())
+	for _, buf := range sizing.BackboneBufferSizes {
+		col := fmt.Sprintf("%d", buf)
+		for _, s := range scenarios {
+			b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: o.Seed})
+			if s != "noBG" {
+				b.StartWorkload(testbed.BackboneScenario(s))
+			}
+			web.RegisterServer(b.MediaServerTCP, web.Port)
+			plt := webReps(b.Eng, o, func(done func(web.Result)) {
+				web.Fetch(b.MediaClientTCP, b.MediaServer.Addr(web.Port), 60*time.Second, done)
+			})
+			mos := model.MOS(plt)
+			g.Set(s, col, Cell{
+				Value: plt.Seconds(),
+				Text:  fmt.Sprintf("%.2fs/MOS %.1f", plt.Seconds(), mos),
+				Class: string(qoe.Rate(mos)),
+			})
+		}
+	}
+	return &Result{ID: "fig11", Grids: []*Grid{g}}, nil
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/qoe"
+	"bufferqoe/internal/sizing"
+	"bufferqoe/internal/stats"
+	"bufferqoe/internal/testbed"
+)
+
+// accessBufferCols renders the Table 2 access buffer sizes as column
+// labels.
+func accessBufferCols() []string {
+	out := make([]string, len(sizing.AccessBufferSizes))
+	for i, b := range sizing.AccessBufferSizes {
+		out[i] = fmt.Sprintf("%d", b)
+	}
+	return out
+}
+
+func backboneBufferCols() []string {
+	out := make([]string, len(sizing.BackboneBufferSizes))
+	for i, b := range sizing.BackboneBufferSizes {
+		out[i] = fmt.Sprintf("%d", b)
+	}
+	return out
+}
+
+// table2 regenerates Table 2 by computation (buffer size <-> maximum
+// queueing delay).
+func table2(o Options) (*Result, error) {
+	g := NewGrid("Table 2: buffer sizes and maximum queueing delays",
+		[]string{"access uplink (1 Mbit/s)", "access downlink (16 Mbit/s)", "backbone (OC3)"},
+		[]string{"buffers (pkts)", "delays (ms)", "schemes"})
+	format := func(rows []sizing.Table2Row) (string, string, string) {
+		var bufs, delays, schemes []string
+		for _, r := range rows {
+			bufs = append(bufs, fmt.Sprintf("%d", r.Packets))
+			delays = append(delays, fmt.Sprintf("%.1f", r.Delay.Seconds()*1000))
+			if r.Scheme != "" {
+				schemes = append(schemes, fmt.Sprintf("%d=%s", r.Packets, r.Scheme))
+			}
+		}
+		return join(bufs), join(delays), join(schemes)
+	}
+	for row, rows := range map[string][]sizing.Table2Row{
+		"access uplink (1 Mbit/s)":    sizing.AccessUplinkTable2(),
+		"access downlink (16 Mbit/s)": sizing.AccessDownlinkTable2(),
+		"backbone (OC3)":              sizing.BackboneTable2(),
+	} {
+		b, d, s := format(rows)
+		g.Set(row, "buffers (pkts)", Cell{Text: b})
+		g.Set(row, "delays (ms)", Cell{Text: d})
+		g.Set(row, "schemes", Cell{Text: s})
+	}
+	return &Result{ID: "table2", Grids: []*Grid{g}}, nil
+}
+
+func join(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += " "
+		}
+		out += x
+	}
+	return out
+}
+
+// table1 reruns every Table 1 workload at BDP buffers and reports the
+// measured utilization, loss and concurrency.
+func table1(o Options) (*Result, error) {
+	cols := []string{"conc flows", "util up %", "util down %", "sd up", "sd down", "loss up %", "loss down %"}
+	var rows []string
+	type job struct {
+		row  string
+		name string
+		dir  testbed.Direction
+	}
+	var jobs []job
+	for _, name := range []string{"short-few", "short-many", "long-few", "long-many"} {
+		for _, dir := range []testbed.Direction{testbed.DirUp, testbed.DirBidir, testbed.DirDown} {
+			row := fmt.Sprintf("access/%s/%s", name, dir)
+			rows = append(rows, row)
+			jobs = append(jobs, job{row, name, dir})
+		}
+	}
+	g := NewGrid("Table 1 (access): measured workload characteristics at BDP buffers", rows, cols)
+	for _, j := range jobs {
+		a := testbed.NewAccess(testbed.Config{BufferUp: 8, BufferDown: 64, Seed: o.Seed})
+		a.StartWorkload(testbed.AccessScenario(j.name, j.dir))
+		a.Eng.RunFor(o.Warmup + o.Duration)
+		now := a.Eng.Now()
+		conc := 0.0
+		if a.UpGen != nil {
+			conc += a.UpGen.Stats().Concurrent.Mean()
+		}
+		if a.DownGen != nil {
+			conc += a.DownGen.Stats().Concurrent.Mean()
+		}
+		g.Set(j.row, "conc flows", Cell{Value: conc})
+		g.Set(j.row, "util up %", Cell{Value: a.UpLink.Monitor.MeanUtilization(now)})
+		g.Set(j.row, "util down %", Cell{Value: a.DownLink.Monitor.MeanUtilization(now)})
+		g.Set(j.row, "sd up", Cell{Value: a.UpLink.Monitor.UtilSamples.Std()})
+		g.Set(j.row, "sd down", Cell{Value: a.DownLink.Monitor.UtilSamples.Std()})
+		g.Set(j.row, "loss up %", Cell{Value: 100 * a.UpMon.LossRate()})
+		g.Set(j.row, "loss down %", Cell{Value: 100 * a.DownMon.LossRate()})
+	}
+
+	var bbRows []string
+	for _, name := range []string{"short-low", "short-medium", "short-high", "short-overload", "long"} {
+		bbRows = append(bbRows, "backbone/"+name)
+	}
+	g2 := NewGrid("Table 1 (backbone): measured workload characteristics at BDP buffers",
+		bbRows, []string{"conc flows", "util %", "sd", "loss %"})
+	for _, name := range []string{"short-low", "short-medium", "short-high", "short-overload", "long"} {
+		b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: o.Seed})
+		b.StartWorkload(testbed.BackboneScenario(name))
+		b.Eng.RunFor(o.Warmup + o.Duration)
+		now := b.Eng.Now()
+		row := "backbone/" + name
+		g2.Set(row, "conc flows", Cell{Value: b.Gen.Stats().Concurrent.Mean()})
+		g2.Set(row, "util %", Cell{Value: b.DownLink.Monitor.MeanUtilization(now)})
+		g2.Set(row, "sd", Cell{Value: b.DownLink.Monitor.UtilSamples.Std()})
+		g2.Set(row, "loss %", Cell{Value: 100 * b.DownMon.LossRate()})
+	}
+	return &Result{ID: "table1", Grids: []*Grid{g, g2}}, nil
+}
+
+// fig4 regenerates the Figure 4 mean-queueing-delay heatmaps for one
+// workload direction: "a" = downstream only, "b" = bidirectional,
+// "c" = upstream only.
+func fig4(o Options, variant string) (*Result, error) {
+	dir := map[string]testbed.Direction{
+		"a": testbed.DirDown, "b": testbed.DirBidir, "c": testbed.DirUp,
+	}[variant]
+	scenarios := []string{"long-few", "long-many", "short-few", "short-many"}
+	var rows []string
+	for _, half := range []string{"uplink", "downlink"} {
+		for _, s := range scenarios {
+			rows = append(rows, half+"/"+s)
+		}
+	}
+	g := NewGrid(fmt.Sprintf("Figure 4%s: mean queueing delay (ms), %s workload", variant, dir),
+		rows, accessBufferCols())
+	for _, buf := range sizing.AccessBufferSizes {
+		col := fmt.Sprintf("%d", buf)
+		for _, s := range scenarios {
+			a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
+			a.StartWorkload(testbed.AccessScenario(s, dir))
+			a.Eng.RunFor(o.Warmup + o.Duration)
+			up := a.UpMon.MeanDelayMs()
+			down := a.DownMon.MeanDelayMs()
+			g.Set("uplink/"+s, col, Cell{
+				Value: up,
+				Class: qoe.ClassifyDelay(time.Duration(up * float64(time.Millisecond))).String(),
+			})
+			g.Set("downlink/"+s, col, Cell{
+				Value: down,
+				Class: qoe.ClassifyDelay(time.Duration(down * float64(time.Millisecond))).String(),
+			})
+		}
+	}
+	return &Result{ID: "fig4" + variant, Grids: []*Grid{g}}, nil
+}
+
+// fig5 regenerates the Figure 5 utilization boxplots: bidirectional
+// long workload (8 uplink, 64 downlink flows) across buffer sizes.
+func fig5(o Options) (*Result, error) {
+	cols := accessBufferCols()
+	rows := []string{
+		"downlink median", "downlink q1", "downlink q3", "downlink min", "downlink max",
+		"uplink median", "uplink q1", "uplink q3", "uplink min", "uplink max",
+	}
+	g := NewGrid("Figure 5: link utilization (%) under bidirectional long-many workload", rows, cols)
+	for _, buf := range sizing.AccessBufferSizes {
+		col := fmt.Sprintf("%d", buf)
+		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
+		a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirBidir))
+		a.Eng.RunFor(o.Warmup + o.Duration)
+		set := func(prefix string, b stats.Boxplot) {
+			g.Set(prefix+" median", col, Cell{Value: b.Median})
+			g.Set(prefix+" q1", col, Cell{Value: b.Q1})
+			g.Set(prefix+" q3", col, Cell{Value: b.Q3})
+			g.Set(prefix+" min", col, Cell{Value: b.Min})
+			g.Set(prefix+" max", col, Cell{Value: b.Max})
+		}
+		set("downlink", stats.BoxplotOf(&a.DownLink.Monitor.UtilSamples))
+		set("uplink", stats.BoxplotOf(&a.UpLink.Monitor.UtilSamples))
+	}
+	return &Result{ID: "fig5", Grids: []*Grid{g}}, nil
+}

@@ -1,0 +1,150 @@
+// Self-similarity validation of the generated traffic: the paper
+// chooses long-tailed (Weibull) file sizes "to be able to resemble
+// self-similar traffic as seen in today's networks" (§5.2). The
+// aggregated-variance method estimates the Hurst parameter of the
+// byte-arrival process at the bottleneck: slope beta of
+// log var(X^(m)) vs log m gives H = 1 + beta/2. Self-similar traffic
+// has H > 0.5; a memoryless arrival process sits at H ~= 0.5.
+package harpoon_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/testbed"
+)
+
+// hurstAggVar estimates H from a series of per-bin byte counts.
+func hurstAggVar(bins []float64) float64 {
+	variance := func(xs []float64) float64 {
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		return v / float64(len(xs))
+	}
+	var logM, logV []float64
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		nBlocks := len(bins) / m
+		if nBlocks < 8 {
+			break
+		}
+		agg := make([]float64, nBlocks)
+		for b := 0; b < nBlocks; b++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += bins[b*m+i]
+			}
+			agg[b] = s / float64(m)
+		}
+		v := variance(agg)
+		if v <= 0 {
+			continue
+		}
+		logM = append(logM, math.Log10(float64(m)))
+		logV = append(logV, math.Log10(v))
+	}
+	// Least-squares slope.
+	n := float64(len(logM))
+	var sx, sy, sxx, sxy float64
+	for i := range logM {
+		sx += logM[i]
+		sy += logV[i]
+		sxx += logM[i] * logM[i]
+		sxy += logM[i] * logV[i]
+	}
+	beta := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	return 1 + beta/2
+}
+
+// binnedBytes runs the named backbone workload and returns per-50ms
+// byte counts observed at the bottleneck link.
+func binnedBytes(scenario string, dur time.Duration, seed uint64) []float64 {
+	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: seed})
+	const bin = 50 * time.Millisecond
+	nBins := int(dur / bin)
+	bins := make([]float64, nBins)
+	b.DownLink.Tap = func(p *netem.Packet, at sim.Time) {
+		i := int(at.Duration() / bin)
+		if i >= 0 && i < nBins {
+			bins[i] += float64(p.Size)
+		}
+	}
+	b.StartWorkload(testbed.BackboneScenario(scenario))
+	b.Eng.RunFor(dur)
+	// Drop the slow-start warmup.
+	return bins[nBins/10:]
+}
+
+func TestWeibullWorkloadIsSelfSimilar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long traffic generation")
+	}
+	bins := binnedBytes("short-medium", 120*time.Second, 21)
+	h := hurstAggVar(bins)
+	if h < 0.6 {
+		t.Fatalf("Hurst estimate %.2f for the Weibull workload, want > 0.6 (self-similar)", h)
+	}
+	if h > 1.05 {
+		t.Fatalf("Hurst estimate %.2f out of range", h)
+	}
+}
+
+func TestPoissonNullHasLowerHurst(t *testing.T) {
+	// Null comparator: memoryless per-bin counts (synthetic Poisson-
+	// like, constant-intensity normal approximation) must estimate
+	// H ~= 0.5, clearly below the generated traffic's value.
+	rng := sim.NewRNG(33, "poisson-null")
+	bins := make([]float64, 2048)
+	for i := range bins {
+		v := 1000 + 100*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		bins[i] = v
+	}
+	h := hurstAggVar(bins)
+	if h < 0.3 || h > 0.62 {
+		t.Fatalf("null-model Hurst %.2f, want ~0.5", h)
+	}
+}
+
+func TestHurstEstimatorOnFGNLikeSeries(t *testing.T) {
+	// Sanity-check the estimator itself on a constructed long-range-
+	// dependent series: a sum of on/off sources with heavy-tailed on
+	// periods (the classical Taqqu construction that motivates the
+	// Weibull choice) must estimate H well above the null.
+	rng := sim.NewRNG(44, "fgn")
+	const nBins = 4096
+	bins := make([]float64, nBins)
+	for src := 0; src < 32; src++ {
+		on := true
+		i := 0
+		for i < nBins {
+			// Pareto(1.4) on/off periods: infinite variance, finite
+			// mean -> H = (3-1.4)/2 = 0.8 asymptotically.
+			length := int(rng.Pareto(2, 1.4))
+			if length < 1 {
+				length = 1
+			}
+			for j := 0; j < length && i < nBins; j, i = j+1, i+1 {
+				if on {
+					bins[i]++
+				}
+			}
+			on = !on
+		}
+	}
+	h := hurstAggVar(bins)
+	if h < 0.65 {
+		t.Fatalf("estimator gives H=%.2f on a Taqqu on/off series, want > 0.65", h)
+	}
+}

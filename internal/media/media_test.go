@@ -1,0 +1,131 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bufferqoe/internal/sim"
+)
+
+func TestALawRoundTripAccuracy(t *testing.T) {
+	// Companding noise should stay small relative to the signal
+	// (G.711 achieves ~38 dB SNR; our continuous model is similar).
+	rng := sim.NewRNG(1, "alaw")
+	var sig, noise float64
+	for i := 0; i < 10000; i++ {
+		x := rng.Uniform(-0.8, 0.8)
+		y := ALawDecode(ALawEncode(x))
+		sig += x * x
+		noise += (x - y) * (x - y)
+	}
+	snr := 10 * math.Log10(sig/noise)
+	if snr < 30 {
+		t.Fatalf("A-law SNR = %.1f dB, want > 30", snr)
+	}
+}
+
+func TestALawSignPreserved(t *testing.T) {
+	for _, x := range []float64{-0.5, -0.01, 0.01, 0.5} {
+		y := ALawDecode(ALawEncode(x))
+		if x*y <= 0 {
+			t.Fatalf("sign lost: %v -> %v", x, y)
+		}
+	}
+}
+
+func TestALawClamps(t *testing.T) {
+	if y := ALawDecode(ALawEncode(2.0)); y > 1.01 {
+		t.Fatalf("overrange encode produced %v", y)
+	}
+}
+
+// Property: decode(encode(x)) stays within the quantization error
+// bound and inside [-1, 1].
+func TestPropertyALawBounded(t *testing.T) {
+	f := func(raw int16) bool {
+		x := float64(raw) / 32768
+		y := ALawDecode(ALawEncode(x))
+		return y >= -1.01 && y <= 1.01 && math.Abs(x-y) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSpeechShape(t *testing.T) {
+	rng := sim.NewRNG(2, "speech")
+	pcm := GenerateSpeech(rng, 8.0, 110)
+	if len(pcm) != 8*SampleRate {
+		t.Fatalf("length = %d, want %d", len(pcm), 8*SampleRate)
+	}
+	// Signal must be bounded and have both active and quiet regions.
+	var peak float64
+	active, quiet := 0, 0
+	frame := FrameSamples
+	for off := 0; off+frame <= len(pcm); off += frame {
+		var e float64
+		for _, v := range pcm[off : off+frame] {
+			if math.Abs(v) > peak {
+				peak = math.Abs(v)
+			}
+			e += v * v
+		}
+		r := math.Sqrt(e / float64(frame))
+		if r > 0.01 {
+			active++
+		} else {
+			quiet++
+		}
+	}
+	if peak > 1.0 {
+		t.Fatalf("peak = %v, want <= 1", peak)
+	}
+	if active < 100 {
+		t.Fatalf("too few active frames: %d", active)
+	}
+	if quiet < 20 {
+		t.Fatalf("too few quiet frames: %d (no speech pauses)", quiet)
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := Library(42)
+	if len(lib) != 20 {
+		t.Fatalf("library size = %d", len(lib))
+	}
+	male, female := 0, 0
+	for _, s := range lib {
+		if s.Frames() != 400 { // 8 s at 50 frames/s
+			t.Fatalf("%s frames = %d, want 400", s.Name, s.Frames())
+		}
+		switch s.Voice {
+		case "male":
+			male++
+		case "female":
+			female++
+		}
+		if len(s.Frame(0)) != FrameSamples {
+			t.Fatalf("frame size = %d", len(s.Frame(0)))
+		}
+	}
+	if male != 10 || female != 10 {
+		t.Fatalf("male/female = %d/%d", male, female)
+	}
+}
+
+func TestLibraryDeterministic(t *testing.T) {
+	a := Library(7)
+	b := Library(7)
+	for i := range a {
+		for j := range a[i].PCM {
+			if a[i].PCM[j] != b[i].PCM[j] {
+				t.Fatal("library not deterministic")
+			}
+		}
+	}
+	c := Library(8)
+	if a[0].PCM[100] == c[0].PCM[100] && a[0].PCM[5000] == c[0].PCM[5000] {
+		t.Fatal("different seeds gave identical samples")
+	}
+}

@@ -1,0 +1,59 @@
+package netem
+
+import (
+	"time"
+
+	"bufferqoe/internal/sim"
+)
+
+// JitterBox is a delay element that adds a random per-packet delay on
+// top of a constant base, without reordering packets. It models the
+// variable layer-2 delays of wireless links (802.11 retransmissions,
+// rate adaptation) that the paper explicitly excludes from its testbeds
+// ("we decided to omit WiFi connectivity which adds its own variable
+// delay characteristics"); the ext-jitter experiment re-adds that
+// dimension to show how path jitter shifts the buffer-sizing picture.
+//
+// Each packet is delayed by Base plus a draw from an exponential
+// distribution with mean Jitter, truncated at MaxJitter. Delivery is
+// serialized so a delayed packet holds back its successors (FIFO, as
+// with a link-layer ARQ that blocks the transmit queue), which is how
+// Wi-Fi retransmission delay manifests in practice.
+type JitterBox struct {
+	// Base is the constant one-way delay component.
+	Base time.Duration
+	// Jitter is the mean of the exponential extra delay.
+	Jitter time.Duration
+	// MaxJitter truncates the extra delay (a link-layer gives up after
+	// a bounded number of retransmissions). Zero means 8x Jitter.
+	MaxJitter time.Duration
+
+	eng  *sim.Engine
+	rng  *sim.RNG
+	dst  Receiver
+	free sim.Time // earliest time the next packet may be delivered
+}
+
+// NewJitterBox creates a jitter element delivering to dst.
+func NewJitterBox(eng *sim.Engine, rng *sim.RNG, base, jitter time.Duration, dst Receiver) *JitterBox {
+	return &JitterBox{Base: base, Jitter: jitter, eng: eng, rng: rng, dst: dst}
+}
+
+// Receive implements Receiver: it forwards the packet after the jittered
+// delay, preserving arrival order.
+func (j *JitterBox) Receive(p *Packet) {
+	maxJ := j.MaxJitter
+	if maxJ == 0 {
+		maxJ = 8 * j.Jitter
+	}
+	extra := time.Duration(j.rng.Exponential(float64(j.Jitter)))
+	if extra > maxJ {
+		extra = maxJ
+	}
+	deliver := j.eng.Now().Add(j.Base + extra)
+	if deliver < j.free {
+		deliver = j.free
+	}
+	j.free = deliver
+	j.eng.At(deliver, func() { j.dst.Receive(p) })
+}

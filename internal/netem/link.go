@@ -1,0 +1,99 @@
+package netem
+
+import (
+	"time"
+
+	"bufferqoe/internal/sim"
+)
+
+// Receiver consumes packets delivered by a link.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// Link is a unidirectional transmission channel: packets wait in the
+// queue, are serialized at Rate bits per second, then propagate for
+// Delay before delivery. A Rate of 0 means infinite capacity (pure
+// delay element — the NetPath delay boxes of the backbone testbed).
+type Link struct {
+	Name  string
+	Rate  float64       // bits per second; 0 = infinite
+	Delay time.Duration // one-way propagation delay
+
+	Queue   Queue
+	Monitor *LinkMonitor
+
+	// Tap, if non-nil, observes every packet the link transmits (the
+	// tcpdump vantage point of the paper's trace analysis).
+	Tap func(p *Packet, at sim.Time)
+
+	eng  *sim.Engine
+	dst  Receiver
+	busy bool
+}
+
+// NewLink creates a link feeding dst through queue.
+func NewLink(eng *sim.Engine, name string, rate float64, delay time.Duration, queue Queue, dst Receiver) *Link {
+	l := &Link{
+		Name:    name,
+		Rate:    rate,
+		Delay:   delay,
+		Queue:   queue,
+		Monitor: &LinkMonitor{Name: name},
+		eng:     eng,
+		dst:     dst,
+	}
+	l.Monitor.link = l
+	return l
+}
+
+// Send offers a packet to the link. It reports whether the packet was
+// accepted (false = dropped by the queue).
+func (l *Link) Send(p *Packet) bool {
+	if l.Rate == 0 {
+		// Pure delay element: no serialization, no queueing.
+		l.Monitor.transmitted(p)
+		if l.Tap != nil {
+			l.Tap(p, l.eng.Now())
+		}
+		l.eng.Schedule(l.Delay, func() { l.dst.Receive(p) })
+		return true
+	}
+	if !l.Queue.Enqueue(p, l.eng.Now()) {
+		return false
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+	return true
+}
+
+// transmitNext serializes the head-of-line packet. The next
+// transmission starts when serialization (not propagation) completes,
+// so the link can hold Delay/serialization many packets in flight.
+func (l *Link) transmitNext() {
+	p := l.Queue.Dequeue(l.eng.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := time.Duration(float64(p.Size*8) / l.Rate * float64(time.Second))
+	l.eng.Schedule(txTime, func() {
+		l.Monitor.transmitted(p)
+		if l.Tap != nil {
+			l.Tap(p, l.eng.Now())
+		}
+		l.eng.Schedule(l.Delay, func() { l.dst.Receive(p) })
+		l.transmitNext()
+	})
+}
+
+// TransmissionTime returns how long one packet of the given size takes
+// to serialize on this link.
+func (l *Link) TransmissionTime(size int) time.Duration {
+	if l.Rate == 0 {
+		return 0
+	}
+	return time.Duration(float64(size*8) / l.Rate * float64(time.Second))
+}

@@ -1,0 +1,52 @@
+package netem
+
+import "bufferqoe/internal/sim"
+
+// LossQueue wraps another queue and drops arriving packets at random
+// with a fixed probability — the classic netem-style impairment
+// injector. The testbeds themselves never use it (all loss in the
+// paper's experiments is congestive, from finite buffers); it exists
+// for failure-injection tests and for isolating loss effects from
+// queueing effects (e.g. exercising video FEC against independent
+// random loss).
+type LossQueue struct {
+	// Inner is the decorated queue.
+	Inner Queue
+	// Rate is the drop probability in [0, 1].
+	Rate float64
+
+	rng *sim.RNG
+
+	// Injected counts the randomly dropped packets (not the inner
+	// queue's own overflow drops).
+	Injected uint64
+}
+
+// NewLossQueue wraps inner with a random drop stage.
+func NewLossQueue(inner Queue, rate float64, rng *sim.RNG) *LossQueue {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &LossQueue{Inner: inner, Rate: rate, rng: rng}
+}
+
+// Enqueue implements Queue.
+func (l *LossQueue) Enqueue(p *Packet, now sim.Time) bool {
+	if l.Rate > 0 && l.rng.Bool(l.Rate) {
+		l.Injected++
+		return false
+	}
+	return l.Inner.Enqueue(p, now)
+}
+
+// Dequeue implements Queue.
+func (l *LossQueue) Dequeue(now sim.Time) *Packet { return l.Inner.Dequeue(now) }
+
+// Len implements Queue.
+func (l *LossQueue) Len() int { return l.Inner.Len() }
+
+// Bytes implements Queue.
+func (l *LossQueue) Bytes() int { return l.Inner.Bytes() }

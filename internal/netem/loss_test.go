@@ -1,0 +1,55 @@
+package netem
+
+import (
+	"testing"
+
+	"bufferqoe/internal/sim"
+)
+
+func TestLossQueueDropsAtConfiguredRate(t *testing.T) {
+	q := NewLossQueue(NewDropTail(100000), 0.3, sim.NewRNG(1, "loss"))
+	const n = 20000
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if q.Enqueue(mkpkt(100), 0) {
+			accepted++
+			q.Dequeue(0)
+		}
+	}
+	got := float64(n-accepted) / n
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("empirical loss rate %.3f, want ~0.30", got)
+	}
+	if q.Injected != uint64(n-accepted) {
+		t.Fatalf("Injected=%d, dropped=%d", q.Injected, n-accepted)
+	}
+}
+
+func TestLossQueueZeroRatePassthrough(t *testing.T) {
+	q := NewLossQueue(NewDropTail(4), 0, sim.NewRNG(2, "loss"))
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(mkpkt(100), 0) {
+			t.Fatal("zero-rate loss queue dropped")
+		}
+	}
+	// Inner overflow still applies and is not counted as injected.
+	if q.Enqueue(mkpkt(100), 0) {
+		t.Fatal("inner overflow accepted")
+	}
+	if q.Injected != 0 {
+		t.Fatalf("Injected = %d on overflow drop", q.Injected)
+	}
+	if q.Len() != 4 || q.Bytes() != 400 {
+		t.Fatalf("len=%d bytes=%d", q.Len(), q.Bytes())
+	}
+}
+
+func TestLossQueueRateClamped(t *testing.T) {
+	q := NewLossQueue(NewDropTail(4), 1.7, sim.NewRNG(3, "loss"))
+	if q.Rate != 1 {
+		t.Fatalf("rate %v, want clamped to 1", q.Rate)
+	}
+	if q.Enqueue(mkpkt(100), 0) {
+		t.Fatal("rate-1 queue accepted a packet")
+	}
+}

@@ -1,0 +1,174 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/sim"
+)
+
+// Handler consumes packets addressed to a bound transport port.
+type Handler interface {
+	HandlePacket(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
+
+type portKey struct {
+	proto Protocol
+	port  uint16
+}
+
+// Node is a host, switch, or router. Hosts bind transport handlers to
+// ports; switches and routers only forward. Routing is static: an
+// explicit per-destination table plus a default route, which is all a
+// dumbbell topology needs.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	eng      *sim.Engine
+	net      *Network
+	routes   map[NodeID]*Link
+	defRoute *Link
+	handlers map[portKey]Handler
+	nextPort uint16
+	// Forwarded counts transit packets, Delivered local deliveries,
+	// Undeliverable packets with no route or handler.
+	Forwarded     uint64
+	Delivered     uint64
+	Undeliverable uint64
+}
+
+// SetRoute installs a next-hop link for a destination node.
+func (n *Node) SetRoute(dst NodeID, l *Link) {
+	n.routes[dst] = l
+}
+
+// SetDefaultRoute installs the next-hop link for all unmatched
+// destinations.
+func (n *Node) SetDefaultRoute(l *Link) { n.defRoute = l }
+
+// Bind registers a handler for a protocol/port pair. It panics on
+// double binds, which are always programming errors in the models.
+func (n *Node) Bind(proto Protocol, port uint16, h Handler) {
+	k := portKey{proto, port}
+	if _, dup := n.handlers[k]; dup {
+		panic(fmt.Sprintf("netem: %s: double bind %v port %d", n.Name, proto, port))
+	}
+	n.handlers[k] = h
+}
+
+// Unbind removes a port binding.
+func (n *Node) Unbind(proto Protocol, port uint16) {
+	delete(n.handlers, portKey{proto, port})
+}
+
+// AllocPort returns an unused ephemeral port for the protocol.
+func (n *Node) AllocPort(proto Protocol) uint16 {
+	for {
+		n.nextPort++
+		if n.nextPort < 10000 {
+			n.nextPort = 10000
+		}
+		if _, used := n.handlers[portKey{proto, n.nextPort}]; !used {
+			return n.nextPort
+		}
+	}
+}
+
+// Addr returns an Addr on this node with the given port.
+func (n *Node) Addr(port uint16) Addr { return Addr{Node: n.ID, Port: port} }
+
+// Engine returns the simulation engine the node is attached to.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// Network returns the network the node belongs to.
+func (n *Node) Network() *Network { return n.net }
+
+// Send originates a packet from this node, stamping creation time and
+// routing it toward its destination. It reports whether the first hop
+// accepted the packet.
+func (n *Node) Send(p *Packet) bool {
+	p.ID = n.net.nextPacketID()
+	p.Created = n.eng.Now()
+	return n.forward(p)
+}
+
+// Receive implements Receiver: deliver locally or forward.
+func (n *Node) Receive(p *Packet) {
+	if p.Flow.Dst.Node == n.ID {
+		h, ok := n.handlers[portKey{p.Flow.Proto, p.Flow.Dst.Port}]
+		if !ok {
+			n.Undeliverable++
+			return
+		}
+		n.Delivered++
+		h.HandlePacket(p)
+		return
+	}
+	n.Forwarded++
+	n.forward(p)
+}
+
+func (n *Node) forward(p *Packet) bool {
+	l, ok := n.routes[p.Flow.Dst.Node]
+	if !ok {
+		l = n.defRoute
+	}
+	if l == nil {
+		n.Undeliverable++
+		return false
+	}
+	return l.Send(p)
+}
+
+// Network owns the engine, nodes and links of one simulated testbed.
+type Network struct {
+	Engine *sim.Engine
+
+	nodes    []*Node
+	packetID uint64
+}
+
+// NewNetwork creates an empty network on the engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{Engine: eng}
+}
+
+// NewNode adds a node with the given name.
+func (nw *Network) NewNode(name string) *Node {
+	n := &Node{
+		ID:       NodeID(len(nw.nodes) + 1),
+		Name:     name,
+		eng:      nw.Engine,
+		net:      nw,
+		routes:   make(map[NodeID]*Link),
+		handlers: make(map[portKey]Handler),
+	}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Nodes returns all nodes in creation order.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+func (nw *Network) nextPacketID() uint64 {
+	nw.packetID++
+	return nw.packetID
+}
+
+// Connect builds a bidirectional connection between a and b with
+// symmetric rate and delay and per-direction drop-tail queues of qlen
+// packets. It returns the a->b and b->a links.
+func (nw *Network) Connect(a, b *Node, rate float64, delay time.Duration, qlen int) (*Link, *Link) {
+	ab := NewLink(nw.Engine, a.Name+"->"+b.Name, rate, delay, NewDropTail(qlen), b)
+	ba := NewLink(nw.Engine, b.Name+"->"+a.Name, rate, delay, NewDropTail(qlen), a)
+	a.SetRoute(b.ID, ab)
+	b.SetRoute(a.ID, ba)
+	return ab, ba
+}

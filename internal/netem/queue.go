@@ -1,0 +1,86 @@
+package netem
+
+import "bufferqoe/internal/sim"
+
+// Queue is the buffer in front of a link's transmitter. Implementations
+// decide the drop discipline: the paper studies drop-tail FIFOs sized
+// in packets (NetFPGA reference router, Cisco line cards); the aqm
+// package provides CoDel and RED alternatives.
+type Queue interface {
+	// Enqueue offers a packet to the queue at the given time. It
+	// reports whether the packet was accepted (false = dropped).
+	Enqueue(p *Packet, now sim.Time) bool
+	// Dequeue removes and returns the next packet to transmit, or nil
+	// if the queue is empty. AQMs may drop internally during Dequeue.
+	Dequeue(now sim.Time) *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the total queued bytes.
+	Bytes() int
+}
+
+// DropTail is a FIFO queue with a fixed capacity in packets, matching
+// the paper's buffer configurations (Table 2: 8-256 packets on the
+// access testbed, 8-7490 on the backbone). A zero CapPackets means
+// capacity 1 (a queue must hold at least the packet in service).
+type DropTail struct {
+	// CapPackets is the buffer size in packets.
+	CapPackets int
+	// Monitor, if non-nil, observes enqueue/drop/dequeue events.
+	Monitor *QueueMonitor
+
+	q     []*Packet
+	head  int
+	bytes int
+}
+
+// NewDropTail returns a drop-tail queue holding at most capPackets
+// packets.
+func NewDropTail(capPackets int) *DropTail {
+	if capPackets < 1 {
+		capPackets = 1
+	}
+	return &DropTail{CapPackets: capPackets}
+}
+
+// Enqueue implements Queue.
+func (d *DropTail) Enqueue(p *Packet, now sim.Time) bool {
+	if d.Len() >= d.CapPackets {
+		if d.Monitor != nil {
+			d.Monitor.drop(p, now, d.Len(), d.bytes)
+		}
+		return false
+	}
+	p.Enqueued = now
+	d.q = append(d.q, p)
+	d.bytes += p.Size
+	if d.Monitor != nil {
+		d.Monitor.enqueue(p, now, d.Len(), d.bytes)
+	}
+	return true
+}
+
+// Dequeue implements Queue.
+func (d *DropTail) Dequeue(now sim.Time) *Packet {
+	if d.Len() == 0 {
+		return nil
+	}
+	p := d.q[d.head]
+	d.q[d.head] = nil
+	d.head++
+	if d.head == len(d.q) {
+		d.q = d.q[:0]
+		d.head = 0
+	}
+	d.bytes -= p.Size
+	if d.Monitor != nil {
+		d.Monitor.dequeue(p, now, d.Len(), d.bytes)
+	}
+	return p
+}
+
+// Len implements Queue.
+func (d *DropTail) Len() int { return len(d.q) - d.head }
+
+// Bytes implements Queue.
+func (d *DropTail) Bytes() int { return d.bytes }

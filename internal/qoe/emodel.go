@@ -1,0 +1,121 @@
+// Package qoe implements the standardized Quality of Experience
+// metrics the paper evaluates with:
+//
+//   - the ITU-T G.107 E-Model (R-factor, delay impairment Idd, loss
+//     impairment Ie-eff, R<->MOS conversions) for conversational VoIP
+//     quality;
+//   - a PESQ-style signal-based speech quality estimator (z1) —
+//     documented substitution for the proprietary P.862
+//     implementation;
+//   - the paper's combined VoIP score z = max{0, z1 - z2};
+//   - the ITU-T G.1030 logarithmic web QoE model on page load times;
+//   - PSNR and SSIM full-reference video metrics with MOS mappings
+//     (Zinner et al. [49]);
+//   - the MOS scales of Figure 6 and the ITU-T G.114 delay classes
+//     used to color Figure 4.
+package qoe
+
+import (
+	"math"
+	"time"
+)
+
+// RMax is the narrow-band E-Model maximum transmission rating.
+const RMax = 100.0
+
+// RDefault is the default R-factor with all G.107 parameters at their
+// defaults (no impairments): R0 - Is = 93.2.
+const RDefault = 93.2
+
+// DelayImpairment returns the G.107 delay impairment factor Idd for a
+// one-way ("mouth-to-ear") delay Ta. Below 100 ms it is zero; above,
+// it follows the standard's closed form. Echo-related terms (Idte,
+// Idle) are zero under the paper's echo-free testbed assumption.
+func DelayImpairment(ta time.Duration) float64 {
+	ms := ta.Seconds() * 1000
+	if ms <= 100 {
+		return 0
+	}
+	x := math.Log(ms/100) / math.Log(2)
+	idd := 25 * (math.Pow(1+math.Pow(x, 6), 1.0/6) -
+		3*math.Pow(1+math.Pow(x/3, 6), 1.0/6) + 2)
+	if idd < 0 {
+		return 0
+	}
+	return idd
+}
+
+// LossImpairment returns the G.107 effective equipment impairment
+// Ie-eff for G.711 under random packet loss: Ie = 0, Bpl = 4.3.
+// ppl is the packet loss percentage (0-100).
+func LossImpairment(ppl float64) float64 {
+	const ie, bpl = 0.0, 4.3
+	if ppl <= 0 {
+		return ie
+	}
+	return ie + (95-ie)*ppl/(ppl+bpl)
+}
+
+// RFactor computes the E-Model transmission rating from the delay and
+// loss impairments (advantage factor A = 0).
+func RFactor(ta time.Duration, ppl float64) float64 {
+	r := RDefault - DelayImpairment(ta) - LossImpairment(ppl)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// RToMOS converts an R-factor to a mean opinion score using the G.107
+// Annex B mapping.
+func RToMOS(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	default:
+		mos := 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+		if mos < 1 {
+			// The cubic dips slightly below 1 for very small R; G.107
+			// defines MOS >= 1.
+			mos = 1
+		}
+		return mos
+	}
+}
+
+// MOSToR converts a MOS to an R-factor using the cubic fit from Sun's
+// thesis ([41] in the paper), which the paper uses to remap the PESQ
+// score z1 from [1, 5] to [0, 100].
+func MOSToR(mos float64) float64 {
+	if mos < 1 {
+		mos = 1
+	}
+	if mos > 4.5 {
+		mos = 4.5
+	}
+	r := 3.026*mos*mos*mos - 25.314*mos*mos + 87.06*mos - 57.336
+	if r < 0 {
+		return 0
+	}
+	if r > 100 {
+		return 100
+	}
+	return r
+}
+
+// VoIPScore combines the two QoE components exactly as the paper's
+// Section 7.1 does: z1 (signal quality, MOS-LQO from the PESQ-style
+// comparator) is remapped to the R scale, z2 (the delay impairment
+// Idd, already on a [0, 100] impairment scale) is subtracted, the
+// result clamped at zero and mapped back to MOS.
+func VoIPScore(z1 float64, oneWayDelay time.Duration) float64 {
+	z1r := MOSToR(z1)
+	z2 := DelayImpairment(oneWayDelay)
+	z := z1r - z2
+	if z < 0 {
+		z = 0
+	}
+	return RToMOS(z)
+}

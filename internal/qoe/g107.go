@@ -1,0 +1,161 @@
+package qoe
+
+import (
+	"math"
+	"time"
+)
+
+// Params is the full ITU-T G.107 (E-Model) input parameter set. The
+// zero value is NOT usable; start from DefaultParams, which carries
+// the standard's default values and yields the well-known rating of
+// R = 93.2.
+//
+// The simpler helpers of this package (RFactor, VoIPScore) use the
+// default-parameter shortcut R = 93.2 - Idd - Ie,eff exactly as the
+// paper does; this type provides the complete computational model for
+// users who need to deviate from the defaults (loudness ratings,
+// sidetone, echo paths, circuit noise, quantization distortion).
+type Params struct {
+	SLR    float64 // send loudness rating, dB
+	RLR    float64 // receive loudness rating, dB
+	STMR   float64 // sidetone masking rating, dB
+	LSTR   float64 // listener sidetone rating, dB
+	Ds     float64 // D-value of telephone, send side
+	Dr     float64 // D-value of telephone, receive side
+	TELR   float64 // talker echo loudness rating, dB
+	WEPL   float64 // weighted echo path loss, dB
+	T      float64 // mean one-way delay of the echo path, ms
+	Tr     float64 // round-trip delay in a 4-wire loop, ms
+	Ta     float64 // absolute delay (mouth-to-ear), ms
+	Qdu    float64 // number of quantization distortion units
+	Ie     float64 // equipment impairment factor
+	Bpl    float64 // packet-loss robustness factor
+	Ppl    float64 // random packet-loss probability, %
+	BurstR float64 // burst ratio (1 = random loss)
+	Nc     float64 // circuit noise referred to 0 dBr, dBm0p
+	Nfor   float64 // noise floor at the receive side, dBmp
+	Ps     float64 // room noise at the send side, dB(A)
+	Pr     float64 // room noise at the receive side, dB(A)
+	A      float64 // advantage factor
+}
+
+// DefaultParams returns the G.107 default values (Table 1 of the
+// Recommendation). With these, Rating() returns ~93.2.
+func DefaultParams() Params {
+	return Params{
+		SLR: 8, RLR: 2,
+		STMR: 15, LSTR: 18,
+		Ds: 3, Dr: 3,
+		TELR: 65, WEPL: 110,
+		T: 0, Tr: 0, Ta: 0,
+		Qdu: 1,
+		Ie:  0, Bpl: 1, Ppl: 0, BurstR: 1,
+		Nc: -70, Nfor: -64,
+		Ps: 35, Pr: 35,
+		A: 0,
+	}
+}
+
+// Rating computes the transmission rating factor
+// R = Ro - Is - Id - Ie,eff + A per the G.107 algorithm.
+func (p Params) Rating() float64 {
+	no := p.noiseSum()
+	ro := 15 - 1.5*(p.SLR+no)
+	is := p.iolr(no) + p.ist() + p.iq(ro)
+	id := p.idte(no) + p.idle(ro) + p.idd()
+	ieEff := p.ieEff()
+	r := ro - is - id - ieEff + p.A
+	return r
+}
+
+// MOS returns the rating mapped to the listening MOS scale.
+func (p Params) MOS() float64 { return RToMOS(p.Rating()) }
+
+// noiseSum computes No, the power addition of all noise sources
+// referred to the 0 dBr point.
+func (p Params) noiseSum() float64 {
+	olr := p.SLR + p.RLR
+	nos := p.Ps - p.SLR - p.Ds - 100 + 0.004*math.Pow(p.Ps-olr-p.Ds-14, 2)
+	pre := p.Pr + 10*math.Log10(1+math.Pow(10, (10-p.LSTR)/10))
+	nor := p.RLR - 121 + pre + 0.008*math.Pow(pre-35, 2)
+	nfo := p.Nfor + p.RLR
+	sum := math.Pow(10, p.Nc/10) + math.Pow(10, nos/10) +
+		math.Pow(10, nor/10) + math.Pow(10, nfo/10)
+	return 10 * math.Log10(sum)
+}
+
+// iolr is the impairment from too-low overall loudness rating.
+func (p Params) iolr(no float64) float64 {
+	xolr := p.SLR + p.RLR + 0.2*(64+no-p.RLR)
+	return 20 * (math.Pow(1+math.Pow(xolr/8, 8), 1.0/8) - xolr/8)
+}
+
+// ist is the impairment caused by non-optimum sidetone.
+func (p Params) ist() float64 {
+	stmro := -10 * math.Log10(math.Pow(10, -p.STMR/10)+
+		math.Exp(-p.T/4)*math.Pow(10, -p.TELR/10))
+	return 12*math.Pow(1+math.Pow((stmro-13)/6, 8), 1.0/8) -
+		28*math.Pow(1+math.Pow((stmro+1)/19.4, 35), 1.0/35) -
+		13*math.Pow(1+math.Pow((stmro-3)/33, 13), 1.0/13) + 29
+}
+
+// iq is the impairment caused by quantization distortion.
+func (p Params) iq(ro float64) float64 {
+	q := 37 - 15*math.Log10(p.Qdu)
+	g := 1.07 + 0.258*q + 0.0602*q*q
+	y := (ro-100)/15 + 46.0/8.4 - g/9
+	z := 46.0/30 - g/40
+	return 15 * math.Log10(1+math.Pow(10, y)+math.Pow(10, z))
+}
+
+// idte is the talker-echo impairment.
+func (p Params) idte(no float64) float64 {
+	if p.T == 0 && p.TELR >= 65 {
+		// No echo path delay and good echo loss: negligible.
+	}
+	roe := -1.5 * (no - p.RLR)
+	terv := p.TELR - 40*math.Log10((1+p.T/10)/(1+p.T/150)) +
+		6*math.Exp(-0.3*p.T*p.T)
+	if p.STMR < 9 {
+		terv += p.ist() / 2
+	}
+	re := 80 + 2.5*(terv-14)
+	idte := ((roe-re)/2 + math.Sqrt((roe-re)*(roe-re)/4+100) - 1) *
+		(1 - math.Exp(-p.T))
+	if p.STMR > 20 {
+		idte = math.Sqrt(idte*idte + p.ist()*p.ist())
+	}
+	if idte < 0 {
+		return 0
+	}
+	return idte
+}
+
+// idle is the listener-echo impairment.
+func (p Params) idle(ro float64) float64 {
+	rle := 10.5 * (p.WEPL + 7) * math.Pow(p.Tr+1, -0.25)
+	idle := (ro-rle)/2 + math.Sqrt((ro-rle)*(ro-rle)/4+169)
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
+// idd is the absolute-delay impairment (also exposed package-level as
+// DelayImpairment).
+func (p Params) idd() float64 {
+	return DelayImpairment(time.Duration(p.Ta * float64(time.Millisecond)))
+}
+
+// ieEff is the effective equipment impairment including bursty packet
+// loss (G.107 2011+ formulation with the burst ratio).
+func (p Params) ieEff() float64 {
+	if p.Ppl <= 0 {
+		return p.Ie
+	}
+	burstR := p.BurstR
+	if burstR < 1 {
+		burstR = 1
+	}
+	return p.Ie + (95-p.Ie)*p.Ppl/(p.Ppl/burstR+p.Bpl)
+}

@@ -1,0 +1,133 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestG107DefaultRating(t *testing.T) {
+	// The standard's best-known anchor: all defaults -> R = 93.2.
+	r := DefaultParams().Rating()
+	if math.Abs(r-93.2) > 0.4 {
+		t.Fatalf("default rating = %v, want ~93.2", r)
+	}
+	mos := DefaultParams().MOS()
+	if math.Abs(mos-4.41) > 0.05 {
+		t.Fatalf("default MOS = %v, want ~4.41", mos)
+	}
+}
+
+func TestG107MatchesShortcutOnDelay(t *testing.T) {
+	// The full model with only Ta varied must track the paper's
+	// shortcut R = 93.2 - Idd within the echo-term slack.
+	for _, ms := range []float64{0, 100, 200, 400, 1000} {
+		p := DefaultParams()
+		p.Ta = ms
+		full := p.Rating()
+		short := RDefault - p.idd()
+		if math.Abs(full-short) > 2.5 {
+			t.Fatalf("Ta=%vms: full=%v shortcut=%v", ms, full, short)
+		}
+	}
+}
+
+func TestG107LossDegrades(t *testing.T) {
+	p := DefaultParams()
+	p.Bpl = 4.3 // G.711
+	prev := p.Rating()
+	for _, loss := range []float64{1, 5, 10, 20} {
+		p.Ppl = loss
+		r := p.Rating()
+		if r >= prev {
+			t.Fatalf("rating not decreasing at %v%% loss", loss)
+		}
+		prev = r
+	}
+}
+
+func TestG107BurstLossWorse(t *testing.T) {
+	random := DefaultParams()
+	random.Bpl = 4.3
+	random.Ppl = 5
+	random.BurstR = 1
+	bursty := random
+	bursty.BurstR = 2
+	if bursty.Rating() >= random.Rating() {
+		t.Fatal("bursty loss not worse than random loss")
+	}
+}
+
+func TestG107EchoImpairments(t *testing.T) {
+	// A long echo path with poor echo loss must hurt.
+	p := DefaultParams()
+	p.T = 200
+	p.TELR = 40
+	if p.Rating() >= DefaultParams().Rating()-5 {
+		t.Fatalf("echo impairment too small: %v vs %v", p.Rating(), DefaultParams().Rating())
+	}
+	// Listener echo: low WEPL with round-trip delay.
+	q := DefaultParams()
+	q.WEPL = 20
+	q.Tr = 300
+	if q.Rating() >= DefaultParams().Rating()-3 {
+		t.Fatalf("listener echo impairment too small: %v", q.Rating())
+	}
+}
+
+func TestG107QuantizationDistortion(t *testing.T) {
+	p := DefaultParams()
+	p.Qdu = 10 // many tandem codings
+	if p.Rating() >= DefaultParams().Rating()-3 {
+		t.Fatalf("qdu impairment too small: %v", p.Rating())
+	}
+}
+
+func TestG107NoiseDegrades(t *testing.T) {
+	p := DefaultParams()
+	p.Nc = -50 // noisy circuit
+	if p.Rating() >= DefaultParams().Rating()-2 {
+		t.Fatalf("circuit noise impairment too small: %v", p.Rating())
+	}
+}
+
+// Property: rating is monotone non-increasing in packet loss and in
+// absolute delay.
+func TestPropertyG107Monotone(t *testing.T) {
+	f := func(l1, l2 uint8, d1, d2 uint16) bool {
+		pa, pb := float64(l1%50), float64(l2%50)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		p := DefaultParams()
+		p.Bpl = 4.3
+		p.Ppl = pa
+		q := p
+		q.Ppl = pb
+		if q.Rating() > p.Rating()+1e-9 {
+			return false
+		}
+		ta, tb := float64(d1%2000), float64(d2%2000)
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		x := DefaultParams()
+		x.Ta = ta
+		y := DefaultParams()
+		y.Ta = tb
+		return y.Rating() <= x.Rating()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestG107AdvantageFactor(t *testing.T) {
+	p := DefaultParams()
+	p.Ta = 300
+	base := p.Rating()
+	p.A = 10 // e.g. satellite-phone expectation advantage
+	if math.Abs(p.Rating()-(base+10)) > 1e-9 {
+		t.Fatal("advantage factor not additive")
+	}
+}

@@ -1,0 +1,75 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIQXAnchorsMatchG1030(t *testing.T) {
+	base := AccessWebModel()
+	m := NewIQXWebModel(base)
+	if got := m.MOS(base.MinPLT); got != 5 {
+		t.Fatalf("MOS(MinPLT) = %v, want 5", got)
+	}
+	if got := m.MOS(base.MaxPLT); math.Abs(got-1) > 0.05 {
+		t.Fatalf("MOS(MaxPLT) = %v, want ~1", got)
+	}
+}
+
+func TestIQXFallsFasterThanLogEarly(t *testing.T) {
+	// The defining IQX property: at small impairments the exponential
+	// is below the anchored logarithmic curve (initial delays hurt
+	// more), while both meet at the anchors.
+	base := AccessWebModel()
+	iqx := NewIQXWebModel(base)
+	early := base.MinPLT + (base.MaxPLT-base.MinPLT)/10
+	if iqx.MOS(early) >= base.MOS(early) {
+		t.Fatalf("IQX %.2f >= G.1030 %.2f at early PLT", iqx.MOS(early), base.MOS(early))
+	}
+}
+
+func TestIQXMonotoneNonIncreasing(t *testing.T) {
+	m := NewIQXWebModel(BackboneWebModel())
+	f := func(a, b uint16) bool {
+		x := time.Duration(a) * time.Millisecond * 2
+		y := time.Duration(b) * time.Millisecond * 2
+		if x > y {
+			x, y = y, x
+		}
+		return m.MOS(x) >= m.MOS(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIQXBounded(t *testing.T) {
+	m := NewIQXWebModel(AccessWebModel())
+	f := func(ms uint32) bool {
+		v := m.MOS(time.Duration(ms%600000) * time.Millisecond)
+		return v >= 1 && v <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIQXAgreesWithG1030OnCategories(t *testing.T) {
+	// The two mappings may disagree on exact scores but must agree on
+	// the extremes: sub-second loads are good (>3.5), loads past 5 s
+	// are bad (<2) under both.
+	log := AccessWebModel()
+	iqx := NewIQXWebModel(log)
+	for _, plt := range []time.Duration{450 * time.Millisecond, 500 * time.Millisecond} {
+		if log.MOS(plt) < 3.5 || iqx.MOS(plt) < 3.5 {
+			t.Fatalf("fast load rated poorly: log=%.2f iqx=%.2f", log.MOS(plt), iqx.MOS(plt))
+		}
+	}
+	for _, plt := range []time.Duration{5500 * time.Millisecond, 8 * time.Second} {
+		if log.MOS(plt) > 2 || iqx.MOS(plt) > 2 {
+			t.Fatalf("slow load rated well: log=%.2f iqx=%.2f", log.MOS(plt), iqx.MOS(plt))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package qoe
+
+import "time"
+
+// VoIPCategory is the G.711 user-satisfaction scale of Figure 6a
+// (ITU-T G.109 categories).
+type VoIPCategory string
+
+// Figure 6a categories.
+const (
+	VerySatisfied      VoIPCategory = "Very Satisfied"
+	Satisfied          VoIPCategory = "Satisfied"
+	SomeSatisfied      VoIPCategory = "Some Users Satisfied"
+	ManyDissatisfied   VoIPCategory = "Many Users Dissatisfied"
+	NearlyAllDissatisf VoIPCategory = "Nearly All Users Dissatisfied"
+	NotRecommended     VoIPCategory = "Not Recommended"
+)
+
+// VoIPSatisfaction classifies a MOS on the Figure 6a scale.
+func VoIPSatisfaction(mos float64) VoIPCategory {
+	switch {
+	case mos >= 4.3:
+		return VerySatisfied
+	case mos >= 4.0:
+		return Satisfied
+	case mos >= 3.6:
+		return SomeSatisfied
+	case mos >= 3.1:
+		return ManyDissatisfied
+	case mos >= 2.6:
+		return NearlyAllDissatisf
+	default:
+		return NotRecommended
+	}
+}
+
+// Rating is the five-point ACR scale of Figure 6b used for video and
+// web scores.
+type Rating string
+
+// Figure 6b ratings.
+const (
+	Excellent Rating = "Excellent"
+	Good      Rating = "Good"
+	Fair      Rating = "Fair"
+	Poor      Rating = "Poor"
+	Bad       Rating = "Bad"
+)
+
+// Rate classifies a MOS on the five-point scale.
+func Rate(mos float64) Rating {
+	switch {
+	case mos >= 4.5:
+		return Excellent
+	case mos >= 3.5:
+		return Good
+	case mos >= 2.5:
+		return Fair
+	case mos >= 1.5:
+		return Poor
+	default:
+		return Bad
+	}
+}
+
+// DelayClass is the ITU-T G.114 classification of one-way delays used
+// to color the Figure 4 heatmaps.
+type DelayClass int
+
+// G.114 classes: green / orange / red in the paper's heatmaps.
+const (
+	DelayAcceptable  DelayClass = iota // <= 150 ms
+	DelayProblematic                   // 150-400 ms
+	DelaySevere                        // > 400 ms
+)
+
+func (d DelayClass) String() string {
+	switch d {
+	case DelayAcceptable:
+		return "acceptable"
+	case DelayProblematic:
+		return "problematic"
+	default:
+		return "severe"
+	}
+}
+
+// ClassifyDelay classifies a one-way delay per G.114.
+func ClassifyDelay(d time.Duration) DelayClass {
+	switch {
+	case d <= 150*time.Millisecond:
+		return DelayAcceptable
+	case d <= 400*time.Millisecond:
+		return DelayProblematic
+	default:
+		return DelaySevere
+	}
+}

@@ -1,0 +1,46 @@
+package qoe
+
+import (
+	"math"
+	"time"
+)
+
+// WebModel is the ITU-T G.1030 one-page web QoE model used in Section
+// 9: page load times map logarithmically to MOS between a
+// scenario-specific minimum PLT (-> "excellent") and a maximum PLT
+// (-> "bad").
+type WebModel struct {
+	// MinPLT maps to MOS 5. The paper uses 0.56 s for the access
+	// testbed and 0.85 s for the backbone (different base RTTs).
+	MinPLT time.Duration
+	// MaxPLT maps to MOS 1. The paper uses the G.1030 default of 6 s.
+	MaxPLT time.Duration
+}
+
+// AccessWebModel returns the access-testbed parameterization. The
+// paper anchors MinPLT at its testbed's fastest load (0.56 s); our TCP
+// model (initial window 3, immediate server responses) loads the page
+// slightly faster, so the anchor follows our measured noBG baseline —
+// the same methodology, re-anchored.
+func AccessWebModel() WebModel {
+	return WebModel{MinPLT: 420 * time.Millisecond, MaxPLT: 6 * time.Second}
+}
+
+// BackboneWebModel returns the backbone parameterization (paper:
+// 0.85 s; re-anchored to our measured noBG baseline as above).
+func BackboneWebModel() WebModel {
+	return WebModel{MinPLT: 500 * time.Millisecond, MaxPLT: 6 * time.Second}
+}
+
+// MOS maps a page load time to the G.1030 opinion score in [1, 5].
+func (m WebModel) MOS(plt time.Duration) float64 {
+	if plt <= m.MinPLT {
+		return 5
+	}
+	if plt >= m.MaxPLT {
+		return 1
+	}
+	span := math.Log(m.MaxPLT.Seconds()) - math.Log(m.MinPLT.Seconds())
+	frac := (math.Log(plt.Seconds()) - math.Log(m.MinPLT.Seconds())) / span
+	return 5 - 4*frac
+}

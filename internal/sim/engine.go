@@ -1,0 +1,190 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event heap. All model
+// components (links, queues, protocol endpoints, applications) schedule
+// callbacks on a shared *Engine; the engine executes them in
+// non-decreasing time order. Events scheduled for the same instant run
+// in FIFO order of scheduling, which keeps runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute point on the simulation clock, in nanoseconds
+// since the start of the run. The zero Time is the beginning of the
+// simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts an absolute time to the duration elapsed since the
+// simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time like a time.Duration, e.g. "1.5s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// A Timer is a handle to a scheduled event. It can be stopped before it
+// fires. Timers are not safe for concurrent use; the engine is a
+// single-threaded simulator by design.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer. It reports whether the call prevented the
+// timer from firing (false if it had already fired or been stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	t.fn = nil // release closure for GC
+	return true
+}
+
+// Stopped reports whether the timer was cancelled before firing.
+func (t *Timer) Stopped() bool { return t != nil && t.stopped }
+
+// When returns the absolute time the timer fires (or was scheduled to
+// fire).
+func (t *Timer) When() Time { return t.at }
+
+// eventHeap orders timers by (time, sequence).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	halted  bool
+
+	// Executed counts events that have fired; useful for tests and
+	// runaway detection.
+	Executed uint64
+
+	// MaxEvents, if non-zero, aborts Run with a panic after this many
+	// events — a guard against accidental infinite event loops in
+	// model code.
+	MaxEvents uint64
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay d (relative to Now). A negative d is
+// treated as zero. It returns a Timer that may be stopped.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t. Times in the past are clamped to Now.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// Pending reports the number of events in the queue, including
+// stopped-but-not-yet-drained timers.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Halt stops the run loop after the current event completes. Unlike
+// draining the queue, pending events remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil executes events with time <= t, then advances the clock to
+// exactly t (if t is beyond the last event). It stops early if the
+// queue empties or Halt is called.
+func (e *Engine) RunUntil(t Time) {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	e.halted = false
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 && !e.halted {
+		next := e.events[0]
+		if next.at > t {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.stopped {
+			continue
+		}
+		if next.at > e.now {
+			e.now = next.at
+		}
+		next.fired = true
+		fn := next.fn
+		next.fn = nil
+		e.Executed++
+		if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+		}
+		fn()
+	}
+	if !e.halted && e.now < t && t != Time(1<<63-1) {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now.Add(d))
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG wraps a deterministic pseudo-random source with the distribution
+// helpers the traffic and media models need. Distinct named streams
+// derived from the same base seed are statistically independent, so
+// adding a consumer never perturbs another consumer's draws — essential
+// for reproducible experiments.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns the named random stream for a base seed. The stream
+// name is hashed into the second PCG seed word so that streams are
+// decorrelated but fully determined by (seed, name).
+func NewRNG(seed uint64, stream string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(stream))
+	return &RNG{rand.New(rand.NewPCG(seed, h.Sum64()))}
+}
+
+// Exponential draws an exponentially distributed value with the given
+// mean (rate 1/mean).
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// Weibull draws from a Weibull distribution with the given shape and
+// scale, via inverse transform sampling.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// LogNormal draws from a log-normal distribution where the underlying
+// normal has mean mu and standard deviation sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Pareto draws from a Pareto distribution with minimum xm and tail
+// index alpha.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Uniform draws uniformly from [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool reports true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

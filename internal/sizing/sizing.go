@@ -1,0 +1,128 @@
+// Package sizing implements the buffer sizing schemes the paper
+// compares (Table 2): the bandwidth-delay-product rule of thumb
+// [Villamizar & Song 1994], the Stanford BDP/sqrt(n) scheme
+// [Appenzeller et al. 2004], tiny buffers [Enachescu et al. 2006],
+// deliberately bloated buffers (10x BDP), and the load-dependent
+// scheme the paper's Section 10 suggests as future work.
+package sizing
+
+import (
+	"math"
+	"time"
+)
+
+// FullPacket is the full-sized packet the paper sizes buffers against.
+const FullPacket = 1500
+
+// BDPPackets returns the bandwidth-delay product in full-sized packets
+// for a link of rate bits/s and the given round-trip time, rounded up.
+func BDPPackets(rateBps float64, rtt time.Duration) int {
+	bytes := rateBps * rtt.Seconds() / 8
+	return int(math.Ceil(bytes / FullPacket))
+}
+
+// StanfordPackets returns the Appenzeller BDP/sqrt(n) buffer size for n
+// concurrent flows, with a floor of one packet.
+func StanfordPackets(bdpPackets, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	b := int(math.Ceil(float64(bdpPackets) / math.Sqrt(float64(n))))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// TinyPackets returns the tiny-buffer scheme size (drop-tail buffers of
+// roughly 20-50 packets for core routers; the paper's backbone minimum
+// of 8 packets "resembles the TinyBuffer scheme").
+func TinyPackets() int { return 8 }
+
+// BloatFactor is the paper's deliberate over-buffering multiplier.
+const BloatFactor = 10
+
+// BloatedPackets returns the paper's excessive buffering configuration
+// (10x BDP).
+func BloatedPackets(bdpPackets int) int { return BloatFactor * bdpPackets }
+
+// MaxQueueingDelay returns the worst-case queueing delay of a buffer of
+// the given size in packets draining at rate bits/s with full-sized
+// packets — the Delay columns of Table 2.
+func MaxQueueingDelay(packets int, rateBps float64) time.Duration {
+	if rateBps <= 0 {
+		return 0
+	}
+	sec := float64(packets) * FullPacket * 8 / rateBps
+	return time.Duration(sec * float64(time.Second))
+}
+
+// LoadAware implements the load-dependent sizing scheme the paper's
+// summary suggests: at low-to-moderate utilization larger buffers
+// absorb bursts and reduce retransmissions (better WebQoE), while at
+// high utilization smaller buffers bound the queueing delay.
+// utilization is in [0, 1]; n is the concurrent flow count estimate.
+func LoadAware(bdpPackets, n int, utilization float64) int {
+	switch {
+	case utilization < 0.5:
+		return 2 * bdpPackets
+	case utilization < 0.85:
+		return bdpPackets
+	default:
+		return StanfordPackets(bdpPackets, n)
+	}
+}
+
+// Table2Row is one row of the paper's Table 2: a buffer size and its
+// maximum queueing delay per direction/testbed.
+type Table2Row struct {
+	Packets int
+	Delay   time.Duration
+	Scheme  string
+}
+
+// Access and backbone link rates (Section 5.1).
+const (
+	AccessUplinkRate   = 1e6   // 1 Mbit/s
+	AccessDownlinkRate = 16e6  // 16 Mbit/s
+	BackboneRate       = 155e6 // OC3
+)
+
+// AccessBufferSizes are the paper's access-testbed buffer
+// configurations (powers of two; 256 is the Stanford reference router
+// maximum).
+var AccessBufferSizes = []int{8, 16, 32, 64, 128, 256}
+
+// BackboneBufferSizes are the paper's backbone configurations: tiny
+// (8), Stanford (28), BDP (749), and 10x BDP (7490).
+var BackboneBufferSizes = []int{8, 28, 749, 7490}
+
+// AccessUplinkTable2 returns the uplink half of Table 2.
+func AccessUplinkTable2() []Table2Row {
+	schemes := map[int]string{8: "~BDP", 256: "max"}
+	return table2(AccessBufferSizes, AccessUplinkRate, schemes)
+}
+
+// AccessDownlinkTable2 returns the downlink half of Table 2.
+func AccessDownlinkTable2() []Table2Row {
+	schemes := map[int]string{8: "min", 64: "~BDP", 256: "max"}
+	return table2(AccessBufferSizes, AccessDownlinkRate, schemes)
+}
+
+// BackboneTable2 returns the backbone half of Table 2.
+func BackboneTable2() []Table2Row {
+	schemes := map[int]string{8: "~TinyBuf", 28: "Stanford", 749: "BDP", 7490: "10 x BDP"}
+	return table2(BackboneBufferSizes, BackboneRate, schemes)
+}
+
+func table2(sizes []int, rate float64, schemes map[int]string) []Table2Row {
+	rows := make([]Table2Row, 0, len(sizes))
+	for _, s := range sizes {
+		rows = append(rows, Table2Row{
+			Packets: s,
+			Delay:   MaxQueueingDelay(s, rate),
+			Scheme:  schemes[s],
+		})
+	}
+	return rows
+}

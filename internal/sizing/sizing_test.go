@@ -1,0 +1,130 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBDPPackets(t *testing.T) {
+	// Backbone: 155 Mbit/s, 60 ms RTT -> 1.1625 MB -> 775 packets;
+	// the paper's 749 uses the OC3 payload rate, so accept the order.
+	got := BDPPackets(BackboneRate, 60*time.Millisecond)
+	if got < 700 || got > 800 {
+		t.Fatalf("backbone BDP = %d packets, want ~749-775", got)
+	}
+	// Access downlink: 16 Mbit/s, ~48 ms -> ~64 packets.
+	got = BDPPackets(AccessDownlinkRate, 48*time.Millisecond)
+	if got < 60 || got > 70 {
+		t.Fatalf("access downlink BDP = %d, want ~64", got)
+	}
+}
+
+func TestStanford(t *testing.T) {
+	// Paper: BDP/sqrt(n) with n = 3*256 = 768 gives 28 packets from
+	// BDP 749 (sqrt(768) = 27.7 -> ceil(749/27.7) = 28).
+	if got := StanfordPackets(749, 768); got != 28 {
+		t.Fatalf("stanford = %d, want 28", got)
+	}
+	if got := StanfordPackets(10, 0); got != 10 {
+		t.Fatalf("n=0 should floor to n=1, got %d", got)
+	}
+}
+
+func TestMaxQueueingDelayMatchesTable2(t *testing.T) {
+	cases := []struct {
+		pkts int
+		rate float64
+		want time.Duration
+		tol  time.Duration
+	}{
+		// Table 2 access uplink: 8 pkts -> 98 ms (we compute 96 ms:
+		// the paper's 2% extra is framing overhead).
+		{8, AccessUplinkRate, 98 * time.Millisecond, 5 * time.Millisecond},
+		{256, AccessUplinkRate, 3167 * time.Millisecond, 100 * time.Millisecond},
+		// Table 2 access downlink: 64 pkts -> 49 ms.
+		{64, AccessDownlinkRate, 49 * time.Millisecond, 2 * time.Millisecond},
+		{256, AccessDownlinkRate, 195 * time.Millisecond, 5 * time.Millisecond},
+		// Table 2 backbone: 749 -> 58 ms, 7490 -> 580 ms.
+		{749, BackboneRate, 58 * time.Millisecond, 2 * time.Millisecond},
+		{7490, BackboneRate, 580 * time.Millisecond, 10 * time.Millisecond},
+		{8, BackboneRate, 600 * time.Microsecond, 100 * time.Microsecond},
+		{28, BackboneRate, 2200 * time.Microsecond, 200 * time.Microsecond},
+	}
+	for _, c := range cases {
+		got := MaxQueueingDelay(c.pkts, c.rate)
+		diff := got - c.want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > c.tol {
+			t.Errorf("MaxQueueingDelay(%d pkts, %.0f bps) = %v, want %v +- %v",
+				c.pkts, c.rate, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	up := AccessUplinkTable2()
+	if len(up) != 6 {
+		t.Fatalf("uplink rows = %d", len(up))
+	}
+	down := AccessDownlinkTable2()
+	if down[3].Scheme != "~BDP" {
+		t.Fatalf("downlink 64-pkt scheme = %q", down[3].Scheme)
+	}
+	bb := BackboneTable2()
+	if len(bb) != 4 || bb[1].Scheme != "Stanford" {
+		t.Fatalf("backbone rows = %+v", bb)
+	}
+	// Delays must increase with buffer size.
+	for i := 1; i < len(up); i++ {
+		if up[i].Delay <= up[i-1].Delay {
+			t.Fatal("uplink delays not monotone")
+		}
+	}
+}
+
+func TestLoadAware(t *testing.T) {
+	bdp := 100
+	if got := LoadAware(bdp, 16, 0.2); got != 200 {
+		t.Fatalf("low load = %d, want 2xBDP", got)
+	}
+	if got := LoadAware(bdp, 16, 0.7); got != 100 {
+		t.Fatalf("moderate load = %d, want BDP", got)
+	}
+	if got := LoadAware(bdp, 16, 0.95); got != 25 {
+		t.Fatalf("high load = %d, want BDP/sqrt(16)", got)
+	}
+}
+
+// Property: Stanford sizing is monotone decreasing in n and never
+// exceeds the BDP (for n >= 1).
+func TestPropertyStanfordMonotone(t *testing.T) {
+	f := func(bdpRaw uint16, n1, n2 uint8) bool {
+		bdp := int(bdpRaw%2000) + 1
+		a, b := int(n1)+1, int(n2)+1
+		if a > b {
+			a, b = b, a
+		}
+		sa, sb := StanfordPackets(bdp, a), StanfordPackets(bdp, b)
+		return sb <= sa && sa <= bdp && sb >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queueing delay is linear in buffer size.
+func TestPropertyDelayLinear(t *testing.T) {
+	f := func(pktsRaw uint8) bool {
+		p := int(pktsRaw) + 1
+		d1 := MaxQueueingDelay(p, 1e6).Seconds()
+		d2 := MaxQueueingDelay(2*p, 1e6).Seconds()
+		return math.Abs(d2-2*d1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Hist is a fixed-range linear histogram. Out-of-range observations are
+// clamped into the first/last bin so no mass is lost.
+type Hist struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHist creates a histogram over [lo, hi) with n bins.
+func NewHist(lo, hi float64, n int) *Hist {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram range")
+	}
+	return &Hist{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Hist) Add(x float64) {
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// N returns the number of observations.
+func (h *Hist) N() int { return h.total }
+
+// PDF returns the probability density per bin (fraction / bin width).
+func (h *Hist) PDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total) / w
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Hist) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// LogHist bins the base-10 logarithm of positive observations; it is
+// the shape of the RTT/queueing-delay PDFs of Figure 1 ("PDF of the
+// logarithm of ...").
+type LogHist struct {
+	h *Hist
+}
+
+// NewLogHist covers [lo, hi] (in linear units, lo > 0) with n
+// logarithmically spaced bins.
+func NewLogHist(lo, hi float64, n int) *LogHist {
+	if lo <= 0 {
+		panic("stats: LogHist requires lo > 0")
+	}
+	return &LogHist{h: NewHist(math.Log10(lo), math.Log10(hi), n)}
+}
+
+// Add records one observation; non-positive values are clamped to the
+// lowest bin.
+func (l *LogHist) Add(x float64) {
+	if x <= 0 {
+		l.h.Add(l.h.Lo)
+		return
+	}
+	l.h.Add(math.Log10(x))
+}
+
+// N returns the number of observations.
+func (l *LogHist) N() int { return l.h.N() }
+
+// PDF returns density per log10 unit for each bin.
+func (l *LogHist) PDF() []float64 { return l.h.PDF() }
+
+// BinCenter returns the linear-unit center of bin i.
+func (l *LogHist) BinCenter(i int) float64 {
+	return math.Pow(10, l.h.BinCenter(i))
+}
+
+// Bins returns the number of bins.
+func (l *LogHist) Bins() int { return len(l.h.Counts) }
+
+// Mode returns the linear-unit center of the most populated bin.
+func (l *LogHist) Mode() float64 {
+	best := 0
+	for i, c := range l.h.Counts {
+		if c > l.h.Counts[best] {
+			best = i
+		}
+	}
+	return l.BinCenter(best)
+}
+
+// Hist2D is a two-dimensional histogram with logarithmic axes, as in
+// the min-vs-max RTT density plot of Figure 1b.
+type Hist2D struct {
+	XLo, XHi, YLo, YHi float64
+	NX, NY             int
+	Counts             [][]int
+	total              int
+}
+
+// NewHist2D creates an nx-by-ny log-axis 2D histogram over the given
+// (linear-unit) ranges.
+func NewHist2D(xlo, xhi, ylo, yhi float64, nx, ny int) *Hist2D {
+	if xlo <= 0 || ylo <= 0 {
+		panic("stats: Hist2D requires positive ranges (log axes)")
+	}
+	c := make([][]int, ny)
+	for i := range c {
+		c[i] = make([]int, nx)
+	}
+	return &Hist2D{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi, NX: nx, NY: ny, Counts: c}
+}
+
+func logIndex(v, lo, hi float64, n int) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(float64(n) * (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Add records one (x, y) observation.
+func (h *Hist2D) Add(x, y float64) {
+	ix := logIndex(x, h.XLo, h.XHi, h.NX)
+	iy := logIndex(y, h.YLo, h.YHi, h.NY)
+	h.Counts[iy][ix]++
+	h.total++
+}
+
+// N returns the number of observations.
+func (h *Hist2D) N() int { return h.total }
+
+// FracOnDiagonal reports the fraction of mass within +-band bins of the
+// x==y diagonal (requires NX == NY); used to quantify how far max RTT
+// deviates from min RTT.
+func (h *Hist2D) FracOnDiagonal(band int) float64 {
+	if h.total == 0 || h.NX != h.NY {
+		return 0
+	}
+	on := 0
+	for iy := range h.Counts {
+		for ix, c := range h.Counts[iy] {
+			if abs(ix-iy) <= band {
+				on += c
+			}
+		}
+	}
+	return float64(on) / float64(h.total)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RenderASCII draws the 2D histogram as a density grid using a
+// character ramp, dense enough for eyeballing Figure 1b in a terminal.
+func (h *Hist2D) RenderASCII() string {
+	ramp := " .:-=+*#%@"
+	max := 0
+	for _, row := range h.Counts {
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	var b strings.Builder
+	for iy := h.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < h.NX; ix++ {
+			c := h.Counts[iy][ix]
+			lvl := 0
+			if max > 0 && c > 0 {
+				lvl = 1 + int(float64(len(ramp)-2)*math.Log1p(float64(c))/math.Log1p(float64(max)))
+				if lvl >= len(ramp) {
+					lvl = len(ramp) - 1
+				}
+			}
+			b.WriteByte(ramp[lvl])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SparklinePDF renders a small ASCII sketch of a PDF (for CLI output).
+func SparklinePDF(pdf []float64) string {
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	max := 0.0
+	for _, v := range pdf {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("▁", len(pdf))
+	}
+	var b strings.Builder
+	for _, v := range pdf {
+		i := int(v / max * float64(len(ramp)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ramp) {
+			i = len(ramp) - 1
+		}
+		b.WriteRune(ramp[i])
+	}
+	return b.String()
+}
+
+// FormatFloat renders a float compactly (e.g. for heatmap cells):
+// values >= 100 without decimals, >= 10 with one, otherwise two.
+func FormatFloat(v float64) string {
+	switch {
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

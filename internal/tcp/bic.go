@@ -1,0 +1,112 @@
+package tcp
+
+import (
+	"math"
+
+	"bufferqoe/internal/sim"
+)
+
+// BIC implements Binary Increase Congestion control (Xu, Harfoush &
+// Rhee, INFOCOM 2004), the default Linux algorithm from 2.6.8 until
+// CUBIC replaced it in 2.6.19. The paper notes its access hosts ran
+// "TCP BIC/TCP CUBIC"; this type provides the BIC half so the
+// abl-ccalgo experiment can compare all three era algorithms.
+//
+// The window growth combines three regimes around the last-known
+// saturation point wMax:
+//
+//   - binary search: far below wMax, jump half the remaining distance
+//     per RTT, capped at Smax segments (additive increase);
+//   - convergence: near wMax, creep by Smin;
+//   - max probing: above wMax, accelerate away symmetrically to find
+//     the new saturation point.
+//
+// On loss, wMax is updated with fast convergence (a flow that lost
+// before regaining its previous maximum yields share to newcomers) and
+// the window is cut by the BIC beta of 0.8.
+type BIC struct {
+	wMax float64 // last saturation window, bytes
+}
+
+// BIC constants (paper defaults / Linux bictcp).
+const (
+	bicSmaxSegs   = 32   // max increment per RTT, segments
+	bicSminSegs   = 0.01 // min increment per RTT, segments
+	bicBeta       = 0.8  // multiplicative decrease factor
+	bicLowWinSegs = 14   // below this, behave like Reno
+)
+
+// Name implements CongestionControl.
+func (b *BIC) Name() string { return "bic" }
+
+// OnInit implements CongestionControl.
+func (b *BIC) OnInit(c *Conn) { b.wMax = 0 }
+
+// OnAck implements CongestionControl.
+func (b *BIC) OnAck(c *Conn, acked int64, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	if c.cwnd < c.ssthresh {
+		c.cwnd += math.Min(float64(acked), mss)
+		return
+	}
+	segs := c.cwnd / mss
+	if segs < bicLowWinSegs || b.wMax == 0 {
+		// Small windows or no saturation point yet: Reno growth.
+		c.cwnd += mss * mss / c.cwnd
+		return
+	}
+	wMaxSegs := b.wMax / mss
+	var perRTT float64 // target increment in segments per RTT
+	if segs < wMaxSegs {
+		dist := (wMaxSegs - segs) / 2
+		switch {
+		case dist > bicSmaxSegs:
+			perRTT = bicSmaxSegs // additive increase
+		case dist < bicSminSegs:
+			perRTT = bicSminSegs // plateau at the saturation point
+		default:
+			perRTT = dist // binary search
+		}
+	} else {
+		// Max probing: slow start away from wMax, symmetric to the
+		// approach, capped at Smax.
+		dist := segs - wMaxSegs
+		switch {
+		case dist < 1:
+			perRTT = bicSminSegs * 8
+		case dist < bicSmaxSegs:
+			perRTT = dist
+		default:
+			perRTT = bicSmaxSegs
+		}
+	}
+	// Spread the per-RTT increment over the ~cwnd/MSS ACKs of one RTT.
+	c.cwnd += perRTT * mss * mss / c.cwnd
+}
+
+// OnPacketLoss implements CongestionControl.
+func (b *BIC) OnPacketLoss(c *Conn, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	if c.cwnd < b.wMax {
+		// Fast convergence: release bandwidth to competing flows.
+		b.wMax = c.cwnd * (1 + bicBeta) / 2
+	} else {
+		b.wMax = c.cwnd
+	}
+	c.ssthresh = math.Max(c.cwnd*bicBeta, 2*mss)
+	c.cwnd = c.ssthresh
+}
+
+// OnTimeout implements CongestionControl.
+func (b *BIC) OnTimeout(c *Conn, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	if c.cwnd < b.wMax {
+		b.wMax = c.cwnd * (1 + bicBeta) / 2
+	} else {
+		b.wMax = c.cwnd
+	}
+	c.ssthresh = math.Max(c.cwnd*bicBeta, 2*mss)
+}
+
+// NewBIC returns a BIC congestion control factory.
+func NewBIC() CongestionControl { return &BIC{} }

@@ -1,0 +1,148 @@
+package tcp
+
+import (
+	"math"
+
+	"bufferqoe/internal/sim"
+)
+
+// CongestionControl is the pluggable congestion avoidance algorithm.
+// The connection owns cwnd/ssthresh; the algorithm mutates them on
+// acknowledgment and loss events. Slow start, fast retransmit entry and
+// recovery bookkeeping are shared connection logic.
+type CongestionControl interface {
+	// Name identifies the algorithm ("reno", "cubic").
+	Name() string
+	// OnInit is called once when the connection is established.
+	OnInit(c *Conn)
+	// OnAck is called for every new cumulative acknowledgment of
+	// acked bytes while not in fast recovery.
+	OnAck(c *Conn, acked int64, now sim.Time)
+	// OnPacketLoss is called on entry to fast recovery; it must set
+	// ssthresh and cwnd for the multiplicative decrease.
+	OnPacketLoss(c *Conn, now sim.Time)
+	// OnTimeout is called on an RTO; it must set ssthresh (cwnd is
+	// reset to one segment by the connection).
+	OnTimeout(c *Conn, now sim.Time)
+}
+
+// Reno is classic TCP Reno AIMD: slow start below ssthresh, +1 MSS per
+// RTT above it, halve on loss. It matches the backbone hosts of the
+// paper's testbed ("the background traffic uses TCP-Reno in the
+// backbone").
+type Reno struct{}
+
+// Name implements CongestionControl.
+func (Reno) Name() string { return "reno" }
+
+// OnInit implements CongestionControl.
+func (Reno) OnInit(c *Conn) {}
+
+// OnAck implements CongestionControl.
+func (Reno) OnAck(c *Conn, acked int64, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	if c.cwnd < c.ssthresh {
+		// Slow start: one MSS per acked segment (appropriate byte
+		// counting capped at MSS per ACK).
+		c.cwnd += math.Min(float64(acked), mss)
+	} else {
+		// Congestion avoidance: ~one MSS per RTT.
+		c.cwnd += mss * mss / c.cwnd
+	}
+}
+
+// OnPacketLoss implements CongestionControl.
+func (Reno) OnPacketLoss(c *Conn, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	c.ssthresh = math.Max(c.inflight()/2, 2*mss)
+	c.cwnd = c.ssthresh
+}
+
+// OnTimeout implements CongestionControl.
+func (Reno) OnTimeout(c *Conn, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	c.ssthresh = math.Max(c.inflight()/2, 2*mss)
+}
+
+// Cubic implements TCP CUBIC (Ha, Rhee, Xu 2008): window growth is a
+// cubic function of time since the last decrease, with a TCP-friendly
+// region for low-BDP paths. The paper's access testbed hosts ran
+// BIC/CUBIC; CUBIC is the successor and the variant modeled here.
+type Cubic struct {
+	wMax       float64
+	epochStart sim.Time
+	originK    float64
+	wTCP       float64
+	started    bool
+}
+
+// Cubic constants from the paper's era Linux implementation.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7 // multiplicative decrease factor
+)
+
+// Name implements CongestionControl.
+func (cu *Cubic) Name() string { return "cubic" }
+
+// OnInit implements CongestionControl.
+func (cu *Cubic) OnInit(c *Conn) {
+	cu.started = false
+}
+
+// OnAck implements CongestionControl.
+func (cu *Cubic) OnAck(c *Conn, acked int64, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	if c.cwnd < c.ssthresh {
+		c.cwnd += math.Min(float64(acked), mss)
+		return
+	}
+	if !cu.started {
+		cu.started = true
+		cu.epochStart = now
+		if cu.wMax < c.cwnd {
+			cu.wMax = c.cwnd
+		}
+		cu.originK = math.Cbrt(cu.wMax / mss * (1 - cubicBeta) / cubicC)
+		cu.wTCP = c.cwnd
+	}
+	t := now.Sub(cu.epochStart).Seconds()
+	// Cubic target window in segments, then bytes.
+	wCubic := (cubicC*math.Pow(t-cu.originK, 3) + cu.wMax/mss) * mss
+	// TCP-friendly estimate grows like Reno.
+	rtt := c.srtt.Seconds()
+	if rtt <= 0 {
+		rtt = 0.1
+	}
+	cu.wTCP += 3 * (1 - cubicBeta) / (1 + cubicBeta) * float64(acked) / c.cwnd * mss
+	target := math.Max(wCubic, cu.wTCP)
+	if target > c.cwnd {
+		// Approach the target over one RTT.
+		c.cwnd += (target - c.cwnd) / (c.cwnd / mss)
+	} else {
+		c.cwnd += mss * mss / (100 * c.cwnd) // minimal growth
+	}
+}
+
+// OnPacketLoss implements CongestionControl.
+func (cu *Cubic) OnPacketLoss(c *Conn, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	cu.wMax = c.cwnd
+	cu.started = false
+	c.ssthresh = math.Max(c.cwnd*cubicBeta, 2*mss)
+	c.cwnd = c.ssthresh
+}
+
+// OnTimeout implements CongestionControl.
+func (cu *Cubic) OnTimeout(c *Conn, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	cu.wMax = c.cwnd
+	cu.started = false
+	c.ssthresh = math.Max(c.cwnd*cubicBeta, 2*mss)
+}
+
+// NewReno returns a Reno congestion control factory.
+func NewReno() CongestionControl { return Reno{} }
+
+// NewCubic returns a CUBIC congestion control factory.
+func NewCubic() CongestionControl { return &Cubic{} }

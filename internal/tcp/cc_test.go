@@ -1,0 +1,197 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/sim"
+)
+
+// mkConn builds a detached connection for direct congestion-control
+// unit tests (no network attached; only cwnd/ssthresh evolution is
+// exercised).
+func mkConn(cc CongestionControl) *Conn {
+	cfg := Defaults(Config{})
+	c := &Conn{
+		cfg:      cfg,
+		cc:       cc,
+		cwnd:     float64(cfg.InitialWindow * cfg.MSS),
+		ssthresh: float64(cfg.RcvWnd),
+		srtt:     100 * time.Millisecond,
+	}
+	cc.OnInit(c)
+	return c
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	c := mkConn(Reno{})
+	mss := int64(c.cfg.MSS)
+	start := c.cwnd
+	// Ack one full window: slow start adds ~one MSS per acked MSS.
+	acked := int64(0)
+	for acked < int64(start) {
+		c.cc.OnAck(c, mss, 0)
+		acked += mss
+	}
+	if c.cwnd < 1.9*start {
+		t.Fatalf("slow start grew %v -> %v, want ~2x", start, c.cwnd)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	c := mkConn(Reno{})
+	mss := float64(c.cfg.MSS)
+	c.cwnd = 20 * mss
+	c.ssthresh = 10 * mss // below cwnd: CA regime
+	start := c.cwnd
+	// One window of acks should add ~one MSS total.
+	for i := 0; i < 20; i++ {
+		c.cc.OnAck(c, int64(mss), 0)
+	}
+	growth := c.cwnd - start
+	if growth < 0.8*mss || growth > 1.3*mss {
+		t.Fatalf("CA growth per RTT = %.0f bytes, want ~%0.f", growth, mss)
+	}
+}
+
+func TestRenoHalvesOnLoss(t *testing.T) {
+	c := mkConn(Reno{})
+	mss := float64(c.cfg.MSS)
+	c.cwnd = 40 * mss
+	c.sndUna, c.sndNxt = 0, int64(40*mss) // full window in flight
+	c.cc.OnPacketLoss(c, 0)
+	if c.cwnd < 19*mss || c.cwnd > 21*mss {
+		t.Fatalf("cwnd after loss = %.0f, want ~half of 40 MSS", c.cwnd/mss)
+	}
+	if c.ssthresh != c.cwnd {
+		t.Fatalf("ssthresh %v != cwnd %v after Reno loss", c.ssthresh, c.cwnd)
+	}
+}
+
+func TestRenoLossFloor(t *testing.T) {
+	c := mkConn(Reno{})
+	mss := float64(c.cfg.MSS)
+	c.cwnd = mss
+	c.sndUna, c.sndNxt = 0, int64(mss)
+	c.cc.OnPacketLoss(c, 0)
+	if c.cwnd < 2*mss {
+		t.Fatalf("cwnd floor violated: %.2f MSS", c.cwnd/mss)
+	}
+}
+
+func TestCubicReducesBy30Percent(t *testing.T) {
+	cu := &Cubic{}
+	c := mkConn(cu)
+	mss := float64(c.cfg.MSS)
+	c.cwnd = 100 * mss
+	c.ssthresh = 50 * mss
+	c.cc.OnPacketLoss(c, 0)
+	if c.cwnd < 69*mss || c.cwnd > 71*mss {
+		t.Fatalf("CUBIC decrease to %.1f MSS, want 70", c.cwnd/mss)
+	}
+}
+
+func TestCubicRegrowsTowardWMax(t *testing.T) {
+	cu := &Cubic{}
+	c := mkConn(cu)
+	mss := float64(c.cfg.MSS)
+	c.cwnd = 100 * mss
+	c.ssthresh = 50 * mss
+	now := sim.Time(0)
+	c.cc.OnPacketLoss(c, now)
+	after := c.cwnd // 70 MSS
+	// Feed one window of (delayed) acks per 100 ms RTT; CUBIC should
+	// recover most of the way to wMax within its K horizon (~4.2 s
+	// for wMax of 100 MSS).
+	for s := 0; s < 80; s++ {
+		now = now.Add(100 * time.Millisecond)
+		acks := int(c.cwnd / mss / 2)
+		for k := 0; k < acks; k++ {
+			c.cc.OnAck(c, 2*int64(mss), now)
+		}
+	}
+	if c.cwnd < 95*mss {
+		t.Fatalf("CUBIC at t=8s: %.1f MSS, want near wMax 100 (started %0.f)",
+			c.cwnd/mss, after/mss)
+	}
+}
+
+func TestCubicSlowStartBelowSsthresh(t *testing.T) {
+	cu := &Cubic{}
+	c := mkConn(cu)
+	mss := float64(c.cfg.MSS)
+	c.cwnd = 3 * mss
+	c.ssthresh = 100 * mss
+	c.cc.OnAck(c, int64(mss), 0)
+	if c.cwnd != 4*mss {
+		t.Fatalf("slow start ack grew to %.2f MSS, want 4", c.cwnd/mss)
+	}
+}
+
+func TestCCNames(t *testing.T) {
+	if (Reno{}).Name() != "reno" {
+		t.Fatal("reno name")
+	}
+	if (&Cubic{}).Name() != "cubic" {
+		t.Fatal("cubic name")
+	}
+}
+
+func TestDefaultsFill(t *testing.T) {
+	cfg := Defaults(Config{})
+	if cfg.MSS != 1460 || cfg.RcvWnd != 4<<20 || cfg.InitialWindow != 3 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.MinRTO != 200*time.Millisecond || cfg.DupAckThreshold != 3 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.NewCC == nil || cfg.MaxRetries == 0 {
+		t.Fatal("nil CC factory or retries")
+	}
+	// Overrides survive.
+	cfg2 := Defaults(Config{MSS: 500})
+	if cfg2.MSS != 500 {
+		t.Fatal("override lost")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{
+		StateSynSent:     "syn-sent",
+		StateSynReceived: "syn-received",
+		StateEstablished: "established",
+		StateClosing:     "closing",
+		StateClosed:      "closed",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d -> %q", st, st.String())
+		}
+	}
+	if State(99).String() != "unknown" {
+		t.Fatal("unknown state string")
+	}
+}
+
+func TestSampleRTTRFC6298(t *testing.T) {
+	tn := newTestNet(10e6, 25*time.Millisecond, 100, Config{})
+	cc, _, done := tn.transfer(t, 50_000, 10*time.Second)
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	// After samples, RTO must be srtt + 4*rttvar clamped to >= MinRTO.
+	if cc.rto < cc.cfg.MinRTO {
+		t.Fatalf("rto %v below floor", cc.rto)
+	}
+	if cc.Stat.RTTSamples == 0 {
+		t.Fatal("no RTT samples")
+	}
+}
+
+func TestKarnNoSampleFromZeroEcho(t *testing.T) {
+	c := mkConn(Reno{})
+	c.eng = sim.New()
+	c.sampleRTT(0)
+	if c.Stat.RTTSamples != 0 {
+		t.Fatal("sampled RTT from zero timestamp echo")
+	}
+}

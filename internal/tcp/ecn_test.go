@@ -1,0 +1,264 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/aqm"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+)
+
+// newECNNet builds a two-host net whose server->client direction is
+// managed by an ECN-marking CoDel bottleneck.
+func newECNNet(cfg Config) (*testNet, *aqm.CoDel) {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	c := nw.NewNode("client")
+	s := nw.NewNode("server")
+	codel := aqm.NewCoDel(1000)
+	codel.ECN = true
+	sc := netem.NewLink(eng, "s->c", 5e6, 20*time.Millisecond, codel, c)
+	cs := netem.NewLink(eng, "c->s", 5e6, 20*time.Millisecond, netem.NewDropTail(1000), s)
+	c.SetRoute(s.ID, cs)
+	s.SetRoute(c.ID, sc)
+	return &testNet{
+		eng: eng, nw: nw, client: c, server: s, cs: cs, sc: sc,
+		cStack: NewStack(c, cfg),
+		sStack: NewStack(s, cfg),
+	}, codel
+}
+
+func TestECNNegotiatedWhenBothSidesEnable(t *testing.T) {
+	tn, _ := newECNNet(Config{ECN: true})
+	cc, sc, done := tn.transfer(t, 50000, 10*time.Second)
+	if done == 0 {
+		t.Fatal("transfer never completed")
+	}
+	if !cc.ecnOK || !sc.ecnOK {
+		t.Fatalf("ECN not negotiated: client=%v server=%v", cc.ecnOK, sc.ecnOK)
+	}
+}
+
+func TestECNNotNegotiatedWhenOneSideDisables(t *testing.T) {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	c := nw.NewNode("client")
+	s := nw.NewNode("server")
+	nw.Connect(c, s, 10e6, 10*time.Millisecond, 100)
+	cStack := NewStack(c, Config{ECN: true})
+	sStack := NewStack(s, Config{}) // server without ECN
+	var serverConn *Conn
+	sStack.Listen(80, func(conn *Conn) {
+		serverConn = conn
+		conn.OnEstablished = func() { conn.Send(1000); conn.CloseWrite() }
+	})
+	clientConn := cStack.Dial(s.Addr(80))
+	eng.RunUntil(sim.Time(2 * time.Second.Nanoseconds()))
+	if clientConn.ecnOK || serverConn.ecnOK {
+		t.Fatal("ECN negotiated despite server opt-out")
+	}
+}
+
+func TestECNReducesWindowWithoutRetransmission(t *testing.T) {
+	tn, codel := newECNNet(Config{ECN: true})
+	// A long transfer through the 5 Mbit/s CoDel bottleneck: CoDel
+	// marks the self-induced standing queue, and the sender must back
+	// off via ECE with no packet loss at all.
+	var serverConn *Conn
+	tn.sStack.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnEstablished = func() { c.SendInfinite() }
+	})
+	tn.cStack.Dial(tn.server.Addr(80))
+	tn.eng.RunUntil(sim.Time(20 * time.Second.Nanoseconds()))
+
+	if codel.Marks == 0 {
+		t.Fatal("CoDel never marked: no standing queue built")
+	}
+	if codel.Drops != 0 {
+		t.Fatalf("CoDel dropped %d packets despite ECN", codel.Drops)
+	}
+	if serverConn.Stat.ECNReductions == 0 {
+		t.Fatal("sender never reduced on ECN-Echo")
+	}
+	if serverConn.Stat.Retransmissions != 0 {
+		t.Fatalf("%d retransmissions in a lossless ECN run", serverConn.Stat.Retransmissions)
+	}
+}
+
+func TestECNKeepsQueueDelayNearCoDelTarget(t *testing.T) {
+	tn, codel := newECNNet(Config{ECN: true})
+	mon := &netem.QueueMonitor{Name: "codel"}
+	codel.Monitor = mon
+	tn.sStack.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() { c.SendInfinite() }
+	})
+	tn.cStack.Dial(tn.server.Addr(80))
+	tn.eng.RunUntil(sim.Time(20 * time.Second.Nanoseconds()))
+	// The standing queue should sit near CoDel's 5 ms target, far
+	// below what a 1000-packet drop-tail would allow (1000 pkts at
+	// 5 Mbit/s = 2.4 s).
+	if d := mon.MeanDelayMs(); d > 50 {
+		t.Fatalf("mean queue delay %.1f ms under ECN CoDel, want < 50", d)
+	}
+}
+
+func TestECNThroughputComparableToLossBased(t *testing.T) {
+	run := func(ecn bool) int64 {
+		tn, _ := newECNNet(Config{ECN: ecn})
+		var sc *Conn
+		tn.sStack.Listen(80, func(c *Conn) {
+			sc = c
+			c.OnEstablished = func() { c.SendInfinite() }
+		})
+		tn.cStack.Dial(tn.server.Addr(80))
+		tn.eng.RunUntil(sim.Time(15 * time.Second.Nanoseconds()))
+		return sc.Stat.BytesAcked
+	}
+	with, without := run(true), run(false)
+	// ECN should achieve at least ~80% of loss-based goodput (it is
+	// usually slightly better: no retransmitted bytes).
+	if with < without*8/10 {
+		t.Fatalf("ECN goodput %d vs loss-based %d", with, without)
+	}
+}
+
+func TestECNPureAcksNotECT(t *testing.T) {
+	tn, _ := newECNNet(Config{ECN: true})
+	ectData, ectAcks := 0, 0
+	tn.cs.Tap = func(p *netem.Packet, at sim.Time) {
+		seg := p.Payload.(*Segment)
+		if seg.Len == 0 && p.ECT {
+			ectAcks++
+		}
+	}
+	tn.sc.Tap = func(p *netem.Packet, at sim.Time) {
+		seg := p.Payload.(*Segment)
+		if seg.Len > 0 && p.ECT {
+			ectData++
+		}
+	}
+	tn.transfer(t, 100000, 10*time.Second)
+	if ectAcks != 0 {
+		t.Fatalf("%d pure ACKs marked ECT", ectAcks)
+	}
+	if ectData == 0 {
+		t.Fatal("no data packets marked ECT on an ECN connection")
+	}
+}
+
+func TestECNCWRStopsEcho(t *testing.T) {
+	tn, _ := newECNNet(Config{ECN: true})
+	sawCWR := false
+	tn.sc.Tap = func(p *netem.Packet, at sim.Time) {
+		if seg := p.Payload.(*Segment); seg.CWR {
+			sawCWR = true
+		}
+	}
+	var sc *Conn
+	tn.sStack.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.SendInfinite() }
+	})
+	tn.cStack.Dial(tn.server.Addr(80))
+	tn.eng.RunUntil(sim.Time(20 * time.Second.Nanoseconds()))
+	if sc.Stat.ECNReductions == 0 {
+		t.Skip("no marks generated in this configuration")
+	}
+	if !sawCWR {
+		t.Fatal("sender reduced on ECE but never sent CWR")
+	}
+}
+
+// --- BIC unit tests -----------------------------------------------------
+
+func TestBICBinarySearchJumpsHalfway(t *testing.T) {
+	c := mkConn(NewBIC())
+	mss := float64(c.cfg.MSS)
+	b := c.cc.(*BIC)
+	c.cwnd = 100 * mss
+	c.ssthresh = 50 * mss // CA regime
+	b.wMax = 200 * mss
+	// One RTT of ACKs: (200-100)/2 = 50 segments away, capped at Smax
+	// 32 → expect ~32 MSS growth.
+	for i := 0; i < 100; i++ {
+		c.cc.OnAck(c, int64(mss), 0)
+	}
+	growth := (c.cwnd - 100*mss) / mss
+	if growth < 20 || growth > 45 {
+		t.Fatalf("BIC additive-phase growth %.1f segs/RTT, want ~32", growth)
+	}
+}
+
+func TestBICPlateausNearWMax(t *testing.T) {
+	c := mkConn(NewBIC())
+	mss := float64(c.cfg.MSS)
+	b := c.cc.(*BIC)
+	c.cwnd = 199 * mss
+	c.ssthresh = 50 * mss
+	b.wMax = 200 * mss
+	for i := 0; i < 199; i++ {
+		c.cc.OnAck(c, int64(mss), 0)
+	}
+	growth := (c.cwnd - 199*mss) / mss
+	if growth > 1.5 {
+		t.Fatalf("BIC grew %.2f segs/RTT at the plateau, want < 1.5", growth)
+	}
+}
+
+func TestBICReducesByBeta(t *testing.T) {
+	c := mkConn(NewBIC())
+	mss := float64(c.cfg.MSS)
+	c.cwnd = 100 * mss
+	c.cc.OnPacketLoss(c, 0)
+	if got := c.cwnd / mss; got < 79 || got > 81 {
+		t.Fatalf("BIC post-loss window %.1f segs, want 80", got)
+	}
+}
+
+func TestBICFastConvergenceLowersWMax(t *testing.T) {
+	c := mkConn(NewBIC())
+	mss := float64(c.cfg.MSS)
+	b := c.cc.(*BIC)
+	b.wMax = 200 * mss
+	c.cwnd = 150 * mss // lost before regaining the old maximum
+	c.cc.OnPacketLoss(c, 0)
+	if b.wMax >= 200*mss {
+		t.Fatalf("fast convergence did not lower wMax: %.0f", b.wMax/mss)
+	}
+	if b.wMax < 100*mss {
+		t.Fatalf("wMax collapsed too far: %.0f segs", b.wMax/mss)
+	}
+}
+
+func TestBICRenoModeAtSmallWindows(t *testing.T) {
+	c := mkConn(NewBIC())
+	mss := float64(c.cfg.MSS)
+	b := c.cc.(*BIC)
+	b.wMax = 200 * mss
+	c.cwnd = 8 * mss // below low-window threshold
+	c.ssthresh = 4 * mss
+	for i := 0; i < 8; i++ {
+		c.cc.OnAck(c, int64(mss), 0)
+	}
+	growth := (c.cwnd - 8*mss) / mss
+	if growth < 0.8 || growth > 1.3 {
+		t.Fatalf("BIC low-window growth %.2f segs/RTT, want ~1 (Reno)", growth)
+	}
+}
+
+func TestBICTransfersComplete(t *testing.T) {
+	cfg := Config{NewCC: NewBIC}
+	tn := newTestNet(10e6, 10*time.Millisecond, 50, cfg)
+	_, _, done := tn.transfer(t, 2_000_000, 60*time.Second)
+	if done == 0 {
+		t.Fatal("BIC transfer never completed")
+	}
+}
+
+func TestBICName(t *testing.T) {
+	if NewBIC().Name() != "bic" {
+		t.Fatal("wrong name")
+	}
+}

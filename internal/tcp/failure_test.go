@@ -1,0 +1,200 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+)
+
+// TestDialToDeadPortAborts injects the simplest failure: no listener.
+// SYNs go unanswered and the handshake must abort with the documented
+// error after the retry budget.
+func TestDialToDeadPortAborts(t *testing.T) {
+	tn := newTestNet(10e6, 10*time.Millisecond, 100, Config{MaxSynRetries: 3})
+	var closedErr error
+	c := tn.cStack.Dial(tn.server.Addr(4444)) // nothing listens there
+	c.OnClose = func(err error) { closedErr = err }
+	tn.eng.RunUntil(sim.Time(60 * time.Second.Nanoseconds()))
+	if c.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", c.State())
+	}
+	if closedErr != ErrHandshakeTimeout {
+		t.Fatalf("close error = %v, want handshake timeout", closedErr)
+	}
+}
+
+// TestMidTransferBlackholeAborts cuts the route under an active
+// transfer: the sender must exhaust its retransmission budget and
+// abort rather than hang forever.
+func TestMidTransferBlackholeAborts(t *testing.T) {
+	tn := newTestNet(10e6, 10*time.Millisecond, 100, Config{MaxRetries: 4})
+	var serverConn *Conn
+	tn.sStack.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnEstablished = func() { c.SendInfinite() }
+	})
+	tn.cStack.Dial(tn.server.Addr(80))
+	// Let the transfer run, then blackhole the server->client path by
+	// rerouting it into an unconnected node.
+	tn.eng.RunFor(2 * time.Second)
+	if serverConn == nil || serverConn.Stat.BytesAcked == 0 {
+		t.Fatal("transfer did not start")
+	}
+	void := tn.nw.NewNode("void")
+	dead := netem.NewLink(tn.eng, "dead", 10e6, time.Millisecond, netem.NewDropTail(8), void)
+	tn.server.SetRoute(tn.client.ID, dead)
+	var aborted error
+	serverConn.OnClose = func(err error) { aborted = err }
+	tn.eng.RunFor(10 * time.Minute)
+	if aborted != ErrRetriesExceeded {
+		t.Fatalf("abort error = %v, want retries exceeded", aborted)
+	}
+}
+
+// TestRandomLossTransfersComplete drives transfers through 5% random
+// loss in both directions: recovery must still complete the stream,
+// with retransmissions but no abort.
+func TestRandomLossTransfersComplete(t *testing.T) {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	c := nw.NewNode("client")
+	s := nw.NewNode("server")
+	mk := func(name string, dst *netem.Node, stream string) *netem.Link {
+		q := netem.NewLossQueue(netem.NewDropTail(200), 0.05, sim.NewRNG(9, stream))
+		return netem.NewLink(eng, name, 10e6, 10*time.Millisecond, q, dst)
+	}
+	cs := mk("c->s", s, "up")
+	sc := mk("s->c", c, "down")
+	c.SetRoute(s.ID, cs)
+	s.SetRoute(c.ID, sc)
+	tn := &testNet{eng: eng, nw: nw, client: c, server: s, cs: cs, sc: sc,
+		cStack: NewStack(c, Config{}), sStack: NewStack(s, Config{})}
+	cc, scn, done := tn.transfer(t, 500_000, 5*time.Minute)
+	if done == 0 {
+		t.Fatal("transfer under 5% loss never completed")
+	}
+	if cc.Stat.BytesReceived != 500_000 {
+		t.Fatalf("received %d bytes", cc.Stat.BytesReceived)
+	}
+	if scn.Stat.Retransmissions == 0 {
+		t.Fatal("no retransmissions under 5% loss")
+	}
+}
+
+// TestRandomLossWithSACKCompletes repeats the lossy transfer with
+// SACK: the scoreboard path must be equally robust.
+func TestRandomLossWithSACKCompletes(t *testing.T) {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	c := nw.NewNode("client")
+	s := nw.NewNode("server")
+	mk := func(name string, dst *netem.Node, stream string) *netem.Link {
+		q := netem.NewLossQueue(netem.NewDropTail(200), 0.05, sim.NewRNG(10, stream))
+		return netem.NewLink(eng, name, 10e6, 10*time.Millisecond, q, dst)
+	}
+	cs := mk("c->s", s, "up")
+	sc := mk("s->c", c, "down")
+	c.SetRoute(s.ID, cs)
+	s.SetRoute(c.ID, sc)
+	cfg := Config{SACK: true}
+	tn := &testNet{eng: eng, nw: nw, client: c, server: s, cs: cs, sc: sc,
+		cStack: NewStack(c, cfg), sStack: NewStack(s, cfg)}
+	cc, _, done := tn.transfer(t, 500_000, 5*time.Minute)
+	if done == 0 {
+		t.Fatal("SACK transfer under 5% loss never completed")
+	}
+	if cc.Stat.BytesReceived != 500_000 {
+		t.Fatalf("received %d bytes", cc.Stat.BytesReceived)
+	}
+}
+
+// TestWireInvariants taps every segment of a lossy transfer and checks
+// protocol invariants on the wire: cumulative ACKs never regress, SACK
+// blocks are well-formed and above the cumulative ACK, and data never
+// exceeds the advertised window... the receiver-side ones a remote
+// peer could rely on.
+func TestWireInvariants(t *testing.T) {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	c := nw.NewNode("client")
+	s := nw.NewNode("server")
+	q := netem.NewLossQueue(netem.NewDropTail(50), 0.03, sim.NewRNG(11, "loss"))
+	sc := netem.NewLink(eng, "s->c", 10e6, 10*time.Millisecond, q, c)
+	cs := netem.NewLink(eng, "c->s", 10e6, 10*time.Millisecond, netem.NewDropTail(50), s)
+	c.SetRoute(s.ID, cs)
+	s.SetRoute(c.ID, sc)
+	cfg := Config{SACK: true}
+	tn := &testNet{eng: eng, nw: nw, client: c, server: s, cs: cs, sc: sc,
+		cStack: NewStack(c, cfg), sStack: NewStack(s, cfg)}
+
+	var maxAckSeen int64 = -1
+	violations := 0
+	cs.Tap = func(p *netem.Packet, at sim.Time) {
+		seg, ok := p.Payload.(*Segment)
+		if !ok || !seg.ACK || seg.SYN {
+			return
+		}
+		if seg.Ack < maxAckSeen {
+			violations++
+		}
+		if seg.Ack > maxAckSeen {
+			maxAckSeen = seg.Ack
+		}
+		for _, b := range seg.SACK {
+			if b.End <= b.Start || b.Start < seg.Ack {
+				violations++
+			}
+		}
+	}
+	_, _, done := tn.transfer(t, 300_000, 5*time.Minute)
+	if done == 0 {
+		t.Fatal("transfer never completed")
+	}
+	if violations != 0 {
+		t.Fatalf("%d wire invariant violations", violations)
+	}
+}
+
+// TestAbortMidTransferReleasesState verifies Abort cleans up: the
+// connection closes, its port is released, and the stack forgets it.
+func TestAbortMidTransferReleasesState(t *testing.T) {
+	tn := newTestNet(10e6, 10*time.Millisecond, 100, Config{})
+	tn.sStack.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() { c.SendInfinite() }
+	})
+	cc := tn.cStack.Dial(tn.server.Addr(80))
+	tn.eng.RunFor(time.Second)
+	if tn.cStack.ConnCount() != 1 {
+		t.Fatalf("conn count = %d", tn.cStack.ConnCount())
+	}
+	sentinel := connError("deadline")
+	cc.Abort(sentinel)
+	if cc.State() != StateClosed || cc.Err != sentinel {
+		t.Fatalf("state %v err %v after abort", cc.State(), cc.Err)
+	}
+	if tn.cStack.ConnCount() != 0 {
+		t.Fatalf("stack still tracks %d conns after abort", tn.cStack.ConnCount())
+	}
+}
+
+// TestECNFallbackUnderNonMarkingLoss: an ECN-negotiated connection
+// over a plain drop-tail bottleneck (which drops rather than marks)
+// must still recover by the loss path.
+func TestECNFallbackUnderNonMarkingLoss(t *testing.T) {
+	tn := newTestNet(2e6, 10*time.Millisecond, 10, Config{ECN: true})
+	cc, sc, done := tn.transfer(t, 1_000_000, 2*time.Minute)
+	if done == 0 {
+		t.Fatal("ECN transfer over drop-tail never completed")
+	}
+	if cc.Stat.BytesReceived != 1_000_000 {
+		t.Fatalf("received %d", cc.Stat.BytesReceived)
+	}
+	if sc.Stat.Retransmissions == 0 {
+		t.Fatal("expected loss-based recovery through the 10-pkt bottleneck")
+	}
+	if sc.Stat.ECNReductions != 0 {
+		t.Fatalf("phantom ECN reductions (%d) without a marking queue", sc.Stat.ECNReductions)
+	}
+}

@@ -1,0 +1,132 @@
+package tcp
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetBasicMerge(t *testing.T) {
+	var s intervalSet
+	s.add(10, 20)
+	s.add(30, 40)
+	if len(s.iv) != 2 {
+		t.Fatalf("intervals = %v", s.iv)
+	}
+	s.add(20, 30) // bridges the gap
+	if len(s.iv) != 1 || s.iv[0] != (interval{10, 40}) {
+		t.Fatalf("merge failed: %v", s.iv)
+	}
+}
+
+func TestIntervalSetOverlaps(t *testing.T) {
+	var s intervalSet
+	s.add(10, 30)
+	s.add(20, 25) // fully contained
+	if len(s.iv) != 1 || s.iv[0] != (interval{10, 30}) {
+		t.Fatalf("containment failed: %v", s.iv)
+	}
+	s.add(5, 15)
+	if len(s.iv) != 1 || s.iv[0] != (interval{5, 30}) {
+		t.Fatalf("left extension failed: %v", s.iv)
+	}
+}
+
+func TestIntervalSetAdvance(t *testing.T) {
+	var s intervalSet
+	s.add(100, 200)
+	s.add(300, 400)
+	if got := s.advance(50); got != 50 {
+		t.Fatalf("advance(50) = %d", got)
+	}
+	if got := s.advance(100); got != 200 {
+		t.Fatalf("advance(100) = %d", got)
+	}
+	if got := s.advance(250); got != 250 {
+		t.Fatalf("advance(250) = %d", got)
+	}
+	if got := s.advance(300); got != 400 {
+		t.Fatalf("advance(300) = %d", got)
+	}
+	if !s.empty() {
+		t.Fatalf("set not empty: %v", s.iv)
+	}
+}
+
+func TestIntervalSetEmptyAdd(t *testing.T) {
+	var s intervalSet
+	s.add(10, 10) // zero-length: ignored
+	s.add(10, 5)  // inverted: ignored
+	if !s.empty() {
+		t.Fatalf("set = %v", s.iv)
+	}
+}
+
+// Property: against a reference bitmap implementation, the interval
+// set must agree on the frontier after any sequence of adds/advances.
+func TestPropertyIntervalSetMatchesBitmap(t *testing.T) {
+	f := func(seed uint64, opsRaw []byte) bool {
+		const size = 256
+		var s intervalSet
+		bitmap := make([]bool, size)
+		frontier := int64(0)
+		rng := rand.New(rand.NewPCG(seed, 99))
+		for _, op := range opsRaw {
+			if op%4 != 0 { // add a random range
+				start := int64(rng.IntN(size - 1))
+				end := start + 1 + int64(rng.IntN(16))
+				if end > size {
+					end = size
+				}
+				s.add(start, end)
+				for i := start; i < end; i++ {
+					bitmap[i] = true
+				}
+			} else { // advance
+				// The TCP receiver advances from its current frontier.
+				for frontier < size && bitmap[frontier] {
+					frontier++
+				}
+				got := s.advance(frontier)
+				want := frontier
+				for want < size && bitmap[want] {
+					want++
+				}
+				if got != want {
+					return false
+				}
+				frontier = got
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: intervals remain sorted, non-empty and non-overlapping.
+func TestPropertyIntervalSetWellFormed(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		var s intervalSet
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := int64(pairs[i]), int64(pairs[i+1])
+			if a > b {
+				a, b = b, a
+			}
+			s.add(a, b)
+			for j := range s.iv {
+				if s.iv[j].start >= s.iv[j].end {
+					return false
+				}
+				if j > 0 && s.iv[j-1].end >= s.iv[j].start {
+					return false // overlap or touching (should coalesce)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package tcp implements an event-driven TCP model over the netem
+// substrate: three-way handshake, slow start, congestion avoidance,
+// fast retransmit and NewReno fast recovery, RFC 6298 retransmission
+// timeouts with Karn-safe timestamp-based RTT sampling, delayed ACKs,
+// receiver flow control, and FIN teardown. Two congestion control
+// algorithms are provided, matching the paper's testbeds: Reno (used
+// on the backbone hosts) and CUBIC (used on the access hosts).
+//
+// Sequence numbers are modeled as 64-bit byte offsets from stream
+// start (no wraparound), and payload bytes are accounted but not
+// materialized: the applications in this study only need byte counts
+// and timing.
+package tcp
+
+import (
+	"bufferqoe/internal/sim"
+)
+
+// Segment is the TCP payload carried inside a netem.Packet.
+type Segment struct {
+	// Seq is the byte offset of the first payload byte (or of the FIN
+	// if Len == 0 and FIN is set). SYN segments use Seq 0.
+	Seq int64
+	// Ack is the cumulative acknowledgment (next expected byte) and is
+	// valid when ACK is set.
+	Ack int64
+	// Len is the payload length in bytes.
+	Len int
+	// Wnd is the advertised receive window in bytes.
+	Wnd int64
+	// SYN, ACK, FIN are the control flags used by the model.
+	SYN, ACK, FIN bool
+	// TSval is the sender's clock at transmission; TSecr echoes the
+	// peer's TSval (RFC 7323 style), giving retransmission-safe RTT
+	// samples (Karn's problem avoided).
+	TSval, TSecr sim.Time
+	// SACK carries up to three selective-acknowledgment blocks of
+	// out-of-order data held by the receiver (RFC 2018), when the
+	// stack is configured with SACK enabled.
+	SACK []SACKBlock
+
+	// ECNSetup negotiates ECN on SYN / SYN-ACK (standing in for the
+	// ECE+CWR handshake combination of RFC 3168).
+	ECNSetup bool
+	// ECE is the ECN-Echo flag: the receiver saw Congestion
+	// Experienced and keeps echoing until the sender responds.
+	ECE bool
+	// CWR acknowledges a congestion-window reduction to the receiver.
+	CWR bool
+	// CE mirrors the IP-header Congestion Experienced mark of the
+	// packet that carried this segment; the demultiplexer copies it
+	// over on receive (the model's "IP header" lives on netem.Packet).
+	CE bool
+}
+
+// SACKBlock is one selective acknowledgment range [Start, End).
+type SACKBlock struct {
+	Start, End int64
+}
+
+// wireSize returns the on-wire IP packet size for this segment.
+func (s *Segment) wireSize() int {
+	return 20 /* IP */ + 20 /* TCP */ + s.Len
+}
+
+// interval is a half-open byte range [start, end) of received
+// out-of-order data.
+type interval struct{ start, end int64 }
+
+// intervalSet tracks out-of-order received byte ranges, kept sorted
+// and coalesced. The expected steady state is a handful of holes, so a
+// small slice beats any tree.
+type intervalSet struct {
+	iv []interval
+}
+
+// add merges [start, end) into the set.
+func (s *intervalSet) add(start, end int64) {
+	if end <= start {
+		return
+	}
+	// A fresh slice: appending into s.iv[:0] would overwrite elements
+	// not yet visited once an insertion makes out longer than the
+	// read position.
+	out := make([]interval, 0, len(s.iv)+1)
+	inserted := false
+	for _, v := range s.iv {
+		switch {
+		case v.end < start:
+			out = append(out, v)
+		case end < v.start:
+			if !inserted {
+				out = append(out, interval{start, end})
+				inserted = true
+			}
+			out = append(out, v)
+		default: // overlap or adjacency: coalesce
+			if v.start < start {
+				start = v.start
+			}
+			if v.end > end {
+				end = v.end
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, interval{start, end})
+	}
+	s.iv = out
+}
+
+// advance returns the new contiguous frontier starting from pos,
+// consuming any intervals it absorbs.
+func (s *intervalSet) advance(pos int64) int64 {
+	for len(s.iv) > 0 && s.iv[0].start <= pos {
+		if s.iv[0].end > pos {
+			pos = s.iv[0].end
+		}
+		s.iv = s.iv[1:]
+	}
+	return pos
+}
+
+// empty reports whether no out-of-order data is buffered.
+func (s *intervalSet) empty() bool { return len(s.iv) == 0 }

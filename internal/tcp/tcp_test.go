@@ -1,0 +1,354 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+)
+
+// testNet is a two-host dumbbell: client -- bottleneck -- server.
+type testNet struct {
+	eng            *sim.Engine
+	nw             *netem.Network
+	client, server *netem.Node
+	cs, sc         *netem.Link // client->server, server->client
+	cStack, sStack *Stack
+}
+
+// newTestNet builds a symmetric bottleneck with the given rate, one-way
+// delay and queue length in packets.
+func newTestNet(rate float64, delay time.Duration, qlen int, cfg Config) *testNet {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	c := nw.NewNode("client")
+	s := nw.NewNode("server")
+	cs, sc := nw.Connect(c, s, rate, delay, qlen)
+	return &testNet{
+		eng: eng, nw: nw, client: c, server: s, cs: cs, sc: sc,
+		cStack: NewStack(c, cfg),
+		sStack: NewStack(s, cfg),
+	}
+}
+
+// transfer runs a single n-byte server->client transfer and returns
+// the client conn, server conn, and completion time (zero if it never
+// completed).
+func (tn *testNet) transfer(t *testing.T, n int64, dur time.Duration) (cc, sc *Conn, done sim.Time) {
+	t.Helper()
+	var serverConn *Conn
+	tn.sStack.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnEstablished = func() {
+			c.Send(n)
+			c.CloseWrite()
+		}
+		c.OnPeerClose = func() { c.CloseWrite() }
+	})
+	clientConn := tn.cStack.Dial(tn.server.Addr(80))
+	var completed sim.Time
+	got := int64(0)
+	clientConn.OnReadable = func(nb int64) { got += nb }
+	clientConn.OnPeerClose = func() {
+		completed = tn.eng.Now()
+		clientConn.CloseWrite()
+	}
+	tn.eng.RunUntil(sim.Time(dur))
+	if got != n && completed != 0 {
+		t.Fatalf("completed with %d bytes, want %d", got, n)
+	}
+	return clientConn, serverConn, completed
+}
+
+func TestHandshakeAndSmallTransfer(t *testing.T) {
+	tn := newTestNet(10e6, 10*time.Millisecond, 100, Config{})
+	cc, sc, done := tn.transfer(t, 10000, 5*time.Second)
+	if done == 0 {
+		t.Fatal("transfer never completed")
+	}
+	if cc.Stat.BytesReceived != 10000 {
+		t.Fatalf("received %d bytes", cc.Stat.BytesReceived)
+	}
+	if sc.Stat.BytesAcked != 10000 {
+		t.Fatalf("server acked bytes = %d", sc.Stat.BytesAcked)
+	}
+	// ~3 RTTs minimum: SYN handshake + slow-start doubling.
+	if done < sim.Time(40*time.Millisecond) {
+		t.Fatalf("implausibly fast completion: %v", done)
+	}
+}
+
+func TestConnectionsClose(t *testing.T) {
+	tn := newTestNet(10e6, 5*time.Millisecond, 100, Config{})
+	cc, sc, done := tn.transfer(t, 5000, 10*time.Second)
+	tn.eng.RunFor(5 * time.Second) // allow teardown to finish
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	if cc.State() != StateClosed {
+		t.Fatalf("client state = %v", cc.State())
+	}
+	if sc.State() != StateClosed {
+		t.Fatalf("server state = %v", sc.State())
+	}
+	if tn.cStack.ConnCount() != 0 || tn.sStack.ConnCount() != 0 {
+		t.Fatalf("conns leaked: %d/%d", tn.cStack.ConnCount(), tn.sStack.ConnCount())
+	}
+}
+
+func TestThroughputSaturatesBottleneck(t *testing.T) {
+	// 8 Mbit/s, 20 ms one-way; BDP = 8e6*0.04/8 = 40 KB ~ 27 pkts.
+	// With a BDP-sized buffer a single long flow should achieve high
+	// utilization (Appenzeller's regime for n=1).
+	tn := newTestNet(8e6, 20*time.Millisecond, 27, Config{})
+	tn.sStack.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() { c.SendInfinite() }
+	})
+	cc := tn.cStack.Dial(tn.server.Addr(80))
+	tn.eng.RunUntil(sim.Time(30 * time.Second))
+	dur := 30.0
+	gput := float64(cc.Stat.BytesReceived) * 8 / dur / 8e6 * 100
+	if gput < 80 {
+		t.Fatalf("goodput = %.1f%% of bottleneck, want >80%%", gput)
+	}
+}
+
+func TestTinyBufferReducesUtilization(t *testing.T) {
+	// A single Reno flow over a 2-packet buffer cannot keep the pipe
+	// full (paper: "very small buffers can lead to underutilization").
+	mk := func(qlen int) float64 {
+		tn := newTestNet(8e6, 20*time.Millisecond, qlen, Config{})
+		tn.sStack.Listen(80, func(c *Conn) {
+			c.OnEstablished = func() { c.SendInfinite() }
+		})
+		cc := tn.cStack.Dial(tn.server.Addr(80))
+		tn.eng.RunUntil(sim.Time(20 * time.Second))
+		return float64(cc.Stat.BytesReceived) * 8 / 20 / 8e6
+	}
+	tiny := mk(2)
+	bdp := mk(30)
+	if tiny >= bdp {
+		t.Fatalf("tiny-buffer utilization %.2f >= BDP-buffer %.2f", tiny, bdp)
+	}
+	if bdp-tiny < 0.1 {
+		t.Fatalf("expected clear utilization gap, got %.2f vs %.2f", tiny, bdp)
+	}
+}
+
+func TestLossRecoveryCompletes(t *testing.T) {
+	// Heavily constrained buffer forces drops; the transfer must still
+	// complete via fast retransmit / RTO.
+	tn := newTestNet(2e6, 25*time.Millisecond, 4, Config{})
+	cc, sc, done := tn.transfer(t, 500_000, 60*time.Second)
+	if done == 0 {
+		t.Fatal("transfer did not complete under loss")
+	}
+	if cc.Stat.BytesReceived != 500_000 {
+		t.Fatalf("received %d", cc.Stat.BytesReceived)
+	}
+	if sc.Stat.Retransmissions == 0 {
+		t.Fatal("expected retransmissions over a 4-packet buffer")
+	}
+}
+
+func TestFastRetransmitUsedBeforeTimeout(t *testing.T) {
+	tn := newTestNet(4e6, 15*time.Millisecond, 8, Config{})
+	_, sc, done := tn.transfer(t, 2_000_000, 60*time.Second)
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	if sc.Stat.FastRetransmits == 0 {
+		t.Fatal("expected fast retransmits")
+	}
+	if sc.Stat.Timeouts > sc.Stat.FastRetransmits {
+		t.Fatalf("timeouts (%d) dominate fast retransmits (%d): recovery is broken",
+			sc.Stat.Timeouts, sc.Stat.FastRetransmits)
+	}
+}
+
+func TestSelfInducedQueueingInflatesRTT(t *testing.T) {
+	// Bufferbloat mechanics: a long upload over a 1 Mbit/s uplink with
+	// a 256-packet buffer must inflate the measured sRTT to seconds
+	// (paper Figure 4c: ~3 s). The paper's access hosts ran CUBIC,
+	// whose fast regrowth to wMax keeps the bloated buffer filled;
+	// NewReno without SACK drains it after burst losses.
+	tn := newTestNet(1e6, 5*time.Millisecond, 256, Config{NewCC: NewCubic})
+	tn.sStack.Listen(80, func(c *Conn) {
+		c.OnPeerClose = func() { c.CloseWrite() }
+	})
+	up := tn.cStack.Dial(tn.server.Addr(80))
+	up.SendInfinite()
+	tn.eng.RunUntil(sim.Time(40 * time.Second))
+	srtt := up.SRTT()
+	if srtt < 1500*time.Millisecond {
+		t.Fatalf("sRTT = %v, want >1.5s of self-induced queueing", srtt)
+	}
+	// And with an 8-packet buffer the same workload stays under 300 ms.
+	tn2 := newTestNet(1e6, 5*time.Millisecond, 8, Config{NewCC: NewCubic})
+	tn2.sStack.Listen(80, func(c *Conn) {})
+	up2 := tn2.cStack.Dial(tn2.server.Addr(80))
+	up2.SendInfinite()
+	tn2.eng.RunUntil(sim.Time(40 * time.Second))
+	if up2.SRTT() > 300*time.Millisecond {
+		t.Fatalf("small-buffer sRTT = %v, want <300ms", up2.SRTT())
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	tn := newTestNet(100e6, 30*time.Millisecond, 1000, Config{})
+	cc, _, done := tn.transfer(t, 200_000, 10*time.Second)
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	// Uncongested path RTT is 60 ms; the server-side estimate is the
+	// meaningful one (it sends the data), but the client samples from
+	// its request/FIN exchange too.
+	if cc.SRTT() < 55*time.Millisecond || cc.SRTT() > 150*time.Millisecond {
+		t.Fatalf("client sRTT = %v, want ~60ms", cc.SRTT())
+	}
+}
+
+func TestCubicTransfersComplete(t *testing.T) {
+	cfg := Config{NewCC: NewCubic}
+	tn := newTestNet(8e6, 20*time.Millisecond, 30, cfg)
+	cc, _, done := tn.transfer(t, 3_000_000, 60*time.Second)
+	if done == 0 {
+		t.Fatal("CUBIC transfer did not complete")
+	}
+	if cc.Stat.BytesReceived != 3_000_000 {
+		t.Fatalf("received %d", cc.Stat.BytesReceived)
+	}
+}
+
+func TestCubicSaturates(t *testing.T) {
+	cfg := Config{NewCC: NewCubic}
+	tn := newTestNet(8e6, 20*time.Millisecond, 27, cfg)
+	tn.sStack.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() { c.SendInfinite() }
+	})
+	cc := tn.cStack.Dial(tn.server.Addr(80))
+	tn.eng.RunUntil(sim.Time(30 * time.Second))
+	gput := float64(cc.Stat.BytesReceived) * 8 / 30 / 8e6 * 100
+	if gput < 80 {
+		t.Fatalf("CUBIC goodput = %.1f%%, want >80%%", gput)
+	}
+}
+
+func TestHandshakeTimeoutAborts(t *testing.T) {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	c := nw.NewNode("client")
+	_ = nw.NewNode("server") // no link: SYNs are undeliverable
+	st := NewStack(c, Config{MaxSynRetries: 2})
+	var gotErr error
+	conn := st.Dial(netem.Addr{Node: 2, Port: 80})
+	conn.OnClose = func(err error) { gotErr = err }
+	eng.RunUntil(sim.Time(2 * time.Minute))
+	if gotErr != ErrHandshakeTimeout {
+		t.Fatalf("err = %v, want handshake timeout", gotErr)
+	}
+	if conn.State() != StateClosed {
+		t.Fatalf("state = %v", conn.State())
+	}
+}
+
+func TestManyConcurrentFlows(t *testing.T) {
+	// 16 concurrent downloads share an 8 Mbit/s bottleneck; all must
+	// complete and aggregate utilization must be high.
+	tn := newTestNet(8e6, 10*time.Millisecond, 60, Config{})
+	tn.sStack.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() {
+			c.Send(200_000)
+			c.CloseWrite()
+		}
+		c.OnPeerClose = func() { c.CloseWrite() }
+	})
+	doneCount := 0
+	for i := 0; i < 16; i++ {
+		cc := tn.cStack.Dial(tn.server.Addr(80))
+		cc.OnPeerClose = func() {
+			doneCount++
+			cc.CloseWrite()
+		}
+	}
+	tn.eng.RunUntil(sim.Time(60 * time.Second))
+	if doneCount != 16 {
+		t.Fatalf("completed %d/16 flows", doneCount)
+	}
+}
+
+func TestBidirectionalTransfer(t *testing.T) {
+	// Request/response on one connection (the web model's shape).
+	tn := newTestNet(10e6, 10*time.Millisecond, 100, Config{})
+	var reqGot int64
+	tn.sStack.Listen(80, func(c *Conn) {
+		c.OnReadable = func(n int64) {
+			reqGot += n
+			if reqGot == 300 {
+				c.Send(50_000)
+				c.CloseWrite()
+			}
+		}
+		c.OnPeerClose = func() { c.CloseWrite() }
+	})
+	cc := tn.cStack.Dial(tn.server.Addr(80))
+	var respGot int64
+	closed := false
+	cc.OnEstablished = func() { cc.Send(300) }
+	cc.OnReadable = func(n int64) { respGot += n }
+	cc.OnPeerClose = func() {
+		closed = true
+		cc.CloseWrite()
+	}
+	tn.eng.RunUntil(sim.Time(30 * time.Second))
+	if reqGot != 300 {
+		t.Fatalf("server got %d request bytes", reqGot)
+	}
+	if respGot != 50_000 {
+		t.Fatalf("client got %d response bytes", respGot)
+	}
+	if !closed {
+		t.Fatal("client never saw peer close")
+	}
+}
+
+func TestDelayedAckReducesAckTraffic(t *testing.T) {
+	tn := newTestNet(10e6, 10*time.Millisecond, 100, Config{})
+	cc, sc, done := tn.transfer(t, 1_000_000, 30*time.Second)
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	dataSegs := sc.Stat.SegmentsSent
+	ackSegs := cc.Stat.SegmentsSent
+	// With every-2nd-segment acking, acks should be well under data
+	// segments but more than a quarter of them.
+	if ackSegs >= dataSegs {
+		t.Fatalf("acks (%d) >= data segments (%d)", ackSegs, dataSegs)
+	}
+	if float64(ackSegs) < 0.25*float64(dataSegs) {
+		t.Fatalf("suspiciously few acks: %d vs %d data", ackSegs, dataSegs)
+	}
+}
+
+func TestStatsRetransmissionCounting(t *testing.T) {
+	tn := newTestNet(10e6, 10*time.Millisecond, 1000, Config{})
+	_, sc, done := tn.transfer(t, 100_000, 10*time.Second)
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	if sc.Stat.Retransmissions != 0 {
+		t.Fatalf("lossless path had %d retransmissions", sc.Stat.Retransmissions)
+	}
+}
+
+func TestSegmentWireSize(t *testing.T) {
+	s := &Segment{Len: 1460}
+	if s.wireSize() != 1500 {
+		t.Fatalf("wire size = %d, want 1500", s.wireSize())
+	}
+	ack := &Segment{ACK: true}
+	if ack.wireSize() != 40 {
+		t.Fatalf("ack size = %d, want 40", ack.wireSize())
+	}
+}

@@ -1,0 +1,402 @@
+// Package testbed assembles the paper's two laboratory testbeds
+// (Figure 3) in simulation: an asymmetric DSL access network
+// (1 Mbit/s up, 16 Mbit/s down, NetFPGA-style drop-tail bottleneck
+// buffers at the home router and DSLAM) and an OC3 backbone
+// (155 Mbit/s, 30 ms one-way delay box). It wires hosts, switches,
+// routers, buffer configurations (Table 2) and the Harpoon workload
+// scenarios (Table 1).
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/harpoon"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/tcp"
+)
+
+// Link-layer constants shared by both testbeds.
+const (
+	gigabit   = 1e9
+	hostDelay = 50 * time.Microsecond // host <-> switch
+	lanQueue  = 2048                  // switch/host queues: never the bottleneck
+)
+
+// Access network constants (Section 5.1).
+const (
+	AccessUpRate      = 1e6
+	AccessDownRate    = 16e6
+	AccessClientDelay = 5 * time.Millisecond  // client net <-> home router
+	AccessServerDelay = 20 * time.Millisecond // DSLAM <-> server net
+)
+
+// Backbone constants (Section 5.1).
+const (
+	BackboneRate  = 155e6
+	BackboneDelay = 30 * time.Millisecond // NetPath delay box, one way
+)
+
+// QueueFactory builds the bottleneck queue for a buffer size in
+// packets; nil means drop-tail (the paper's configuration). The AQM
+// ablations substitute CoDel/RED here.
+type QueueFactory func(capPackets int) netem.Queue
+
+// Config configures a testbed build.
+type Config struct {
+	// BufferUp / BufferDown are bottleneck buffer sizes in packets.
+	// The backbone uses BufferDown for both directions.
+	BufferUp, BufferDown int
+	// Seed drives all randomness.
+	Seed uint64
+	// CC selects background-traffic congestion control; nil uses the
+	// paper's choice (CUBIC on access, Reno on backbone).
+	CC func() tcp.CongestionControl
+	// UpQueue / DownQueue override the bottleneck queue discipline.
+	UpQueue, DownQueue QueueFactory
+	// TCP overrides stack parameters (zero fields take defaults).
+	TCP tcp.Config
+	// Jitter, if non-zero, adds WiFi-like exponential per-packet extra
+	// delay (with this mean) on the client LAN hop of the access
+	// testbed, both directions. The paper explicitly excludes wireless
+	// delay variability (§5.1); the ext-jitter experiment re-adds it.
+	Jitter time.Duration
+}
+
+func (c Config) queue(f QueueFactory, capPkts int, mon *netem.QueueMonitor) netem.Queue {
+	if f == nil {
+		q := netem.NewDropTail(capPkts)
+		q.Monitor = mon
+		return q
+	}
+	return f(capPkts)
+}
+
+// Access is the assembled access-network testbed.
+type Access struct {
+	Eng *sim.Engine
+	Net *netem.Network
+
+	// MediaClient / MediaServer host the application under study
+	// (VoIP, video, web), kept separate from background-traffic hosts
+	// as in the paper.
+	MediaClient, MediaServer *netem.Node
+	MediaClientTCP           *tcp.Stack
+	MediaServerTCP           *tcp.Stack
+
+	// Background traffic endpoints.
+	BGClients, BGServers []*tcp.Stack
+
+	// Bottleneck instrumentation.
+	UpLink, DownLink *netem.Link
+	UpMon, DownMon   *netem.QueueMonitor
+
+	// Workload generators (nil until StartWorkload).
+	UpGen, DownGen *harpoon.Generator
+
+	seed uint64
+}
+
+// NewAccess builds the Figure 3a access testbed with the given
+// buffer configuration.
+func NewAccess(cfg Config) *Access {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+
+	a := &Access{Eng: eng, Net: nw, seed: cfg.Seed}
+
+	// Topology: clients - clientSwitch - homeRouter =bottleneck= dslam
+	// - serverSwitch - servers.
+	cswitch := nw.NewNode("client-switch")
+	home := nw.NewNode("home-router")
+	dslam := nw.NewNode("dslam")
+	sswitch := nw.NewNode("server-switch")
+
+	a.UpMon = &netem.QueueMonitor{Name: "uplink"}
+	a.DownMon = &netem.QueueMonitor{Name: "downlink"}
+	upQ := cfg.queue(cfg.UpQueue, cfg.BufferUp, a.UpMon)
+	downQ := cfg.queue(cfg.DownQueue, cfg.BufferDown, a.DownMon)
+
+	// Bottleneck pair: the uplink buffer sits in the home router, the
+	// downlink buffer in the DSLAM (Section 5.3: the bottleneck
+	// interface is "the only location where packet loss occurs").
+	a.UpLink = netem.NewLink(eng, "uplink", AccessUpRate, 100*time.Microsecond, upQ, dslam)
+	a.DownLink = netem.NewLink(eng, "downlink", AccessDownRate, 100*time.Microsecond, downQ, home)
+	home.SetRoute(dslam.ID, a.UpLink)
+	dslam.SetRoute(home.ID, a.DownLink)
+
+	// Client side: 5 ms between client network and home router; an
+	// optional jitter box models a WiFi-like last hop.
+	var toHome netem.Receiver = home
+	var toCswitch netem.Receiver = cswitch
+	if cfg.Jitter > 0 {
+		toHome = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-up"), 0, cfg.Jitter, home)
+		toCswitch = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-down"), 0, cfg.Jitter, cswitch)
+	}
+	csHome := netem.NewLink(eng, "cswitch->home", gigabit, AccessClientDelay, netem.NewDropTail(lanQueue), toHome)
+	homeCs := netem.NewLink(eng, "home->cswitch", gigabit, AccessClientDelay, netem.NewDropTail(lanQueue), toCswitch)
+	cswitch.SetDefaultRoute(csHome)
+	// Server side: 20 ms between DSLAM and server network.
+	ssDslam := netem.NewLink(eng, "sswitch->dslam", gigabit, AccessServerDelay, netem.NewDropTail(lanQueue), dslam)
+	dslamSs := netem.NewLink(eng, "dslam->sswitch", gigabit, AccessServerDelay, netem.NewDropTail(lanQueue), sswitch)
+	sswitch.SetDefaultRoute(ssDslam)
+
+	home.SetDefaultRoute(a.UpLink)
+	dslam.SetDefaultRoute(a.DownLink)
+
+	ccUp := cfg.CC
+	if ccUp == nil {
+		ccUp = tcp.NewCubic // paper: BIC/CUBIC on the access hosts
+	}
+	tcpCfg := cfg.TCP
+	tcpCfg.NewCC = ccUp
+
+	addClient := func(name string) (*netem.Node, *tcp.Stack) {
+		n := nw.NewNode(name)
+		toSwitch, _ := nw.Connect(n, cswitch, gigabit, hostDelay, lanQueue)
+		n.SetDefaultRoute(toSwitch)
+		// Teach the core how to reach this host.
+		home.SetRoute(n.ID, homeCs)
+		return n, tcp.NewStack(n, tcpCfg)
+	}
+	addServer := func(name string) (*netem.Node, *tcp.Stack) {
+		n := nw.NewNode(name)
+		toSwitch, _ := nw.Connect(n, sswitch, gigabit, hostDelay, lanQueue)
+		n.SetDefaultRoute(toSwitch)
+		dslam.SetRoute(n.ID, dslamSs)
+		return n, tcp.NewStack(n, tcpCfg)
+	}
+
+	a.MediaClient, a.MediaClientTCP = addClient("media-client")
+	a.MediaServer, a.MediaServerTCP = addServer("media-server")
+	for i := 0; i < 2; i++ {
+		_, st := addClient(fmt.Sprintf("bg-client-%d", i))
+		a.BGClients = append(a.BGClients, st)
+		_, st2 := addServer(fmt.Sprintf("bg-server-%d", i))
+		a.BGServers = append(a.BGServers, st2)
+	}
+	return a
+}
+
+// Direction selects which congestion the access scenario applies
+// (the paper's "Only downstream", "Up and downstream", "Only
+// upstream" variants).
+type Direction int
+
+// Direction values.
+const (
+	DirDown Direction = iota
+	DirUp
+	DirBidir
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirDown:
+		return "down"
+	case DirUp:
+		return "up"
+	default:
+		return "bidir"
+	}
+}
+
+// Spec pairs the up and down session populations of one scenario.
+type Spec struct {
+	Name     string
+	Up, Down harpoon.Spec // zero Sessions = no traffic
+}
+
+// AccessScenarioNames lists the access workloads of Table 1.
+var AccessScenarioNames = []string{"noBG", "long-few", "long-many", "short-few", "short-many"}
+
+// AccessScenario returns the Table 1 session populations for a named
+// access workload restricted to a direction. Parallelism and think
+// times are the calibration documented in the package comment of
+// harpoon.
+func AccessScenario(name string, dir Direction) Spec {
+	var up, down harpoon.Spec
+	switch name {
+	case "noBG":
+	case "short-few":
+		up = harpoon.Spec{Sessions: 1, Parallel: 8, Think: 200 * time.Millisecond}
+		down = harpoon.Spec{Sessions: 8, Parallel: 3, Think: 1500 * time.Millisecond}
+	case "short-many":
+		up = harpoon.Spec{Sessions: 1, Parallel: 8, Think: 200 * time.Millisecond}
+		down = harpoon.Spec{Sessions: 16, Parallel: 3, Think: 1500 * time.Millisecond}
+	case "long-few":
+		up = harpoon.Spec{Sessions: 1, Infinite: true}
+		down = harpoon.Spec{Sessions: 8, Infinite: true}
+	case "long-many":
+		up = harpoon.Spec{Sessions: 8, Infinite: true}
+		down = harpoon.Spec{Sessions: 64, Infinite: true}
+	default:
+		panic("testbed: unknown access scenario " + name)
+	}
+	s := Spec{Name: name}
+	if dir == DirUp || dir == DirBidir {
+		s.Up = up
+	}
+	if dir == DirDown || dir == DirBidir {
+		s.Down = down
+	}
+	return s
+}
+
+// StartWorkload launches the background traffic of a scenario and
+// begins sampling bottleneck utilization and flow concurrency.
+func (a *Access) StartWorkload(s Spec) {
+	if s.Down.Sessions > 0 {
+		for _, st := range a.BGClients {
+			harpoon.RegisterSink(st, harpoon.SinkPort)
+		}
+		sinks := sinkAddrs(a.BGClients)
+		a.DownGen = harpoon.NewGenerator(a.Eng, sim.NewRNG(a.seed, "harpoon-down"), a.BGServers, sinks)
+		a.DownGen.Start(s.Down)
+		a.DownGen.StartConcurrencySampling(time.Second)
+	}
+	if s.Up.Sessions > 0 {
+		for _, st := range a.BGServers {
+			harpoon.RegisterSink(st, harpoon.SinkPort+1)
+		}
+		sinks := make([]netem.Addr, 0, len(a.BGServers))
+		for _, st := range a.BGServers {
+			sinks = append(sinks, st.Node().Addr(harpoon.SinkPort+1))
+		}
+		a.UpGen = harpoon.NewGenerator(a.Eng, sim.NewRNG(a.seed, "harpoon-up"), a.BGClients, sinks)
+		a.UpGen.Start(s.Up)
+		a.UpGen.StartConcurrencySampling(time.Second)
+	}
+	a.UpLink.Monitor.StartSampling(a.Eng, time.Second)
+	a.DownLink.Monitor.StartSampling(a.Eng, time.Second)
+}
+
+func sinkAddrs(stacks []*tcp.Stack) []netem.Addr {
+	out := make([]netem.Addr, 0, len(stacks))
+	for _, st := range stacks {
+		out = append(out, st.Node().Addr(harpoon.SinkPort))
+	}
+	return out
+}
+
+// Backbone is the assembled Figure 3b backbone testbed.
+type Backbone struct {
+	Eng *sim.Engine
+	Net *netem.Network
+
+	MediaClient, MediaServer *netem.Node
+	MediaClientTCP           *tcp.Stack
+	MediaServerTCP           *tcp.Stack
+
+	BGClients, BGServers []*tcp.Stack
+
+	// Bottleneck server->client (the congested direction).
+	DownLink *netem.Link
+	DownMon  *netem.QueueMonitor
+
+	Gen *harpoon.Generator
+
+	seed uint64
+}
+
+// NewBackbone builds the Figure 3b backbone testbed: four client and
+// four server hosts, Cisco-class switches, two routers joined by an
+// OC3 bottleneck with a 30 ms one-way delay box.
+func NewBackbone(cfg Config) *Backbone {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	b := &Backbone{Eng: eng, Net: nw, seed: cfg.Seed}
+
+	cswitch := nw.NewNode("client-switch")
+	rc := nw.NewNode("router-client")
+	rs := nw.NewNode("router-server")
+	sswitch := nw.NewNode("server-switch")
+
+	b.DownMon = &netem.QueueMonitor{Name: "oc3-down"}
+	downQ := cfg.queue(cfg.DownQueue, cfg.BufferDown, b.DownMon)
+	upQ := cfg.queue(cfg.UpQueue, nonzero(cfg.BufferUp, cfg.BufferDown), nil)
+
+	// OC3 with the NetPath delay box folded into propagation.
+	b.DownLink = netem.NewLink(eng, "oc3-sc", BackboneRate, BackboneDelay, downQ, rc)
+	upLink := netem.NewLink(eng, "oc3-cs", BackboneRate, BackboneDelay, upQ, rs)
+	rs.SetDefaultRoute(b.DownLink)
+	rc.SetDefaultRoute(upLink)
+
+	csRc := netem.NewLink(eng, "cswitch->rc", gigabit, 100*time.Microsecond, netem.NewDropTail(lanQueue), rc)
+	rcCs := netem.NewLink(eng, "rc->cswitch", gigabit, 100*time.Microsecond, netem.NewDropTail(lanQueue), cswitch)
+	ssRs := netem.NewLink(eng, "sswitch->rs", gigabit, 100*time.Microsecond, netem.NewDropTail(lanQueue), rs)
+	rsSs := netem.NewLink(eng, "rs->sswitch", gigabit, 100*time.Microsecond, netem.NewDropTail(lanQueue), sswitch)
+	cswitch.SetDefaultRoute(csRc)
+	sswitch.SetDefaultRoute(ssRs)
+
+	cc := cfg.CC
+	if cc == nil {
+		cc = tcp.NewReno // paper: TCP-Reno on the backbone hosts
+	}
+	tcpCfg := cfg.TCP
+	tcpCfg.NewCC = cc
+
+	addHost := func(name string, sw *netem.Node, router *netem.Node, routerToSw *netem.Link) (*netem.Node, *tcp.Stack) {
+		n := nw.NewNode(name)
+		toSwitch, _ := nw.Connect(n, sw, gigabit, hostDelay, lanQueue)
+		n.SetDefaultRoute(toSwitch)
+		router.SetRoute(n.ID, routerToSw)
+		return n, tcp.NewStack(n, tcpCfg)
+	}
+
+	b.MediaClient, b.MediaClientTCP = addHost("media-client", cswitch, rc, rcCs)
+	b.MediaServer, b.MediaServerTCP = addHost("media-server", sswitch, rs, rsSs)
+	for i := 0; i < 4; i++ {
+		_, st := addHost(fmt.Sprintf("bg-client-%d", i), cswitch, rc, rcCs)
+		b.BGClients = append(b.BGClients, st)
+		_, st2 := addHost(fmt.Sprintf("bg-server-%d", i), sswitch, rs, rsSs)
+		b.BGServers = append(b.BGServers, st2)
+	}
+	return b
+}
+
+func nonzero(a, b int) int {
+	if a != 0 {
+		return a
+	}
+	return b
+}
+
+// BackboneScenarioNames lists the backbone workloads of Table 1.
+var BackboneScenarioNames = []string{"noBG", "short-low", "short-medium", "short-high", "short-overload", "long"}
+
+// BackboneScenario returns the Table 1 backbone session population
+// (downstream only, as in the paper).
+func BackboneScenario(name string) Spec {
+	var down harpoon.Spec
+	switch name {
+	case "noBG":
+	case "short-low":
+		down = harpoon.Spec{Sessions: 30, Parallel: 3, Think: 1200 * time.Millisecond}
+	case "short-medium":
+		down = harpoon.Spec{Sessions: 90, Parallel: 3, Think: 1200 * time.Millisecond}
+	case "short-high":
+		down = harpoon.Spec{Sessions: 180, Parallel: 3, Think: 1200 * time.Millisecond}
+	case "short-overload":
+		down = harpoon.Spec{Sessions: 768, Parallel: 3, Think: 1200 * time.Millisecond}
+	case "long":
+		down = harpoon.Spec{Sessions: 768, Infinite: true}
+	default:
+		panic("testbed: unknown backbone scenario " + name)
+	}
+	return Spec{Name: name, Down: down}
+}
+
+// StartWorkload launches the backbone background traffic.
+func (b *Backbone) StartWorkload(s Spec) {
+	if s.Down.Sessions > 0 {
+		for _, st := range b.BGClients {
+			harpoon.RegisterSink(st, harpoon.SinkPort)
+		}
+		b.Gen = harpoon.NewGenerator(b.Eng, sim.NewRNG(b.seed, "harpoon-bb"), b.BGServers, sinkAddrs(b.BGClients))
+		b.Gen.Start(s.Down)
+		b.Gen.StartConcurrencySampling(time.Second)
+	}
+	b.DownLink.Monitor.StartSampling(b.Eng, time.Second)
+}

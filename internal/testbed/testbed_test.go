@@ -1,0 +1,256 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/harpoon"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/tcp"
+)
+
+func TestAccessBaseRTT(t *testing.T) {
+	// Base path RTT (no congestion) should be ~50 ms: 2*(5+20+0.1+2*0.05)
+	// plus serialization.
+	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 1})
+	a.MediaServerTCP.Listen(80, func(c *tcp.Conn) {
+		c.OnEstablished = func() { c.Send(1000); c.CloseWrite() }
+		c.OnPeerClose = func() { c.CloseWrite() }
+	})
+	cc := a.MediaClientTCP.Dial(a.MediaServer.Addr(80))
+	cc.OnPeerClose = func() { cc.CloseWrite() }
+	a.Eng.RunUntil(sim.Time(5 * time.Second))
+	rtt := cc.SRTT()
+	if rtt < 45*time.Millisecond || rtt > 90*time.Millisecond {
+		t.Fatalf("base RTT = %v, want ~50-60ms", rtt)
+	}
+}
+
+func TestBackboneBaseRTT(t *testing.T) {
+	b := NewBackbone(Config{BufferDown: 749, Seed: 1})
+	b.MediaServerTCP.Listen(80, func(c *tcp.Conn) {
+		c.OnEstablished = func() { c.Send(1000); c.CloseWrite() }
+		c.OnPeerClose = func() { c.CloseWrite() }
+	})
+	cc := b.MediaClientTCP.Dial(b.MediaServer.Addr(80))
+	cc.OnPeerClose = func() { cc.CloseWrite() }
+	b.Eng.RunUntil(sim.Time(5 * time.Second))
+	rtt := cc.SRTT()
+	if rtt < 58*time.Millisecond || rtt > 90*time.Millisecond {
+		t.Fatalf("backbone RTT = %v, want ~60ms", rtt)
+	}
+}
+
+func TestAccessScenarioDefinitions(t *testing.T) {
+	for _, name := range AccessScenarioNames {
+		for _, dir := range []Direction{DirUp, DirDown, DirBidir} {
+			s := AccessScenario(name, dir)
+			if s.Name != name {
+				t.Fatalf("scenario name %q != %q", s.Name, name)
+			}
+			if name == "noBG" && (s.Up.Sessions != 0 || s.Down.Sessions != 0) {
+				t.Fatal("noBG has sessions")
+			}
+			if dir == DirUp && s.Down.Sessions != 0 {
+				t.Fatalf("%s up-only has down sessions", name)
+			}
+			if dir == DirDown && s.Up.Sessions != 0 {
+				t.Fatalf("%s down-only has up sessions", name)
+			}
+		}
+	}
+	// Table 1: long-many is 8 up / 64 down infinite flows.
+	s := AccessScenario("long-many", DirBidir)
+	if s.Up.Sessions != 8 || s.Down.Sessions != 64 || !s.Up.Infinite {
+		t.Fatalf("long-many = %+v", s)
+	}
+}
+
+func TestBackboneScenarioDefinitions(t *testing.T) {
+	for _, name := range BackboneScenarioNames {
+		s := BackboneScenario(name)
+		if s.Up.Sessions != 0 {
+			t.Fatalf("%s: backbone must be downstream-only", name)
+		}
+	}
+	if BackboneScenario("short-overload").Down.Sessions != 768 {
+		t.Fatal("short-overload sessions != 3*256")
+	}
+	if !BackboneScenario("long").Down.Infinite {
+		t.Fatal("long not infinite")
+	}
+}
+
+func TestUnknownScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AccessScenario("nope", DirDown)
+}
+
+func TestAccessLongDownSaturatesDownlink(t *testing.T) {
+	// Table 1: long downstream scenarios reach ~100% downlink
+	// utilization at BDP buffers.
+	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 2})
+	a.StartWorkload(AccessScenario("long-few", DirDown))
+	a.Eng.RunUntil(sim.Time(30 * time.Second))
+	util := a.DownLink.Monitor.MeanUtilization(a.Eng.Now())
+	if util < 90 {
+		t.Fatalf("downlink utilization = %.1f%%, want >90%%", util)
+	}
+	// The uplink carries only ACKs: nonzero but far from saturated.
+	upUtil := a.UpLink.Monitor.MeanUtilization(a.Eng.Now())
+	if upUtil <= 0.5 || upUtil > 50 {
+		t.Fatalf("uplink (ACK) utilization = %.1f%%, want (0.5, 50)", upUtil)
+	}
+}
+
+func TestAccessUpWorkloadSaturatesUplink(t *testing.T) {
+	// Table 1: upstream scenarios saturate the 1 Mbit/s uplink with
+	// substantial loss.
+	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 3})
+	a.StartWorkload(AccessScenario("short-few", DirUp))
+	a.Eng.RunUntil(sim.Time(30 * time.Second))
+	util := a.UpLink.Monitor.MeanUtilization(a.Eng.Now())
+	if util < 85 {
+		t.Fatalf("uplink utilization = %.1f%%, want >85%%", util)
+	}
+	if a.UpMon.LossRate() == 0 {
+		t.Fatal("saturated uplink shows no loss")
+	}
+}
+
+func TestAccessShortFewDownModerate(t *testing.T) {
+	// Table 1: short-few downstream yields moderate (~40-60%)
+	// downlink utilization — the key "moderate load" regime.
+	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 4})
+	a.StartWorkload(AccessScenario("short-few", DirDown))
+	a.Eng.RunUntil(sim.Time(60 * time.Second))
+	util := a.DownLink.Monitor.MeanUtilization(a.Eng.Now())
+	if util < 20 || util > 75 {
+		t.Fatalf("short-few downlink utilization = %.1f%%, want moderate (20-75)", util)
+	}
+	// short-many must load the link more than short-few.
+	a2 := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 4})
+	a2.StartWorkload(AccessScenario("short-many", DirDown))
+	a2.Eng.RunUntil(sim.Time(60 * time.Second))
+	util2 := a2.DownLink.Monitor.MeanUtilization(a2.Eng.Now())
+	if util2 <= util {
+		t.Fatalf("short-many (%.1f%%) <= short-few (%.1f%%)", util2, util)
+	}
+}
+
+func TestBufferbloatDelaysGrowWithBufferSize(t *testing.T) {
+	// Figure 4c: mean uplink queueing delay grows to seconds with
+	// 256-packet buffers under upstream workload.
+	delays := map[int]float64{}
+	for _, buf := range []int{8, 256} {
+		a := NewAccess(Config{BufferUp: buf, BufferDown: buf, Seed: 5})
+		a.StartWorkload(AccessScenario("long-many", DirUp))
+		a.Eng.RunUntil(sim.Time(30 * time.Second))
+		delays[buf] = a.UpMon.MeanDelayMs()
+	}
+	if delays[8] > 150 {
+		t.Fatalf("8-pkt buffer mean delay = %.0f ms, want <150", delays[8])
+	}
+	if delays[256] < 1200 {
+		t.Fatalf("256-pkt buffer mean delay = %.0f ms, want >1200 (bufferbloat)", delays[256])
+	}
+}
+
+func TestBackboneUtilizationLadder(t *testing.T) {
+	// Table 1 backbone: low ~16%, medium ~50%, high ~98%.
+	utils := map[string]float64{}
+	for _, name := range []string{"short-low", "short-medium", "short-high"} {
+		b := NewBackbone(Config{BufferDown: 749, Seed: 6})
+		b.StartWorkload(BackboneScenario(name))
+		b.Eng.RunUntil(sim.Time(30 * time.Second))
+		utils[name] = b.DownLink.Monitor.MeanUtilization(b.Eng.Now())
+	}
+	if !(utils["short-low"] < utils["short-medium"] && utils["short-medium"] < utils["short-high"]) {
+		t.Fatalf("utilization not monotone: %+v", utils)
+	}
+	if utils["short-low"] > 40 {
+		t.Fatalf("short-low = %.1f%%, want <40%%", utils["short-low"])
+	}
+	if utils["short-high"] < 80 {
+		t.Fatalf("short-high = %.1f%%, want >80%%", utils["short-high"])
+	}
+}
+
+func TestBackboneOverloadLoss(t *testing.T) {
+	b := NewBackbone(Config{BufferDown: 749, Seed: 7})
+	b.StartWorkload(BackboneScenario("short-overload"))
+	b.Eng.RunUntil(sim.Time(20 * time.Second))
+	util := b.DownLink.Monitor.MeanUtilization(b.Eng.Now())
+	if util < 90 {
+		t.Fatalf("overload utilization = %.1f%%, want >90%%", util)
+	}
+	if b.DownMon.LossRate() == 0 {
+		t.Fatal("overload shows no loss")
+	}
+}
+
+func TestHarpoonSinkAndCompletion(t *testing.T) {
+	a := NewAccess(Config{BufferUp: 64, BufferDown: 64, Seed: 8})
+	a.StartWorkload(AccessScenario("short-few", DirDown))
+	a.Eng.RunUntil(sim.Time(30 * time.Second))
+	st := a.DownGen.Stats()
+	if st.Completed == 0 {
+		t.Fatal("no harpoon transfers completed")
+	}
+	if st.BytesMoved == 0 {
+		t.Fatal("no bytes moved")
+	}
+	if st.Concurrent.N() == 0 {
+		t.Fatal("no concurrency samples")
+	}
+}
+
+func TestFileSizeWeibullPositive(t *testing.T) {
+	rng := sim.NewRNG(9, "w")
+	for i := 0; i < 10000; i++ {
+		if harpoon.FileSizeWeibull(rng) < 1 {
+			t.Fatal("non-positive file size")
+		}
+	}
+}
+
+func TestAQMQueueFactoryOverride(t *testing.T) {
+	called := false
+	cfg := Config{
+		BufferUp:   64,
+		BufferDown: 64,
+		Seed:       10,
+		UpQueue: func(capPkts int) netem.Queue {
+			called = true
+			return netem.NewDropTail(capPkts)
+		},
+	}
+	NewAccess(cfg)
+	if !called {
+		t.Fatal("queue factory not used")
+	}
+}
+
+func TestDataPendulum(t *testing.T) {
+	// Section 6: with bidirectional long workloads and a bloated
+	// uplink buffer, the uplink queueing delay virtually increases the
+	// BDP and the downlink utilization drops below its downstream-only
+	// value.
+	mkUtil := func(dir Direction) float64 {
+		a := NewAccess(Config{BufferUp: 256, BufferDown: 8, Seed: 11})
+		a.StartWorkload(AccessScenario("long-few", dir))
+		a.Eng.RunUntil(sim.Time(40 * time.Second))
+		return a.DownLink.Monitor.MeanUtilization(a.Eng.Now())
+	}
+	downOnly := mkUtil(DirDown)
+	bidir := mkUtil(DirBidir)
+	if bidir >= downOnly {
+		t.Fatalf("bidirectional downlink util %.1f%% >= down-only %.1f%% (no data pendulum)",
+			bidir, downOnly)
+	}
+}

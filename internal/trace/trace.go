@@ -1,0 +1,188 @@
+// Package trace is the reproduction's tcpdump + tcpcsm stand-in
+// (paper Section 9.1): it captures packets at a link vantage point,
+// estimates per-flow retransmission events and round-trip times from
+// the observed segments alone (observer-side, like tcpcsm), and
+// classifies page load times as RTT-dominated or loss-dominated.
+package trace
+
+import (
+	"time"
+
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/stats"
+	"bufferqoe/internal/tcp"
+)
+
+// Record is one captured packet (only TCP segments are recorded).
+type Record struct {
+	At   sim.Time
+	Flow netem.Flow
+	Size int
+	Seq  int64
+	Ack  int64
+	Len  int
+	SYN  bool
+	FIN  bool
+}
+
+// Capture accumulates records from one or more link taps.
+type Capture struct {
+	Records []Record
+}
+
+// Attach installs the capture as the link's tap. Multiple links can
+// feed one capture (e.g. both bottleneck directions).
+func (c *Capture) Attach(l *netem.Link) {
+	prev := l.Tap
+	l.Tap = func(p *netem.Packet, at sim.Time) {
+		if prev != nil {
+			prev(p, at)
+		}
+		seg, ok := p.Payload.(*tcp.Segment)
+		if !ok {
+			return
+		}
+		c.Records = append(c.Records, Record{
+			At:   at,
+			Flow: p.Flow,
+			Size: p.Size,
+			Seq:  seg.Seq,
+			Ack:  seg.Ack,
+			Len:  seg.Len,
+			SYN:  seg.SYN,
+			FIN:  seg.FIN,
+		})
+	}
+}
+
+// FlowStats summarizes one unidirectional TCP flow seen at the
+// vantage point.
+type FlowStats struct {
+	Flow    netem.Flow
+	Packets int
+	Bytes   int64
+	// DataBytes counts payload bytes including retransmitted copies.
+	DataBytes int64
+	// Retransmissions counts data segments whose range was already
+	// covered by a previously observed segment (the tcpcsm
+	// heuristic).
+	Retransmissions int
+	// RTT collects data->ack matching samples in milliseconds,
+	// excluding retransmitted ranges (Karn's rule at the observer).
+	RTT stats.Sample
+	// FirstAt / LastAt bound the flow's activity window.
+	FirstAt, LastAt sim.Time
+}
+
+// flowState is the per-flow analysis scratchpad.
+type flowState struct {
+	st       *FlowStats
+	highSeq  int64            // highest end-of-data observed
+	outstand map[int64]outSeg // end-of-range -> send record
+}
+
+type outSeg struct {
+	at   sim.Time
+	retx bool
+}
+
+// Analyze walks the capture and returns per-flow statistics keyed by
+// the data-direction flow.
+func (c *Capture) Analyze() map[netem.Flow]*FlowStats {
+	flows := map[netem.Flow]*flowState{}
+	get := func(f netem.Flow) *flowState {
+		fs, ok := flows[f]
+		if !ok {
+			fs = &flowState{
+				st:       &FlowStats{Flow: f},
+				outstand: map[int64]outSeg{},
+			}
+			flows[f] = fs
+		}
+		return fs
+	}
+	for _, r := range c.Records {
+		fs := get(r.Flow)
+		st := fs.st
+		if st.Packets == 0 {
+			st.FirstAt = r.At
+		}
+		st.LastAt = r.At
+		st.Packets++
+		st.Bytes += int64(r.Size)
+		if r.Len > 0 {
+			st.DataBytes += int64(r.Len)
+			end := r.Seq + int64(r.Len)
+			retx := end <= fs.highSeq || r.Seq < fs.highSeq
+			if retx {
+				st.Retransmissions++
+			}
+			if end > fs.highSeq {
+				fs.highSeq = end
+			}
+			fs.outstand[end] = outSeg{at: r.At, retx: retx}
+		}
+		// Ack matching for the reverse flow's outstanding data.
+		if rev, ok := flows[r.Flow.Reverse()]; ok && r.Ack > 0 {
+			if o, ok := rev.outstand[r.Ack]; ok {
+				if !o.retx {
+					rev.st.RTT.Add(r.At.Sub(o.at).Seconds() * 1000)
+				}
+				delete(rev.outstand, r.Ack)
+			}
+		}
+	}
+	out := make(map[netem.Flow]*FlowStats, len(flows))
+	for f, fs := range flows {
+		out[f] = fs.st
+	}
+	return out
+}
+
+// PLTClass is the paper's decomposition of page load times.
+type PLTClass int
+
+// PLT classes (Section 9.1).
+const (
+	// RTTDominated: a significant portion of the PLT is the 14*RTT
+	// structural component.
+	RTTDominated PLTClass = iota
+	// LossDominated: the PLT increase is mainly TCP retransmissions.
+	LossDominated
+	// Mixed: neither clearly dominates.
+	Mixed
+)
+
+func (c PLTClass) String() string {
+	switch c {
+	case RTTDominated:
+		return "rtt-dominated"
+	case LossDominated:
+		return "loss-dominated"
+	default:
+		return "mixed"
+	}
+}
+
+// PageRTTs is the paper's structural round-trip count for the static
+// page ("loaded within 14 RTTs, including TCP setup and teardown").
+const PageRTTs = 14
+
+// ClassifyPLT decomposes a page load time using the measured
+// during-transfer RTT and the observed retransmission count.
+func ClassifyPLT(plt time.Duration, meanRTT time.Duration, retransmissions int) PLTClass {
+	if plt <= 0 {
+		return Mixed
+	}
+	rttComponent := time.Duration(PageRTTs) * meanRTT
+	frac := float64(rttComponent) / float64(plt)
+	switch {
+	case frac >= 0.6:
+		return RTTDominated
+	case retransmissions > 0:
+		return LossDominated
+	default:
+		return Mixed
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/tcp"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/web"
+)
+
+// rig builds a two-host path with captures on both directions.
+func rig(rate float64, delay time.Duration, qlen int) (*sim.Engine, *tcp.Stack, *tcp.Stack, *Capture, netem.NodeID) {
+	eng := sim.New()
+	nw := netem.NewNetwork(eng)
+	a := nw.NewNode("client")
+	b := nw.NewNode("server")
+	ab, ba := nw.Connect(a, b, rate, delay, qlen)
+	cap := &Capture{}
+	cap.Attach(ab)
+	cap.Attach(ba)
+	return eng, tcp.NewStack(a, tcp.Config{}), tcp.NewStack(b, tcp.Config{}), cap, b.ID
+}
+
+func transfer(eng *sim.Engine, client, server *tcp.Stack, serverNode netem.NodeID, n int64, d time.Duration) {
+	server.Listen(80, func(c *tcp.Conn) {
+		c.OnEstablished = func() { c.Send(n); c.CloseWrite() }
+		c.OnPeerClose = func() { c.CloseWrite() }
+	})
+	cc := client.Dial(netem.Addr{Node: serverNode, Port: 80})
+	cc.OnPeerClose = func() { cc.CloseWrite() }
+	eng.RunUntil(sim.Time(d))
+}
+
+func TestCaptureSeesBothDirections(t *testing.T) {
+	eng, client, server, cap, sid := rig(10e6, 10*time.Millisecond, 100)
+	transfer(eng, client, server, sid, 100_000, 20*time.Second)
+	if len(cap.Records) < 80 {
+		t.Fatalf("captured %d records", len(cap.Records))
+	}
+	dirs := map[netem.Flow]bool{}
+	for _, r := range cap.Records {
+		dirs[r.Flow] = true
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("saw %d flows, want 2", len(dirs))
+	}
+}
+
+func TestAnalyzeLossless(t *testing.T) {
+	eng, client, server, cap, sid := rig(10e6, 10*time.Millisecond, 1000)
+	transfer(eng, client, server, sid, 200_000, 20*time.Second)
+	st := cap.Analyze()
+	var data *FlowStats
+	for _, s := range st {
+		if s.DataBytes > 100_000 {
+			data = s
+		}
+	}
+	if data == nil {
+		t.Fatal("no data flow found")
+	}
+	if data.Retransmissions != 0 {
+		t.Fatalf("lossless flow shows %d retransmissions", data.Retransmissions)
+	}
+	if data.RTT.N() == 0 {
+		t.Fatal("no RTT samples")
+	}
+	// Vantage point is mid-path: data->ack gap over the bottleneck is
+	// bounded by the full RTT (~20 ms + serialization).
+	rtt := data.RTT.Median()
+	if rtt <= 0 || rtt > 60 {
+		t.Fatalf("observer RTT = %v ms", rtt)
+	}
+}
+
+func TestAnalyzeDetectsRetransmissions(t *testing.T) {
+	eng, client, server, cap, sid := rig(2e6, 20*time.Millisecond, 4)
+	transfer(eng, client, server, sid, 400_000, 60*time.Second)
+	st := cap.Analyze()
+	found := false
+	for _, s := range st {
+		if s.DataBytes > 100_000 && s.Retransmissions > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("4-packet bottleneck produced no detected retransmissions")
+	}
+}
+
+func TestClassifyPLT(t *testing.T) {
+	// 14 RTTs of 60 ms = 840 ms of a 1 s PLT: RTT-dominated.
+	if got := ClassifyPLT(time.Second, 60*time.Millisecond, 0); got != RTTDominated {
+		t.Fatalf("class = %v", got)
+	}
+	// 14 RTTs of 50 ms in a 10 s PLT with retransmissions: loss.
+	if got := ClassifyPLT(10*time.Second, 50*time.Millisecond, 8); got != LossDominated {
+		t.Fatalf("class = %v", got)
+	}
+	// Slow but no retransmissions and small RTT share: mixed.
+	if got := ClassifyPLT(10*time.Second, 50*time.Millisecond, 0); got != Mixed {
+		t.Fatalf("class = %v", got)
+	}
+	if ClassifyPLT(0, time.Second, 0) != Mixed {
+		t.Fatal("zero PLT should be mixed")
+	}
+	if RTTDominated.String() == "" || LossDominated.String() == "" || Mixed.String() == "" {
+		t.Fatal("empty class strings")
+	}
+}
+
+func TestWebFetchClassification(t *testing.T) {
+	// Bufferbloat web case (Figure 10b long-few): PLT becomes
+	// RTT-dominated at large buffers because the uplink queue inflates
+	// every round trip.
+	a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 64, Seed: 1})
+	cap := &Capture{}
+	cap.Attach(a.UpLink)
+	cap.Attach(a.DownLink)
+	a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirUp))
+	a.Eng.RunFor(8 * time.Second)
+	web.RegisterServer(a.MediaServerTCP, web.Port)
+	var res *web.Result
+	web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, func(r web.Result) { res = &r })
+	a.Eng.RunFor(70 * time.Second)
+	if res == nil {
+		t.Fatal("no fetch result")
+	}
+	// The client's own sRTT includes the bloated uplink queue.
+	cls := ClassifyPLT(res.PLT, res.SRTT, int(res.Retransmissions))
+	if cls == Mixed {
+		t.Fatalf("bufferbloat PLT unclassified: plt=%v srtt=%v retx=%d",
+			res.PLT, res.SRTT, res.Retransmissions)
+	}
+}

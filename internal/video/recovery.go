@@ -1,0 +1,155 @@
+package video
+
+import (
+	"bufferqoe/internal/netem"
+)
+
+// Recovery selects the stream's error-recovery mechanism. The paper's
+// results are explicitly a no-recovery baseline ("systems deploying
+// active (retransmission) or passive (FEC) error recovery can achieve
+// higher quality", §8.4); these schemes quantify that headroom.
+type Recovery int
+
+// Recovery schemes.
+const (
+	// RecoveryNone is the paper's baseline: plain RTP, losses concealed
+	// by the decoder only.
+	RecoveryNone Recovery = iota
+	// RecoveryARQ requests each lost packet exactly once via a NACK
+	// sent back through the (possibly congested) network, mirroring
+	// the proprietary IPTV set-top-box scheme of Hohlfeld et al.,
+	// "On revealing the ARQ mechanism of MSTV" (ICC 2011) — reference
+	// [24] of the paper.
+	RecoveryARQ
+	// RecoveryFEC adds one XOR parity packet per group of FECGroup
+	// data packets (~100/FECGroup % bandwidth overhead); a single loss
+	// per group is repaired locally with no upstream traffic.
+	RecoveryFEC
+)
+
+func (r Recovery) String() string {
+	switch r {
+	case RecoveryARQ:
+		return "arq"
+	case RecoveryFEC:
+		return "fec"
+	default:
+		return "none"
+	}
+}
+
+// nackMsg is the ARQ repair request: the sequence numbers the receiver
+// found missing. It travels as a real packet through the upstream
+// path, so uplink congestion delays repairs exactly as it would for a
+// deployed set-top box.
+type nackMsg struct {
+	seqs   []int
+	stream *Stream
+}
+
+// nackWire is the on-wire size of a NACK carrying n sequence numbers
+// (RTCP-style feedback packet).
+func nackWire(n int) int {
+	return netem.IPHeader + netem.UDPHeader + 8 + 4*n
+}
+
+// fecPkt is one XOR parity packet covering the data packets with
+// sequence numbers [groupLo, groupHi).
+type fecPkt struct {
+	groupLo, groupHi int
+	stream           *Stream
+}
+
+// handleFeedback processes packets arriving at the sender's port:
+// NACKs trigger one retransmission per requested packet.
+func (st *Stream) handleFeedback(p *netem.Packet) {
+	msg, ok := p.Payload.(*nackMsg)
+	if !ok || msg.stream != st {
+		return
+	}
+	for _, seq := range msg.seqs {
+		if seq < 0 || seq >= len(st.records) || st.records[seq].retx {
+			continue
+		}
+		st.records[seq].retx = true
+		st.retxSent++
+		rec := st.records[seq]
+		st.sendPacket(rec.pk, rec.size)
+	}
+}
+
+// noteArrival is the receiver-side recovery bookkeeping: gap-based
+// NACK generation (ARQ) and group repair (FEC). It returns packets
+// repaired by FEC so receive can mark their slices.
+func (st *Stream) noteArrival(seq int) {
+	if seq >= 0 && seq < len(st.gotPkt) {
+		st.gotPkt[seq] = true
+	}
+	if st.recovery != RecoveryARQ {
+		if seq > st.maxSeq {
+			st.maxSeq = seq
+		}
+		return
+	}
+	// A sequence gap means every packet in between was lost (the
+	// simulated links are FIFO, so no reordering false-positives).
+	// Request each missing packet exactly once.
+	var missing []int
+	for q := st.maxSeq + 1; q < seq; q++ {
+		if !st.gotPkt[q] && !st.nacked[q] {
+			st.nacked[q] = true
+			missing = append(missing, q)
+		}
+	}
+	if seq > st.maxSeq {
+		st.maxSeq = seq
+	}
+	if len(missing) > 0 {
+		st.nacksSent++
+		msg := &nackMsg{seqs: missing, stream: st}
+		st.to.Send(&netem.Packet{
+			Flow: netem.Flow{
+				Proto: netem.ProtoUDP,
+				Src:   st.to.Addr(st.toP),
+				Dst:   st.from.Addr(st.fromP),
+			},
+			Size:    nackWire(len(missing)),
+			Payload: msg,
+		})
+	}
+}
+
+// tryFECRepair checks whether the parity group covering [lo, hi) has
+// exactly one missing member and, if so, repairs it (marks its slices
+// as received, subject to the frame deadline).
+func (st *Stream) tryFECRepair(lo, hi int) {
+	if !st.parityGot[lo/st.fecGroup] {
+		return
+	}
+	missing := -1
+	for q := lo; q < hi && q < len(st.gotPkt); q++ {
+		if !st.gotPkt[q] {
+			if missing >= 0 {
+				return // two or more losses: XOR cannot repair
+			}
+			missing = q
+		}
+	}
+	if missing < 0 {
+		return // nothing to repair
+	}
+	st.gotPkt[missing] = true
+	rec := st.records[missing]
+	if st.eng.Now() > st.deadline[rec.pk.frame] {
+		return // repaired too late to decode
+	}
+	st.recovered++
+	st.markSlices(rec.pk)
+}
+
+// markSlices records a packet's slices as decodable.
+func (st *Stream) markSlices(pk *vpkt) {
+	for s := pk.sliceLo; s < pk.sliceHi && s < len(st.gotSlice[pk.frame]); s++ {
+		st.gotSlice[pk.frame][s] = true
+	}
+}

@@ -1,0 +1,117 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/testbed"
+)
+
+// lossyStream runs clip C over a moderately congested backbone and
+// returns the result for the given recovery scheme. The congestion
+// level (short-medium) produces scattered losses — the regime where
+// recovery matters (at overload nothing helps, at idle nothing is
+// needed).
+func lossyStream(t *testing.T, rec Recovery, seed uint64) Result {
+	t.Helper()
+	b := testbed.NewBackbone(testbed.Config{BufferDown: 28, Seed: seed})
+	b.StartWorkload(testbed.BackboneScenario("short-high"))
+	b.Eng.RunFor(3 * time.Second)
+	src := NewSource(ClipC, shortSD, 2)
+	var res *Result
+	Start(b.MediaServer, b.MediaClient, src, Config{Smooth: true, Seed: seed, Recovery: rec},
+		func(r Result) { res = &r })
+	b.Eng.RunFor(15 * time.Second)
+	if res == nil {
+		t.Fatal("stream never finished")
+	}
+	return *res
+}
+
+func TestARQRecoversLosses(t *testing.T) {
+	base := lossyStream(t, RecoveryNone, 11)
+	arq := lossyStream(t, RecoveryARQ, 11)
+	if base.PacketsLost == 0 {
+		t.Skip("no losses at this seed; recovery not exercised")
+	}
+	if arq.NACKs == 0 || arq.Retransmits == 0 {
+		t.Fatalf("ARQ sent no repair traffic (nacks=%d retx=%d)", arq.NACKs, arq.Retransmits)
+	}
+	if arq.Recovered == 0 {
+		t.Fatal("ARQ recovered nothing")
+	}
+	if arq.MeanSSIM <= base.MeanSSIM {
+		t.Fatalf("ARQ SSIM %.3f <= baseline %.3f", arq.MeanSSIM, base.MeanSSIM)
+	}
+}
+
+func TestFECRecoversLosses(t *testing.T) {
+	base := lossyStream(t, RecoveryNone, 12)
+	fec := lossyStream(t, RecoveryFEC, 12)
+	if base.PacketsLost == 0 {
+		t.Skip("no losses at this seed; recovery not exercised")
+	}
+	if fec.Recovered == 0 {
+		t.Fatal("FEC recovered nothing")
+	}
+	if fec.MeanSSIM <= base.MeanSSIM {
+		t.Fatalf("FEC SSIM %.3f <= baseline %.3f", fec.MeanSSIM, base.MeanSSIM)
+	}
+	// FEC must not generate upstream repair traffic.
+	if fec.NACKs != 0 || fec.Retransmits != 0 {
+		t.Fatalf("FEC produced ARQ traffic (nacks=%d retx=%d)", fec.NACKs, fec.Retransmits)
+	}
+}
+
+func TestRecoveryCleanPathNoOverheadTraffic(t *testing.T) {
+	// On a clean path ARQ must stay silent and quality stays perfect.
+	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 13})
+	src := NewSource(ClipC, shortSD, 2)
+	var res *Result
+	Start(b.MediaServer, b.MediaClient, src, Config{Smooth: true, Seed: 13, Recovery: RecoveryARQ},
+		func(r Result) { res = &r })
+	b.Eng.RunFor(10 * time.Second)
+	if res == nil {
+		t.Fatal("no result")
+	}
+	if res.NACKs != 0 || res.Retransmits != 0 || res.Recovered != 0 {
+		t.Fatalf("clean path produced repair traffic: %+v", res)
+	}
+	if res.MeanSSIM < 0.999 {
+		t.Fatalf("clean ARQ stream SSIM %.3f", res.MeanSSIM)
+	}
+}
+
+func TestFECCleanPathPerfect(t *testing.T) {
+	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 14})
+	src := NewSource(ClipC, shortSD, 2)
+	var res *Result
+	Start(b.MediaServer, b.MediaClient, src, Config{Smooth: true, Seed: 14, Recovery: RecoveryFEC},
+		func(r Result) { res = &r })
+	b.Eng.RunFor(10 * time.Second)
+	if res == nil {
+		t.Fatal("no result")
+	}
+	if res.MeanSSIM < 0.999 || res.PacketsLost != 0 {
+		t.Fatalf("clean FEC stream degraded: %+v", res)
+	}
+}
+
+func TestARQRequestsEachPacketOnce(t *testing.T) {
+	// The MSTV-style scheme requests a lost packet exactly once
+	// (paper reference [24]); retransmits can never exceed the number
+	// of distinct data packets.
+	r := lossyStream(t, RecoveryARQ, 15)
+	if r.Retransmits > r.PacketsSent {
+		t.Fatalf("retransmits %d exceed distinct packets %d", r.Retransmits, r.PacketsSent)
+	}
+}
+
+func TestRecoveryStrings(t *testing.T) {
+	cases := map[Recovery]string{RecoveryNone: "none", RecoveryARQ: "arq", RecoveryFEC: "fec"}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Fatalf("Recovery(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/testbed"
+)
+
+// shortSD is a cut-down profile to keep unit tests fast.
+var shortSD = Profile{Name: "SD", W: 128, H: 96, Bitrate: 4e6, FPS: 25, GOP: 25, Slices: 32}
+
+func TestSourceRendering(t *testing.T) {
+	src := NewSource(ClipC, shortSD, 2)
+	if src.Frames() != 50 {
+		t.Fatalf("frames = %d", src.Frames())
+	}
+	f0, f1 := src.Frame(0), src.Frame(1)
+	if len(f0) != 128*96 {
+		t.Fatalf("plane size = %d", len(f0))
+	}
+	// Consecutive frames must differ (motion) but not be noise.
+	diff := 0
+	for i := range f0 {
+		if f0[i] != f1[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no motion between frames")
+	}
+}
+
+func TestMotionClassesDiffer(t *testing.T) {
+	// Soccer (high motion) frames change more than interview frames.
+	meanAbsDiff := func(c Clip) float64 {
+		src := NewSource(c, shortSD, 1)
+		a, b := src.Frame(0), src.Frame(10)
+		var s float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		return s / float64(len(a))
+	}
+	if meanAbsDiff(ClipB) <= meanAbsDiff(ClipA) {
+		t.Fatal("soccer motion <= interview motion")
+	}
+}
+
+func TestFrameBytesBudget(t *testing.T) {
+	rng := sim.NewRNG(1, "fb")
+	var total int
+	n := shortSD.GOP * 4
+	for i := 0; i < n; i++ {
+		b := FrameBytes(ClipC, shortSD, i, rng)
+		if i%shortSD.GOP == 0 {
+			// I-frames are ~3x a P-frame.
+			if b < 2*FrameBytes(ClipA, shortSD, 1, sim.NewRNG(2, "fb2")) {
+				t.Fatalf("I-frame %d bytes = %d, suspiciously small", i, b)
+			}
+		}
+		total += b
+	}
+	wantTotal := int(shortSD.Bitrate / 8 * float64(n) / float64(shortSD.FPS))
+	if total < wantTotal*7/10 || total > wantTotal*13/10 {
+		t.Fatalf("4-GOP bytes = %d, want ~%d (+-30%%)", total, wantTotal)
+	}
+}
+
+func TestCleanStreamPerfectSSIM(t *testing.T) {
+	// Paper Figure 9 noBG rows: SSIM 1 without background traffic.
+	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 1})
+	src := NewSource(ClipC, shortSD, 2)
+	var res *Result
+	Start(b.MediaServer, b.MediaClient, src, Config{Smooth: true, Seed: 1}, func(r Result) { res = &r })
+	b.Eng.RunFor(10 * time.Second)
+	if res == nil {
+		t.Fatal("stream never finished")
+	}
+	if res.PacketsLost != 0 {
+		t.Fatalf("clean network lost %d packets", res.PacketsLost)
+	}
+	if res.MeanSSIM < 0.999 {
+		t.Fatalf("clean SSIM = %v, want ~1", res.MeanSSIM)
+	}
+	if res.MOS < 4.9 {
+		t.Fatalf("clean MOS = %v", res.MOS)
+	}
+}
+
+func TestUnsmoothedBurstsOverflowAccessLink(t *testing.T) {
+	// Section 8.1: stock VLC bursts a frame's packets at line rate,
+	// overflowing access-scale buffers even without background
+	// traffic; smoothing fixes it. (4 Mbit/s SD into a 16 Mbit/s
+	// downlink with a small buffer.)
+	run := func(smooth bool) Result {
+		a := testbed.NewAccess(testbed.Config{BufferUp: 8, BufferDown: 8, Seed: 2})
+		src := NewSource(ClipC, shortSD, 2)
+		var res Result
+		Start(a.MediaServer, a.MediaClient, src, Config{Smooth: smooth, Seed: 2}, func(r Result) { res = r })
+		a.Eng.RunFor(10 * time.Second)
+		return res
+	}
+	burst := run(false)
+	smooth := run(true)
+	if smooth.PacketsLost > 0 {
+		t.Fatalf("smoothed stream lost %d packets on idle link", smooth.PacketsLost)
+	}
+	if burst.PacketsLost == 0 {
+		t.Fatal("unsmoothed bursts did not overflow the 8-packet buffer")
+	}
+	if burst.MeanSSIM >= smooth.MeanSSIM {
+		t.Fatal("burst SSIM >= smooth SSIM")
+	}
+}
+
+func TestCongestionDegradesVideo(t *testing.T) {
+	// Figure 9b: sustained high utilization wrecks the stream.
+	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 3})
+	b.StartWorkload(testbed.BackboneScenario("long"))
+	b.Eng.RunFor(5 * time.Second)
+	src := NewSource(ClipC, shortSD, 2)
+	var res *Result
+	Start(b.MediaServer, b.MediaClient, src, Config{Smooth: true, Seed: 3}, func(r Result) { res = &r })
+	b.Eng.RunFor(15 * time.Second)
+	if res == nil {
+		t.Fatal("no result")
+	}
+	if res.PacketsLost == 0 {
+		t.Fatal("saturated OC3 lost no video packets")
+	}
+	if res.MeanSSIM > 0.95 {
+		t.Fatalf("congested SSIM = %v, want degraded", res.MeanSSIM)
+	}
+}
+
+func TestHDvsSDArtifactGeometry(t *testing.T) {
+	// Section 8.2: at similar loss, HD shows milder SSIM degradation
+	// because an artifact covers a smaller fraction of the frame.
+	// Verify the mechanism directly: conceal one slice in both
+	// profiles and compare SSIM drops... the slice is 1/32 of the
+	// frame in both, so instead verify that per-slice area fraction
+	// matches and larger planes average more clean area per lost
+	// packet (packets carry fewer slices in HD).
+	sdSrc := NewSource(ClipB, SD, 1)
+	hdSrc := NewSource(ClipB, HD, 1)
+	sdBytes := FrameBytes(ClipB, SD, 1, sim.NewRNG(4, "x"))
+	hdBytes := FrameBytes(ClipB, HD, 1, sim.NewRNG(4, "x"))
+	if hdBytes <= sdBytes {
+		t.Fatal("HD frames not larger than SD")
+	}
+	sdPkts := (sdBytes + tsPayload - 1) / tsPayload
+	hdPkts := (hdBytes + tsPayload - 1) / tsPayload
+	// Slices per packet: fewer in HD means one lost packet corrupts a
+	// smaller frame fraction.
+	if float64(SD.Slices)/float64(sdPkts) <= float64(HD.Slices)/float64(hdPkts) {
+		t.Fatal("HD does not localize loss better than SD")
+	}
+	_ = sdSrc
+	_ = hdSrc
+}
+
+func TestDeterministicStream(t *testing.T) {
+	run := func() Result {
+		a := testbed.NewAccess(testbed.Config{BufferUp: 8, BufferDown: 16, Seed: 7})
+		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirDown))
+		a.Eng.RunFor(2 * time.Second)
+		src := NewSource(ClipA, shortSD, 1)
+		var res Result
+		Start(a.MediaServer, a.MediaClient, src, Config{Smooth: true, Seed: 7}, func(r Result) { res = r })
+		a.Eng.RunFor(10 * time.Second)
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanSSIM != b.MeanSSIM || a.PacketsLost != b.PacketsLost {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

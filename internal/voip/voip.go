@@ -1,0 +1,252 @@
+// Package voip models the paper's VoIP measurement application: a
+// PjSIP-style RTP/UDP sender streaming 8-second G.711 speech samples
+// (20 ms frames, 160-byte payloads, 50 packets/s), a receiver with a
+// fixed playout (jitter) buffer that conceals lost and late frames,
+// and the combined QoE evaluation of Section 7.1: a PESQ-style signal
+// score z1 and the E-Model delay impairment z2 merged into one MOS.
+package voip
+
+import (
+	"time"
+
+	"bufferqoe/internal/media"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/qoe"
+	"bufferqoe/internal/sim"
+)
+
+// Wire framing of one RTP voice packet: 160 B G.711 payload + RTP +
+// UDP + IP headers.
+const packetSize = 160 + netem.RTPHeader + netem.UDPHeader + netem.IPHeader
+
+// FrameInterval is the packetization interval.
+const FrameInterval = 20 * time.Millisecond
+
+// DefaultPlayout is the receiver's fixed jitter-buffer depth.
+const DefaultPlayout = 60 * time.Millisecond
+
+// rtp is the payload attached to each simulated voice packet.
+type rtp struct {
+	seq  int
+	call *Call
+}
+
+// Result summarizes one call's QoE evaluation.
+type Result struct {
+	// Z1 is the signal-quality MOS from the PESQ-style comparator.
+	Z1 float64
+	// MOS is the final combined score (Section 7.1's z mapped to MOS).
+	MOS float64
+	// OneWayDelay is the mean mouth-to-ear delay (network + playout +
+	// packetization) used for the delay impairment z2.
+	OneWayDelay time.Duration
+	// Sent / Lost / Late count RTP packets; Lost never arrived, Late
+	// arrived after their playout deadline (both are concealed).
+	Sent, Lost, Late int
+}
+
+// LossPct returns the application-layer loss percentage (lost + late).
+func (r Result) LossPct() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return 100 * float64(r.Lost+r.Late) / float64(r.Sent)
+}
+
+// Call is one in-flight voice transmission.
+type Call struct {
+	eng      *sim.Engine
+	sample   *media.Sample
+	from     *netem.Node
+	to       *netem.Node
+	fromP    uint16
+	toP      uint16
+	playout  time.Duration
+	adaptive bool
+	start    sim.Time
+
+	arrivals []sim.Time // per-frame arrival, 0 = not (yet) received
+	received []bool
+	onDone   func(Result)
+}
+
+// StartAdaptive streams a call whose receiver uses a Ramjee-style
+// adaptive playout buffer (EWMA delay estimate plus four deviations)
+// instead of the fixed jitter buffer — the behaviour of the paper's
+// PjSIP receiver. The fixed playout value is kept as a floor.
+func StartAdaptive(from, to *netem.Node, sample *media.Sample, onDone func(Result)) *Call {
+	c := Start(from, to, sample, 0, onDone)
+	c.adaptive = true
+	return c
+}
+
+// Start streams sample from -> to and invokes onDone with the QoE
+// result once the call (plus playout drain) completes. playout <= 0
+// uses DefaultPlayout.
+func Start(from, to *netem.Node, sample *media.Sample, playout time.Duration, onDone func(Result)) *Call {
+	if playout <= 0 {
+		playout = DefaultPlayout
+	}
+	eng := from.Engine()
+	c := &Call{
+		eng:      eng,
+		sample:   sample,
+		from:     from,
+		to:       to,
+		fromP:    from.AllocPort(netem.ProtoUDP),
+		toP:      to.AllocPort(netem.ProtoUDP),
+		playout:  playout,
+		start:    eng.Now(),
+		arrivals: make([]sim.Time, sample.Frames()),
+		received: make([]bool, sample.Frames()),
+		onDone:   onDone,
+	}
+	// The sender binds too so the port pair is reserved symmetrically.
+	from.Bind(netem.ProtoUDP, c.fromP, netem.HandlerFunc(func(*netem.Packet) {}))
+	to.Bind(netem.ProtoUDP, c.toP, netem.HandlerFunc(c.receive))
+
+	n := sample.Frames()
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*FrameInterval, func() { c.sendFrame(i) })
+	}
+	// Evaluate after the last deadline plus a generous network drain.
+	drain := time.Duration(n)*FrameInterval + playout + 5*time.Second
+	eng.Schedule(drain, c.finish)
+	return c
+}
+
+func (c *Call) sendFrame(i int) {
+	p := &netem.Packet{
+		Flow: netem.Flow{
+			Proto: netem.ProtoUDP,
+			Src:   c.from.Addr(c.fromP),
+			Dst:   c.to.Addr(c.toP),
+		},
+		Size:    packetSize,
+		Payload: &rtp{seq: i, call: c},
+	}
+	c.from.Send(p)
+}
+
+func (c *Call) receive(p *netem.Packet) {
+	r, ok := p.Payload.(*rtp)
+	if !ok || r.call != c || r.seq < 0 || r.seq >= len(c.arrivals) {
+		return
+	}
+	if !c.received[r.seq] {
+		c.received[r.seq] = true
+		c.arrivals[r.seq] = c.eng.Now()
+	}
+}
+
+// sendTime returns when frame i left the sender.
+func (c *Call) sendTime(i int) sim.Time {
+	return c.start.Add(time.Duration(i) * FrameInterval)
+}
+
+func (c *Call) finish() {
+	c.from.Unbind(netem.ProtoUDP, c.fromP)
+	c.to.Unbind(netem.ProtoUDP, c.toP)
+
+	n := c.sample.Frames()
+	res := Result{Sent: n}
+
+	// Playout schedule: the receiver anchors its clock to the first
+	// received frame, then plays one frame every 20 ms after the
+	// jitter buffer depth.
+	var t0 sim.Time
+	anchored := false
+	for i := 0; i < n; i++ {
+		if c.received[i] {
+			t0 = c.arrivals[i] - sim.Time(time.Duration(i)*FrameInterval)
+			anchored = true
+			break
+		}
+	}
+
+	ref := c.sample.PCM[:n*media.FrameSamples]
+	deg := make([]float64, len(ref))
+	var delaySum time.Duration
+	var delayN int
+
+	// Adaptive playout state (Ramjee et al., INFOCOM 1994 algorithm
+	// 1): track an EWMA of the one-way delay and its deviation from
+	// already-played frames, and schedule playout at d+4v. The fixed
+	// buffer depth acts as a floor.
+	var dHat, vHat float64 // seconds
+	adaptInit := false
+	var budgetSum float64 // effective buffer depth actually applied
+	var budgetN int
+
+	for i := 0; i < n; i++ {
+		if !c.received[i] {
+			res.Lost++
+			continue // concealment: silence
+		}
+		netDelay := c.arrivals[i].Sub(c.sendTime(i))
+		budget := c.playout
+		if c.adaptive {
+			if !adaptInit {
+				dHat = netDelay.Seconds()
+				vHat = dHat / 4
+				adaptInit = true
+			}
+			adaptBudget := time.Duration((dHat + 4*vHat) * float64(time.Second))
+			if adaptBudget > budget {
+				budget = adaptBudget
+			}
+			// Update the estimators with this frame's delay (causal:
+			// affects later frames only).
+			const alpha = 0.9
+			d := netDelay.Seconds()
+			vHat = alpha*vHat + (1-alpha)*abs(dHat-d)
+			dHat = alpha*dHat + (1-alpha)*d
+		}
+		budgetSum += budget.Seconds()
+		budgetN++
+		deadline := c.sendTime(i).Add(budget)
+		if !c.adaptive {
+			deadline = t0.Add(time.Duration(i)*FrameInterval + budget)
+		}
+		if c.arrivals[i] > deadline {
+			res.Late++
+			continue
+		}
+		copy(deg[i*media.FrameSamples:(i+1)*media.FrameSamples], c.sample.Frame(i))
+		delaySum += netDelay
+		delayN++
+	}
+
+	res.Z1 = qoe.SpeechQuality(ref, deg, media.SampleRate)
+	if anchored && delayN > 0 {
+		// Mouth-to-ear: network + jitter buffer + one packetization
+		// interval. For the adaptive receiver the buffer term is the
+		// mean applied budget beyond the network delay.
+		buffer := c.playout
+		if c.adaptive && budgetN > 0 {
+			mean := time.Duration(budgetSum / float64(budgetN) * float64(time.Second))
+			net := delaySum / time.Duration(delayN)
+			if mean > net {
+				buffer = mean - net
+			} else {
+				buffer = 0
+			}
+		}
+		res.OneWayDelay = delaySum/time.Duration(delayN) + buffer + FrameInterval
+	} else {
+		// Nothing played out: the "conversation" is effectively dead.
+		res.OneWayDelay = 10 * time.Second
+	}
+	res.MOS = qoe.VoIPScore(res.Z1, res.OneWayDelay)
+	if c.onDone != nil {
+		c.onDone(res)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
