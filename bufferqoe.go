@@ -90,6 +90,58 @@ func Run(id string, o Options) (*Result, error) {
 	return &Result{ID: res.ID, Text: res.Render(), inner: res}, nil
 }
 
+// Outcome is one experiment's entry in a RunAll batch: the result or
+// the error, plus the wall time spent.
+type Outcome struct {
+	ID      string
+	Result  *Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAll executes a batch of experiments through the cell engine and
+// returns one Outcome per ID, in input order. Experiments run
+// concurrently and their cells fan out across the worker pool (see
+// SetParallelism); a failing experiment records its error without
+// stopping the batch, and cells shared between experiments are
+// simulated once per process. Results are bit-identical to running
+// each ID alone, sequentially: every cell's seed is derived from its
+// canonical spec, never from scheduling.
+func RunAll(ids []string, o Options) []Outcome {
+	inner := experiments.RunAll(ids, o.internal())
+	out := make([]Outcome, len(inner))
+	for i, oc := range inner {
+		out[i] = Outcome{ID: oc.ID, Err: oc.Err, Elapsed: oc.Elapsed}
+		if oc.Result != nil {
+			out[i].Result = &Result{ID: oc.Result.ID, Text: oc.Result.Render(), inner: oc.Result}
+		}
+	}
+	return out
+}
+
+// SetParallelism resizes the cell engine's worker pool; n <= 0 means
+// GOMAXPROCS. Parallelism never changes results.
+func SetParallelism(n int) { experiments.SetParallelism(n) }
+
+// Parallelism returns the current worker-pool size.
+func Parallelism() int { return experiments.Parallelism() }
+
+// EngineStats is a snapshot of the cell engine's counters: pool size,
+// cached cells, and how many cell requests were answered from the
+// cache versus simulated.
+type EngineStats struct {
+	Workers     int
+	CachedCells int
+	Hits        uint64
+	Misses      uint64
+}
+
+// Stats snapshots the cell engine.
+func Stats() EngineStats {
+	s := experiments.EngineStats()
+	return EngineStats{Workers: s.Workers, CachedCells: s.Entries, Hits: s.Hits, Misses: s.Misses}
+}
+
 // Network selects a testbed.
 type Network string
 

@@ -39,6 +39,46 @@ func TestRunUnknown(t *testing.T) {
 	}
 }
 
+func TestRunAllCollectsErrors(t *testing.T) {
+	ids := []string{"table2", "bogus", "fig1a", "fig1b"}
+	outcomes := RunAll(ids, probeOpts())
+	if len(outcomes) != len(ids) {
+		t.Fatalf("got %d outcomes for %d ids", len(outcomes), len(ids))
+	}
+	for i, oc := range outcomes {
+		if oc.ID != ids[i] {
+			t.Fatalf("outcome %d is %q, want %q (order not preserved)", i, oc.ID, ids[i])
+		}
+	}
+	if outcomes[1].Err == nil {
+		t.Fatal("bogus experiment did not record an error")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if outcomes[i].Err != nil {
+			t.Fatalf("%s failed: %v", outcomes[i].ID, outcomes[i].Err)
+		}
+		if outcomes[i].Result == nil || outcomes[i].Result.Text == "" {
+			t.Fatalf("%s has no result", outcomes[i].ID)
+		}
+	}
+	// fig1a and fig1b share the CDN population cell.
+	if st := Stats(); st.Hits == 0 {
+		t.Fatalf("no cache hits across the batch: %+v", st)
+	}
+}
+
+func TestParallelismControls(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default parallelism = %d", Parallelism())
+	}
+}
+
 func TestRunTable2(t *testing.T) {
 	res, err := Run("table2", probeOpts())
 	if err != nil {

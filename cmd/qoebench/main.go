@@ -6,6 +6,13 @@
 //	qoebench -list
 //	qoebench -exp fig7b
 //	qoebench -exp all -duration 60s -reps 5
+//	qoebench -exp all -parallel 16
+//
+// With -exp all, experiments run through the parallel cell engine:
+// cells fan out across -parallel workers (default GOMAXPROCS),
+// configurations shared between experiments are simulated once, and a
+// failing experiment is reported at the end instead of aborting the
+// suite. Output and results are bit-identical at any parallelism.
 package main
 
 import (
@@ -27,6 +34,7 @@ func main() {
 		reps     = flag.Int("reps", 3, "calls/streams/fetches per cell")
 		clip     = flag.Int("clip", 4, "video clip length in seconds")
 		flows    = flag.Int("cdnflows", 200000, "synthetic CDN population size (fig1*)")
+		parallel = flag.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,6 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qoebench: -exp required (or -list)")
 		os.Exit(2)
 	}
+	bufferqoe.SetParallelism(*parallel)
 	opt := bufferqoe.Options{
 		Seed:        *seed,
 		Duration:    *duration,
@@ -52,13 +61,29 @@ func main() {
 	if *exp == "all" {
 		ids = bufferqoe.Experiments()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := bufferqoe.Run(id, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
-			os.Exit(1)
+
+	start := time.Now()
+	outcomes := bufferqoe.RunAll(ids, opt)
+	total := time.Since(start)
+
+	var failed []bufferqoe.Outcome
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			failed = append(failed, oc)
+			continue
 		}
-		fmt.Printf("# %s (%.1fs)\n%s\n", id, time.Since(start).Seconds(), res.Text)
+		fmt.Printf("# %s (%.1fs)\n%s\n", oc.ID, oc.Elapsed.Seconds(), oc.Result.Text)
+	}
+
+	st := bufferqoe.Stats()
+	fmt.Printf("# summary: %d/%d experiments ok in %.1fs (%d workers; %d cells simulated, %d cache hits)\n",
+		len(outcomes)-len(failed), len(outcomes), total.Seconds(),
+		st.Workers, st.Misses, st.Hits)
+	if len(failed) > 0 {
+		for _, oc := range failed {
+			fmt.Fprintf(os.Stderr, "qoebench: FAILED %s after %.1fs: %v\n",
+				oc.ID, oc.Elapsed.Seconds(), oc.Err)
+		}
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,3 @@
+module bufferqoe
+
+go 1.24

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CellFunc computes one cell. It must be a pure function of the spec
+// and the derived seed: no reads of clocks, global RNGs, or state
+// mutated by other cells. The engine enforces the payoff — a pure
+// cell's value can be computed once, on any worker, in any order, and
+// be shared by every experiment that names the same spec.
+type CellFunc func(spec CellSpec, seed uint64) any
+
+// Task pairs a spec with the function that computes it, for batch
+// submission.
+type Task struct {
+	Spec CellSpec
+	Fn   CellFunc
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Workers is the current worker-pool size.
+	Workers int
+	// Entries is the number of cached cell results (including ones
+	// still being computed).
+	Entries int
+	// Hits counts Do calls answered from the cache (or coalesced onto
+	// an in-flight computation of the same cell).
+	Hits uint64
+	// Misses counts Do calls that actually computed a cell.
+	Misses uint64
+}
+
+// entry is one cache slot; done is closed once val (or panicked) is
+// set.
+type entry struct {
+	done     chan struct{}
+	val      any
+	panicked any
+}
+
+// Engine runs cells on a bounded worker pool and memoizes their
+// results by canonical spec.
+type Engine struct {
+	mu      sync.Mutex
+	sem     chan struct{} // capacity == worker count
+	cache   map[string]*entry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	workers int
+}
+
+// New creates an engine with the given worker-pool size; n <= 0 uses
+// GOMAXPROCS.
+func New(n int) *Engine {
+	e := &Engine{cache: map[string]*entry{}}
+	e.SetWorkers(n)
+	return e
+}
+
+// SetWorkers resizes the worker pool; n <= 0 uses GOMAXPROCS. Cells
+// already running are unaffected (they release into the pool they
+// acquired from); new submissions see the new bound.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.mu.Lock()
+	e.workers = n
+	e.sem = make(chan struct{}, n)
+	e.mu.Unlock()
+}
+
+// Workers returns the current worker-pool size.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers
+}
+
+// Do returns the cell's value, computing it at most once per process.
+// Concurrent calls for the same canonical spec coalesce: one caller
+// computes (bounded by the worker pool), the rest wait for its value.
+// A panicking cell never poisons the engine: the worker slot is
+// released, the cache entry is dropped (a retry recomputes), and the
+// panic propagates to the computing caller and any coalesced waiters.
+func (e *Engine) Do(spec CellSpec, fn CellFunc) any {
+	spec = spec.Canonical()
+	k := spec.Key()
+
+	e.mu.Lock()
+	if ent, ok := e.cache[k]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		<-ent.done
+		if ent.panicked != nil {
+			panic(ent.panicked)
+		}
+		return ent.val
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[k] = ent
+	sem := e.sem
+	e.mu.Unlock()
+
+	e.misses.Add(1)
+	sem <- struct{}{}
+	completed := false
+	defer func() {
+		<-sem
+		if !completed {
+			ent.panicked = recover()
+			e.mu.Lock()
+			delete(e.cache, k)
+			e.mu.Unlock()
+			close(ent.done)
+			panic(ent.panicked)
+		}
+		close(ent.done)
+	}()
+	ent.val = fn(spec, DeriveSeed(spec))
+	completed = true
+	return ent.val
+}
+
+// RunBatch fans a batch of cells out across the worker pool and
+// returns their values in submission order. Duplicate specs within a
+// batch (or against other in-flight batches) are computed once.
+func (e *Engine) RunBatch(tasks []Task) []any {
+	out := make([]any, len(tasks))
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for i, t := range tasks {
+		go func(i int, t Task) {
+			defer wg.Done()
+			out[i] = e.Do(t.Spec, t.Fn)
+		}(i, t)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	entries, workers := len(e.cache), e.workers
+	e.mu.Unlock()
+	return Stats{
+		Workers: workers,
+		Entries: entries,
+		Hits:    e.hits.Load(),
+		Misses:  e.misses.Load(),
+	}
+}
+
+// ResetCache drops all cached results and zeroes the hit/miss
+// counters. Intended for tests and long-lived processes that change
+// the simulation code underneath the cache (which nothing in-process
+// can).
+func (e *Engine) ResetCache() {
+	e.mu.Lock()
+	e.cache = map[string]*entry{}
+	e.mu.Unlock()
+	e.hits.Store(0)
+	e.misses.Store(0)
+}

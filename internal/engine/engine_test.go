@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func spec(buf int) CellSpec {
+	return CellSpec{
+		Testbed: "access", Scenario: "long-many", Direction: "up",
+		Buffer: buf, Media: "voip", Seed: 42,
+		Duration: 4 * time.Second, Warmup: 2 * time.Second, Reps: 1,
+	}
+}
+
+func TestCanonicalDropsIdleDirection(t *testing.T) {
+	a := spec(64)
+	a.Scenario = "noBG"
+	b := a
+	b.Direction = "down"
+	c := a
+	c.Direction = "bidir"
+	if a.Key() != b.Key() || a.Key() != c.Key() {
+		t.Fatalf("noBG cells with different directions got different keys:\n%s\n%s\n%s",
+			a.Key(), b.Key(), c.Key())
+	}
+	// A congested cell's direction must stay significant.
+	up, down := spec(64), spec(64)
+	down.Direction = "down"
+	if up.Key() == down.Key() {
+		t.Fatal("up and down congestion share a key")
+	}
+}
+
+func TestCanonicalDropsBackboneDirection(t *testing.T) {
+	a := spec(749)
+	a.Testbed = "backbone"
+	b := a
+	b.Direction = ""
+	if a.Key() != b.Key() {
+		t.Fatalf("backbone direction not canonicalized: %s vs %s", a.Key(), b.Key())
+	}
+}
+
+func TestCanonicalFoldsEqualUplinkBuffer(t *testing.T) {
+	a := spec(64)
+	b := spec(64)
+	b.BufferUp = 64
+	if a.Key() != b.Key() {
+		t.Fatal("BufferUp == Buffer should fold away")
+	}
+	c := spec(64)
+	c.BufferUp = 8
+	if c.Key() == a.Key() {
+		t.Fatal("distinct uplink buffer lost in canonicalization")
+	}
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	s1, s2 := DeriveSeed(spec(64)), DeriveSeed(spec(64))
+	if s1 != s2 {
+		t.Fatalf("same spec, different seeds: %d vs %d", s1, s2)
+	}
+	if s1 == 0 {
+		t.Fatal("derived seed is the zero sentinel")
+	}
+	// Different workloads draw decorrelated streams.
+	seen := map[uint64]string{}
+	for _, sc := range []string{"noBG", "long-few", "long-many", "short-few", "short-many"} {
+		for _, dir := range []string{"up", "down"} {
+			sp := spec(64)
+			sp.Scenario, sp.Direction = sc, dir
+			d := DeriveSeed(sp)
+			if prev, dup := seen[d]; dup && prev != sp.Canonical().SeedKey() {
+				t.Fatalf("seed collision between %q and %q", prev, sp.SeedKey())
+			}
+			seen[d] = sp.Canonical().SeedKey()
+		}
+	}
+	// The root seed must flow into the derivation.
+	other := spec(64)
+	other.Seed = 43
+	if DeriveSeed(other) == DeriveSeed(spec(64)) {
+		t.Fatal("root seed does not affect derived seed")
+	}
+}
+
+func TestDeriveSeedPairsComparisonAxes(t *testing.T) {
+	// Buffer size, media, and variant are comparison axes: cells that
+	// differ only there must replay the identical workload
+	// realization (common random numbers), as the paper's sweeps do.
+	base := DeriveSeed(spec(8))
+	for _, buf := range []int{16, 32, 64, 128, 256} {
+		if DeriveSeed(spec(buf)) != base {
+			t.Fatalf("buffer size leaked into seed (buf=%d)", buf)
+		}
+	}
+	v := spec(8)
+	v.Variant = "queue=codel"
+	if DeriveSeed(v) != base {
+		t.Fatal("variant leaked into seed")
+	}
+	m := spec(8)
+	m.Media = "web"
+	if DeriveSeed(m) != base {
+		t.Fatal("media leaked into seed")
+	}
+}
+
+func TestDoMemoizes(t *testing.T) {
+	e := New(2)
+	var calls atomic.Int64
+	fn := func(sp CellSpec, seed uint64) any {
+		calls.Add(1)
+		return seed
+	}
+	v1 := e.Do(spec(64), fn)
+	v2 := e.Do(spec(64), fn)
+	if v1 != v2 {
+		t.Fatalf("cached value changed: %v vs %v", v1, v2)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("cell computed %d times", calls.Load())
+	}
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	e := New(4)
+	var calls atomic.Int64
+	fn := func(sp CellSpec, seed uint64) any {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		return seed
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Do(spec(64), fn)
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("singleflight broken: %d computations", calls.Load())
+	}
+}
+
+func TestRunBatchOrderAndParallelism(t *testing.T) {
+	e := New(4)
+	var inFlight, peak atomic.Int64
+	fn := func(sp CellSpec, seed uint64) any {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		inFlight.Add(-1)
+		return sp.Buffer
+	}
+	var tasks []Task
+	bufs := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	for _, b := range bufs {
+		tasks = append(tasks, Task{Spec: spec(b), Fn: fn})
+	}
+	out := e.RunBatch(tasks)
+	for i, b := range bufs {
+		if out[i] != b {
+			t.Fatalf("out[%d] = %v, want %d (order not preserved)", i, out[i], b)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("no parallelism observed (peak %d)", peak.Load())
+	}
+	if peak.Load() > 4 {
+		t.Fatalf("worker bound exceeded: peak %d > 4", peak.Load())
+	}
+}
+
+func TestSchedulingOrderIndependence(t *testing.T) {
+	// The same grid submitted forwards, backwards, and one-by-one must
+	// produce identical per-cell values: each value depends only on
+	// the derived seed.
+	fn := func(sp CellSpec, seed uint64) any {
+		return fmt.Sprintf("%s:%d", sp.Scenario, seed%1000)
+	}
+	var fwd, rev []Task
+	for _, b := range []int{8, 16, 32, 64} {
+		fwd = append(fwd, Task{Spec: spec(b), Fn: fn})
+	}
+	for i := len(fwd) - 1; i >= 0; i-- {
+		rev = append(rev, fwd[i])
+	}
+	a := New(8).RunBatch(fwd)
+	b := New(1).RunBatch(rev)
+	for i := range a {
+		if a[i] != b[len(b)-1-i] {
+			t.Fatalf("cell %d differs across schedules: %v vs %v", i, a[i], b[len(b)-1-i])
+		}
+	}
+}
+
+func TestPanickingCellDoesNotPoisonEngine(t *testing.T) {
+	e := New(1) // one slot: a leaked slot would hang everything below
+	boom := func(CellSpec, uint64) any { panic("cell exploded") }
+	mustPanic := func() (r any) {
+		defer func() { r = recover() }()
+		e.Do(spec(8), boom)
+		return nil
+	}
+	if r := mustPanic(); r != "cell exploded" {
+		t.Fatalf("panic not propagated to computing caller: %v", r)
+	}
+	// The poisoned entry must be gone: a retry recomputes...
+	var calls atomic.Int64
+	good := func(sp CellSpec, seed uint64) any { calls.Add(1); return seed }
+	e.Do(spec(8), good)
+	if calls.Load() != 1 {
+		t.Fatalf("retry after panic computed %d times", calls.Load())
+	}
+	// ...and the worker slot was released: a different cell still runs.
+	done := make(chan struct{})
+	go func() { e.Do(spec(16), good); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker slot leaked by panicking cell")
+	}
+	if e.Stats().Entries != 2 {
+		t.Fatalf("cache entries = %d, want 2 (panicked entry dropped)", e.Stats().Entries)
+	}
+}
+
+func TestPanicPropagatesToCoalescedWaiters(t *testing.T) {
+	e := New(2)
+	started := make(chan struct{})
+	slow := func(CellSpec, uint64) any {
+		close(started)
+		time.Sleep(20 * time.Millisecond)
+		panic("late boom")
+	}
+	recovered := make(chan any, 2)
+	run := func(fn CellFunc) {
+		defer func() { recovered <- recover() }()
+		e.Do(spec(8), fn)
+		recovered <- nil
+	}
+	go run(slow)
+	<-started
+	go run(slow) // coalesces onto the in-flight computation
+	for i := 0; i < 2; i++ {
+		if r := <-recovered; r != "late boom" {
+			t.Fatalf("caller %d got %v, want the cell's panic", i, r)
+		}
+	}
+}
+
+func TestSetWorkersAndReset(t *testing.T) {
+	e := New(0)
+	if e.Workers() < 1 {
+		t.Fatalf("default workers = %d", e.Workers())
+	}
+	e.SetWorkers(3)
+	if e.Workers() != 3 || e.Stats().Workers != 3 {
+		t.Fatalf("workers = %d", e.Workers())
+	}
+	e.Do(spec(8), func(CellSpec, uint64) any { return 1 })
+	if e.Stats().Entries != 1 {
+		t.Fatal("missing cache entry")
+	}
+	e.ResetCache()
+	st := e.Stats()
+	if st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("reset left stats %+v", st)
+	}
+}

@@ -1,0 +1,52 @@
+package engine
+
+import "fmt"
+
+// SeedKey is the part of the canonical spec the seed derivation sees:
+// the fields that define the background-traffic stimulus (root seed,
+// testbed, workload, congestion direction, population size) — and
+// deliberately nothing else.
+//
+// Comparison axes — buffer size, queue discipline, media type,
+// variant knobs, repetition counts — are excluded, which gives the
+// classic paired-comparison (common-random-numbers) design the
+// paper's sweeps rely on: a buffer sweep replays the identical
+// workload realization at every size, so the spread across a row is
+// attributable to the buffer and not to workload resampling, and an
+// ablation's on/off cells differ only in the ablated mechanism.
+// Cells with different workloads draw decorrelated streams instead of
+// replaying one arrival pattern shifted by a config knob.
+func (s CellSpec) SeedKey() string {
+	c := s.Canonical()
+	return fmt.Sprintf("seed=%d|tb=%s|sc=%s|dir=%s|cdn=%d",
+		c.Seed, c.Testbed, c.Scenario, c.Direction, c.CDNFlows)
+}
+
+// DeriveSeed maps a cell spec to its simulation seed: a hash of the
+// root seed and the spec's stimulus-defining fields (SeedKey). Equal
+// cells get equal seeds no matter which experiment, worker or
+// ordering produced them — this is what makes a parallel sweep
+// bit-identical to a sequential one.
+func DeriveSeed(s CellSpec) uint64 {
+	// FNV-1a over the seed key...
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range []byte(s.SeedKey()) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// ...then a splitmix64 finalizer: FNV is fast but its low bits mix
+	// poorly, and downstream RNG streams are seeded from this value.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	if h == 0 { // keep 0 free as an "unset seed" sentinel downstream
+		h = offset64
+	}
+	return h
+}

@@ -1,0 +1,107 @@
+// Package engine is the parallel cell-execution subsystem of the
+// reproduction. Every experiment in the paper's evaluation is a grid
+// of independent simulation cells (testbed x scenario x direction x
+// buffer x media); the engine gives each cell
+//
+//   - a canonical description (CellSpec) that names everything the
+//     cell's outcome depends on,
+//   - a seed derived deterministically from that description, so the
+//     result is a pure function of the spec and independent of
+//     scheduling order,
+//   - a worker-pool slot, so a grid fans out across cores, and
+//   - a memoized result, so cells shared between experiments (the
+//     noBG rows of fig7a/b/c, the fig1 CDN population, the SD/ClipC
+//     backbone cells of fig9b, ext-clips and ext-psnr) are computed
+//     exactly once per process.
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// CellSpec canonically describes one simulation cell. Two cells with
+// equal canonical specs are the same cell: they derive the same seed,
+// compute the same value, and share one cache entry. Builders must
+// therefore put every result-shaping knob either in a named field or
+// in the Variant tag, and must leave fields the cell does not read at
+// their zero value (a web cell's outcome does not depend on
+// ClipSeconds, so a web spec carries ClipSeconds 0 and probes with
+// different clip settings still share the cached cell).
+type CellSpec struct {
+	// Testbed is "access" or "backbone" ("" for testbed-less cells
+	// such as the wild CDN analysis).
+	Testbed string
+	// Scenario is the Table 1 workload name ("noBG", "long-many", ...).
+	Scenario string
+	// Direction is the congestion direction on the access testbed:
+	// "down", "up" or "bidir". It is meaningless — and canonicalized
+	// away — on the backbone and for the idle noBG scenario.
+	Direction string
+	// Buffer is the bottleneck buffer in packets (downlink on the
+	// access testbed).
+	Buffer int
+	// BufferUp overrides the access uplink buffer when it differs
+	// from Buffer; 0 means "same as Buffer".
+	BufferUp int
+	// Media names the foreground measurement ("voip", "web", "video",
+	// "httpvideo", "background", "wild", ...).
+	Media string
+	// Variant is a canonical tag for any remaining knobs (queue
+	// discipline, congestion control, video profile, fetch mode...).
+	// "" is the paper's default configuration.
+	Variant string
+
+	// Seed is the root seed; the cell's own seed is derived from it
+	// together with every other field (DeriveSeed).
+	Seed uint64
+	// Duration and Warmup are the background measurement window and
+	// warmup of Options.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Reps is the number of calls/streams/fetches in the cell.
+	Reps int
+	// ClipSeconds is the video clip length (video cells only).
+	ClipSeconds int
+	// CDNFlows sizes the synthetic Section 3 population (wild cells
+	// only).
+	CDNFlows int
+}
+
+// Canonical normalizes a spec so that equivalent cells compare equal:
+// the congestion direction is dropped where no congestion exists
+// (backbone, noBG) and an uplink buffer equal to the downlink one is
+// folded into Buffer. This is what makes the noBG columns of
+// fig7a/fig7b/fig7c one set of cells instead of three.
+func (s CellSpec) Canonical() CellSpec {
+	if s.Testbed != "access" || s.Scenario == "noBG" || s.Scenario == "" {
+		s.Direction = ""
+	}
+	if s.BufferUp == s.Buffer {
+		s.BufferUp = 0
+	}
+	return s
+}
+
+// Key renders the canonical spec as the cache/seed key.
+func (s CellSpec) Key() string {
+	c := s.Canonical()
+	return fmt.Sprintf("tb=%s|sc=%s|dir=%s|buf=%d|bufup=%d|media=%s|var=%s|seed=%d|dur=%d|warm=%d|reps=%d|clip=%d|cdn=%d",
+		c.Testbed, c.Scenario, c.Direction, c.Buffer, c.BufferUp,
+		c.Media, c.Variant, c.Seed,
+		int64(c.Duration), int64(c.Warmup), c.Reps, c.ClipSeconds, c.CDNFlows)
+}
+
+// String is a compact human-readable form for logs and errors.
+func (s CellSpec) String() string {
+	c := s.Canonical()
+	out := c.Media + "/" + c.Testbed + "/" + c.Scenario
+	if c.Direction != "" {
+		out += "/" + c.Direction
+	}
+	out += fmt.Sprintf("@%d", c.Buffer)
+	if c.Variant != "" {
+		out += "[" + c.Variant + "]"
+	}
+	return out
+}

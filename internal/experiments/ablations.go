@@ -11,8 +11,6 @@ import (
 	"bufferqoe/internal/sizing"
 	"bufferqoe/internal/tcp"
 	"bufferqoe/internal/testbed"
-	"bufferqoe/internal/video"
-	"bufferqoe/internal/web"
 )
 
 // ablationAQM answers the question the bufferbloat debate asks of the
@@ -26,65 +24,66 @@ import (
 func ablationAQM(o Options) (*Result, error) {
 	queues := []struct {
 		name    string
-		factory testbed.QueueFactory
+		factory queueFactory
 	}{
 		{"drop-tail", nil},
-		{"codel", func(capPkts int) netem.Queue {
+		{"codel", func(capPkts int, _ uint64) netem.Queue {
 			return aqm.NewCoDelForRate(capPkts, testbed.AccessUpRate)
 		}},
-		{"red", func(capPkts int) netem.Queue { return aqm.NewRED(capPkts, sim.NewRNG(o.Seed, "red")) }},
-		{"ared", func(capPkts int) netem.Queue { return aqm.NewARED(capPkts, sim.NewRNG(o.Seed, "ared")) }},
-		{"pie", func(capPkts int) netem.Queue { return aqm.NewPIE(capPkts, sim.NewRNG(o.Seed, "pie")) }},
-		{"fq-codel", func(capPkts int) netem.Queue {
+		{"red", func(capPkts int, seed uint64) netem.Queue {
+			return aqm.NewRED(capPkts, sim.NewRNG(seed, "red"))
+		}},
+		{"ared", func(capPkts int, seed uint64) netem.Queue {
+			return aqm.NewARED(capPkts, sim.NewRNG(seed, "ared"))
+		}},
+		{"pie", func(capPkts int, seed uint64) netem.Queue {
+			return aqm.NewPIE(capPkts, sim.NewRNG(seed, "pie"))
+		}},
+		{"fq-codel", func(capPkts int, _ uint64) netem.Queue {
 			return aqm.NewFQCoDelForRate(capPkts, testbed.AccessUpRate)
 		}},
 	}
 	cols := make([]string, 0, len(queues))
+	var jobs []cellJob
 	for _, q := range queues {
 		cols = append(cols, q.name)
+		v := accessVariant{upQueue: q.factory}
+		if q.factory != nil {
+			v.tag = "queue=" + q.name
+		}
+		jobs = append(jobs, cellJob{voipAccessTask(o, "long-many", testbed.DirUp, 256, v), "", q.name})
 	}
 	g := NewGrid("Ablation: AQM at a bloated (256-pkt) uplink, upstream long-many workload",
 		[]string{"talk MOS", "listen MOS"}, cols)
-	for _, q := range queues {
-		oq := o
-		listen, talk := voipAccessCellQueue("long-many", testbed.DirUp, 256, oq, q.factory)
-		g.Set("talk MOS", q.name, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
-		g.Set("listen MOS", q.name, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
-	}
-	return &Result{ID: "abl-aqm", Grids: []*Grid{g}}, nil
-}
-
-// voipAccessCellQueue is voipAccessCell with a custom uplink queue
-// discipline.
-func voipAccessCellQueue(name string, dir testbed.Direction, buf int, o Options, qf testbed.QueueFactory) (listen, talk float64) {
-	a := testbed.NewAccess(testbed.Config{
-		BufferUp: buf, BufferDown: buf, Seed: o.Seed, UpQueue: qf,
+	runCells(jobs, func(_, col string, v any) {
+		p := v.(voipScore)
+		g.Set("talk MOS", col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
+		g.Set("listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
 	})
-	if name != "noBG" {
-		a.StartWorkload(testbed.AccessScenario(name, dir))
-	}
-	return runVoIPPair(a, o)
+	return &Result{ID: "abl-aqm", Grids: []*Grid{g}}, nil
 }
 
 // ablationCC revisits the paper's Section 5.2 claim that the choice of
 // background congestion control (Reno vs CUBIC) "does not
 // substantially impact the QoE results": same cell, both algorithms.
+// CUBIC is the access testbed's default, so its cell is the cached
+// fig7c long-few/64 cell.
 func ablationCC(o Options) (*Result, error) {
 	g := NewGrid("Ablation: background congestion control (access, 64-pkt buffers, bidir long-few)",
 		[]string{"listen MOS", "talk MOS"}, []string{"cubic", "reno"})
-	algos := map[string]func() tcp.CongestionControl{
-		"cubic": tcp.NewCubic,
-		"reno":  tcp.NewReno,
+	variants := map[string]accessVariant{
+		"cubic": {},
+		"reno":  {tag: "cc=reno", cc: tcp.NewReno},
 	}
-	for cc, factory := range algos {
-		a := testbed.NewAccess(testbed.Config{
-			BufferUp: 64, BufferDown: 64, Seed: o.Seed, CC: factory,
-		})
-		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirBidir))
-		listen, talk := runVoIPPair(a, o)
-		g.Set("listen MOS", cc, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
-		g.Set("talk MOS", cc, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
+	var jobs []cellJob
+	for _, cc := range []string{"cubic", "reno"} {
+		jobs = append(jobs, cellJob{voipAccessTask(o, "long-few", testbed.DirBidir, 64, variants[cc]), "", cc})
 	}
+	runCells(jobs, func(_, col string, v any) {
+		p := v.(voipScore)
+		g.Set("listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
+		g.Set("talk MOS", col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
+	})
 	return &Result{ID: "abl-ccalgo", Grids: []*Grid{g}}, nil
 }
 
@@ -104,6 +103,9 @@ func ablationLoadAware(o Options) (*Result, error) {
 		[]string{"short-few", "long-many"},
 		[]string{"bdp", "bloat(10x)", "load-aware"})
 	model := qoe.AccessWebModel()
+	labels := []string{"bdp", "bloat(10x)", "load-aware"}
+	var jobs []cellJob
+	chosen := map[string]int{}
 	for _, sc := range scenarios {
 		n := 24 // rough concurrent-flow estimate for the scheme
 		choices := map[string]int{
@@ -111,21 +113,22 @@ func ablationLoadAware(o Options) (*Result, error) {
 			"bloat(10x)": sizing.BloatedPackets(bdp),
 			"load-aware": sizing.LoadAware(bdp, n, sc.util),
 		}
-		for label, buf := range choices {
-			a := testbed.NewAccess(testbed.Config{BufferUp: 8, BufferDown: buf, Seed: o.Seed})
-			a.StartWorkload(testbed.AccessScenario(sc.name, testbed.DirDown))
-			web.RegisterServer(a.MediaServerTCP, web.Port)
-			plt := webReps(a.Eng, o, func(done func(web.Result)) {
-				web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
-			})
-			mos := model.MOS(plt)
-			g.Set(sc.name, label, Cell{
-				Value: mos,
-				Text:  fmt.Sprintf("MOS %.1f @%dp", mos, buf),
-				Class: string(qoe.Rate(mos)),
-			})
+		for _, label := range labels {
+			buf := choices[label]
+			jobs = append(jobs, cellJob{webAccessTask(o, sc.name, testbed.DirDown, buf,
+				accessVariant{bufUp: 8}, 0), sc.name, label})
+			chosen[sc.name+"/"+label] = buf
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		plt := v.(time.Duration)
+		mos := model.MOS(plt)
+		g.Set(row, col, Cell{
+			Value: mos,
+			Text:  fmt.Sprintf("MOS %.1f @%dp", mos, chosen[row+"/"+col]),
+			Class: string(qoe.Rate(mos)),
+		})
+	})
 	return &Result{ID: "abl-loadaware", Grids: []*Grid{g}}, nil
 }
 
@@ -135,20 +138,17 @@ func ablationLoadAware(o Options) (*Result, error) {
 func ablationSmoothing(o Options) (*Result, error) {
 	g := NewGrid("Ablation: video sender smoothing (access, idle link)",
 		[]string{"SSIM", "loss %"}, []string{"smooth-8pkt", "burst-8pkt", "smooth-64pkt", "burst-64pkt"})
+	var jobs []cellJob
 	for _, buf := range []int{8, 64} {
 		for _, smooth := range []bool{true, false} {
-			a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-			src := video.NewSource(video.ClipC, video.SD, o.ClipSeconds)
-			var got video.Result
-			video.Start(a.MediaServer, a.MediaClient, src,
-				video.Config{Smooth: smooth, Seed: o.Seed},
-				func(r video.Result) { got = r; a.Eng.Halt() })
-			a.Eng.RunFor(cellCap)
 			label := map[bool]string{true: "smooth", false: "burst"}[smooth]
-			col := fmt.Sprintf("%s-%dpkt", label, buf)
-			g.Set("SSIM", col, Cell{Value: got.MeanSSIM})
-			g.Set("loss %", col, Cell{Value: got.LossPct()})
+			jobs = append(jobs, cellJob{smoothingTask(o, buf, smooth), "", fmt.Sprintf("%s-%dpkt", label, buf)})
 		}
 	}
+	runCells(jobs, func(_, col string, v any) {
+		sc := v.(smoothingScore)
+		g.Set("SSIM", col, Cell{Value: sc.SSIM})
+		g.Set("loss %", col, Cell{Value: sc.LossPct})
+	})
 	return &Result{ID: "abl-smoothing", Grids: []*Grid{g}}, nil
 }

@@ -2,12 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
-	"bufferqoe/internal/httpvideo"
 	"bufferqoe/internal/qoe"
-	"bufferqoe/internal/stats"
-	"bufferqoe/internal/testbed"
 )
 
 // extABR carries the paper's §10 HTTP-video future work one step
@@ -17,70 +13,31 @@ import (
 // decides QoE — the expected answer being "only in the middle": where
 // a lower rung fits the per-flow share, ABR converts stalls into
 // bitrate reduction; at sustained overload nothing fits and all three
-// players are bad.
+// players are bad. The progressive-4M cells are shared with
+// ext-httpvideo's 749-packet column through the cache.
 func extABR(o Options) (*Result, error) {
 	scenarios := []string{"noBG", "short-medium", "short-high", "long"}
 	players := []string{"progressive-4M", "abr-rate", "abr-buffer"}
 	g := NewGrid("Extension: DASH adaptation vs fixed-rate HTTP video (backbone, BDP buffer)",
 		players, scenarios)
-	mediaDur := time.Duration(o.ClipSeconds*4) * time.Second
-
+	var jobs []cellJob
 	for _, s := range scenarios {
 		for _, player := range players {
-			b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: o.Seed})
-			if s != "noBG" {
-				b.StartWorkload(testbed.BackboneScenario(s))
-			}
-			var mosS, rateS stats.Sample
-			remaining := o.Reps
-			var next func()
-
+			kind := player
 			if player == "progressive-4M" {
-				cfg := httpvideo.Config{Bitrate: 4e6, MediaDuration: mediaDur}
-				httpvideo.RegisterServer(b.MediaServerTCP, httpvideo.Port, cfg)
-				next = func() {
-					if remaining == 0 {
-						b.Eng.Halt()
-						return
-					}
-					remaining--
-					httpvideo.Watch(b.MediaClientTCP, b.MediaServer.Addr(httpvideo.Port), cfg,
-						func(r httpvideo.Result) {
-							mosS.Add(r.MOS)
-							rateS.Add(4e6)
-							b.Eng.Schedule(time.Second, next)
-						})
-				}
-			} else {
-				cfg := httpvideo.ABRConfig{MediaDuration: mediaDur}
-				if player == "abr-buffer" {
-					cfg.Algorithm = httpvideo.ABRBuffer
-				}
-				httpvideo.RegisterABRServer(b.MediaServerTCP, httpvideo.ABRPort, cfg)
-				next = func() {
-					if remaining == 0 {
-						b.Eng.Halt()
-						return
-					}
-					remaining--
-					httpvideo.WatchABR(b.MediaClientTCP, b.MediaServer.Addr(httpvideo.ABRPort), cfg,
-						func(r httpvideo.ABRResult) {
-							mosS.Add(r.MOS)
-							rateS.Add(r.MeanBitrate)
-							b.Eng.Schedule(time.Second, next)
-						})
-				}
+				kind = "progressive"
 			}
-			b.Eng.Schedule(o.Warmup, next)
-			b.Eng.RunFor(cellCap)
-			mos := mosS.Median()
-			g.Set(player, s, Cell{
-				Value: mos,
-				Text:  fmt.Sprintf("MOS %.1f @%.1fM", mos, rateS.Median()/1e6),
-				Class: string(qoe.Rate(mos)),
-			})
+			jobs = append(jobs, cellJob{httpVideoTask(o, s, 749, kind), player, s})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		sc := v.(httpScore)
+		g.Set(row, col, Cell{
+			Value: sc.MOS,
+			Text:  fmt.Sprintf("MOS %.1f @%.1fM", sc.MOS, sc.Bitrate/1e6),
+			Class: string(qoe.Rate(sc.MOS)),
+		})
+	})
 	return &Result{
 		ID:    "ext-abr",
 		Grids: []*Grid{g},

@@ -1,0 +1,532 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/cdn"
+	"bufferqoe/internal/engine"
+	"bufferqoe/internal/httpvideo"
+	"bufferqoe/internal/media"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/stats"
+	"bufferqoe/internal/tcp"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/video"
+	"bufferqoe/internal/voip"
+	"bufferqoe/internal/web"
+)
+
+// eng is the process-wide cell-execution engine: every experiment and
+// probe submits its cells here, so configurations shared between
+// experiments (the noBG rows of the fig7 family, the ClipC backbone
+// cells of fig9b/ext-clips/ext-psnr, the fig1 CDN population) are
+// simulated exactly once per process.
+var eng = engine.New(0)
+
+// SetParallelism resizes the cell worker pool; n <= 0 means
+// GOMAXPROCS. Parallelism never changes results: each cell's seed is
+// derived from its canonical spec, not from scheduling order.
+func SetParallelism(n int) { eng.SetWorkers(n) }
+
+// Parallelism returns the current worker-pool size.
+func Parallelism() int { return eng.Workers() }
+
+// EngineStats snapshots the cell cache/pool counters.
+func EngineStats() engine.Stats { return eng.Stats() }
+
+// ResetEngineCache drops all memoized cell results (tests only).
+func ResetEngineCache() { eng.ResetCache() }
+
+// Cell value types. Cells return every metric their simulation run
+// can cheaply expose, so experiments asking different questions of
+// the same configuration share one cached run.
+
+// voipScore is an access VoIP cell: median MOS per direction plus the
+// uplink-path characteristics the ablations read.
+type voipScore struct {
+	Listen, Talk float64
+	UpDelayMs    float64
+	UpUtilPct    float64
+}
+
+// videoScore is a video cell: median SSIM and PSNR across reps.
+type videoScore struct{ SSIM, PSNR float64 }
+
+// httpScore is an HTTP-video cell: median MOS and mean bitrate.
+type httpScore struct{ MOS, Bitrate float64 }
+
+// playoutScore is a VoIP playout-buffer cell.
+type playoutScore struct{ MOS, Z1, LossPct float64 }
+
+// smoothingScore is a single-stream video smoothing cell.
+type smoothingScore struct{ SSIM, LossPct float64 }
+
+// bgMetrics is a background-only characterization cell (table1, fig4,
+// fig5): no foreground traffic, the workload itself is the
+// measurement.
+type bgMetrics struct {
+	Conc                   float64
+	UtilUpPct, UtilDownPct float64
+	SdUp, SdDown           float64
+	LossUpPct, LossDownPct float64
+	DelayUpMs, DelayDownMs float64
+	UpBox, DownBox         stats.Boxplot
+}
+
+// queueFactory builds a bottleneck queue discipline from its packet
+// capacity and the cell's derived seed (RNG-bearing disciplines like
+// RED must draw from the cell's stream, not the root seed).
+type queueFactory func(capPkts int, seed uint64) netem.Queue
+
+// accessVariant bundles the non-default access-testbed knobs a cell
+// may carry together with the canonical tag that distinguishes them
+// in the cell cache. The zero value — empty tag — is the paper's
+// default configuration; builders must keep tag and knobs in sync, as
+// the tag is what the cache and seed derivation see.
+type accessVariant struct {
+	tag     string
+	bufUp   int // uplink buffer override; 0 = same as downlink
+	upQueue queueFactory
+	cc      func() tcp.CongestionControl
+	tcpCfg  tcp.Config
+	jitter  time.Duration
+}
+
+func (v accessVariant) config(buf int, seed uint64) testbed.Config {
+	up := buf
+	if v.bufUp != 0 {
+		up = v.bufUp
+	}
+	cfg := testbed.Config{
+		BufferUp: up, BufferDown: buf, Seed: seed,
+		CC: v.cc, TCP: v.tcpCfg, Jitter: v.jitter,
+	}
+	if v.upQueue != nil {
+		qf := v.upQueue
+		cfg.UpQueue = func(capPkts int) netem.Queue { return qf(capPkts, seed) }
+	}
+	return cfg
+}
+
+// runOne executes a single cell synchronously (probes and small
+// grids); batches should go through runCells.
+func runOne(t engine.Task) any { return eng.Do(t.Spec, t.Fn) }
+
+// cellJob pairs a cell task with the grid coordinates its value lands
+// in, so a runner builds both in one append and the task/label
+// pairing can never drift.
+type cellJob struct {
+	task     engine.Task
+	row, col string
+}
+
+// runCells fans a batch of jobs out across the engine and hands each
+// value back with its grid coordinates.
+func runCells(jobs []cellJob, each func(row, col string, v any)) {
+	tasks := make([]engine.Task, len(jobs))
+	for i, j := range jobs {
+		tasks[i] = j.task
+	}
+	for i, v := range eng.RunBatch(tasks) {
+		each(jobs[i].row, jobs[i].col, v)
+	}
+}
+
+func msToDuration(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// --- VoIP cells ---------------------------------------------------
+
+// voipAccessTask describes one access VoIP cell: Reps bidirectional
+// calls under the named workload at the given buffers.
+func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Buffer: buf, BufferUp: v.bufUp, Media: "voip", Variant: v.tag,
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		a := testbed.NewAccess(v.config(buf, seed))
+		if scenario != "noBG" {
+			a.StartWorkload(testbed.AccessScenario(scenario, dir))
+		}
+		listen, talk := runVoIPPair(a, oc)
+		now := a.Eng.Now()
+		return voipScore{
+			Listen: listen, Talk: talk,
+			UpDelayMs: a.UpMon.MeanDelayMs(),
+			UpUtilPct: a.UpLink.Monitor.MeanUtilization(now),
+		}
+	}}
+}
+
+// voipAccessCell runs one access VoIP cell through the engine.
+func voipAccessCell(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant) voipScore {
+	t := voipAccessTask(o, scenario, dir, buf, v)
+	return runOne(t).(voipScore)
+}
+
+// voipBackboneTask describes one backbone VoIP cell (unidirectional
+// calls, server -> client).
+func voipBackboneTask(o Options, scenario string, buf int) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "voip",
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		if scenario != "noBG" {
+			b.StartWorkload(testbed.BackboneScenario(scenario))
+		}
+		lib := media.Library(seed)
+		var mosS stats.Sample
+		for i := 0; i < oc.Reps; i++ {
+			i := i
+			b.Eng.Schedule(oc.Warmup+time.Duration(i)*callSpacing, func() {
+				voip.Start(b.MediaServer, b.MediaClient, lib[i%len(lib)], 0,
+					func(r voip.Result) {
+						mosS.Add(r.MOS)
+						if mosS.N() == oc.Reps {
+							b.Eng.Halt()
+						}
+					})
+			})
+		}
+		b.Eng.RunFor(cellCap)
+		return mosS.Median()
+	}}
+}
+
+// playoutTask describes one fixed-vs-adaptive playout-buffer cell
+// (access, short-many down, 256-packet buffers).
+func playoutTask(o Options, mode string) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "access", Scenario: "short-many", Direction: testbed.DirDown.String(),
+		Buffer: 256, Media: "voip", Variant: "playout=" + mode,
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: seed})
+		a.StartWorkload(testbed.AccessScenario("short-many", testbed.DirDown))
+		lib := media.Library(seed)
+		var mosS, z1S, lossS stats.Sample
+		for i := 0; i < oc.Reps; i++ {
+			i := i
+			a.Eng.Schedule(oc.Warmup+time.Duration(i)*callSpacing, func() {
+				done := func(r voip.Result) {
+					mosS.Add(r.MOS)
+					z1S.Add(r.Z1)
+					lossS.Add(r.LossPct())
+					if mosS.N() == oc.Reps {
+						a.Eng.Halt()
+					}
+				}
+				if mode == "adaptive" {
+					voip.StartAdaptive(a.MediaServer, a.MediaClient, lib[i%len(lib)], done)
+				} else {
+					voip.Start(a.MediaServer, a.MediaClient, lib[i%len(lib)], 0, done)
+				}
+			})
+		}
+		a.Eng.RunFor(cellCap)
+		return playoutScore{MOS: mosS.Median(), Z1: z1S.Median(), LossPct: lossS.Median()}
+	}}
+}
+
+// --- Web cells ----------------------------------------------------
+
+// webAccessTask describes one access web cell: Reps sequential
+// fetches (or parallel browser-style fetches over fetchConns
+// connections when fetchConns > 0) of the paper's static page.
+func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant, fetchConns int) engine.Task {
+	variant := v.tag
+	if fetchConns > 0 {
+		if variant != "" {
+			variant += ";"
+		}
+		variant += fmt.Sprintf("par=%d", fetchConns)
+	}
+	sp := engine.CellSpec{
+		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Buffer: buf, BufferUp: v.bufUp, Media: "web", Variant: variant,
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		a := testbed.NewAccess(v.config(buf, seed))
+		if scenario != "noBG" {
+			a.StartWorkload(testbed.AccessScenario(scenario, dir))
+		}
+		if fetchConns > 0 {
+			web.RegisterBrowserServer(a.MediaServerTCP, web.BrowserPort)
+			return webReps(a.Eng, oc, func(done func(web.Result)) {
+				web.FetchParallel(a.MediaClientTCP, a.MediaServer.Addr(web.BrowserPort),
+					fetchConns, 60*time.Second, done)
+			})
+		}
+		web.RegisterServer(a.MediaServerTCP, web.Port)
+		return webReps(a.Eng, oc, func(done func(web.Result)) {
+			web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
+		})
+	}}
+}
+
+// webAccessCell runs one access web cell and returns the median PLT.
+func webAccessCell(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant, fetchConns int) time.Duration {
+	t := webAccessTask(o, scenario, dir, buf, v, fetchConns)
+	return runOne(t).(time.Duration)
+}
+
+// webBackboneTask describes one backbone web cell.
+func webBackboneTask(o Options, scenario string, buf int) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "web",
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		if scenario != "noBG" {
+			b.StartWorkload(testbed.BackboneScenario(scenario))
+		}
+		web.RegisterServer(b.MediaServerTCP, web.Port)
+		return webReps(b.Eng, oc, func(done func(web.Result)) {
+			web.Fetch(b.MediaClientTCP, b.MediaServer.Addr(web.Port), 60*time.Second, done)
+		})
+	}}
+}
+
+// --- Video cells --------------------------------------------------
+
+func videoVariantTag(clip video.Clip, p video.Profile, rec video.Recovery) string {
+	tag := "clip=" + clip.Name + ";profile=" + p.Name
+	if rec != video.RecoveryNone {
+		tag += ";rec=" + rec.String()
+	}
+	return tag
+}
+
+// videoAccessTask describes one access RTP-video cell (download
+// congestion; IPTV is downstream).
+func videoAccessTask(o Options, scenario string, clip video.Clip, p video.Profile, buf int) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "access", Scenario: scenario, Direction: testbed.DirDown.String(),
+		Buffer: buf, Media: "video", Variant: videoVariantTag(clip, p, video.RecoveryNone),
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		src := video.NewSource(clip, p, oc.ClipSeconds)
+		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: seed})
+		if scenario != "noBG" {
+			a.StartWorkload(testbed.AccessScenario(scenario, testbed.DirDown))
+		}
+		return videoReps(a.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second,
+			func(done func(video.Result)) {
+				video.Start(a.MediaServer, a.MediaClient, src,
+					video.Config{Smooth: true, Seed: seed}, done)
+			})
+	}}
+}
+
+// videoBackboneTask describes one backbone RTP-video cell, optionally
+// with ARQ/FEC recovery.
+func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Profile, rec video.Recovery, buf int) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "backbone", Scenario: scenario, Buffer: buf,
+		Media: "video", Variant: videoVariantTag(clip, p, rec),
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		src := video.NewSource(clip, p, oc.ClipSeconds)
+		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		if scenario != "noBG" {
+			b.StartWorkload(testbed.BackboneScenario(scenario))
+		}
+		return videoReps(b.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second,
+			func(done func(video.Result)) {
+				video.Start(b.MediaServer, b.MediaClient, src,
+					video.Config{Smooth: true, Seed: seed, Recovery: rec}, done)
+			})
+	}}
+}
+
+// smoothingTask describes one sender-smoothing cell: a single SD
+// stream on an otherwise idle access link.
+func smoothingTask(o Options, buf int, smooth bool) engine.Task {
+	mode := "burst"
+	if smooth {
+		mode = "smooth"
+	}
+	sp := engine.CellSpec{
+		Testbed: "access", Scenario: "noBG", Buffer: buf,
+		Media: "video", Variant: "single;mode=" + mode + ";profile=SD",
+		Seed: o.Seed, ClipSeconds: o.ClipSeconds,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: seed})
+		src := video.NewSource(video.ClipC, video.SD, o.ClipSeconds)
+		var got video.Result
+		video.Start(a.MediaServer, a.MediaClient, src,
+			video.Config{Smooth: smooth, Seed: seed},
+			func(r video.Result) { got = r; a.Eng.Halt() })
+		a.Eng.RunFor(cellCap)
+		return smoothingScore{SSIM: got.MeanSSIM, LossPct: got.LossPct()}
+	}}
+}
+
+// --- HTTP video cells ---------------------------------------------
+
+// httpVideoTask describes one backbone HTTP-video cell; player is
+// "progressive", "abr-rate" or "abr-buffer".
+func httpVideoTask(o Options, scenario string, buf int, player string) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "backbone", Scenario: scenario, Buffer: buf,
+		Media: "httpvideo", Variant: "player=" + player,
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		oc := o
+		oc.Seed = seed
+		mediaDur := time.Duration(oc.ClipSeconds*4) * time.Second
+		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		if scenario != "noBG" {
+			b.StartWorkload(testbed.BackboneScenario(scenario))
+		}
+		var mosS, rateS stats.Sample
+		remaining := oc.Reps
+		var next func()
+		if player == "progressive" {
+			cfg := httpvideo.Config{Bitrate: 4e6, MediaDuration: mediaDur}
+			httpvideo.RegisterServer(b.MediaServerTCP, httpvideo.Port, cfg)
+			next = func() {
+				if remaining == 0 {
+					b.Eng.Halt()
+					return
+				}
+				remaining--
+				httpvideo.Watch(b.MediaClientTCP, b.MediaServer.Addr(httpvideo.Port), cfg,
+					func(r httpvideo.Result) {
+						mosS.Add(r.MOS)
+						rateS.Add(4e6)
+						b.Eng.Schedule(time.Second, next)
+					})
+			}
+		} else {
+			cfg := httpvideo.ABRConfig{MediaDuration: mediaDur}
+			if player == "abr-buffer" {
+				cfg.Algorithm = httpvideo.ABRBuffer
+			}
+			httpvideo.RegisterABRServer(b.MediaServerTCP, httpvideo.ABRPort, cfg)
+			next = func() {
+				if remaining == 0 {
+					b.Eng.Halt()
+					return
+				}
+				remaining--
+				httpvideo.WatchABR(b.MediaClientTCP, b.MediaServer.Addr(httpvideo.ABRPort), cfg,
+					func(r httpvideo.ABRResult) {
+						mosS.Add(r.MOS)
+						rateS.Add(r.MeanBitrate)
+						b.Eng.Schedule(time.Second, next)
+					})
+			}
+		}
+		b.Eng.Schedule(oc.Warmup, next)
+		b.Eng.RunFor(cellCap)
+		return httpScore{MOS: mosS.Median(), Bitrate: rateS.Median()}
+	}}
+}
+
+// --- Background characterization cells ----------------------------
+
+// bgAccessTask describes one background-only access cell: run the
+// workload for Warmup+Duration and report the link/queue statistics.
+func bgAccessTask(o Options, scenario string, dir testbed.Direction, bufUp, bufDown int) engine.Task {
+	v := accessVariant{bufUp: bufUp}
+	sp := engine.CellSpec{
+		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Buffer: bufDown, BufferUp: bufUp, Media: "background",
+		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		a := testbed.NewAccess(v.config(bufDown, seed))
+		if scenario != "noBG" {
+			a.StartWorkload(testbed.AccessScenario(scenario, dir))
+		}
+		a.Eng.RunFor(o.Warmup + o.Duration)
+		now := a.Eng.Now()
+		m := bgMetrics{
+			UtilUpPct:   a.UpLink.Monitor.MeanUtilization(now),
+			UtilDownPct: a.DownLink.Monitor.MeanUtilization(now),
+			SdUp:        a.UpLink.Monitor.UtilSamples.Std(),
+			SdDown:      a.DownLink.Monitor.UtilSamples.Std(),
+			LossUpPct:   100 * a.UpMon.LossRate(),
+			LossDownPct: 100 * a.DownMon.LossRate(),
+			DelayUpMs:   a.UpMon.MeanDelayMs(),
+			DelayDownMs: a.DownMon.MeanDelayMs(),
+			UpBox:       stats.BoxplotOf(&a.UpLink.Monitor.UtilSamples),
+			DownBox:     stats.BoxplotOf(&a.DownLink.Monitor.UtilSamples),
+		}
+		if a.UpGen != nil {
+			m.Conc += a.UpGen.Stats().Concurrent.Mean()
+		}
+		if a.DownGen != nil {
+			m.Conc += a.DownGen.Stats().Concurrent.Mean()
+		}
+		return m
+	}}
+}
+
+// bgBackboneTask is bgAccessTask for the backbone testbed; only the
+// Down-side metrics are meaningful.
+func bgBackboneTask(o Options, scenario string, buf int) engine.Task {
+	sp := engine.CellSpec{
+		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "background",
+		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		if scenario != "noBG" {
+			b.StartWorkload(testbed.BackboneScenario(scenario))
+		}
+		b.Eng.RunFor(o.Warmup + o.Duration)
+		now := b.Eng.Now()
+		return bgMetrics{
+			Conc:        b.Gen.Stats().Concurrent.Mean(),
+			UtilDownPct: b.DownLink.Monitor.MeanUtilization(now),
+			SdDown:      b.DownLink.Monitor.UtilSamples.Std(),
+			LossDownPct: 100 * b.DownMon.LossRate(),
+			DelayDownMs: b.DownMon.MeanDelayMs(),
+			DownBox:     stats.BoxplotOf(&b.DownLink.Monitor.UtilSamples),
+		}
+	}}
+}
+
+// --- Wild (Section 3) cell ----------------------------------------
+
+// wildTask describes the synthetic CDN population analysis shared by
+// the three Figure 1 panels; its only inputs are the seed and the
+// population size.
+func wildTask(o Options) engine.Task {
+	sp := engine.CellSpec{
+		Media: "wild", Seed: o.Seed, CDNFlows: o.CDNFlows,
+	}
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+		flows := cdn.Generate(cdn.Config{Flows: o.CDNFlows, Seed: seed})
+		return cdn.Analyze(flows, cdn.MinSamplesDefault)
+	}}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"bufferqoe/internal/stats"
@@ -193,4 +194,41 @@ func Run(id string, o Options) (*Result, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
 	return r(o.withDefaults())
+}
+
+// Outcome is one experiment's entry in a RunAll batch.
+type Outcome struct {
+	ID      string
+	Result  *Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAll executes a batch of experiments and returns one Outcome per
+// ID, in input order. Experiments run concurrently (their cells
+// additionally fan out across the engine's worker pool); a failing
+// experiment records its error and does not stop the rest. Cells
+// shared between experiments in the batch are simulated once: the
+// engine coalesces duplicate in-flight specs and caches results.
+func RunAll(ids []string, o Options) []Outcome {
+	out := make([]Outcome, len(ids))
+	// Experiment-level concurrency is bounded separately from the cell
+	// pool: experiment goroutines spend almost all their time waiting
+	// on cells, so a small multiple of the cell pool keeps it fed
+	// without piling up every grid's bookkeeping at once.
+	sem := make(chan struct{}, 2*Parallelism())
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := Run(id, o)
+			out[i] = Outcome{ID: id, Result: res, Err: err, Elapsed: time.Since(start)}
+		}(i, id)
+	}
+	wg.Wait()
+	return out
 }

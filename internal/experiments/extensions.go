@@ -2,17 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
-	"bufferqoe/internal/httpvideo"
-	"bufferqoe/internal/media"
 	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/sizing"
-	"bufferqoe/internal/stats"
 	"bufferqoe/internal/tcp"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/video"
-	"bufferqoe/internal/voip"
 )
 
 // extHTTPVideo evaluates the paper's Section 10 future-work claim:
@@ -24,39 +19,17 @@ func extHTTPVideo(o Options) (*Result, error) {
 	scenarios := testbed.BackboneScenarioNames
 	g := NewGrid("Extension: HTTP progressive video on the backbone (Mok et al. MOS)",
 		scenarios, backboneBufferCols())
-	cfg := httpvideo.Config{
-		Bitrate:       4e6,
-		MediaDuration: time.Duration(o.ClipSeconds*4) * time.Second,
-	}
+	var jobs []cellJob
 	for _, buf := range sizing.BackboneBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: o.Seed})
-			if s != "noBG" {
-				b.StartWorkload(testbed.BackboneScenario(s))
-			}
-			httpvideo.RegisterServer(b.MediaServerTCP, httpvideo.Port, cfg)
-			var mosS stats.Sample
-			remaining := o.Reps
-			var next func()
-			next = func() {
-				if remaining == 0 {
-					b.Eng.Halt()
-					return
-				}
-				remaining--
-				httpvideo.Watch(b.MediaClientTCP, b.MediaServer.Addr(httpvideo.Port), cfg,
-					func(r httpvideo.Result) {
-						mosS.Add(r.MOS)
-						b.Eng.Schedule(time.Second, next)
-					})
-			}
-			b.Eng.Schedule(o.Warmup, next)
-			b.Eng.RunFor(cellCap)
-			m := mosS.Median()
-			g.Set(s, col, Cell{Value: m, Class: string(qoe.Rate(m))})
+			jobs = append(jobs, cellJob{httpVideoTask(o, s, buf, "progressive"), s, col})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		m := v.(httpScore).MOS
+		g.Set(row, col, Cell{Value: m, Class: string(qoe.Rate(m))})
+	})
 	return &Result{
 		ID:    "ext-httpvideo",
 		Grids: []*Grid{g},
@@ -68,7 +41,8 @@ func extHTTPVideo(o Options) (*Result, error) {
 // classes (paper Section 8.3: "Comparing the obtained quality scores
 // among the three different videos leads to minor differences ...
 // the quality scores of all video clips lead to the same primary
-// observation").
+// observation"). The ClipC column is shared with fig9b and ext-psnr
+// through the cell cache.
 func extClips(o Options) (*Result, error) {
 	scenarios := []string{"noBG", "short-medium", "long"}
 	var rows []string
@@ -76,21 +50,16 @@ func extClips(o Options) (*Result, error) {
 		rows = append(rows, c.Name)
 	}
 	g := NewGrid("Extension: per-clip SSIM (SD, backbone, BDP buffer)", rows, scenarios)
+	var jobs []cellJob
 	for _, s := range scenarios {
 		for _, clip := range video.Clips {
-			src := video.NewSource(clip, video.SD, o.ClipSeconds)
-			b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: o.Seed})
-			if s != "noBG" {
-				b.StartWorkload(testbed.BackboneScenario(s))
-			}
-			ssim := videoReps(b.Eng, o, time.Duration(o.ClipSeconds)*time.Second,
-				func(done func(video.Result)) {
-					video.Start(b.MediaServer, b.MediaClient, src,
-						video.Config{Smooth: true, Seed: o.Seed}, done)
-				})
-			g.Set(clip.Name, s, Cell{Value: ssim, Class: string(qoe.Rate(qoe.SSIMToMOS(ssim)))})
+			jobs = append(jobs, cellJob{videoBackboneTask(o, s, clip, video.SD, video.RecoveryNone, 749), clip.Name, s})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		ssim := v.(videoScore).SSIM
+		g.Set(row, col, Cell{Value: ssim, Class: string(qoe.Rate(qoe.SSIMToMOS(ssim)))})
+	})
 	return &Result{
 		ID:    "ext-clips",
 		Grids: []*Grid{g},
@@ -102,25 +71,30 @@ func extClips(o Options) (*Result, error) {
 // NewReno-default TCP and the paper's SACK-enabled Linux stacks:
 // SACK-enabled background flows sustain the bloated uplink's standing
 // queue (mean delay moves toward the paper's Figure 4c numbers),
-// where NewReno flows let it drain between loss events.
+// where NewReno flows let it drain between loss events. The newreno
+// column is the default configuration, i.e. the cached fig7b
+// long-many/256 cell.
 func ablationSACK(o Options) (*Result, error) {
 	g := NewGrid("Ablation: SACK vs NewReno background flows (upstream long-many, 256-pkt uplink)",
 		[]string{"mean uplink delay (ms)", "talk MOS", "uplink util %"},
 		[]string{"newreno", "sack"})
+	var jobs []cellJob
 	for _, mode := range []string{"newreno", "sack"} {
-		cfg := testbed.Config{BufferUp: 256, BufferDown: 256, Seed: o.Seed}
-		cfg.TCP = tcp.Config{SACK: mode == "sack"}
-		a := testbed.NewAccess(cfg)
-		a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirUp))
-		_, talk := runVoIPPair(a, o)
-		now := a.Eng.Now()
-		g.Set("mean uplink delay (ms)", mode, Cell{
-			Value: a.UpMon.MeanDelayMs(),
-			Class: qoe.ClassifyDelay(time.Duration(a.UpMon.MeanDelayMs() * float64(time.Millisecond))).String(),
-		})
-		g.Set("talk MOS", mode, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
-		g.Set("uplink util %", mode, Cell{Value: a.UpLink.Monitor.MeanUtilization(now)})
+		v := accessVariant{}
+		if mode == "sack" {
+			v = accessVariant{tag: "tcp=sack", tcpCfg: tcp.Config{SACK: true}}
+		}
+		jobs = append(jobs, cellJob{voipAccessTask(o, "long-many", testbed.DirUp, 256, v), "", mode})
 	}
+	runCells(jobs, func(_, mode string, v any) {
+		p := v.(voipScore)
+		g.Set("mean uplink delay (ms)", mode, Cell{
+			Value: p.UpDelayMs,
+			Class: qoe.ClassifyDelay(msToDuration(p.UpDelayMs)).String(),
+		})
+		g.Set("talk MOS", mode, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
+		g.Set("uplink util %", mode, Cell{Value: p.UpUtilPct})
+	})
 	return &Result{ID: "abl-sack", Grids: []*Grid{g}}, nil
 }
 
@@ -130,33 +104,15 @@ func ablationSACK(o Options) (*Result, error) {
 func ablationPlayout(o Options) (*Result, error) {
 	g := NewGrid("Ablation: fixed vs adaptive playout buffer (access, short-many down, 256-pkt buffers)",
 		[]string{"MOS", "z1 (signal)", "app loss %"}, []string{"fixed-60ms", "adaptive"})
-	lib := media.Library(o.Seed)
+	var jobs []cellJob
 	for _, mode := range []string{"fixed-60ms", "adaptive"} {
-		a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: o.Seed})
-		a.StartWorkload(testbed.AccessScenario("short-many", testbed.DirDown))
-		var mosS, z1S, lossS stats.Sample
-		for i := 0; i < o.Reps; i++ {
-			i := i
-			a.Eng.Schedule(o.Warmup+time.Duration(i)*callSpacing, func() {
-				done := func(r voip.Result) {
-					mosS.Add(r.MOS)
-					z1S.Add(r.Z1)
-					lossS.Add(r.LossPct())
-					if mosS.N() == o.Reps {
-						a.Eng.Halt()
-					}
-				}
-				if mode == "adaptive" {
-					voip.StartAdaptive(a.MediaServer, a.MediaClient, lib[i%len(lib)], done)
-				} else {
-					voip.Start(a.MediaServer, a.MediaClient, lib[i%len(lib)], 0, done)
-				}
-			})
-		}
-		a.Eng.RunFor(cellCap)
-		g.Set("MOS", mode, Cell{Value: mosS.Median()})
-		g.Set("z1 (signal)", mode, Cell{Value: z1S.Median()})
-		g.Set("app loss %", mode, Cell{Value: lossS.Median()})
+		jobs = append(jobs, cellJob{playoutTask(o, mode), "", mode})
 	}
+	runCells(jobs, func(_, mode string, v any) {
+		p := v.(playoutScore)
+		g.Set("MOS", mode, Cell{Value: p.MOS})
+		g.Set("z1 (signal)", mode, Cell{Value: p.Z1})
+		g.Set("app loss %", mode, Cell{Value: p.LossPct})
+	})
 	return &Result{ID: "abl-playout", Grids: []*Grid{g}}, nil
 }

@@ -7,26 +7,15 @@ import (
 	"bufferqoe/internal/aqm"
 	"bufferqoe/internal/netem"
 	"bufferqoe/internal/qoe"
-	"bufferqoe/internal/stats"
 	"bufferqoe/internal/tcp"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/video"
-	"bufferqoe/internal/web"
 )
 
-// webUplinkCell measures the median PLT on an access testbed with the
-// given TCP and uplink-queue configuration under the named upstream
-// congestion workload.
-func webUplinkCell(o Options, scenario string, tcpCfg tcp.Config, upQueue testbed.QueueFactory, buf int) time.Duration {
-	a := testbed.NewAccess(testbed.Config{
-		BufferUp: buf, BufferDown: buf, Seed: o.Seed,
-		TCP: tcpCfg, UpQueue: upQueue,
-	})
-	a.StartWorkload(testbed.AccessScenario(scenario, testbed.DirUp))
-	web.RegisterServer(a.MediaServerTCP, web.Port)
-	return webReps(a.Eng, o, func(done func(web.Result)) {
-		web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
-	})
+// codelUpQueue is the RFC 8289 §4.4 slow-link CoDel used by several
+// web ablations at the access uplink.
+func codelUpQueue(capPkts int, _ uint64) netem.Queue {
+	return aqm.NewCoDelForRate(capPkts, testbed.AccessUpRate)
 }
 
 // ablationIW10 tests the engineering change the bufferbloat argument
@@ -34,7 +23,8 @@ func webUplinkCell(o Options, scenario string, tcpCfg tcp.Config, upQueue testbe
 // segments (Gettys, "IW10 considered harmful", paper reference [18]).
 // If queues are already bloated and filled, a larger IW injects a
 // burst into a standing queue; the experiment measures what that does
-// to the page a user is loading over the same uplink.
+// to the page a user is loading over the same uplink. IW3 is the
+// paper-era default, so those cells are the cached fig10b column.
 func ablationIW10(o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
 	bufs := []int{8, 64, 256}
@@ -44,19 +34,27 @@ func ablationIW10(o Options) (*Result, error) {
 	}
 	g := NewGrid("Ablation: initial window 3 vs 10 (access web, upstream long-many congestion)",
 		[]string{"IW3 PLT", "IW10 PLT", "IW3 MOS", "IW10 MOS"}, cols)
+	var jobs []cellJob
 	for bi, buf := range bufs {
-		col := cols[bi]
 		for _, iw := range []int{3, 10} {
-			plt := webUplinkCell(o, "long-many", tcp.Config{InitialWindow: iw}, nil, buf)
-			mos := model.MOS(plt)
-			g.Set(fmt.Sprintf("IW%d PLT", iw), col, Cell{
-				Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds()),
-			})
-			g.Set(fmt.Sprintf("IW%d MOS", iw), col, Cell{
-				Value: mos, Class: string(qoe.Rate(mos)),
-			})
+			v := accessVariant{}
+			if iw != 3 {
+				v = accessVariant{tag: "iw=10", tcpCfg: tcp.Config{InitialWindow: 10}}
+			}
+			jobs = append(jobs, cellJob{webAccessTask(o, "long-many", testbed.DirUp, buf, v, 0),
+				fmt.Sprintf("IW%d", iw), cols[bi]})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		plt := v.(time.Duration)
+		mos := model.MOS(plt)
+		g.Set(row+" PLT", col, Cell{
+			Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds()),
+		})
+		g.Set(row+" MOS", col, Cell{
+			Value: mos, Class: string(qoe.Rate(mos)),
+		})
+	})
 	return &Result{
 		ID:    "abl-iw10",
 		Grids: []*Grid{g},
@@ -76,34 +74,36 @@ func ablationIW10(o Options) (*Result, error) {
 // The CoDel target follows RFC 8289 §4.4's slow-link rule.
 func ablationECN(o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
-	type cfg struct {
-		name  string
-		tcp   tcp.Config
-		queue testbed.QueueFactory
-	}
-	configs := []cfg{
-		{"drop-tail", tcp.Config{}, nil},
-		{"codel-drop", tcp.Config{}, func(capPkts int) netem.Queue {
-			return aqm.NewCoDelForRate(capPkts, testbed.AccessUpRate)
-		}},
-		{"codel-ecn", tcp.Config{ECN: true}, func(capPkts int) netem.Queue {
-			c := aqm.NewCoDelForRate(capPkts, testbed.AccessUpRate)
-			c.ECN = true
-			return c
+	configs := []struct {
+		name string
+		v    accessVariant
+	}{
+		{"drop-tail", accessVariant{}},
+		{"codel-drop", accessVariant{tag: "queue=codel", upQueue: codelUpQueue}},
+		{"codel-ecn", accessVariant{
+			tag:    "queue=codel-ecn",
+			tcpCfg: tcp.Config{ECN: true},
+			upQueue: func(capPkts int, _ uint64) netem.Queue {
+				c := aqm.NewCoDelForRate(capPkts, testbed.AccessUpRate)
+				c.ECN = true
+				return c
+			},
 		}},
 	}
 	cols := make([]string, len(configs))
+	var jobs []cellJob
 	for i, c := range configs {
 		cols[i] = c.name
+		jobs = append(jobs, cellJob{webAccessTask(o, "long-few", testbed.DirUp, 256, c.v, 0), "", c.name})
 	}
 	g := NewGrid("Ablation: ECN at a bloated (256-pkt) uplink (web under upstream long-few)",
 		[]string{"PLT", "MOS"}, cols)
-	for _, c := range configs {
-		plt := webUplinkCell(o, "long-few", c.tcp, c.queue, 256)
+	runCells(jobs, func(_, col string, v any) {
+		plt := v.(time.Duration)
 		mos := model.MOS(plt)
-		g.Set("PLT", c.name, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
-		g.Set("MOS", c.name, Cell{Value: mos, Class: string(qoe.Rate(mos))})
-	}
+		g.Set("PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
+		g.Set("MOS", col, Cell{Value: mos, Class: string(qoe.Rate(mos))})
+	})
 	return &Result{ID: "abl-ecn", Grids: []*Grid{g}}, nil
 }
 
@@ -116,26 +116,36 @@ func ablationECN(o Options) (*Result, error) {
 func ablationByteQueue(o Options) (*Result, error) {
 	const pkts = 64
 	queues := []struct {
-		name    string
-		factory testbed.QueueFactory
+		name string
+		v    accessVariant
 	}{
-		{"pkt-64", nil},
-		{fmt.Sprintf("bytes-%dK", pkts*netem.MTU/1024), func(int) netem.Queue {
-			return netem.NewDropTailBytes(pkts * netem.MTU)
+		{"pkt-64", accessVariant{}},
+		{fmt.Sprintf("bytes-%dK", pkts*netem.MTU/1024), accessVariant{
+			tag: "queue=bytes-mtu",
+			upQueue: func(int, uint64) netem.Queue {
+				return netem.NewDropTailBytes(pkts * netem.MTU)
+			},
 		}},
-		{"bytes-24K", func(int) netem.Queue { return netem.NewDropTailBytes(24 * 1024) }},
+		{"bytes-24K", accessVariant{
+			tag: "queue=bytes-24k",
+			upQueue: func(int, uint64) netem.Queue {
+				return netem.NewDropTailBytes(24 * 1024)
+			},
+		}},
 	}
 	cols := make([]string, len(queues))
+	var jobs []cellJob
 	for i, q := range queues {
 		cols[i] = q.name
+		jobs = append(jobs, cellJob{voipAccessTask(o, "long-many", testbed.DirUp, pkts, q.v), "", q.name})
 	}
 	g := NewGrid("Ablation: packet- vs byte-counted uplink buffer (VoIP under upstream long-many)",
 		[]string{"talk MOS", "listen MOS"}, cols)
-	for _, q := range queues {
-		listen, talk := voipAccessCellQueue("long-many", testbed.DirUp, pkts, o, q.factory)
-		g.Set("talk MOS", q.name, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
-		g.Set("listen MOS", q.name, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
-	}
+	runCells(jobs, func(_, col string, v any) {
+		p := v.(voipScore)
+		g.Set("talk MOS", col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
+		g.Set("listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
+	})
 	return &Result{
 		ID:    "abl-bytequeue",
 		Grids: []*Grid{g},
@@ -147,30 +157,28 @@ func ablationByteQueue(o Options) (*Result, error) {
 // under the exponential IQX mapping instead of the logarithmic G.1030
 // one. The paper's conclusion — buffer size barely moves WebQoE once
 // congestion has pushed the PLT into the saturated region — should
-// survive the change of curve.
+// survive the change of curve. The underlying cells are plain
+// long-few upstream web runs, shared with ext-parweb's sequential
+// column through the cache.
 func ablationIQX(o Options) (*Result, error) {
 	logModel := qoe.AccessWebModel()
 	iqxModel := qoe.NewIQXWebModel(logModel)
 	bufs := []int{8, 64, 256}
 	cols := make([]string, len(bufs))
+	var jobs []cellJob
 	for i, b := range bufs {
 		cols[i] = fmt.Sprintf("%d", b)
+		jobs = append(jobs, cellJob{webAccessTask(o, "long-few", testbed.DirUp, b, accessVariant{}, 0), "", cols[i]})
 	}
 	g := NewGrid("Ablation: G.1030 (log) vs IQX (exp) scoring of access web, upstream long-few",
 		[]string{"PLT", "G.1030 MOS", "IQX MOS"}, cols)
-	for bi, buf := range bufs {
-		col := cols[bi]
-		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirUp))
-		web.RegisterServer(a.MediaServerTCP, web.Port)
-		plt := webReps(a.Eng, o, func(done func(web.Result)) {
-			web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
-		})
+	runCells(jobs, func(_, col string, v any) {
+		plt := v.(time.Duration)
 		lm, im := logModel.MOS(plt), iqxModel.MOS(plt)
 		g.Set("PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
 		g.Set("G.1030 MOS", col, Cell{Value: lm, Class: string(qoe.Rate(lm))})
 		g.Set("IQX MOS", col, Cell{Value: im, Class: string(qoe.Rate(im))})
-	}
+	})
 	return &Result{
 		ID:    "abl-iqx",
 		Grids: []*Grid{g},
@@ -182,7 +190,6 @@ func ablationIQX(o Options) (*Result, error) {
 // on the table: the same backbone video cells with the MSTV-style ARQ
 // (reference [24]) and with 10% XOR FEC.
 func extRecovery(o Options) (*Result, error) {
-	clipDur := time.Duration(o.ClipSeconds) * time.Second
 	scenarios := []string{"short-medium", "short-high"}
 	schemes := []video.Recovery{video.RecoveryNone, video.RecoveryARQ, video.RecoveryFEC}
 	var rows []string
@@ -190,18 +197,16 @@ func extRecovery(o Options) (*Result, error) {
 		rows = append(rows, r.String())
 	}
 	g := NewGrid("Extension: RTP error recovery (SD video, backbone, 28-pkt buffer)", rows, scenarios)
+	var jobs []cellJob
 	for _, s := range scenarios {
 		for _, rec := range schemes {
-			src := video.NewSource(video.ClipC, video.SD, o.ClipSeconds)
-			b := testbed.NewBackbone(testbed.Config{BufferDown: 28, Seed: o.Seed})
-			b.StartWorkload(testbed.BackboneScenario(s))
-			ssim := videoReps(b.Eng, o, clipDur, func(done func(video.Result)) {
-				video.Start(b.MediaServer, b.MediaClient, src,
-					video.Config{Smooth: true, Seed: o.Seed, Recovery: rec}, done)
-			})
-			g.Set(rec.String(), s, Cell{Value: ssim, Class: string(qoe.Rate(qoe.SSIMToMOS(ssim)))})
+			jobs = append(jobs, cellJob{videoBackboneTask(o, s, video.ClipC, video.SD, rec, 28), rec.String(), s})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		ssim := v.(videoScore).SSIM
+		g.Set(row, col, Cell{Value: ssim, Class: string(qoe.Rate(qoe.SSIMToMOS(ssim)))})
+	})
 	return &Result{
 		ID:    "ext-recovery",
 		Grids: []*Grid{g},
@@ -212,40 +217,25 @@ func extRecovery(o Options) (*Result, error) {
 // extPSNR reruns representative Figure 9b cells scoring with PSNR as
 // well as SSIM. The paper omits its PSNR heatmaps because "they yield
 // predicted scores similar to those obtained by SSIM"; this experiment
-// verifies that equivalence holds in the reproduction too.
+// verifies that equivalence holds in the reproduction too. Every cell
+// here is a cache hit after fig9b/ext-clips: video cells always carry
+// both scores.
 func extPSNR(o Options) (*Result, error) {
-	clipDur := time.Duration(o.ClipSeconds) * time.Second
 	scenarios := []string{"noBG", "short-medium", "long"}
 	g := NewGrid("Extension: SSIM vs PSNR scoring (SD video, backbone, BDP buffer)",
 		[]string{"SSIM", "SSIM MOS", "PSNR dB", "PSNR MOS"}, scenarios)
+	var jobs []cellJob
 	for _, s := range scenarios {
-		src := video.NewSource(video.ClipC, video.SD, o.ClipSeconds)
-		b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: o.Seed})
-		if s != "noBG" {
-			b.StartWorkload(testbed.BackboneScenario(s))
-		}
-		var ssimS, psnrS stats.Sample
-		spacing := clipDur + video.StartupDelay + 5*time.Second
-		for i := 0; i < o.Reps; i++ {
-			b.Eng.Schedule(o.Warmup+time.Duration(i)*spacing, func() {
-				video.Start(b.MediaServer, b.MediaClient, src,
-					video.Config{Smooth: true, Seed: o.Seed}, func(r video.Result) {
-						ssimS.Add(r.MeanSSIM)
-						psnrS.Add(r.MeanPSNR)
-						if ssimS.N() == o.Reps {
-							b.Eng.Halt()
-						}
-					})
-			})
-		}
-		b.Eng.RunFor(cellCap)
-		ssim, psnr := ssimS.Median(), psnrS.Median()
-		sm, pm := qoe.SSIMToMOS(ssim), qoe.PSNRToMOS(psnr)
-		g.Set("SSIM", s, Cell{Value: ssim})
-		g.Set("SSIM MOS", s, Cell{Value: sm, Class: string(qoe.Rate(sm))})
-		g.Set("PSNR dB", s, Cell{Value: psnr})
-		g.Set("PSNR MOS", s, Cell{Value: pm, Class: string(qoe.Rate(pm))})
+		jobs = append(jobs, cellJob{videoBackboneTask(o, s, video.ClipC, video.SD, video.RecoveryNone, 749), "", s})
 	}
+	runCells(jobs, func(_, col string, v any) {
+		sc := v.(videoScore)
+		sm, pm := qoe.SSIMToMOS(sc.SSIM), qoe.PSNRToMOS(sc.PSNR)
+		g.Set("SSIM", col, Cell{Value: sc.SSIM})
+		g.Set("SSIM MOS", col, Cell{Value: sm, Class: string(qoe.Rate(sm))})
+		g.Set("PSNR dB", col, Cell{Value: sc.PSNR})
+		g.Set("PSNR MOS", col, Cell{Value: pm, Class: string(qoe.Rate(pm))})
+	})
 	return &Result{
 		ID:    "ext-psnr",
 		Grids: []*Grid{g},
@@ -267,19 +257,20 @@ func extJitter(o Options) (*Result, error) {
 	}
 	g := NewGrid("Extension: WiFi-like last-hop jitter (VoIP, idle vs congested access)",
 		[]string{"noBG listen MOS", "short-few listen MOS"}, cols)
+	var jobs []cellJob
 	for ji, j := range jitters {
-		col := cols[ji]
 		for _, s := range []string{"noBG", "short-few"} {
-			a := testbed.NewAccess(testbed.Config{
-				BufferUp: 64, BufferDown: 64, Seed: o.Seed, Jitter: j,
-			})
-			if s != "noBG" {
-				a.StartWorkload(testbed.AccessScenario(s, testbed.DirDown))
+			v := accessVariant{}
+			if j != 0 {
+				v = accessVariant{tag: "jitter=" + j.String(), jitter: j}
 			}
-			listen, _ := runVoIPPair(a, o)
-			g.Set(s+" listen MOS", col, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
+			jobs = append(jobs, cellJob{voipAccessTask(o, s, testbed.DirDown, 64, v), s, cols[ji]})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		p := v.(voipScore)
+		g.Set(row+" listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
+	})
 	return &Result{
 		ID:    "ext-jitter",
 		Grids: []*Grid{g},
@@ -295,29 +286,32 @@ func extJitter(o Options) (*Result, error) {
 func extFQCoDelWeb(o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
 	queues := []struct {
-		name    string
-		factory testbed.QueueFactory
+		name string
+		v    accessVariant
 	}{
-		{"drop-tail", nil},
-		{"codel", func(capPkts int) netem.Queue {
-			return aqm.NewCoDelForRate(capPkts, testbed.AccessUpRate)
-		}},
-		{"fq-codel", func(capPkts int) netem.Queue {
-			return aqm.NewFQCoDelForRate(capPkts, testbed.AccessUpRate)
+		{"drop-tail", accessVariant{}},
+		{"codel", accessVariant{tag: "queue=codel", upQueue: codelUpQueue}},
+		{"fq-codel", accessVariant{
+			tag: "queue=fq-codel",
+			upQueue: func(capPkts int, _ uint64) netem.Queue {
+				return aqm.NewFQCoDelForRate(capPkts, testbed.AccessUpRate)
+			},
 		}},
 	}
 	cols := make([]string, len(queues))
+	var jobs []cellJob
 	for i, q := range queues {
 		cols[i] = q.name
+		jobs = append(jobs, cellJob{webAccessTask(o, "long-many", testbed.DirUp, 256, q.v, 0), "", q.name})
 	}
 	g := NewGrid("Extension: FQ-CoDel vs CoDel vs drop-tail (web over a 256-pkt congested uplink, upstream long-many)",
 		[]string{"PLT", "MOS"}, cols)
-	for _, q := range queues {
-		plt := webUplinkCell(o, "long-many", tcp.Config{}, q.factory, 256)
+	runCells(jobs, func(_, col string, v any) {
+		plt := v.(time.Duration)
 		mos := model.MOS(plt)
-		g.Set("PLT", q.name, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
-		g.Set("MOS", q.name, Cell{Value: mos, Class: string(qoe.Rate(mos))})
-	}
+		g.Set("PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
+		g.Set("MOS", col, Cell{Value: mos, Class: string(qoe.Rate(mos))})
+	})
 	return &Result{ID: "ext-fqcodel-web", Grids: []*Grid{g}}, nil
 }
 
@@ -328,29 +322,26 @@ func extFQCoDelWeb(o Options) (*Result, error) {
 // not move the QoE conclusion.
 func ablationBIC(o Options) (*Result, error) {
 	algos := []struct {
-		name    string
-		factory func() tcp.CongestionControl
+		name string
+		v    accessVariant
 	}{
-		{"reno", tcp.NewReno},
-		{"bic", tcp.NewBIC},
-		{"cubic", tcp.NewCubic},
+		{"reno", accessVariant{tag: "cc=reno", cc: tcp.NewReno}},
+		{"bic", accessVariant{tag: "cc=bic", cc: tcp.NewBIC}},
+		{"cubic", accessVariant{}}, // the access default
 	}
 	cols := make([]string, len(algos))
-	for i, a := range algos {
-		cols[i] = a.name
+	var jobs []cellJob
+	for i, al := range algos {
+		cols[i] = al.name
+		jobs = append(jobs, cellJob{voipAccessTask(o, "long-few", testbed.DirBidir, 64, al.v), "", al.name})
 	}
 	g := NewGrid("Ablation: Reno vs BIC vs CUBIC background (access, 64-pkt buffers, bidir long-few)",
 		[]string{"listen MOS", "talk MOS", "uplink util %"}, cols)
-	for _, al := range algos {
-		a := testbed.NewAccess(testbed.Config{
-			BufferUp: 64, BufferDown: 64, Seed: o.Seed, CC: al.factory,
-		})
-		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirBidir))
-		listen, talk := runVoIPPair(a, o)
-		now := a.Eng.Now()
-		g.Set("listen MOS", al.name, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
-		g.Set("talk MOS", al.name, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
-		g.Set("uplink util %", al.name, Cell{Value: a.UpLink.Monitor.MeanUtilization(now)})
-	}
+	runCells(jobs, func(_, col string, v any) {
+		p := v.(voipScore)
+		g.Set("listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
+		g.Set("talk MOS", col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
+		g.Set("uplink util %", col, Cell{Value: p.UpUtilPct})
+	})
 	return &Result{ID: "abl-bic", Grids: []*Grid{g}}, nil
 }

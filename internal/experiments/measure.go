@@ -5,74 +5,49 @@ import (
 
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/video"
-	"bufferqoe/internal/web"
 )
+
+// The Measure* probes answer one configuration question at a time.
+// They submit the same canonical cell specs as the experiment grids,
+// so a probe of a configuration an experiment already visited is a
+// cache hit, and a probe's numbers always agree with the grids'.
 
 // MeasureVoIPAccess runs one access VoIP cell (Reps bidirectional
 // calls under the named workload/direction at the given buffer size)
 // and returns the median listen and talk MOS.
 func MeasureVoIPAccess(scenario string, dir testbed.Direction, buffer int, o Options) (listen, talk float64) {
-	return voipAccessCell(scenario, dir, buffer, o.withDefaults())
+	p := voipAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{})
+	return p.Listen, p.Talk
 }
 
 // MeasureVoIPBackbone runs one backbone VoIP cell and returns the
 // median MOS.
 func MeasureVoIPBackbone(scenario string, buffer int, o Options) float64 {
-	return voipBackboneCell(scenario, buffer, o.withDefaults())
+	return runOne(voipBackboneTask(o.withDefaults(), scenario, buffer)).(float64)
 }
 
 // MeasureWebAccess runs one access web cell and returns the median
 // page load time.
 func MeasureWebAccess(scenario string, dir testbed.Direction, buffer int, o Options) time.Duration {
-	o = o.withDefaults()
-	a := testbed.NewAccess(testbed.Config{BufferUp: buffer, BufferDown: buffer, Seed: o.Seed})
-	if scenario != "noBG" {
-		a.StartWorkload(testbed.AccessScenario(scenario, dir))
-	}
-	web.RegisterServer(a.MediaServerTCP, web.Port)
-	return webReps(a.Eng, o, func(done func(web.Result)) {
-		web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
-	})
+	return webAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{}, 0)
 }
 
 // MeasureWebBackbone runs one backbone web cell and returns the median
 // page load time.
 func MeasureWebBackbone(scenario string, buffer int, o Options) time.Duration {
-	o = o.withDefaults()
-	b := testbed.NewBackbone(testbed.Config{BufferDown: buffer, Seed: o.Seed})
-	if scenario != "noBG" {
-		b.StartWorkload(testbed.BackboneScenario(scenario))
-	}
-	web.RegisterServer(b.MediaServerTCP, web.Port)
-	return webReps(b.Eng, o, func(done func(web.Result)) {
-		web.Fetch(b.MediaClientTCP, b.MediaServer.Addr(web.Port), 60*time.Second, done)
-	})
+	return runOne(webBackboneTask(o.withDefaults(), scenario, buffer)).(time.Duration)
 }
 
 // MeasureVideoAccess streams clip C at the given profile over the
 // access testbed (download congestion) and returns the median SSIM.
 func MeasureVideoAccess(scenario string, profile video.Profile, buffer int, o Options) float64 {
-	o = o.withDefaults()
-	src := video.NewSource(video.ClipC, profile, o.ClipSeconds)
-	a := testbed.NewAccess(testbed.Config{BufferUp: buffer, BufferDown: buffer, Seed: o.Seed})
-	if scenario != "noBG" {
-		a.StartWorkload(testbed.AccessScenario(scenario, testbed.DirDown))
-	}
-	return videoReps(a.Eng, o, time.Duration(o.ClipSeconds)*time.Second, func(done func(video.Result)) {
-		video.Start(a.MediaServer, a.MediaClient, src, video.Config{Smooth: true, Seed: o.Seed}, done)
-	})
+	t := videoAccessTask(o.withDefaults(), scenario, video.ClipC, profile, buffer)
+	return runOne(t).(videoScore).SSIM
 }
 
 // MeasureVideoBackbone streams clip C over the backbone testbed and
 // returns the median SSIM.
 func MeasureVideoBackbone(scenario string, profile video.Profile, buffer int, o Options) float64 {
-	o = o.withDefaults()
-	src := video.NewSource(video.ClipC, profile, o.ClipSeconds)
-	b := testbed.NewBackbone(testbed.Config{BufferDown: buffer, Seed: o.Seed})
-	if scenario != "noBG" {
-		b.StartWorkload(testbed.BackboneScenario(scenario))
-	}
-	return videoReps(b.Eng, o, time.Duration(o.ClipSeconds)*time.Second, func(done func(video.Result)) {
-		video.Start(b.MediaServer, b.MediaClient, src, video.Config{Smooth: true, Seed: o.Seed}, done)
-	})
+	t := videoBackboneTask(o.withDefaults(), scenario, video.ClipC, profile, video.RecoveryNone, buffer)
+	return runOne(t).(videoScore).SSIM
 }

@@ -23,16 +23,6 @@ const callSpacing = 16 * time.Second
 // engine halts as soon as all repetitions complete.
 const cellCap = 30 * time.Minute
 
-// voipAccessCell runs Reps bidirectional calls over one configured
-// access testbed and returns the median listen/talk MOS.
-func voipAccessCell(name string, dir testbed.Direction, buf int, o Options) (listen, talk float64) {
-	a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-	if name != "noBG" {
-		a.StartWorkload(testbed.AccessScenario(name, dir))
-	}
-	return runVoIPPair(a, o)
-}
-
 // runVoIPPair schedules Reps simultaneous bidirectional calls on an
 // already-configured access testbed and returns the median MOS of
 // each direction. The two directions of one call share the
@@ -80,40 +70,19 @@ func fig7(o Options, variant string) (*Result, error) {
 	}
 	g := NewGrid(fmt.Sprintf("Figure 7%s: VoIP access median MOS, %s congestion", variant, dir),
 		rows, accessBufferCols())
+	var jobs []cellJob
 	for _, buf := range sizing.AccessBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			listen, talk := voipAccessCell(s, dir, buf, o)
-			g.Set("user-listens/"+s, col, Cell{Value: listen, Class: string(qoe.VoIPSatisfaction(listen))})
-			g.Set("user-talks/"+s, col, Cell{Value: talk, Class: string(qoe.VoIPSatisfaction(talk))})
+			jobs = append(jobs, cellJob{voipAccessTask(o, s, dir, buf, accessVariant{}), s, col})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		p := v.(voipScore)
+		g.Set("user-listens/"+row, col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
+		g.Set("user-talks/"+row, col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
+	})
 	return &Result{ID: "fig7" + variant, Grids: []*Grid{g}}, nil
-}
-
-// voipBackboneCell runs Reps unidirectional calls and returns the
-// median MOS.
-func voipBackboneCell(name string, buf int, o Options) float64 {
-	b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: o.Seed})
-	if name != "noBG" {
-		b.StartWorkload(testbed.BackboneScenario(name))
-	}
-	lib := media.Library(o.Seed)
-	var mosS stats.Sample
-	for i := 0; i < o.Reps; i++ {
-		i := i
-		b.Eng.Schedule(o.Warmup+time.Duration(i)*callSpacing, func() {
-			voip.Start(b.MediaServer, b.MediaClient, lib[i%len(lib)], 0,
-				func(r voip.Result) {
-					mosS.Add(r.MOS)
-					if mosS.N() == o.Reps {
-						b.Eng.Halt()
-					}
-				})
-		})
-	}
-	b.Eng.RunFor(cellCap)
-	return mosS.Median()
 }
 
 // fig8 regenerates the Figure 8 backbone VoIP heatmap (unidirectional
@@ -121,33 +90,39 @@ func voipBackboneCell(name string, buf int, o Options) float64 {
 func fig8(o Options) (*Result, error) {
 	scenarios := testbed.BackboneScenarioNames
 	g := NewGrid("Figure 8: VoIP backbone median MOS", scenarios, backboneBufferCols())
+	var jobs []cellJob
 	for _, buf := range sizing.BackboneBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			m := voipBackboneCell(s, buf, o)
-			g.Set(s, col, Cell{Value: m, Class: string(qoe.VoIPSatisfaction(m))})
+			jobs = append(jobs, cellJob{voipBackboneTask(o, s, buf), s, col})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		m := v.(float64)
+		g.Set(row, col, Cell{Value: m, Class: string(qoe.VoIPSatisfaction(m))})
+	})
 	return &Result{ID: "fig8", Grids: []*Grid{g}}, nil
 }
 
-// videoReps streams the clip sequentially Reps times; start is invoked
-// per repetition with the completion callback.
-func videoReps(eng *sim.Engine, o Options, clipDur time.Duration, start func(done func(video.Result))) float64 {
-	var ssims stats.Sample
+// videoReps streams the clip sequentially Reps times; start is
+// invoked per repetition with the completion callback. It returns the
+// median SSIM and PSNR across repetitions.
+func videoReps(se *sim.Engine, o Options, clipDur time.Duration, start func(done func(video.Result))) videoScore {
+	var ssims, psnrs stats.Sample
 	spacing := clipDur + video.StartupDelay + 5*time.Second
 	for i := 0; i < o.Reps; i++ {
-		eng.Schedule(o.Warmup+time.Duration(i)*spacing, func() {
+		se.Schedule(o.Warmup+time.Duration(i)*spacing, func() {
 			start(func(r video.Result) {
 				ssims.Add(r.MeanSSIM)
+				psnrs.Add(r.MeanPSNR)
 				if ssims.N() == o.Reps {
-					eng.Halt()
+					se.Halt()
 				}
 			})
 		})
 	}
-	eng.RunFor(cellCap)
-	return ssims.Median()
+	se.RunFor(cellCap)
+	return videoScore{SSIM: ssims.Median(), PSNR: psnrs.Median()}
 }
 
 // fig9 regenerates the Figure 9 video heatmaps: variant "a" is the
@@ -156,7 +131,6 @@ func videoReps(eng *sim.Engine, o Options, clipDur time.Duration, start func(don
 func fig9(o Options, variant string) (*Result, error) {
 	profiles := []video.Profile{video.SD, video.HD}
 	clip := video.ClipC // the clip the paper displays
-	clipDur := time.Duration(o.ClipSeconds) * time.Second
 
 	var scenarios []string
 	var cols []string
@@ -176,60 +150,48 @@ func fig9(o Options, variant string) (*Result, error) {
 	}
 	g := NewGrid(fmt.Sprintf("Figure 9%s: median SSIM (video C)", variant), rows, cols)
 
+	var jobs []cellJob
 	for bi, buf := range bufs {
 		col := cols[bi]
 		for _, s := range scenarios {
 			for _, p := range profiles {
-				src := video.NewSource(clip, p, o.ClipSeconds)
-				var ssim float64
-				if variant == "a" {
-					a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-					if s != "noBG" {
-						a.StartWorkload(testbed.AccessScenario(s, testbed.DirDown))
-					}
-					ssim = videoReps(a.Eng, o, clipDur, func(done func(video.Result)) {
-						video.Start(a.MediaServer, a.MediaClient, src,
-							video.Config{Smooth: true, Seed: o.Seed}, done)
-					})
-				} else {
-					b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: o.Seed})
-					if s != "noBG" {
-						b.StartWorkload(testbed.BackboneScenario(s))
-					}
-					ssim = videoReps(b.Eng, o, clipDur, func(done func(video.Result)) {
-						video.Start(b.MediaServer, b.MediaClient, src,
-							video.Config{Smooth: true, Seed: o.Seed}, done)
-					})
+				task := videoAccessTask(o, s, clip, p, buf)
+				if variant != "a" {
+					task = videoBackboneTask(o, s, clip, p, video.RecoveryNone, buf)
 				}
-				g.Set(p.Name+"/"+s, col, Cell{
-					Value: ssim,
-					Class: string(qoe.Rate(qoe.SSIMToMOS(ssim))),
-				})
+				jobs = append(jobs, cellJob{task, p.Name + "/" + s, col})
 			}
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		ssim := v.(videoScore).SSIM
+		g.Set(row, col, Cell{
+			Value: ssim,
+			Class: string(qoe.Rate(qoe.SSIMToMOS(ssim))),
+		})
+	})
 	return &Result{ID: "fig9" + variant, Grids: []*Grid{g}}, nil
 }
 
 // webReps fetches the page sequentially Reps times and returns the
 // median PLT.
-func webReps(eng *sim.Engine, o Options, fetch func(done func(web.Result))) time.Duration {
+func webReps(se *sim.Engine, o Options, fetch func(done func(web.Result))) time.Duration {
 	var plts stats.Sample
 	remaining := o.Reps
 	var next func()
 	next = func() {
 		if remaining == 0 {
-			eng.Halt()
+			se.Halt()
 			return
 		}
 		remaining--
 		fetch(func(r web.Result) {
 			plts.Add(r.PLT.Seconds())
-			eng.Schedule(time.Second, next)
+			se.Schedule(time.Second, next)
 		})
 	}
-	eng.Schedule(o.Warmup, next)
-	eng.RunFor(cellCap)
+	se.Schedule(o.Warmup, next)
+	se.RunFor(cellCap)
 	return time.Duration(plts.Median() * float64(time.Second))
 }
 
@@ -249,25 +211,22 @@ func fig10(o Options, variant string) (*Result, error) {
 	scenarios := []string{"noBG", "long-few", "long-many", "short-few", "short-many"}
 	g := NewGrid(fmt.Sprintf("Figure 10%s: access median PLT (s) and WebQoE, %s congestion", variant, dir),
 		scenarios, accessBufferCols())
+	var jobs []cellJob
 	for _, buf := range sizing.AccessBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-			if s != "noBG" {
-				a.StartWorkload(testbed.AccessScenario(s, dir))
-			}
-			web.RegisterServer(a.MediaServerTCP, web.Port)
-			plt := webReps(a.Eng, o, func(done func(web.Result)) {
-				web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
-			})
-			mos := model.MOS(plt)
-			g.Set(s, col, Cell{
-				Value: plt.Seconds(),
-				Text:  fmt.Sprintf("%.2fs/MOS %.1f", plt.Seconds(), mos),
-				Class: string(qoe.Rate(mos)),
-			})
+			jobs = append(jobs, cellJob{webAccessTask(o, s, dir, buf, accessVariant{}, 0), s, col})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		plt := v.(time.Duration)
+		mos := model.MOS(plt)
+		g.Set(row, col, Cell{
+			Value: plt.Seconds(),
+			Text:  fmt.Sprintf("%.2fs/MOS %.1f", plt.Seconds(), mos),
+			Class: string(qoe.Rate(mos)),
+		})
+	})
 	return &Result{ID: "fig10" + variant, Grids: []*Grid{g}}, nil
 }
 
@@ -276,24 +235,21 @@ func fig11(o Options) (*Result, error) {
 	model := qoe.BackboneWebModel()
 	scenarios := testbed.BackboneScenarioNames
 	g := NewGrid("Figure 11: backbone median PLT (s) and WebQoE", scenarios, backboneBufferCols())
+	var jobs []cellJob
 	for _, buf := range sizing.BackboneBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: o.Seed})
-			if s != "noBG" {
-				b.StartWorkload(testbed.BackboneScenario(s))
-			}
-			web.RegisterServer(b.MediaServerTCP, web.Port)
-			plt := webReps(b.Eng, o, func(done func(web.Result)) {
-				web.Fetch(b.MediaClientTCP, b.MediaServer.Addr(web.Port), 60*time.Second, done)
-			})
-			mos := model.MOS(plt)
-			g.Set(s, col, Cell{
-				Value: plt.Seconds(),
-				Text:  fmt.Sprintf("%.2fs/MOS %.1f", plt.Seconds(), mos),
-				Class: string(qoe.Rate(mos)),
-			})
+			jobs = append(jobs, cellJob{webBackboneTask(o, s, buf), s, col})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		plt := v.(time.Duration)
+		mos := model.MOS(plt)
+		g.Set(row, col, Cell{
+			Value: plt.Seconds(),
+			Text:  fmt.Sprintf("%.2fs/MOS %.1f", plt.Seconds(), mos),
+			Class: string(qoe.Rate(mos)),
+		})
+	})
 	return &Result{ID: "fig11", Grids: []*Grid{g}}, nil
 }

@@ -6,7 +6,6 @@ import (
 
 	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/testbed"
-	"bufferqoe/internal/web"
 )
 
 // extParWeb reruns representative Figure 10b cells with browser-style
@@ -17,7 +16,8 @@ import (
 // upstream packets (SYNs, requests, ACK streams on several
 // connections) into the very queue that is the bottleneck, so
 // parallelism cannot move a "bad" cell out of the bad band — the
-// paper's methodology choice is QoE-neutral.
+// paper's methodology choice is QoE-neutral. The sequential cells are
+// shared with abl-iqx through the cache.
 func extParWeb(o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
 	bufs := []int{8, 64, 256}
@@ -27,29 +27,23 @@ func extParWeb(o Options) (*Result, error) {
 	}
 	g := NewGrid("Extension: sequential (wget, §9.1) vs 6-conn browser fetch (access, upstream long-few)",
 		[]string{"seq PLT", "par PLT", "seq MOS", "par MOS"}, cols)
+	var jobs []cellJob
 	for bi, buf := range bufs {
-		col := cols[bi]
 		for _, mode := range []string{"seq", "par"} {
-			a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-			a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirUp))
-			var plt time.Duration
-			if mode == "seq" {
-				web.RegisterServer(a.MediaServerTCP, web.Port)
-				plt = webReps(a.Eng, o, func(done func(web.Result)) {
-					web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
-				})
-			} else {
-				web.RegisterBrowserServer(a.MediaServerTCP, web.BrowserPort)
-				plt = webReps(a.Eng, o, func(done func(web.Result)) {
-					web.FetchParallel(a.MediaClientTCP, a.MediaServer.Addr(web.BrowserPort), 6,
-						60*time.Second, done)
-				})
+			conns := 0
+			if mode == "par" {
+				conns = 6
 			}
-			mos := model.MOS(plt)
-			g.Set(mode+" PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
-			g.Set(mode+" MOS", col, Cell{Value: mos, Class: string(qoe.Rate(mos))})
+			jobs = append(jobs, cellJob{webAccessTask(o, "long-few", testbed.DirUp, buf, accessVariant{}, conns),
+				mode, cols[bi]})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		plt := v.(time.Duration)
+		mos := model.MOS(plt)
+		g.Set(row+" PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
+		g.Set(row+" MOS", col, Cell{Value: mos, Class: string(qoe.Rate(mos))})
+	})
 	return &Result{
 		ID:    "ext-parweb",
 		Grids: []*Grid{g},

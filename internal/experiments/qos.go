@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/sizing"
@@ -74,58 +73,43 @@ func join(xs []string) string {
 func table1(o Options) (*Result, error) {
 	cols := []string{"conc flows", "util up %", "util down %", "sd up", "sd down", "loss up %", "loss down %"}
 	var rows []string
-	type job struct {
-		row  string
-		name string
-		dir  testbed.Direction
-	}
-	var jobs []job
+	var jobs []cellJob
 	for _, name := range []string{"short-few", "short-many", "long-few", "long-many"} {
 		for _, dir := range []testbed.Direction{testbed.DirUp, testbed.DirBidir, testbed.DirDown} {
 			row := fmt.Sprintf("access/%s/%s", name, dir)
 			rows = append(rows, row)
-			jobs = append(jobs, job{row, name, dir})
+			jobs = append(jobs, cellJob{bgAccessTask(o, name, dir, 8, 64), row, ""})
 		}
 	}
 	g := NewGrid("Table 1 (access): measured workload characteristics at BDP buffers", rows, cols)
-	for _, j := range jobs {
-		a := testbed.NewAccess(testbed.Config{BufferUp: 8, BufferDown: 64, Seed: o.Seed})
-		a.StartWorkload(testbed.AccessScenario(j.name, j.dir))
-		a.Eng.RunFor(o.Warmup + o.Duration)
-		now := a.Eng.Now()
-		conc := 0.0
-		if a.UpGen != nil {
-			conc += a.UpGen.Stats().Concurrent.Mean()
-		}
-		if a.DownGen != nil {
-			conc += a.DownGen.Stats().Concurrent.Mean()
-		}
-		g.Set(j.row, "conc flows", Cell{Value: conc})
-		g.Set(j.row, "util up %", Cell{Value: a.UpLink.Monitor.MeanUtilization(now)})
-		g.Set(j.row, "util down %", Cell{Value: a.DownLink.Monitor.MeanUtilization(now)})
-		g.Set(j.row, "sd up", Cell{Value: a.UpLink.Monitor.UtilSamples.Std()})
-		g.Set(j.row, "sd down", Cell{Value: a.DownLink.Monitor.UtilSamples.Std()})
-		g.Set(j.row, "loss up %", Cell{Value: 100 * a.UpMon.LossRate()})
-		g.Set(j.row, "loss down %", Cell{Value: 100 * a.DownMon.LossRate()})
-	}
+	runCells(jobs, func(row, _ string, v any) {
+		m := v.(bgMetrics)
+		g.Set(row, "conc flows", Cell{Value: m.Conc})
+		g.Set(row, "util up %", Cell{Value: m.UtilUpPct})
+		g.Set(row, "util down %", Cell{Value: m.UtilDownPct})
+		g.Set(row, "sd up", Cell{Value: m.SdUp})
+		g.Set(row, "sd down", Cell{Value: m.SdDown})
+		g.Set(row, "loss up %", Cell{Value: m.LossUpPct})
+		g.Set(row, "loss down %", Cell{Value: m.LossDownPct})
+	})
 
+	bbNames := []string{"short-low", "short-medium", "short-high", "short-overload", "long"}
 	var bbRows []string
-	for _, name := range []string{"short-low", "short-medium", "short-high", "short-overload", "long"} {
-		bbRows = append(bbRows, "backbone/"+name)
+	var bbJobs []cellJob
+	for _, name := range bbNames {
+		row := "backbone/" + name
+		bbRows = append(bbRows, row)
+		bbJobs = append(bbJobs, cellJob{bgBackboneTask(o, name, 749), row, ""})
 	}
 	g2 := NewGrid("Table 1 (backbone): measured workload characteristics at BDP buffers",
 		bbRows, []string{"conc flows", "util %", "sd", "loss %"})
-	for _, name := range []string{"short-low", "short-medium", "short-high", "short-overload", "long"} {
-		b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: o.Seed})
-		b.StartWorkload(testbed.BackboneScenario(name))
-		b.Eng.RunFor(o.Warmup + o.Duration)
-		now := b.Eng.Now()
-		row := "backbone/" + name
-		g2.Set(row, "conc flows", Cell{Value: b.Gen.Stats().Concurrent.Mean()})
-		g2.Set(row, "util %", Cell{Value: b.DownLink.Monitor.MeanUtilization(now)})
-		g2.Set(row, "sd", Cell{Value: b.DownLink.Monitor.UtilSamples.Std()})
-		g2.Set(row, "loss %", Cell{Value: 100 * b.DownMon.LossRate()})
-	}
+	runCells(bbJobs, func(row, _ string, v any) {
+		m := v.(bgMetrics)
+		g2.Set(row, "conc flows", Cell{Value: m.Conc})
+		g2.Set(row, "util %", Cell{Value: m.UtilDownPct})
+		g2.Set(row, "sd", Cell{Value: m.SdDown})
+		g2.Set(row, "loss %", Cell{Value: m.LossDownPct})
+	})
 	return &Result{ID: "table1", Grids: []*Grid{g, g2}}, nil
 }
 
@@ -145,29 +129,31 @@ func fig4(o Options, variant string) (*Result, error) {
 	}
 	g := NewGrid(fmt.Sprintf("Figure 4%s: mean queueing delay (ms), %s workload", variant, dir),
 		rows, accessBufferCols())
+	var jobs []cellJob
 	for _, buf := range sizing.AccessBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-			a.StartWorkload(testbed.AccessScenario(s, dir))
-			a.Eng.RunFor(o.Warmup + o.Duration)
-			up := a.UpMon.MeanDelayMs()
-			down := a.DownMon.MeanDelayMs()
-			g.Set("uplink/"+s, col, Cell{
-				Value: up,
-				Class: qoe.ClassifyDelay(time.Duration(up * float64(time.Millisecond))).String(),
-			})
-			g.Set("downlink/"+s, col, Cell{
-				Value: down,
-				Class: qoe.ClassifyDelay(time.Duration(down * float64(time.Millisecond))).String(),
-			})
+			jobs = append(jobs, cellJob{bgAccessTask(o, s, dir, buf, buf), s, col})
 		}
 	}
+	runCells(jobs, func(row, col string, v any) {
+		m := v.(bgMetrics)
+		g.Set("uplink/"+row, col, Cell{
+			Value: m.DelayUpMs,
+			Class: qoe.ClassifyDelay(msToDuration(m.DelayUpMs)).String(),
+		})
+		g.Set("downlink/"+row, col, Cell{
+			Value: m.DelayDownMs,
+			Class: qoe.ClassifyDelay(msToDuration(m.DelayDownMs)).String(),
+		})
+	})
 	return &Result{ID: "fig4" + variant, Grids: []*Grid{g}}, nil
 }
 
 // fig5 regenerates the Figure 5 utilization boxplots: bidirectional
 // long workload (8 uplink, 64 downlink flows) across buffer sizes.
+// Its cells are the same background runs as fig4b's long-many column,
+// so a full-suite run pays for them once.
 func fig5(o Options) (*Result, error) {
 	cols := accessBufferCols()
 	rows := []string{
@@ -175,11 +161,12 @@ func fig5(o Options) (*Result, error) {
 		"uplink median", "uplink q1", "uplink q3", "uplink min", "uplink max",
 	}
 	g := NewGrid("Figure 5: link utilization (%) under bidirectional long-many workload", rows, cols)
-	for _, buf := range sizing.AccessBufferSizes {
-		col := fmt.Sprintf("%d", buf)
-		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: o.Seed})
-		a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirBidir))
-		a.Eng.RunFor(o.Warmup + o.Duration)
+	var jobs []cellJob
+	for bi, buf := range sizing.AccessBufferSizes {
+		jobs = append(jobs, cellJob{bgAccessTask(o, "long-many", testbed.DirBidir, buf, buf), "", cols[bi]})
+	}
+	runCells(jobs, func(_, col string, v any) {
+		m := v.(bgMetrics)
 		set := func(prefix string, b stats.Boxplot) {
 			g.Set(prefix+" median", col, Cell{Value: b.Median})
 			g.Set(prefix+" q1", col, Cell{Value: b.Q1})
@@ -187,8 +174,8 @@ func fig5(o Options) (*Result, error) {
 			g.Set(prefix+" min", col, Cell{Value: b.Min})
 			g.Set(prefix+" max", col, Cell{Value: b.Max})
 		}
-		set("downlink", stats.BoxplotOf(&a.DownLink.Monitor.UtilSamples))
-		set("uplink", stats.BoxplotOf(&a.UpLink.Monitor.UtilSamples))
-	}
+		set("downlink", m.DownBox)
+		set("uplink", m.UpBox)
+	})
 	return &Result{ID: "fig5", Grids: []*Grid{g}}, nil
 }

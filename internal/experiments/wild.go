@@ -7,11 +7,11 @@ import (
 	"bufferqoe/internal/stats"
 )
 
-// wildAnalysis memoizes the synthetic CDN analysis per options so the
-// three Figure 1 panels don't regenerate the population.
+// wildAnalysis runs (or fetches from the cell cache) the synthetic
+// CDN analysis; the three Figure 1 panels share one population per
+// (seed, flows) pair.
 func wildAnalysis(o Options) *cdn.Analysis {
-	flows := cdn.Generate(cdn.Config{Flows: o.CDNFlows, Seed: o.Seed})
-	return cdn.Analyze(flows, cdn.MinSamplesDefault)
+	return runOne(wildTask(o)).(*cdn.Analysis)
 }
 
 // fig1a regenerates the min/avg/max sRTT PDFs.
