@@ -2,15 +2,26 @@
 // "A QoE Perspective on Sizing Network Buffers" (Hohlfeld, Pujol,
 // Ciucu, Feldmann, Barford — IMC 2014).
 //
-// It exposes three layers:
+// It exposes four layers:
 //
 //   - experiment runners that regenerate every table and figure of the
 //     paper's evaluation (Run / Experiments);
 //   - scenario probes that answer one question at a time — "what is
 //     the VoIP MOS on a DSL line with a 256-packet modem buffer under
 //     upload congestion?" (MeasureVoIP, MeasureWeb, MeasureVideo);
+//   - a composable scenario API (Scenario, Probe, Sweep) that goes
+//     beyond the paper's fixed testbeds: custom link rates and delays,
+//     AQM disciplines, congestion control, and last-hop jitter, swept
+//     as a scenario x buffer x probe grid through the parallel cell
+//     engine;
 //   - buffer sizing calculators for the schemes the paper compares
 //     (SizingSchemes).
+//
+// All state lives in a Session (engine, cache, worker pool); the
+// package-level functions operate on a process-wide default session,
+// and independent callers create their own with NewSession. Results
+// are a pure function of the specs and options — never of session,
+// scheduling, or parallelism.
 //
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's two testbeds; see DESIGN.md for the substitutions made for
@@ -22,10 +33,8 @@ import (
 	"time"
 
 	"bufferqoe/internal/experiments"
-	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/sizing"
 	"bufferqoe/internal/testbed"
-	"bufferqoe/internal/video"
 )
 
 // Options scale an experiment or probe. The zero value uses the
@@ -81,14 +90,8 @@ func (r *Result) Value(grid int, row, col string) float64 {
 // Experiments lists all experiment IDs (tables, figures, ablations).
 func Experiments() []string { return experiments.IDs() }
 
-// Run executes one experiment by ID.
-func Run(id string, o Options) (*Result, error) {
-	res, err := experiments.Run(id, o.internal())
-	if err != nil {
-		return nil, err
-	}
-	return &Result{ID: res.ID, Text: res.Render(), inner: res}, nil
-}
+// Run executes one experiment by ID on the default session.
+func Run(id string, o Options) (*Result, error) { return defaultSession.Run(id, o) }
 
 // Outcome is one experiment's entry in a RunAll batch: the result or
 // the error, plus the wall time spent.
@@ -99,32 +102,24 @@ type Outcome struct {
 	Elapsed time.Duration
 }
 
-// RunAll executes a batch of experiments through the cell engine and
-// returns one Outcome per ID, in input order. Experiments run
-// concurrently and their cells fan out across the worker pool (see
-// SetParallelism); a failing experiment records its error without
-// stopping the batch, and cells shared between experiments are
-// simulated once per process. Results are bit-identical to running
-// each ID alone, sequentially: every cell's seed is derived from its
-// canonical spec, never from scheduling.
-func RunAll(ids []string, o Options) []Outcome {
-	inner := experiments.RunAll(ids, o.internal())
-	out := make([]Outcome, len(inner))
-	for i, oc := range inner {
-		out[i] = Outcome{ID: oc.ID, Err: oc.Err, Elapsed: oc.Elapsed}
-		if oc.Result != nil {
-			out[i].Result = &Result{ID: oc.Result.ID, Text: oc.Result.Render(), inner: oc.Result}
-		}
-	}
-	return out
-}
+// RunAll executes a batch of experiments through the default
+// session's cell engine and returns one Outcome per ID, in input
+// order. Experiments run concurrently and their cells fan out across
+// the worker pool (see SetParallelism); a failing experiment records
+// its error without stopping the batch, and cells shared between
+// experiments are simulated once per session. Results are
+// bit-identical to running each ID alone, sequentially: every cell's
+// seed is derived from its canonical spec, never from scheduling.
+func RunAll(ids []string, o Options) []Outcome { return defaultSession.RunAll(ids, o) }
 
-// SetParallelism resizes the cell engine's worker pool; n <= 0 means
-// GOMAXPROCS. Parallelism never changes results.
-func SetParallelism(n int) { experiments.SetParallelism(n) }
+// SetParallelism resizes the default session's worker pool; n <= 0
+// means GOMAXPROCS. Parallelism never changes results. Independent
+// callers should prefer their own Session over resizing the shared
+// default.
+func SetParallelism(n int) { defaultSession.SetParallelism(n) }
 
-// Parallelism returns the current worker-pool size.
-func Parallelism() int { return experiments.Parallelism() }
+// Parallelism returns the default session's worker-pool size.
+func Parallelism() int { return defaultSession.Parallelism() }
 
 // EngineStats is a snapshot of the cell engine's counters: pool size,
 // cached cells, and how many cell requests were answered from the
@@ -136,11 +131,8 @@ type EngineStats struct {
 	Misses      uint64
 }
 
-// Stats snapshots the cell engine.
-func Stats() EngineStats {
-	s := experiments.EngineStats()
-	return EngineStats{Workers: s.Workers, CachedCells: s.Entries, Hits: s.Hits, Misses: s.Misses}
-}
+// Stats snapshots the default session's cell engine.
+func Stats() EngineStats { return defaultSession.Stats() }
 
 // Network selects a testbed.
 type Network string
@@ -202,26 +194,10 @@ type VoIPResult struct {
 }
 
 // MeasureVoIP runs VoIP calls under the named workload and returns
-// median scores.
+// median scores. Unknown scenarios, directions, or non-positive
+// buffers return an error.
 func MeasureVoIP(n Network, scenario string, dir Direction, buffer int, o Options) (VoIPResult, error) {
-	if n == Backbone {
-		m := experiments.MeasureVoIPBackbone(scenario, buffer, o.internal())
-		return VoIPResult{
-			ListenMOS:    m,
-			ListenRating: string(qoe.VoIPSatisfaction(m)),
-		}, nil
-	}
-	d, err := dir.internal()
-	if err != nil {
-		return VoIPResult{}, err
-	}
-	listen, talk := experiments.MeasureVoIPAccess(scenario, d, buffer, o.internal())
-	return VoIPResult{
-		ListenMOS:    listen,
-		TalkMOS:      talk,
-		ListenRating: string(qoe.VoIPSatisfaction(listen)),
-		TalkRating:   string(qoe.VoIPSatisfaction(talk)),
-	}, nil
+	return defaultSession.MeasureVoIP(n, scenario, dir, buffer, o)
 }
 
 // WebResult is the outcome of a MeasureWeb probe.
@@ -234,21 +210,7 @@ type WebResult struct {
 // MeasureWeb fetches the paper's static page under the named workload
 // and returns the median page load time with its G.1030 score.
 func MeasureWeb(n Network, scenario string, dir Direction, buffer int, o Options) (WebResult, error) {
-	var plt time.Duration
-	var model qoe.WebModel
-	if n == Backbone {
-		plt = experiments.MeasureWebBackbone(scenario, buffer, o.internal())
-		model = qoe.BackboneWebModel()
-	} else {
-		d, err := dir.internal()
-		if err != nil {
-			return WebResult{}, err
-		}
-		plt = experiments.MeasureWebAccess(scenario, d, buffer, o.internal())
-		model = qoe.AccessWebModel()
-	}
-	mos := model.MOS(plt)
-	return WebResult{MedianPLT: plt, MOS: mos, Rating: string(qoe.Rate(mos))}, nil
+	return defaultSession.MeasureWeb(n, scenario, dir, buffer, o)
 }
 
 // VideoResult is the outcome of a MeasureVideo probe.
@@ -261,24 +223,11 @@ type VideoResult struct {
 // MeasureVideo streams the paper's clip C at "SD" (4 Mbit/s) or "HD"
 // (8 Mbit/s) and returns the median SSIM with its MOS mapping.
 func MeasureVideo(n Network, scenario, profile string, buffer int, o Options) (VideoResult, error) {
-	var p video.Profile
-	switch profile {
-	case "SD", "sd", "":
-		p = video.SD
-	case "HD", "hd":
-		p = video.HD
-	default:
-		return VideoResult{}, fmt.Errorf("bufferqoe: unknown profile %q (want SD or HD)", profile)
-	}
-	var ssim float64
-	if n == Backbone {
-		ssim = experiments.MeasureVideoBackbone(scenario, p, buffer, o.internal())
-	} else {
-		ssim = experiments.MeasureVideoAccess(scenario, p, buffer, o.internal())
-	}
-	mos := qoe.SSIMToMOS(ssim)
-	return VideoResult{SSIM: ssim, MOS: mos, Rating: string(qoe.Rate(mos))}, nil
+	return defaultSession.MeasureVideo(n, scenario, profile, buffer, o)
 }
+
+// SweepGrid runs a sweep on the default session; see Session.Sweep.
+func SweepGrid(sw Sweep, o Options) (*Grid, error) { return defaultSession.Sweep(sw, o) }
 
 // Scheme is one buffer sizing recommendation.
 type Scheme struct {

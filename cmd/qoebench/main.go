@@ -1,54 +1,114 @@
 // Command qoebench runs the paper's experiments by ID and prints the
-// regenerated tables and heatmaps.
+// regenerated tables and heatmaps, or sweeps custom scenarios through
+// the composable Scenario/Probe/Sweep API.
 //
 // Usage:
 //
 //	qoebench -list
 //	qoebench -exp fig7b
-//	qoebench -exp all -duration 60s -reps 5
-//	qoebench -exp all -parallel 16
+//	qoebench -exp fig7a,fig7b,fig8 -json
+//	qoebench -exp all -duration 60s -reps 5 -parallel 16
+//	qoebench -sweep -workloads short-few,long-many -dir up -buffers 8,64,256
+//	qoebench -sweep -uprate 1e9 -downrate 1e9 -aqm codel -probes voip,web -json
 //
-// With -exp all, experiments run through the parallel cell engine:
-// cells fan out across -parallel workers (default GOMAXPROCS),
-// configurations shared between experiments are simulated once, and a
-// failing experiment is reported at the end instead of aborting the
-// suite. Output and results are bit-identical at any parallelism.
+// With multiple experiments (or -exp all), experiments run through
+// the parallel cell engine: cells fan out across -parallel workers
+// (default GOMAXPROCS), configurations shared between experiments are
+// simulated once, and a failing experiment is reported at the end
+// instead of aborting the suite. Output and results are bit-identical
+// at any parallelism.
+//
+// In -sweep mode the workload/buffer/probe axes are swept over one
+// network: a paper testbed (-network access|backbone) or a custom
+// access-shaped link (-uprate/-downrate/-clientdelay/-serverdelay),
+// optionally under an AQM discipline (-aqm), a congestion control
+// (-cc), and last-hop jitter (-jitter). -json emits machine-readable
+// results plus engine statistics in either mode.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"bufferqoe"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json envelope shared by both modes.
+type jsonReport struct {
+	Experiments []jsonExperiment `json:"experiments,omitempty"`
+	Sweep       *bufferqoe.Grid  `json:"sweep,omitempty"`
+	Stats       jsonStats        `json:"stats"`
+	ElapsedS    float64          `json:"elapsed_s"`
+}
+
+type jsonExperiment struct {
+	ID       string  `json:"id"`
+	OK       bool    `json:"ok"`
+	ElapsedS float64 `json:"elapsed_s"`
+	Error    string  `json:"error,omitempty"`
+	Text     string  `json:"text,omitempty"`
+}
+
+type jsonStats struct {
+	Workers     int    `json:"workers"`
+	CellsRun    uint64 `json:"cells_simulated"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CachedCells int    `json:"cached_cells"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qoebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "", "experiment ID (see -list), or 'all'")
-		list     = flag.Bool("list", false, "list experiment IDs")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		duration = flag.Duration("duration", 30*time.Second, "per-cell background measurement window")
-		warmup   = flag.Duration("warmup", 5*time.Second, "background warmup before measuring")
-		reps     = flag.Int("reps", 3, "calls/streams/fetches per cell")
-		clip     = flag.Int("clip", 4, "video clip length in seconds")
-		flows    = flag.Int("cdnflows", 200000, "synthetic CDN population size (fig1*)")
-		parallel = flag.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
+		exp      = fs.String("exp", "", "experiment ID(s), comma-separated (see -list), or 'all'")
+		list     = fs.Bool("list", false, "list experiment IDs")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		duration = fs.Duration("duration", 30*time.Second, "per-cell background measurement window")
+		warmup   = fs.Duration("warmup", 5*time.Second, "background warmup before measuring")
+		reps     = fs.Int("reps", 3, "calls/streams/fetches per cell")
+		clip     = fs.Int("clip", 4, "video clip length in seconds")
+		flows    = fs.Int("cdnflows", 200000, "synthetic CDN population size (fig1*)")
+		parallel = fs.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
+		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON results and engine stats")
+
+		sweep     = fs.Bool("sweep", false, "sweep scenarios instead of running paper experiments")
+		network   = fs.String("network", "access", "sweep: paper testbed (access or backbone)")
+		workloads = fs.String("workloads", "noBG", "sweep: comma-separated Table 1 workload names")
+		dir       = fs.String("dir", "down", "sweep: congestion direction (down, up, bidir)")
+		buffers   = fs.String("buffers", "", "sweep: comma-separated buffer sizes in packets (default: the paper's sweep for the network)")
+		probes    = fs.String("probes", "voip,web,video:SD", "sweep: comma-separated probes (voip, web, video[:SD|:HD])")
+		aqm       = fs.String("aqm", "", "sweep: queue discipline (droptail, codel, fq-codel, red, ared, pie)")
+		cc        = fs.String("cc", "", "sweep: congestion control (cubic, reno, bic)")
+		jitter    = fs.Duration("jitter", 0, "sweep: mean last-hop jitter (access shape)")
+
+		upRate      = fs.Float64("uprate", 0, "sweep: custom uplink rate in bits/s (enables a custom link)")
+		downRate    = fs.Float64("downrate", 0, "sweep: custom downlink rate in bits/s")
+		clientDelay = fs.Duration("clientdelay", 0, "sweep: custom client-side one-way delay")
+		serverDelay = fs.Duration("serverdelay", 0, "sweep: custom server-side one-way delay")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range bufferqoe.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "qoebench: -exp required (or -list)")
-		os.Exit(2)
-	}
-	bufferqoe.SetParallelism(*parallel)
+
+	session := bufferqoe.NewSession()
+	session.SetParallelism(*parallel)
 	opt := bufferqoe.Options{
 		Seed:        *seed,
 		Duration:    *duration,
@@ -57,33 +117,208 @@ func main() {
 		ClipSeconds: *clip,
 		CDNFlows:    *flows,
 	}
-	ids := []string{*exp}
-	if *exp == "all" {
+
+	if *sweep {
+		if *exp != "" {
+			fmt.Fprintln(stderr, "qoebench: -sweep and -exp are mutually exclusive")
+			return 2
+		}
+		return runSweep(session, opt, sweepFlags{
+			network: *network, workloads: *workloads, dir: *dir,
+			buffers: *buffers, probes: *probes,
+			aqm: *aqm, cc: *cc, jitter: *jitter,
+			upRate: *upRate, downRate: *downRate,
+			clientDelay: *clientDelay, serverDelay: *serverDelay,
+		}, *jsonOut, stdout, stderr)
+	}
+
+	if *exp == "" {
+		fmt.Fprintln(stderr, "qoebench: -exp or -sweep required (or -list)")
+		return 2
+	}
+	ids := splitList(*exp)
+	if len(ids) == 0 {
+		fmt.Fprintf(stderr, "qoebench: -exp %q names no experiments\n", *exp)
+		return 2
+	}
+	if len(ids) == 1 && ids[0] == "all" {
 		ids = bufferqoe.Experiments()
 	}
 
 	start := time.Now()
-	outcomes := bufferqoe.RunAll(ids, opt)
+	outcomes := session.RunAll(ids, opt)
 	total := time.Since(start)
 
 	var failed []bufferqoe.Outcome
+	report := jsonReport{ElapsedS: total.Seconds()}
 	for _, oc := range outcomes {
+		je := jsonExperiment{ID: oc.ID, OK: oc.Err == nil, ElapsedS: oc.Elapsed.Seconds()}
 		if oc.Err != nil {
+			je.Error = oc.Err.Error()
 			failed = append(failed, oc)
-			continue
+		} else {
+			je.Text = oc.Result.Text
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "# %s (%.1fs)\n%s\n", oc.ID, oc.Elapsed.Seconds(), oc.Result.Text)
+			}
 		}
-		fmt.Printf("# %s (%.1fs)\n%s\n", oc.ID, oc.Elapsed.Seconds(), oc.Result.Text)
+		report.Experiments = append(report.Experiments, je)
 	}
 
-	st := bufferqoe.Stats()
-	fmt.Printf("# summary: %d/%d experiments ok in %.1fs (%d workers; %d cells simulated, %d cache hits)\n",
-		len(outcomes)-len(failed), len(outcomes), total.Seconds(),
-		st.Workers, st.Misses, st.Hits)
+	st := session.Stats()
+	report.Stats = jsonStats{Workers: st.Workers, CellsRun: st.Misses, CacheHits: st.Hits, CachedCells: st.CachedCells}
+	if *jsonOut {
+		emitJSON(stdout, stderr, report)
+	} else {
+		fmt.Fprintf(stdout, "# summary: %d/%d experiments ok in %.1fs (%d workers; %d cells simulated, %d cache hits)\n",
+			len(outcomes)-len(failed), len(outcomes), total.Seconds(),
+			st.Workers, st.Misses, st.Hits)
+	}
 	if len(failed) > 0 {
 		for _, oc := range failed {
-			fmt.Fprintf(os.Stderr, "qoebench: FAILED %s after %.1fs: %v\n",
+			fmt.Fprintf(stderr, "qoebench: FAILED %s after %.1fs: %v\n",
 				oc.ID, oc.Elapsed.Seconds(), oc.Err)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+type sweepFlags struct {
+	network, workloads, dir, buffers, probes, aqm, cc string
+	jitter                                            time.Duration
+	upRate, downRate                                  float64
+	clientDelay, serverDelay                          time.Duration
+}
+
+func runSweep(session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, jsonOut bool, stdout, stderr io.Writer) int {
+	var net bufferqoe.Network
+	switch f.network {
+	case "access", "":
+		net = bufferqoe.Access
+	case "backbone":
+		net = bufferqoe.Backbone
+	default:
+		fmt.Fprintf(stderr, "qoebench: unknown -network %q (want access or backbone)\n", f.network)
+		return 2
+	}
+
+	var link *bufferqoe.Link
+	if f.upRate != 0 || f.downRate != 0 || f.clientDelay != 0 || f.serverDelay != 0 {
+		link = &bufferqoe.Link{
+			UpRate: f.upRate, DownRate: f.downRate,
+			ClientDelay: f.clientDelay, ServerDelay: f.serverDelay,
+		}
+	}
+
+	dir := bufferqoe.Direction(f.dir)
+	if net == bufferqoe.Backbone && link == nil {
+		// The backbone has no congestion-direction axis; reject a
+		// non-default -dir instead of silently measuring downstream.
+		if dir != bufferqoe.Down && dir != "" {
+			fmt.Fprintf(stderr, "qoebench: -dir %s: the backbone is congested downstream only\n", f.dir)
+			return 2
+		}
+		dir = ""
+	}
+	var scenarios []bufferqoe.Scenario
+	for _, wl := range splitList(f.workloads) {
+		scenarios = append(scenarios, bufferqoe.Scenario{
+			Network: net, Link: link, Workload: wl, Direction: dir,
+			AQM: bufferqoe.AQM(f.aqm), CC: bufferqoe.CC(f.cc), Jitter: f.jitter,
+		})
+	}
+
+	bufs, err := parseBuffers(f.buffers, net)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoebench: %v\n", err)
+		return 2
+	}
+	probes, err := parseProbes(f.probes)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoebench: %v\n", err)
+		return 2
+	}
+
+	start := time.Now()
+	grid, err := session.Sweep(bufferqoe.Sweep{Scenarios: scenarios, Buffers: bufs, Probes: probes}, opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoebench: %v\n", err)
+		return 1
+	}
+	total := time.Since(start)
+
+	st := session.Stats()
+	if jsonOut {
+		emitJSON(stdout, stderr, jsonReport{
+			Sweep:    grid,
+			Stats:    jsonStats{Workers: st.Workers, CellsRun: st.Misses, CacheHits: st.Hits, CachedCells: st.CachedCells},
+			ElapsedS: total.Seconds(),
+		})
+		return 0
+	}
+	fmt.Fprint(stdout, grid.Text())
+	fmt.Fprintf(stdout, "# summary: %d cells in %.1fs (%d workers; %d simulated, %d cache hits)\n",
+		len(grid.Cells), total.Seconds(), st.Workers, st.Misses, st.Hits)
+	return 0
+}
+
+func emitJSON(stdout, stderr io.Writer, report jsonReport) {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(stderr, "qoebench: encoding JSON: %v\n", err)
+	}
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseBuffers(s string, net bufferqoe.Network) ([]int, error) {
+	if s == "" {
+		return bufferqoe.BufferSizes(net), nil
+	}
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -buffers entry %q: %v", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseProbes(s string) ([]bufferqoe.Probe, error) {
+	var out []bufferqoe.Probe
+	for _, part := range splitList(s) {
+		media, profile, _ := strings.Cut(part, ":")
+		switch media {
+		case "voip", "web":
+			if profile != "" {
+				return nil, fmt.Errorf("probe %q: only video takes a profile", part)
+			}
+			m := bufferqoe.VoIP
+			if media == "web" {
+				m = bufferqoe.Web
+			}
+			out = append(out, bufferqoe.Probe{Media: m})
+		case "video":
+			out = append(out, bufferqoe.Probe{Media: bufferqoe.Video, Profile: profile})
+		default:
+			return nil, fmt.Errorf("unknown probe %q (want voip, web, video[:SD|:HD])", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no probes given")
+	}
+	return out, nil
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyArgs shrink simulation work for CLI tests.
+var tinyArgs = []string{"-seed", "5", "-duration", "4s", "-warmup", "2s", "-reps", "1", "-clip", "1", "-cdnflows", "20000"}
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(append(append([]string(nil), args...), tinyArgs...), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 || !strings.Contains(out, "fig7b") || !strings.Contains(out, "table1") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestCommaSeparatedExperiments(t *testing.T) {
+	out, _, code := runCLI(t, "-exp", "fig1a,fig1b,table2")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{"# fig1a", "# fig1b", "# table2", "3/3 experiments ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFailedExperimentExitCode(t *testing.T) {
+	out, errOut, code := runCLI(t, "-exp", "table2,bogus")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(out, "# table2") || !strings.Contains(errOut, "FAILED bogus") {
+		t.Fatalf("out=%q err=%q", out, errOut)
+	}
+}
+
+func TestJSONExperiments(t *testing.T) {
+	out, _, code := runCLI(t, "-exp", "fig1a,fig1b", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(report.Experiments) != 2 || !report.Experiments[0].OK || report.Experiments[0].Text == "" {
+		t.Fatalf("report = %+v", report)
+	}
+	// fig1a and fig1b share the CDN population cell.
+	if report.Stats.CacheHits == 0 || report.Stats.CellsRun == 0 {
+		t.Fatalf("stats = %+v", report.Stats)
+	}
+}
+
+// TestSweepCustomLink is the CLI half of the custom-link acceptance
+// check: a non-paper rate with a non-paper AQM, end to end.
+func TestSweepCustomLink(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-sweep", "-uprate", "1e9", "-downrate", "1e9",
+		"-clientdelay", "2ms", "-serverdelay", "10ms",
+		"-aqm", "codel", "-workloads", "noBG,short-few", "-dir", "up",
+		"-buffers", "16,64", "-probes", "voip,web")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"custom(1G/1G@2ms/10ms)/noBG", "custom(1G/1G@2ms/10ms)/short-few/up+codel", "voip", "web", "8 cells"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	out, _, code := runCLI(t,
+		"-sweep", "-uprate", "1e9", "-downrate", "1e9",
+		"-buffers", "16", "-probes", "web", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if report.Sweep == nil || len(report.Sweep.Cells) != 1 {
+		t.Fatalf("sweep report = %+v", report)
+	}
+	c := report.Sweep.Cells[0]
+	if c.Metric != "plt_s" || c.Value <= 0 || c.Rating == "" {
+		t.Fatalf("cell = %+v", c)
+	}
+	if report.Stats.CellsRun != 1 {
+		t.Fatalf("stats = %+v", report.Stats)
+	}
+}
+
+func TestSweepBadFlags(t *testing.T) {
+	if _, _, code := runCLI(t, "-sweep", "-network", "carrier-pigeon"); code != 2 {
+		t.Fatalf("bad network: code %d", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-buffers", "8,oops"); code != 2 {
+		t.Fatalf("bad buffers: code %d", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-probes", "telepathy"); code != 2 {
+		t.Fatalf("bad probes: code %d", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-workloads", "nope"); code != 1 {
+		t.Fatalf("bad workload: code %d", code)
+	}
+	if _, _, code := runCLI(t); code != 2 {
+		t.Fatalf("no mode: code %d", code)
+	}
+	// The backbone has no direction axis: an explicit non-down -dir
+	// must be rejected, not silently measured downstream.
+	if _, errOut, code := runCLI(t, "-sweep", "-network", "backbone", "-workloads", "short-low", "-dir", "up", "-buffers", "100", "-probes", "web"); code != 2 {
+		t.Fatalf("backbone -dir up: code %d, stderr %q", code, errOut)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-uprate", "-5e6", "-buffers", "16", "-probes", "web"); code != 1 {
+		t.Fatalf("negative uprate: code %d", code)
+	}
+}
+
+func TestProbeProfileOnNonVideoRejected(t *testing.T) {
+	if _, _, code := runCLI(t, "-sweep", "-buffers", "16", "-probes", "web:HD"); code != 2 {
+		t.Fatalf("web:HD probe: code %d, want 2", code)
+	}
+}
+
+func TestEmptyExperimentListRejected(t *testing.T) {
+	if _, _, code := runCLI(t, "-exp", ","); code != 2 {
+		t.Fatalf("-exp ',': code %d, want 2 (not a silent 0/0 success)", code)
+	}
+}
+
+func TestSweepAndExpMutuallyExclusive(t *testing.T) {
+	if _, _, code := runCLI(t, "-sweep", "-exp", "fig7b", "-buffers", "16", "-probes", "web"); code != 2 {
+		t.Fatalf("-sweep with -exp: code %d, want 2", code)
+	}
+}

@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// Custom-link cells must be distinct in the cache but paired in the
+// seed derivation: a link sweep replays one workload realization
+// (common random numbers), like the buffer axis does.
+func TestLinkFieldCachesSeparately(t *testing.T) {
+	base := CellSpec{Testbed: "access", Scenario: "long-few", Direction: "up", Buffer: 64, Media: "voip", Seed: 42}
+	fiber := base
+	fiber.Link = "up=1e+09;down=1e+09;cd=2ms;sd=10ms"
+
+	if base.Key() == fiber.Key() {
+		t.Fatal("custom link shares a cache key with the preset link")
+	}
+	if !strings.Contains(fiber.Key(), fiber.Link) {
+		t.Fatalf("link missing from key %q", fiber.Key())
+	}
+	if DeriveSeed(base) != DeriveSeed(fiber) {
+		t.Fatal("link sweep broke common-random-numbers pairing: seeds differ")
+	}
+	if !strings.Contains(fiber.String(), fiber.Link) {
+		t.Fatalf("link missing from String() %q", fiber.String())
+	}
+}
+
+func TestLinkFieldCanonicalization(t *testing.T) {
+	a := CellSpec{Testbed: "access", Scenario: "noBG", Direction: "up", Buffer: 8, Media: "web", Link: "up=2e+06;down=2e+06;cd=5ms;sd=20ms"}
+	// noBG canonicalization must still drop the direction with a
+	// custom link present.
+	if a.Canonical().Direction != "" {
+		t.Fatal("noBG direction survived canonicalization on a custom link")
+	}
+}

@@ -7,15 +7,18 @@ import "fmt"
 // testbed, workload, congestion direction, population size) — and
 // deliberately nothing else.
 //
-// Comparison axes — buffer size, queue discipline, media type,
-// variant knobs, repetition counts — are excluded, which gives the
-// classic paired-comparison (common-random-numbers) design the
-// paper's sweeps rely on: a buffer sweep replays the identical
-// workload realization at every size, so the spread across a row is
-// attributable to the buffer and not to workload resampling, and an
-// ablation's on/off cells differ only in the ablated mechanism.
-// Cells with different workloads draw decorrelated streams instead of
-// replaying one arrival pattern shifted by a config knob.
+// Comparison axes — buffer size, queue discipline, custom link
+// rates/delays, media type, variant knobs, repetition counts — are
+// excluded, which gives the classic paired-comparison
+// (common-random-numbers) design the paper's sweeps rely on: a buffer
+// sweep replays the identical workload realization at every size, so
+// the spread across a row is attributable to the buffer and not to
+// workload resampling, and an ablation's on/off cells differ only in
+// the ablated mechanism. A sweep across link presets (DSL vs fiber vs
+// LTE) likewise replays one arrival pattern per workload, so the
+// spread is the link's doing. Cells with different workloads draw
+// decorrelated streams instead of replaying one arrival pattern
+// shifted by a config knob.
 func (s CellSpec) SeedKey() string {
 	c := s.Canonical()
 	return fmt.Sprintf("seed=%d|tb=%s|sc=%s|dir=%s|cdn=%d",

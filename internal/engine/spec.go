@@ -51,9 +51,17 @@ type CellSpec struct {
 	// discipline, congestion control, video profile, fetch mode...).
 	// "" is the paper's default configuration.
 	Variant string
+	// Link is the canonical encoding of a custom bottleneck link
+	// (rates and delays differing from the testbed preset), e.g.
+	// "up=1e+09;down=1e+09;cd=2ms;sd=10ms". "" is the preset link of
+	// the named testbed. Builders must canonicalize: a custom link
+	// equal to the preset must be encoded as "".
+	Link string
 
 	// Seed is the root seed; the cell's own seed is derived from it
-	// together with every other field (DeriveSeed).
+	// together with the stimulus-defining fields only — see SeedKey
+	// for the exact list. Comparison axes (buffer, media, variant,
+	// link) deliberately do not perturb the seed.
 	Seed uint64
 	// Duration and Warmup are the background measurement window and
 	// warmup of Options.
@@ -86,9 +94,9 @@ func (s CellSpec) Canonical() CellSpec {
 // Key renders the canonical spec as the cache/seed key.
 func (s CellSpec) Key() string {
 	c := s.Canonical()
-	return fmt.Sprintf("tb=%s|sc=%s|dir=%s|buf=%d|bufup=%d|media=%s|var=%s|seed=%d|dur=%d|warm=%d|reps=%d|clip=%d|cdn=%d",
+	return fmt.Sprintf("tb=%s|sc=%s|dir=%s|buf=%d|bufup=%d|media=%s|var=%s|link=%s|seed=%d|dur=%d|warm=%d|reps=%d|clip=%d|cdn=%d",
 		c.Testbed, c.Scenario, c.Direction, c.Buffer, c.BufferUp,
-		c.Media, c.Variant, c.Seed,
+		c.Media, c.Variant, c.Link, c.Seed,
 		int64(c.Duration), int64(c.Warmup), c.Reps, c.ClipSeconds, c.CDNFlows)
 }
 
@@ -102,6 +110,9 @@ func (s CellSpec) String() string {
 	out += fmt.Sprintf("@%d", c.Buffer)
 	if c.Variant != "" {
 		out += "[" + c.Variant + "]"
+	}
+	if c.Link != "" {
+		out += "{" + c.Link + "}"
 	}
 	return out
 }

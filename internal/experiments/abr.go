@@ -15,7 +15,7 @@ import (
 // bitrate reduction; at sustained overload nothing fits and all three
 // players are bad. The progressive-4M cells are shared with
 // ext-httpvideo's 749-packet column through the cache.
-func extABR(o Options) (*Result, error) {
+func extABR(s *Session, o Options) (*Result, error) {
 	scenarios := []string{"noBG", "short-medium", "short-high", "long"}
 	players := []string{"progressive-4M", "abr-rate", "abr-buffer"}
 	g := NewGrid("Extension: DASH adaptation vs fixed-rate HTTP video (backbone, BDP buffer)",
@@ -30,7 +30,7 @@ func extABR(o Options) (*Result, error) {
 			jobs = append(jobs, cellJob{httpVideoTask(o, s, 749, kind), player, s})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		sc := v.(httpScore)
 		g.Set(row, col, Cell{
 			Value: sc.MOS,

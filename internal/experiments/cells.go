@@ -17,27 +17,6 @@ import (
 	"bufferqoe/internal/web"
 )
 
-// eng is the process-wide cell-execution engine: every experiment and
-// probe submits its cells here, so configurations shared between
-// experiments (the noBG rows of the fig7 family, the ClipC backbone
-// cells of fig9b/ext-clips/ext-psnr, the fig1 CDN population) are
-// simulated exactly once per process.
-var eng = engine.New(0)
-
-// SetParallelism resizes the cell worker pool; n <= 0 means
-// GOMAXPROCS. Parallelism never changes results: each cell's seed is
-// derived from its canonical spec, not from scheduling order.
-func SetParallelism(n int) { eng.SetWorkers(n) }
-
-// Parallelism returns the current worker-pool size.
-func Parallelism() int { return eng.Workers() }
-
-// EngineStats snapshots the cell cache/pool counters.
-func EngineStats() engine.Stats { return eng.Stats() }
-
-// ResetEngineCache drops all memoized cell results (tests only).
-func ResetEngineCache() { eng.ResetCache() }
-
 // Cell value types. Cells return every metric their simulation run
 // can cheaply expose, so experiments asking different questions of
 // the same configuration share one cached run.
@@ -83,14 +62,18 @@ type queueFactory func(capPkts int, seed uint64) netem.Queue
 // may carry together with the canonical tag that distinguishes them
 // in the cell cache. The zero value — empty tag — is the paper's
 // default configuration; builders must keep tag and knobs in sync, as
-// the tag is what the cache and seed derivation see.
+// the tag is what the cache sees. Custom link parameters travel
+// separately (CellSpec.Link, see linkTag) so the same variant tag can
+// apply to any link.
 type accessVariant struct {
-	tag     string
-	bufUp   int // uplink buffer override; 0 = same as downlink
-	upQueue queueFactory
-	cc      func() tcp.CongestionControl
-	tcpCfg  tcp.Config
-	jitter  time.Duration
+	tag       string
+	bufUp     int // uplink buffer override; 0 = same as downlink
+	upQueue   queueFactory
+	downQueue queueFactory
+	cc        func() tcp.CongestionControl
+	tcpCfg    tcp.Config
+	jitter    time.Duration
+	link      testbed.LinkParams // zero = the paper's DSL link
 }
 
 func (v accessVariant) config(buf int, seed uint64) testbed.Config {
@@ -100,18 +83,65 @@ func (v accessVariant) config(buf int, seed uint64) testbed.Config {
 	}
 	cfg := testbed.Config{
 		BufferUp: up, BufferDown: buf, Seed: seed,
-		CC: v.cc, TCP: v.tcpCfg, Jitter: v.jitter,
+		CC: v.cc, TCP: v.tcpCfg, Jitter: v.jitter, Link: v.link,
 	}
 	if v.upQueue != nil {
 		qf := v.upQueue
 		cfg.UpQueue = func(capPkts int) netem.Queue { return qf(capPkts, seed) }
 	}
+	if v.downQueue != nil {
+		qf := v.downQueue
+		cfg.DownQueue = func(capPkts int) netem.Queue { return qf(capPkts, seed) }
+	}
 	return cfg
 }
 
-// runOne executes a single cell synchronously (probes and small
-// grids); batches should go through runCells.
-func runOne(t engine.Task) any { return eng.Do(t.Spec, t.Fn) }
+// linkTag renders custom link parameters as the canonical
+// CellSpec.Link encoding; the paper's preset link encodes as "", so
+// probes of the default topology share cells with the experiment
+// grids no matter how their LinkParams were spelled.
+func linkTag(lp testbed.LinkParams) string {
+	if lp.IsDefault() {
+		return ""
+	}
+	lp = lp.WithDefaults()
+	return fmt.Sprintf("up=%g;down=%g;cd=%s;sd=%s",
+		lp.UpRate, lp.DownRate, lp.ClientDelay, lp.ServerDelay)
+}
+
+// backboneVariant is accessVariant's counterpart for the backbone
+// testbed: congestion control, TCP tuning, and the bottleneck queue
+// discipline (applied to the congested server->client direction).
+type backboneVariant struct {
+	tag       string
+	downQueue queueFactory
+	cc        func() tcp.CongestionControl
+	tcpCfg    tcp.Config
+}
+
+func (v backboneVariant) config(buf int, seed uint64) testbed.Config {
+	cfg := testbed.Config{BufferDown: buf, Seed: seed, CC: v.cc, TCP: v.tcpCfg}
+	if v.downQueue != nil {
+		qf := v.downQueue
+		cfg.DownQueue = func(capPkts int) netem.Queue { return qf(capPkts, seed) }
+	}
+	return cfg
+}
+
+// joinTags joins non-empty canonical tag fragments with ";".
+func joinTags(tags ...string) string {
+	out := ""
+	for _, t := range tags {
+		if t == "" {
+			continue
+		}
+		if out != "" {
+			out += ";"
+		}
+		out += t
+	}
+	return out
+}
 
 // cellJob pairs a cell task with the grid coordinates its value lands
 // in, so a runner builds both in one append and the task/label
@@ -119,18 +149,6 @@ func runOne(t engine.Task) any { return eng.Do(t.Spec, t.Fn) }
 type cellJob struct {
 	task     engine.Task
 	row, col string
-}
-
-// runCells fans a batch of jobs out across the engine and hands each
-// value back with its grid coordinates.
-func runCells(jobs []cellJob, each func(row, col string, v any)) {
-	tasks := make([]engine.Task, len(jobs))
-	for i, j := range jobs {
-		tasks[i] = j.task
-	}
-	for i, v := range eng.RunBatch(tasks) {
-		each(jobs[i].row, jobs[i].col, v)
-	}
 }
 
 func msToDuration(ms float64) time.Duration {
@@ -145,6 +163,7 @@ func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, 
 	sp := engine.CellSpec{
 		Testbed: "access", Scenario: scenario, Direction: dir.String(),
 		Buffer: buf, BufferUp: v.bufUp, Media: "voip", Variant: v.tag,
+		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
@@ -164,23 +183,25 @@ func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, 
 	}}
 }
 
-// voipAccessCell runs one access VoIP cell through the engine.
-func voipAccessCell(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant) voipScore {
+// voipAccessCell runs one access VoIP cell through the session's
+// engine.
+func (s *Session) voipAccessCell(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant) voipScore {
 	t := voipAccessTask(o, scenario, dir, buf, v)
-	return runOne(t).(voipScore)
+	return s.runOne(t).(voipScore)
 }
 
 // voipBackboneTask describes one backbone VoIP cell (unidirectional
 // calls, server -> client).
-func voipBackboneTask(o Options, scenario string, buf int) engine.Task {
+func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) engine.Task {
 	sp := engine.CellSpec{
 		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "voip",
-		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+		Variant: v.tag,
+		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
 		oc := o
 		oc.Seed = seed
-		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		b := testbed.NewBackbone(v.config(buf, seed))
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}
@@ -257,6 +278,7 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 	sp := engine.CellSpec{
 		Testbed: "access", Scenario: scenario, Direction: dir.String(),
 		Buffer: buf, BufferUp: v.bufUp, Media: "web", Variant: variant,
+		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
@@ -281,21 +303,22 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 }
 
 // webAccessCell runs one access web cell and returns the median PLT.
-func webAccessCell(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant, fetchConns int) time.Duration {
+func (s *Session) webAccessCell(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant, fetchConns int) time.Duration {
 	t := webAccessTask(o, scenario, dir, buf, v, fetchConns)
-	return runOne(t).(time.Duration)
+	return s.runOne(t).(time.Duration)
 }
 
 // webBackboneTask describes one backbone web cell.
-func webBackboneTask(o Options, scenario string, buf int) engine.Task {
+func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) engine.Task {
 	sp := engine.CellSpec{
 		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "web",
-		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+		Variant: v.tag,
+		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
 		oc := o
 		oc.Seed = seed
-		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		b := testbed.NewBackbone(v.config(buf, seed))
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}
@@ -316,21 +339,25 @@ func videoVariantTag(clip video.Clip, p video.Profile, rec video.Recovery) strin
 	return tag
 }
 
-// videoAccessTask describes one access RTP-video cell (download
-// congestion; IPTV is downstream).
-func videoAccessTask(o Options, scenario string, clip video.Clip, p video.Profile, buf int) engine.Task {
+// videoAccessTask describes one access RTP-video cell. The paper's
+// grids congest the download direction only (IPTV is downstream);
+// the composable probe path may ask for upload or bidirectional
+// background congestion instead.
+func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip video.Clip, p video.Profile, buf int, v accessVariant) engine.Task {
 	sp := engine.CellSpec{
-		Testbed: "access", Scenario: scenario, Direction: testbed.DirDown.String(),
-		Buffer: buf, Media: "video", Variant: videoVariantTag(clip, p, video.RecoveryNone),
+		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Buffer: buf, BufferUp: v.bufUp,
+		Media: "video", Variant: joinTags(videoVariantTag(clip, p, video.RecoveryNone), v.tag),
+		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
 		oc := o
 		oc.Seed = seed
 		src := video.NewSource(clip, p, oc.ClipSeconds)
-		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: seed})
+		a := testbed.NewAccess(v.config(buf, seed))
 		if scenario != "noBG" {
-			a.StartWorkload(testbed.AccessScenario(scenario, testbed.DirDown))
+			a.StartWorkload(testbed.AccessScenario(scenario, dir))
 		}
 		return videoReps(a.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second,
 			func(done func(video.Result)) {
@@ -342,17 +369,17 @@ func videoAccessTask(o Options, scenario string, clip video.Clip, p video.Profil
 
 // videoBackboneTask describes one backbone RTP-video cell, optionally
 // with ARQ/FEC recovery.
-func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Profile, rec video.Recovery, buf int) engine.Task {
+func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Profile, rec video.Recovery, buf int, v backboneVariant) engine.Task {
 	sp := engine.CellSpec{
 		Testbed: "backbone", Scenario: scenario, Buffer: buf,
-		Media: "video", Variant: videoVariantTag(clip, p, rec),
+		Media: "video", Variant: joinTags(videoVariantTag(clip, p, rec), v.tag),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
 		oc := o
 		oc.Seed = seed
 		src := video.NewSource(clip, p, oc.ClipSeconds)
-		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		b := testbed.NewBackbone(v.config(buf, seed))
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}

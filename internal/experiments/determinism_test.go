@@ -11,6 +11,9 @@ import (
 // when its cells run sequentially, fanned out across workers, and
 // again from the warm cache.
 func TestDeterminismAcrossSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	o := tiny()
 	defer SetParallelism(0)
 
@@ -84,6 +87,9 @@ func TestCrossExperimentCellSharing(t *testing.T) {
 // configuration an experiment grid visited returns the grid's exact
 // number — probes and grids submit the same canonical cell specs.
 func TestProbeMatchesGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	o := tiny()
 	ResetEngineCache()
 	r, err := Run("fig7b", o)

@@ -34,23 +34,27 @@ type Options struct {
 	CDNFlows int
 }
 
+// withDefaults normalizes an Options value: zero and negative fields
+// clamp to the documented defaults. Every entry point normalizes
+// before building cell specs, so two callers whose options normalize
+// equally submit byte-identical specs and share cache entries.
 func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
-	if o.Duration == 0 {
+	if o.Duration <= 0 {
 		o.Duration = 30 * time.Second
 	}
-	if o.Warmup == 0 {
+	if o.Warmup <= 0 {
 		o.Warmup = 5 * time.Second
 	}
-	if o.Reps == 0 {
+	if o.Reps <= 0 {
 		o.Reps = 3
 	}
-	if o.ClipSeconds == 0 {
+	if o.ClipSeconds <= 0 {
 		o.ClipSeconds = 4
 	}
-	if o.CDNFlows == 0 {
+	if o.CDNFlows <= 0 {
 		o.CDNFlows = 200000
 	}
 	return o
@@ -133,8 +137,9 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// runner is one experiment implementation.
-type runner func(Options) (*Result, error)
+// runner is one experiment implementation, bound to the session whose
+// engine its cells run on.
+type runner func(*Session, Options) (*Result, error)
 
 var registry = map[string]runner{
 	"table1":          table1,
@@ -142,19 +147,19 @@ var registry = map[string]runner{
 	"fig1a":           fig1a,
 	"fig1b":           fig1b,
 	"fig1c":           fig1c,
-	"fig4a":           func(o Options) (*Result, error) { return fig4(o, "a") },
-	"fig4b":           func(o Options) (*Result, error) { return fig4(o, "b") },
-	"fig4c":           func(o Options) (*Result, error) { return fig4(o, "c") },
+	"fig4a":           func(s *Session, o Options) (*Result, error) { return fig4(s, o, "a") },
+	"fig4b":           func(s *Session, o Options) (*Result, error) { return fig4(s, o, "b") },
+	"fig4c":           func(s *Session, o Options) (*Result, error) { return fig4(s, o, "c") },
 	"fig5":            fig5,
-	"fig7a":           func(o Options) (*Result, error) { return fig7(o, "a") },
-	"fig7b":           func(o Options) (*Result, error) { return fig7(o, "b") },
-	"fig7c":           func(o Options) (*Result, error) { return fig7(o, "c") },
+	"fig7a":           func(s *Session, o Options) (*Result, error) { return fig7(s, o, "a") },
+	"fig7b":           func(s *Session, o Options) (*Result, error) { return fig7(s, o, "b") },
+	"fig7c":           func(s *Session, o Options) (*Result, error) { return fig7(s, o, "c") },
 	"fig8":            fig8,
-	"fig9a":           func(o Options) (*Result, error) { return fig9(o, "a") },
-	"fig9b":           func(o Options) (*Result, error) { return fig9(o, "b") },
-	"fig10a":          func(o Options) (*Result, error) { return fig10(o, "a") },
-	"fig10b":          func(o Options) (*Result, error) { return fig10(o, "b") },
-	"fig10c":          func(o Options) (*Result, error) { return fig10(o, "c") },
+	"fig9a":           func(s *Session, o Options) (*Result, error) { return fig9(s, o, "a") },
+	"fig9b":           func(s *Session, o Options) (*Result, error) { return fig9(s, o, "b") },
+	"fig10a":          func(s *Session, o Options) (*Result, error) { return fig10(s, o, "a") },
+	"fig10b":          func(s *Session, o Options) (*Result, error) { return fig10(s, o, "b") },
+	"fig10c":          func(s *Session, o Options) (*Result, error) { return fig10(s, o, "c") },
 	"fig11":           fig11,
 	"abl-aqm":         ablationAQM,
 	"abl-bic":         ablationBIC,
@@ -187,14 +192,17 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
-func Run(id string, o Options) (*Result, error) {
+// Run executes one experiment by ID on the session's engine.
+func (s *Session) Run(id string, o Options) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(o.withDefaults())
+	return r(s, o.withDefaults())
 }
+
+// Run executes one experiment by ID on the Default session.
+func Run(id string, o Options) (*Result, error) { return Default.Run(id, o) }
 
 // Outcome is one experiment's entry in a RunAll batch.
 type Outcome struct {
@@ -206,17 +214,17 @@ type Outcome struct {
 
 // RunAll executes a batch of experiments and returns one Outcome per
 // ID, in input order. Experiments run concurrently (their cells
-// additionally fan out across the engine's worker pool); a failing
+// additionally fan out across the session's worker pool); a failing
 // experiment records its error and does not stop the rest. Cells
 // shared between experiments in the batch are simulated once: the
 // engine coalesces duplicate in-flight specs and caches results.
-func RunAll(ids []string, o Options) []Outcome {
+func (s *Session) RunAll(ids []string, o Options) []Outcome {
 	out := make([]Outcome, len(ids))
 	// Experiment-level concurrency is bounded separately from the cell
 	// pool: experiment goroutines spend almost all their time waiting
 	// on cells, so a small multiple of the cell pool keeps it fed
 	// without piling up every grid's bookkeeping at once.
-	sem := make(chan struct{}, 2*Parallelism())
+	sem := make(chan struct{}, 2*s.Parallelism())
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
@@ -225,10 +233,13 @@ func RunAll(ids []string, o Options) []Outcome {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			res, err := Run(id, o)
+			res, err := s.Run(id, o)
 			out[i] = Outcome{ID: id, Result: res, Err: err, Elapsed: time.Since(start)}
 		}(i, id)
 	}
 	wg.Wait()
 	return out
 }
+
+// RunAll executes a batch of experiments on the Default session.
+func RunAll(ids []string, o Options) []Outcome { return Default.RunAll(ids, o) }

@@ -161,6 +161,9 @@ func TestFig7bShape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	r, err := Run("fig8", tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -215,6 +218,9 @@ func TestFig10bShape(t *testing.T) {
 }
 
 func TestExtensionHTTPVideo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	r, err := Run("ext-httpvideo", tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -246,6 +252,9 @@ func TestAblationPlayout(t *testing.T) {
 }
 
 func TestExtensionClips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	r, err := Run("ext-clips", tiny())
 	if err != nil {
 		t.Fatal(err)

@@ -25,7 +25,7 @@ func codelUpQueue(capPkts int, _ uint64) netem.Queue {
 // burst into a standing queue; the experiment measures what that does
 // to the page a user is loading over the same uplink. IW3 is the
 // paper-era default, so those cells are the cached fig10b column.
-func ablationIW10(o Options) (*Result, error) {
+func ablationIW10(s *Session, o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
 	bufs := []int{8, 64, 256}
 	cols := make([]string, len(bufs))
@@ -45,7 +45,7 @@ func ablationIW10(o Options) (*Result, error) {
 				fmt.Sprintf("IW%d", iw), cols[bi]})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		plt := v.(time.Duration)
 		mos := model.MOS(plt)
 		g.Set(row+" PLT", col, Cell{
@@ -72,7 +72,7 @@ func ablationIW10(o Options) (*Result, error) {
 // the sojourn above any feasible target (that pathological case is
 // what FQ-CoDel's flow isolation addresses, see ext-fqcodel-web).
 // The CoDel target follows RFC 8289 §4.4's slow-link rule.
-func ablationECN(o Options) (*Result, error) {
+func ablationECN(s *Session, o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
 	configs := []struct {
 		name string
@@ -98,7 +98,7 @@ func ablationECN(o Options) (*Result, error) {
 	}
 	g := NewGrid("Ablation: ECN at a bloated (256-pkt) uplink (web under upstream long-few)",
 		[]string{"PLT", "MOS"}, cols)
-	runCells(jobs, func(_, col string, v any) {
+	s.runCells(jobs, func(_, col string, v any) {
 		plt := v.(time.Duration)
 		mos := model.MOS(plt)
 		g.Set("PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
@@ -113,7 +113,7 @@ func ablationECN(o Options) (*Result, error) {
 // and line-card convention); counting bytes changes which packets a
 // full buffer turns away — a 60-byte VoIP frame no longer costs the
 // same share as a 1500-byte bulk segment.
-func ablationByteQueue(o Options) (*Result, error) {
+func ablationByteQueue(s *Session, o Options) (*Result, error) {
 	const pkts = 64
 	queues := []struct {
 		name string
@@ -141,7 +141,7 @@ func ablationByteQueue(o Options) (*Result, error) {
 	}
 	g := NewGrid("Ablation: packet- vs byte-counted uplink buffer (VoIP under upstream long-many)",
 		[]string{"talk MOS", "listen MOS"}, cols)
-	runCells(jobs, func(_, col string, v any) {
+	s.runCells(jobs, func(_, col string, v any) {
 		p := v.(voipScore)
 		g.Set("talk MOS", col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
 		g.Set("listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
@@ -160,7 +160,7 @@ func ablationByteQueue(o Options) (*Result, error) {
 // survive the change of curve. The underlying cells are plain
 // long-few upstream web runs, shared with ext-parweb's sequential
 // column through the cache.
-func ablationIQX(o Options) (*Result, error) {
+func ablationIQX(s *Session, o Options) (*Result, error) {
 	logModel := qoe.AccessWebModel()
 	iqxModel := qoe.NewIQXWebModel(logModel)
 	bufs := []int{8, 64, 256}
@@ -172,7 +172,7 @@ func ablationIQX(o Options) (*Result, error) {
 	}
 	g := NewGrid("Ablation: G.1030 (log) vs IQX (exp) scoring of access web, upstream long-few",
 		[]string{"PLT", "G.1030 MOS", "IQX MOS"}, cols)
-	runCells(jobs, func(_, col string, v any) {
+	s.runCells(jobs, func(_, col string, v any) {
 		plt := v.(time.Duration)
 		lm, im := logModel.MOS(plt), iqxModel.MOS(plt)
 		g.Set("PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
@@ -189,7 +189,7 @@ func ablationIQX(o Options) (*Result, error) {
 // extRecovery quantifies the quality headroom the paper's §8.4 leaves
 // on the table: the same backbone video cells with the MSTV-style ARQ
 // (reference [24]) and with 10% XOR FEC.
-func extRecovery(o Options) (*Result, error) {
+func extRecovery(s *Session, o Options) (*Result, error) {
 	scenarios := []string{"short-medium", "short-high"}
 	schemes := []video.Recovery{video.RecoveryNone, video.RecoveryARQ, video.RecoveryFEC}
 	var rows []string
@@ -200,10 +200,10 @@ func extRecovery(o Options) (*Result, error) {
 	var jobs []cellJob
 	for _, s := range scenarios {
 		for _, rec := range schemes {
-			jobs = append(jobs, cellJob{videoBackboneTask(o, s, video.ClipC, video.SD, rec, 28), rec.String(), s})
+			jobs = append(jobs, cellJob{videoBackboneTask(o, s, video.ClipC, video.SD, rec, 28, backboneVariant{}), rec.String(), s})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		ssim := v.(videoScore).SSIM
 		g.Set(row, col, Cell{Value: ssim, Class: string(qoe.Rate(qoe.SSIMToMOS(ssim)))})
 	})
@@ -220,15 +220,15 @@ func extRecovery(o Options) (*Result, error) {
 // verifies that equivalence holds in the reproduction too. Every cell
 // here is a cache hit after fig9b/ext-clips: video cells always carry
 // both scores.
-func extPSNR(o Options) (*Result, error) {
+func extPSNR(s *Session, o Options) (*Result, error) {
 	scenarios := []string{"noBG", "short-medium", "long"}
 	g := NewGrid("Extension: SSIM vs PSNR scoring (SD video, backbone, BDP buffer)",
 		[]string{"SSIM", "SSIM MOS", "PSNR dB", "PSNR MOS"}, scenarios)
 	var jobs []cellJob
 	for _, s := range scenarios {
-		jobs = append(jobs, cellJob{videoBackboneTask(o, s, video.ClipC, video.SD, video.RecoveryNone, 749), "", s})
+		jobs = append(jobs, cellJob{videoBackboneTask(o, s, video.ClipC, video.SD, video.RecoveryNone, 749, backboneVariant{}), "", s})
 	}
-	runCells(jobs, func(_, col string, v any) {
+	s.runCells(jobs, func(_, col string, v any) {
 		sc := v.(videoScore)
 		sm, pm := qoe.SSIMToMOS(sc.SSIM), qoe.PSNRToMOS(sc.PSNR)
 		g.Set("SSIM", col, Cell{Value: sc.SSIM})
@@ -249,7 +249,7 @@ func extPSNR(o Options) (*Result, error) {
 // own variable delay characteristics"). VoIP is the sensitive
 // application; the sweep shows how much last-hop jitter erodes the
 // clean-network score before any buffer sizing question arises.
-func extJitter(o Options) (*Result, error) {
+func extJitter(s *Session, o Options) (*Result, error) {
 	jitters := []time.Duration{0, 2 * time.Millisecond, 10 * time.Millisecond, 30 * time.Millisecond}
 	cols := make([]string, len(jitters))
 	for i, j := range jitters {
@@ -267,7 +267,7 @@ func extJitter(o Options) (*Result, error) {
 			jobs = append(jobs, cellJob{voipAccessTask(o, s, testbed.DirDown, 64, v), s, cols[ji]})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		p := v.(voipScore)
 		g.Set(row+" listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
 	})
@@ -283,7 +283,7 @@ func extJitter(o Options) (*Result, error) {
 // congested uplink next to bulk uploads. Plain CoDel bounds the
 // standing queue; FQ-CoDel additionally excuses the thin web flow
 // from waiting behind the bulk flows at all.
-func extFQCoDelWeb(o Options) (*Result, error) {
+func extFQCoDelWeb(s *Session, o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
 	queues := []struct {
 		name string
@@ -306,7 +306,7 @@ func extFQCoDelWeb(o Options) (*Result, error) {
 	}
 	g := NewGrid("Extension: FQ-CoDel vs CoDel vs drop-tail (web over a 256-pkt congested uplink, upstream long-many)",
 		[]string{"PLT", "MOS"}, cols)
-	runCells(jobs, func(_, col string, v any) {
+	s.runCells(jobs, func(_, col string, v any) {
 		plt := v.(time.Duration)
 		mos := model.MOS(plt)
 		g.Set("PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})
@@ -320,7 +320,7 @@ func extFQCoDelWeb(o Options) (*Result, error) {
 // bidirectional long-few cell under Reno, BIC, and CUBIC background
 // traffic. The claim under test is unchanged — the CC choice should
 // not move the QoE conclusion.
-func ablationBIC(o Options) (*Result, error) {
+func ablationBIC(s *Session, o Options) (*Result, error) {
 	algos := []struct {
 		name string
 		v    accessVariant
@@ -337,7 +337,7 @@ func ablationBIC(o Options) (*Result, error) {
 	}
 	g := NewGrid("Ablation: Reno vs BIC vs CUBIC background (access, 64-pkt buffers, bidir long-few)",
 		[]string{"listen MOS", "talk MOS", "uplink util %"}, cols)
-	runCells(jobs, func(_, col string, v any) {
+	s.runCells(jobs, func(_, col string, v any) {
 		p := v.(voipScore)
 		g.Set("listen MOS", col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
 		g.Set("talk MOS", col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})

@@ -5,6 +5,9 @@ import (
 )
 
 func TestFig7cRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	r, err := Run("fig7c", tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +171,9 @@ func TestExtFQCoDelWebBestOrEqual(t *testing.T) {
 }
 
 func TestExtABRShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	r, err := Run("ext-abr", tiny())
 	if err != nil {
 		t.Fatal(err)

@@ -11,43 +11,75 @@ import (
 // They submit the same canonical cell specs as the experiment grids,
 // so a probe of a configuration an experiment already visited is a
 // cache hit, and a probe's numbers always agree with the grids'.
+// Each probe exists as a Session method and as a package-level
+// function operating on the Default session.
 
 // MeasureVoIPAccess runs one access VoIP cell (Reps bidirectional
 // calls under the named workload/direction at the given buffer size)
 // and returns the median listen and talk MOS.
-func MeasureVoIPAccess(scenario string, dir testbed.Direction, buffer int, o Options) (listen, talk float64) {
-	p := voipAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{})
+func (s *Session) MeasureVoIPAccess(scenario string, dir testbed.Direction, buffer int, o Options) (listen, talk float64) {
+	p := s.voipAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{})
 	return p.Listen, p.Talk
+}
+
+// MeasureVoIPAccess probes the Default session.
+func MeasureVoIPAccess(scenario string, dir testbed.Direction, buffer int, o Options) (listen, talk float64) {
+	return Default.MeasureVoIPAccess(scenario, dir, buffer, o)
 }
 
 // MeasureVoIPBackbone runs one backbone VoIP cell and returns the
 // median MOS.
+func (s *Session) MeasureVoIPBackbone(scenario string, buffer int, o Options) float64 {
+	return s.runOne(voipBackboneTask(o.withDefaults(), scenario, buffer, backboneVariant{})).(float64)
+}
+
+// MeasureVoIPBackbone probes the Default session.
 func MeasureVoIPBackbone(scenario string, buffer int, o Options) float64 {
-	return runOne(voipBackboneTask(o.withDefaults(), scenario, buffer)).(float64)
+	return Default.MeasureVoIPBackbone(scenario, buffer, o)
 }
 
 // MeasureWebAccess runs one access web cell and returns the median
 // page load time.
+func (s *Session) MeasureWebAccess(scenario string, dir testbed.Direction, buffer int, o Options) time.Duration {
+	return s.webAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{}, 0)
+}
+
+// MeasureWebAccess probes the Default session.
 func MeasureWebAccess(scenario string, dir testbed.Direction, buffer int, o Options) time.Duration {
-	return webAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{}, 0)
+	return Default.MeasureWebAccess(scenario, dir, buffer, o)
 }
 
 // MeasureWebBackbone runs one backbone web cell and returns the median
 // page load time.
+func (s *Session) MeasureWebBackbone(scenario string, buffer int, o Options) time.Duration {
+	return s.runOne(webBackboneTask(o.withDefaults(), scenario, buffer, backboneVariant{})).(time.Duration)
+}
+
+// MeasureWebBackbone probes the Default session.
 func MeasureWebBackbone(scenario string, buffer int, o Options) time.Duration {
-	return runOne(webBackboneTask(o.withDefaults(), scenario, buffer)).(time.Duration)
+	return Default.MeasureWebBackbone(scenario, buffer, o)
 }
 
 // MeasureVideoAccess streams clip C at the given profile over the
 // access testbed (download congestion) and returns the median SSIM.
+func (s *Session) MeasureVideoAccess(scenario string, profile video.Profile, buffer int, o Options) float64 {
+	t := videoAccessTask(o.withDefaults(), scenario, testbed.DirDown, video.ClipC, profile, buffer, accessVariant{})
+	return s.runOne(t).(videoScore).SSIM
+}
+
+// MeasureVideoAccess probes the Default session.
 func MeasureVideoAccess(scenario string, profile video.Profile, buffer int, o Options) float64 {
-	t := videoAccessTask(o.withDefaults(), scenario, video.ClipC, profile, buffer)
-	return runOne(t).(videoScore).SSIM
+	return Default.MeasureVideoAccess(scenario, profile, buffer, o)
 }
 
 // MeasureVideoBackbone streams clip C over the backbone testbed and
 // returns the median SSIM.
+func (s *Session) MeasureVideoBackbone(scenario string, profile video.Profile, buffer int, o Options) float64 {
+	t := videoBackboneTask(o.withDefaults(), scenario, video.ClipC, profile, video.RecoveryNone, buffer, backboneVariant{})
+	return s.runOne(t).(videoScore).SSIM
+}
+
+// MeasureVideoBackbone probes the Default session.
 func MeasureVideoBackbone(scenario string, profile video.Profile, buffer int, o Options) float64 {
-	t := videoBackboneTask(o.withDefaults(), scenario, video.ClipC, profile, video.RecoveryNone, buffer)
-	return runOne(t).(videoScore).SSIM
+	return Default.MeasureVideoBackbone(scenario, profile, buffer, o)
 }

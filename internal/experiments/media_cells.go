@@ -53,7 +53,7 @@ func runVoIPPair(a *testbed.Access, o Options) (listen, talk float64) {
 // combined up+down scenario the paper describes in §7.2 ("plot not
 // shown": results resemble upload-only, with the listen direction
 // slightly worse from the added downlink traffic).
-func fig7(o Options, variant string) (*Result, error) {
+func fig7(s *Session, o Options, variant string) (*Result, error) {
 	dir := testbed.DirDown
 	switch variant {
 	case "b":
@@ -77,7 +77,7 @@ func fig7(o Options, variant string) (*Result, error) {
 			jobs = append(jobs, cellJob{voipAccessTask(o, s, dir, buf, accessVariant{}), s, col})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		p := v.(voipScore)
 		g.Set("user-listens/"+row, col, Cell{Value: p.Listen, Class: string(qoe.VoIPSatisfaction(p.Listen))})
 		g.Set("user-talks/"+row, col, Cell{Value: p.Talk, Class: string(qoe.VoIPSatisfaction(p.Talk))})
@@ -87,17 +87,17 @@ func fig7(o Options, variant string) (*Result, error) {
 
 // fig8 regenerates the Figure 8 backbone VoIP heatmap (unidirectional
 // calls, server -> client, as in the paper).
-func fig8(o Options) (*Result, error) {
+func fig8(s *Session, o Options) (*Result, error) {
 	scenarios := testbed.BackboneScenarioNames
 	g := NewGrid("Figure 8: VoIP backbone median MOS", scenarios, backboneBufferCols())
 	var jobs []cellJob
 	for _, buf := range sizing.BackboneBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			jobs = append(jobs, cellJob{voipBackboneTask(o, s, buf), s, col})
+			jobs = append(jobs, cellJob{voipBackboneTask(o, s, buf, backboneVariant{}), s, col})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		m := v.(float64)
 		g.Set(row, col, Cell{Value: m, Class: string(qoe.VoIPSatisfaction(m))})
 	})
@@ -128,7 +128,7 @@ func videoReps(se *sim.Engine, o Options, clipDur time.Duration, start func(done
 // fig9 regenerates the Figure 9 video heatmaps: variant "a" is the
 // access testbed (download congestion only: IPTV is downstream),
 // "b" the backbone.
-func fig9(o Options, variant string) (*Result, error) {
+func fig9(s *Session, o Options, variant string) (*Result, error) {
 	profiles := []video.Profile{video.SD, video.HD}
 	clip := video.ClipC // the clip the paper displays
 
@@ -155,15 +155,15 @@ func fig9(o Options, variant string) (*Result, error) {
 		col := cols[bi]
 		for _, s := range scenarios {
 			for _, p := range profiles {
-				task := videoAccessTask(o, s, clip, p, buf)
+				task := videoAccessTask(o, s, testbed.DirDown, clip, p, buf, accessVariant{})
 				if variant != "a" {
-					task = videoBackboneTask(o, s, clip, p, video.RecoveryNone, buf)
+					task = videoBackboneTask(o, s, clip, p, video.RecoveryNone, buf, backboneVariant{})
 				}
 				jobs = append(jobs, cellJob{task, p.Name + "/" + s, col})
 			}
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		ssim := v.(videoScore).SSIM
 		g.Set(row, col, Cell{
 			Value: ssim,
@@ -199,7 +199,7 @@ func webReps(se *sim.Engine, o Options, fetch func(done func(web.Result))) time.
 // is download congestion, "b" upload congestion. Variant "c" is the
 // combined workload of §9.2 ("not shown": dominated by the upload
 // side, with somewhat shorter PLTs than upload-only).
-func fig10(o Options, variant string) (*Result, error) {
+func fig10(s *Session, o Options, variant string) (*Result, error) {
 	dir := testbed.DirDown
 	switch variant {
 	case "b":
@@ -218,7 +218,7 @@ func fig10(o Options, variant string) (*Result, error) {
 			jobs = append(jobs, cellJob{webAccessTask(o, s, dir, buf, accessVariant{}, 0), s, col})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		plt := v.(time.Duration)
 		mos := model.MOS(plt)
 		g.Set(row, col, Cell{
@@ -231,7 +231,7 @@ func fig10(o Options, variant string) (*Result, error) {
 }
 
 // fig11 regenerates the Figure 11 backbone WebQoE heatmap.
-func fig11(o Options) (*Result, error) {
+func fig11(s *Session, o Options) (*Result, error) {
 	model := qoe.BackboneWebModel()
 	scenarios := testbed.BackboneScenarioNames
 	g := NewGrid("Figure 11: backbone median PLT (s) and WebQoE", scenarios, backboneBufferCols())
@@ -239,10 +239,10 @@ func fig11(o Options) (*Result, error) {
 	for _, buf := range sizing.BackboneBufferSizes {
 		col := fmt.Sprintf("%d", buf)
 		for _, s := range scenarios {
-			jobs = append(jobs, cellJob{webBackboneTask(o, s, buf), s, col})
+			jobs = append(jobs, cellJob{webBackboneTask(o, s, buf, backboneVariant{}), s, col})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		plt := v.(time.Duration)
 		mos := model.MOS(plt)
 		g.Set(row, col, Cell{

@@ -18,7 +18,7 @@ import (
 // parallelism cannot move a "bad" cell out of the bad band — the
 // paper's methodology choice is QoE-neutral. The sequential cells are
 // shared with abl-iqx through the cache.
-func extParWeb(o Options) (*Result, error) {
+func extParWeb(s *Session, o Options) (*Result, error) {
 	model := qoe.AccessWebModel()
 	bufs := []int{8, 64, 256}
 	cols := make([]string, len(bufs))
@@ -38,7 +38,7 @@ func extParWeb(o Options) (*Result, error) {
 				mode, cols[bi]})
 		}
 	}
-	runCells(jobs, func(row, col string, v any) {
+	s.runCells(jobs, func(row, col string, v any) {
 		plt := v.(time.Duration)
 		mos := model.MOS(plt)
 		g.Set(row+" PLT", col, Cell{Value: plt.Seconds(), Text: fmt.Sprintf("%.2fs", plt.Seconds())})

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/aqm"
+	"bufferqoe/internal/engine"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/tcp"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/video"
+)
+
+// ProbeSpec is the exported cell-submission path for custom
+// configurations: one foreground measurement (VoIP, web, or video) on
+// one fully described network — a paper testbed or a custom access
+// link — under one Table 1 workload, buffer configuration, queue
+// discipline, congestion control, and last-hop jitter. A ProbeSpec
+// whose knobs match a paper configuration submits the exact cell spec
+// the experiment grids use, so it answers from the same cache.
+type ProbeSpec struct {
+	// Testbed is "access" (the default) or "backbone". Custom links,
+	// jitter, and congestion direction exist on the access shape only;
+	// the backbone is downstream-congested as in the paper.
+	Testbed string
+	// Scenario is the Table 1 workload name; "" means "noBG".
+	Scenario string
+	// Direction is where the background congestion applies (access).
+	Direction testbed.Direction
+	// Buffer is the bottleneck buffer in packets (downlink on access).
+	Buffer int
+	// BufferUp overrides the access uplink buffer; 0 = same as Buffer.
+	BufferUp int
+	// Media is "voip", "web", or "video".
+	Media string
+	// Profile is the video encoding profile; the zero value means SD.
+	Profile video.Profile
+	// Link overrides the access bottleneck rates/delays; the zero
+	// value is the paper's DSL link.
+	Link testbed.LinkParams
+	// AQM selects the bottleneck queue discipline: "" or "droptail"
+	// (the paper's), "codel", "fq-codel", "red", "ared", "pie". On the
+	// access testbed it applies to both bottleneck queues, on the
+	// backbone to the congested downstream queue.
+	AQM string
+	// CC selects background congestion control: "" (the testbed's
+	// paper default: CUBIC on access, Reno on backbone), "cubic",
+	// "reno", "bic".
+	CC string
+	// Jitter adds a WiFi/LTE-like exponential per-packet delay on the
+	// access client hop.
+	Jitter time.Duration
+}
+
+// ProbeValue is a probe's measurement; which fields are populated
+// depends on the media. VoIP fills ListenMOS (and TalkMOS on the
+// access testbed), web fills PLT, video fills SSIM and PSNR.
+type ProbeValue struct {
+	ListenMOS, TalkMOS float64
+	PLT                time.Duration
+	SSIM, PSNR         float64
+}
+
+// aqmFactory maps a discipline name to a queue factory for a
+// bottleneck of the given rate, plus its canonical variant tag.
+// Drop-tail returns a nil factory (the testbed default).
+func aqmFactory(name string, rateBps float64, rngLabel string) (queueFactory, error) {
+	switch name {
+	case "", "droptail", "drop-tail":
+		return nil, nil
+	case "codel":
+		return func(capPkts int, _ uint64) netem.Queue {
+			return aqm.NewCoDelForRate(capPkts, rateBps)
+		}, nil
+	case "fq-codel", "fqcodel":
+		return func(capPkts int, _ uint64) netem.Queue {
+			return aqm.NewFQCoDelForRate(capPkts, rateBps)
+		}, nil
+	case "red":
+		return func(capPkts int, seed uint64) netem.Queue {
+			return aqm.NewRED(capPkts, sim.NewRNG(seed, rngLabel))
+		}, nil
+	case "ared":
+		return func(capPkts int, seed uint64) netem.Queue {
+			return aqm.NewARED(capPkts, sim.NewRNG(seed, rngLabel))
+		}, nil
+	case "pie":
+		return func(capPkts int, seed uint64) netem.Queue {
+			return aqm.NewPIE(capPkts, sim.NewRNG(seed, rngLabel))
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown AQM %q (want droptail, codel, fq-codel, red, ared, pie)", name)
+	}
+}
+
+// aqmTag renders the canonical variant fragment for a discipline;
+// drop-tail — the default — contributes nothing.
+func aqmTag(name string) string {
+	switch name {
+	case "", "droptail", "drop-tail":
+		return ""
+	case "fqcodel":
+		return "aqm=fq-codel"
+	default:
+		return "aqm=" + name
+	}
+}
+
+// ccChoice maps a congestion-control name to its constructor and
+// canonical tag, folding the testbed's paper default to the zero
+// value so "cubic on access" and "default on access" are one cell.
+func ccChoice(name, testbedName string) (func() tcp.CongestionControl, string, error) {
+	def := "cubic"
+	if testbedName == "backbone" {
+		def = "reno"
+	}
+	if name == def {
+		name = ""
+	}
+	switch name {
+	case "":
+		return nil, "", nil
+	case "cubic":
+		return tcp.NewCubic, "cc=cubic", nil
+	case "reno":
+		return tcp.NewReno, "cc=reno", nil
+	case "bic":
+		return tcp.NewBIC, "cc=bic", nil
+	default:
+		return nil, "", fmt.Errorf("unknown congestion control %q (want cubic, reno, bic)", name)
+	}
+}
+
+// normalize fills defaults and validates the spec without building
+// anything.
+func (p ProbeSpec) normalize() (ProbeSpec, error) {
+	if p.Scenario == "" {
+		p.Scenario = "noBG"
+	}
+	switch p.Testbed {
+	case "":
+		p.Testbed = "access"
+	case "access", "backbone":
+	default:
+		return p, fmt.Errorf("unknown testbed %q (want access or backbone)", p.Testbed)
+	}
+	if p.Buffer <= 0 {
+		return p, fmt.Errorf("buffer must be positive, got %d", p.Buffer)
+	}
+	if p.BufferUp < 0 {
+		return p, fmt.Errorf("uplink buffer must be non-negative, got %d", p.BufferUp)
+	}
+	switch p.Media {
+	case "voip", "web", "video":
+	default:
+		return p, fmt.Errorf("unknown media %q (want voip, web, video)", p.Media)
+	}
+	if p.Media == "video" && p.Profile.Name == "" {
+		p.Profile = video.SD
+	}
+	if p.Testbed == "backbone" {
+		if _, err := testbed.LookupBackboneScenario(p.Scenario); err != nil {
+			return p, err
+		}
+		if p.Direction != testbed.DirDown {
+			return p, fmt.Errorf("backbone congestion is downstream-only, got direction %v", p.Direction)
+		}
+		if !p.Link.IsDefault() {
+			return p, fmt.Errorf("custom links use the access shape; the backbone testbed is preset-only")
+		}
+		if p.Jitter != 0 {
+			return p, fmt.Errorf("last-hop jitter exists on the access shape only")
+		}
+		if p.BufferUp != 0 {
+			return p, fmt.Errorf("uplink buffer override exists on the access testbed only")
+		}
+	} else {
+		if _, err := testbed.LookupAccessScenario(p.Scenario, p.Direction); err != nil {
+			return p, err
+		}
+		if p.Jitter < 0 {
+			return p, fmt.Errorf("jitter must be non-negative, got %v", p.Jitter)
+		}
+		// Zero link fields mean "the paper's value"; negatives are a
+		// caller mistake, not a default request.
+		if p.Link.UpRate < 0 || p.Link.DownRate < 0 {
+			return p, fmt.Errorf("link rates must be non-negative, got %g/%g up/down", p.Link.UpRate, p.Link.DownRate)
+		}
+		if p.Link.ClientDelay < 0 || p.Link.ServerDelay < 0 {
+			return p, fmt.Errorf("link delays must be non-negative, got %v/%v client/server", p.Link.ClientDelay, p.Link.ServerDelay)
+		}
+	}
+	if _, err := aqmFactory(p.AQM, 1e6, "x"); err != nil {
+		return p, err
+	}
+	if _, _, err := ccChoice(p.CC, p.Testbed); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// task compiles a normalized spec into the engine task it names.
+func (p ProbeSpec) task(o Options) (engine.Task, error) {
+	p, err := p.normalize()
+	if err != nil {
+		return engine.Task{}, fmt.Errorf("experiments: invalid probe: %w", err)
+	}
+	cc, ccTag, _ := ccChoice(p.CC, p.Testbed)
+	var jitterTag string
+	if p.Jitter > 0 {
+		jitterTag = "jitter=" + p.Jitter.String()
+	}
+	tag := joinTags(aqmTag(p.AQM), ccTag, jitterTag)
+
+	if p.Testbed == "backbone" {
+		downQ, _ := aqmFactory(p.AQM, testbed.BackboneRate, "aqm-down")
+		v := backboneVariant{tag: tag, downQueue: downQ, cc: cc}
+		switch p.Media {
+		case "voip":
+			return voipBackboneTask(o, p.Scenario, p.Buffer, v), nil
+		case "web":
+			return webBackboneTask(o, p.Scenario, p.Buffer, v), nil
+		default:
+			return videoBackboneTask(o, p.Scenario, video.ClipC, p.Profile, video.RecoveryNone, p.Buffer, v), nil
+		}
+	}
+
+	lp := p.Link.WithDefaults()
+	upQ, _ := aqmFactory(p.AQM, lp.UpRate, "aqm-up")
+	downQ, _ := aqmFactory(p.AQM, lp.DownRate, "aqm-down")
+	v := accessVariant{
+		tag: tag, bufUp: p.BufferUp,
+		upQueue: upQ, downQueue: downQ,
+		cc: cc, jitter: p.Jitter, link: p.Link,
+	}
+	switch p.Media {
+	case "voip":
+		return voipAccessTask(o, p.Scenario, p.Direction, p.Buffer, v), nil
+	case "web":
+		return webAccessTask(o, p.Scenario, p.Direction, p.Buffer, v, 0), nil
+	default:
+		return videoAccessTask(o, p.Scenario, p.Direction, video.ClipC, p.Profile, p.Buffer, v), nil
+	}
+}
+
+// value converts a cell's raw result into a ProbeValue.
+func (p ProbeSpec) value(raw any) ProbeValue {
+	switch r := raw.(type) {
+	case voipScore:
+		return ProbeValue{ListenMOS: r.Listen, TalkMOS: r.Talk}
+	case float64: // backbone VoIP: one direction
+		return ProbeValue{ListenMOS: r}
+	case time.Duration:
+		return ProbeValue{PLT: r}
+	case videoScore:
+		return ProbeValue{SSIM: r.SSIM, PSNR: r.PSNR}
+	default:
+		panic(fmt.Sprintf("experiments: unexpected cell value %T for %q probe", raw, p.Media))
+	}
+}
+
+// Validate checks a probe spec without running anything.
+func (p ProbeSpec) Validate() error {
+	_, err := p.normalize()
+	if err != nil {
+		return fmt.Errorf("experiments: invalid probe: %w", err)
+	}
+	return nil
+}
+
+// Probe runs one probe cell on the session's engine.
+func (s *Session) Probe(p ProbeSpec, o Options) (ProbeValue, error) {
+	t, err := p.task(o.withDefaults())
+	if err != nil {
+		return ProbeValue{}, err
+	}
+	return p.value(s.runOne(t)), nil
+}
+
+// ProbeBatch validates every spec up front — an invalid spec fails
+// the whole call before any simulation starts — then fans the cells
+// out across the session's worker pool and returns one value per
+// spec, in input order. Duplicate specs within the batch, or specs
+// the session has already answered, are simulated once.
+func (s *Session) ProbeBatch(ps []ProbeSpec, o Options) ([]ProbeValue, error) {
+	o = o.withDefaults()
+	tasks := make([]engine.Task, len(ps))
+	for i, p := range ps {
+		t, err := p.task(o)
+		if err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		tasks[i] = t
+	}
+	raws := s.eng.RunBatch(tasks)
+	out := make([]ProbeValue, len(ps))
+	for i, raw := range raws {
+		out[i] = ps[i].value(raw)
+	}
+	return out, nil
+}

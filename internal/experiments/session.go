@@ -1,0 +1,68 @@
+package experiments
+
+import "bufferqoe/internal/engine"
+
+// Session owns one cell-execution engine: a worker pool, a result
+// cache, and the hit/miss counters. Everything the package can run —
+// experiment grids, probes, sweeps — runs *on* a session, so
+// independent callers (a service handling many users, a test that
+// wants a cold cache) get isolated state instead of sharing mutable
+// package globals. The package-level Run/Measure* functions operate
+// on Default, preserving the original single-engine behavior.
+type Session struct {
+	eng *engine.Engine
+}
+
+// NewSession creates a session with its own engine; workers <= 0 uses
+// GOMAXPROCS.
+func NewSession(workers int) *Session {
+	return &Session{eng: engine.New(workers)}
+}
+
+// Default is the process-wide session behind the package-level
+// functions. Cells submitted through it are shared across every
+// caller that uses the package-level API.
+var Default = NewSession(0)
+
+// SetParallelism resizes the session's cell worker pool; n <= 0 means
+// GOMAXPROCS. Parallelism never changes results: each cell's seed is
+// derived from its canonical spec, not from scheduling order.
+func (s *Session) SetParallelism(n int) { s.eng.SetWorkers(n) }
+
+// Parallelism returns the session's worker-pool size.
+func (s *Session) Parallelism() int { return s.eng.Workers() }
+
+// EngineStats snapshots the session's cell cache/pool counters.
+func (s *Session) EngineStats() engine.Stats { return s.eng.Stats() }
+
+// ResetCache drops the session's memoized cell results.
+func (s *Session) ResetCache() { s.eng.ResetCache() }
+
+// runOne executes a single cell synchronously (probes and small
+// grids); batches should go through runCells.
+func (s *Session) runOne(t engine.Task) any { return s.eng.Do(t.Spec, t.Fn) }
+
+// runCells fans a batch of jobs out across the engine and hands each
+// value back with its grid coordinates.
+func (s *Session) runCells(jobs []cellJob, each func(row, col string, v any)) {
+	tasks := make([]engine.Task, len(jobs))
+	for i, j := range jobs {
+		tasks[i] = j.task
+	}
+	for i, v := range s.eng.RunBatch(tasks) {
+		each(jobs[i].row, jobs[i].col, v)
+	}
+}
+
+// SetParallelism resizes the Default session's worker pool.
+func SetParallelism(n int) { Default.SetParallelism(n) }
+
+// Parallelism returns the Default session's worker-pool size.
+func Parallelism() int { return Default.Parallelism() }
+
+// EngineStats snapshots the Default session's counters.
+func EngineStats() engine.Stats { return Default.EngineStats() }
+
+// ResetEngineCache drops the Default session's cached cell results
+// (tests only).
+func ResetEngineCache() { Default.ResetCache() }

@@ -43,6 +43,9 @@ func TestABRCleanNetworkTopRate(t *testing.T) {
 }
 
 func TestABRDownshiftsUnderCongestion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	// Under a saturating workload the rate-based client must pick
 	// lower rungs than on the idle network.
 	clean := func() float64 {
@@ -84,6 +87,9 @@ func runBoth(t *testing.T, scenario string) (abr ABRResult, prog Result) {
 }
 
 func TestABRRescuesWhereAdaptationHasRoom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	// The rescue claim: at short-high the link cannot sustain the
 	// fixed 4 Mbit/s stream, but a lower rung fits — adaptation
 	// trades bitrate for continuity and wins on MOS.
@@ -100,6 +106,9 @@ func TestABRRescuesWhereAdaptationHasRoom(t *testing.T) {
 }
 
 func TestABRCannotBeatOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	// The paper's conclusion survives adaptation: at sustained
 	// overload the per-flow share is below even the bottom rung, and
 	// both players land in the bad band — though ABR still plays more

@@ -39,6 +39,9 @@ func TestSmoothPlaybackOnIdleBackbone(t *testing.T) {
 }
 
 func TestCongestionCausesStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	// The paper's consistency claim: like RTP video, HTTP video QoE
 	// collapses under sustained congestion — but via stalls, not
 	// artifacts.
@@ -61,6 +64,9 @@ func watchClean(t *testing.T) float64 {
 }
 
 func TestTCPVideoToleratesModerateLossUnlikeRTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation; skipped in -short (race CI) mode")
+	}
 	// Key qualitative difference from Section 8: TCP retransmissions
 	// hide moderate loss behind the playback buffer, so medium load
 	// that would blemish RTP video leaves HTTP video clean.

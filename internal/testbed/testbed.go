@@ -43,11 +43,55 @@ const (
 // ablations substitute CoDel/RED here.
 type QueueFactory func(capPackets int) netem.Queue
 
+// LinkParams overrides the access testbed's bottleneck rates and
+// one-way propagation delays, turning the fixed DSL topology of
+// Figure 3a into a template for arbitrary access networks (fiber,
+// LTE, cable). Zero fields keep the paper's values.
+type LinkParams struct {
+	// UpRate / DownRate are the bottleneck rates in bits/s
+	// (paper: 1 Mbit/s up, 16 Mbit/s down).
+	UpRate, DownRate float64
+	// ClientDelay is the one-way delay between the client network and
+	// the home router (paper: 5 ms); ServerDelay between the DSLAM and
+	// the server network (paper: 20 ms).
+	ClientDelay, ServerDelay time.Duration
+}
+
+// WithDefaults fills zero fields with the paper's DSL values.
+func (lp LinkParams) WithDefaults() LinkParams {
+	if lp.UpRate <= 0 {
+		lp.UpRate = AccessUpRate
+	}
+	if lp.DownRate <= 0 {
+		lp.DownRate = AccessDownRate
+	}
+	if lp.ClientDelay <= 0 {
+		lp.ClientDelay = AccessClientDelay
+	}
+	if lp.ServerDelay <= 0 {
+		lp.ServerDelay = AccessServerDelay
+	}
+	return lp
+}
+
+// IsDefault reports whether the (default-filled) parameters equal the
+// paper's DSL access link.
+func (lp LinkParams) IsDefault() bool {
+	return lp.WithDefaults() == LinkParams{
+		UpRate: AccessUpRate, DownRate: AccessDownRate,
+		ClientDelay: AccessClientDelay, ServerDelay: AccessServerDelay,
+	}
+}
+
 // Config configures a testbed build.
 type Config struct {
 	// BufferUp / BufferDown are bottleneck buffer sizes in packets.
 	// The backbone uses BufferDown for both directions.
 	BufferUp, BufferDown int
+	// Link overrides the access bottleneck's rates and delays; the
+	// zero value is the paper's DSL configuration. Ignored by the
+	// backbone testbed.
+	Link LinkParams
 	// Seed drives all randomness.
 	Seed uint64
 	// CC selects background-traffic congestion control; nil uses the
@@ -103,6 +147,7 @@ type Access struct {
 func NewAccess(cfg Config) *Access {
 	eng := sim.New()
 	nw := netem.NewNetwork(eng)
+	lp := cfg.Link.WithDefaults()
 
 	a := &Access{Eng: eng, Net: nw, seed: cfg.Seed}
 
@@ -121,8 +166,8 @@ func NewAccess(cfg Config) *Access {
 	// Bottleneck pair: the uplink buffer sits in the home router, the
 	// downlink buffer in the DSLAM (Section 5.3: the bottleneck
 	// interface is "the only location where packet loss occurs").
-	a.UpLink = netem.NewLink(eng, "uplink", AccessUpRate, 100*time.Microsecond, upQ, dslam)
-	a.DownLink = netem.NewLink(eng, "downlink", AccessDownRate, 100*time.Microsecond, downQ, home)
+	a.UpLink = netem.NewLink(eng, "uplink", lp.UpRate, 100*time.Microsecond, upQ, dslam)
+	a.DownLink = netem.NewLink(eng, "downlink", lp.DownRate, 100*time.Microsecond, downQ, home)
 	home.SetRoute(dslam.ID, a.UpLink)
 	dslam.SetRoute(home.ID, a.DownLink)
 
@@ -134,12 +179,12 @@ func NewAccess(cfg Config) *Access {
 		toHome = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-up"), 0, cfg.Jitter, home)
 		toCswitch = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-down"), 0, cfg.Jitter, cswitch)
 	}
-	csHome := netem.NewLink(eng, "cswitch->home", gigabit, AccessClientDelay, netem.NewDropTail(lanQueue), toHome)
-	homeCs := netem.NewLink(eng, "home->cswitch", gigabit, AccessClientDelay, netem.NewDropTail(lanQueue), toCswitch)
+	csHome := netem.NewLink(eng, "cswitch->home", gigabit, lp.ClientDelay, netem.NewDropTail(lanQueue), toHome)
+	homeCs := netem.NewLink(eng, "home->cswitch", gigabit, lp.ClientDelay, netem.NewDropTail(lanQueue), toCswitch)
 	cswitch.SetDefaultRoute(csHome)
 	// Server side: 20 ms between DSLAM and server network.
-	ssDslam := netem.NewLink(eng, "sswitch->dslam", gigabit, AccessServerDelay, netem.NewDropTail(lanQueue), dslam)
-	dslamSs := netem.NewLink(eng, "dslam->sswitch", gigabit, AccessServerDelay, netem.NewDropTail(lanQueue), sswitch)
+	ssDslam := netem.NewLink(eng, "sswitch->dslam", gigabit, lp.ServerDelay, netem.NewDropTail(lanQueue), dslam)
+	dslamSs := netem.NewLink(eng, "dslam->sswitch", gigabit, lp.ServerDelay, netem.NewDropTail(lanQueue), sswitch)
 	sswitch.SetDefaultRoute(ssDslam)
 
 	home.SetDefaultRoute(a.UpLink)
@@ -212,10 +257,26 @@ type Spec struct {
 var AccessScenarioNames = []string{"noBG", "long-few", "long-many", "short-few", "short-many"}
 
 // AccessScenario returns the Table 1 session populations for a named
-// access workload restricted to a direction. Parallelism and think
-// times are the calibration documented in the package comment of
-// harpoon.
+// access workload restricted to a direction. It panics on an unknown
+// name; validated paths should use LookupAccessScenario.
 func AccessScenario(name string, dir Direction) Spec {
+	s, err := LookupAccessScenario(name, dir)
+	if err != nil {
+		panic("testbed: " + err.Error())
+	}
+	return s
+}
+
+// LookupAccessScenario returns the Table 1 session populations for a
+// named access workload restricted to a direction, or an error for an
+// unknown name or out-of-range direction. Parallelism and think times
+// are the calibration documented in the package comment of harpoon.
+func LookupAccessScenario(name string, dir Direction) (Spec, error) {
+	switch dir {
+	case DirDown, DirUp, DirBidir:
+	default:
+		return Spec{}, fmt.Errorf("unknown direction %d (want DirDown, DirUp, DirBidir)", dir)
+	}
 	var up, down harpoon.Spec
 	switch name {
 	case "noBG":
@@ -232,7 +293,7 @@ func AccessScenario(name string, dir Direction) Spec {
 		up = harpoon.Spec{Sessions: 8, Infinite: true}
 		down = harpoon.Spec{Sessions: 64, Infinite: true}
 	default:
-		panic("testbed: unknown access scenario " + name)
+		return Spec{}, fmt.Errorf("unknown access scenario %q (have %v)", name, AccessScenarioNames)
 	}
 	s := Spec{Name: name}
 	if dir == DirUp || dir == DirBidir {
@@ -241,7 +302,7 @@ func AccessScenario(name string, dir Direction) Spec {
 	if dir == DirDown || dir == DirBidir {
 		s.Down = down
 	}
-	return s
+	return s, nil
 }
 
 // StartWorkload launches the background traffic of a scenario and
@@ -367,8 +428,19 @@ func nonzero(a, b int) int {
 var BackboneScenarioNames = []string{"noBG", "short-low", "short-medium", "short-high", "short-overload", "long"}
 
 // BackboneScenario returns the Table 1 backbone session population
-// (downstream only, as in the paper).
+// (downstream only, as in the paper). It panics on an unknown name;
+// validated paths should use LookupBackboneScenario.
 func BackboneScenario(name string) Spec {
+	s, err := LookupBackboneScenario(name)
+	if err != nil {
+		panic("testbed: " + err.Error())
+	}
+	return s
+}
+
+// LookupBackboneScenario returns the Table 1 backbone session
+// population, or an error for an unknown name.
+func LookupBackboneScenario(name string) (Spec, error) {
 	var down harpoon.Spec
 	switch name {
 	case "noBG":
@@ -383,9 +455,9 @@ func BackboneScenario(name string) Spec {
 	case "long":
 		down = harpoon.Spec{Sessions: 768, Infinite: true}
 	default:
-		panic("testbed: unknown backbone scenario " + name)
+		return Spec{}, fmt.Errorf("unknown backbone scenario %q (have %v)", name, BackboneScenarioNames)
 	}
-	return Spec{Name: name, Down: down}
+	return Spec{Name: name, Down: down}, nil
 }
 
 // StartWorkload launches the backbone background traffic.

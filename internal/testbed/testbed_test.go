@@ -254,3 +254,52 @@ func TestDataPendulum(t *testing.T) {
 			bidir, downOnly)
 	}
 }
+
+func TestLinkParamsDefaults(t *testing.T) {
+	lp := LinkParams{}.WithDefaults()
+	if lp.UpRate != AccessUpRate || lp.DownRate != AccessDownRate ||
+		lp.ClientDelay != AccessClientDelay || lp.ServerDelay != AccessServerDelay {
+		t.Fatalf("defaults = %+v", lp)
+	}
+	if !(LinkParams{}).IsDefault() {
+		t.Fatal("zero params not default")
+	}
+	if !(LinkParams{UpRate: AccessUpRate}).IsDefault() {
+		t.Fatal("explicit paper uplink rate not default")
+	}
+	if (LinkParams{UpRate: 2e6}).IsDefault() {
+		t.Fatal("custom uplink rate claimed default")
+	}
+}
+
+func TestNewAccessCustomLink(t *testing.T) {
+	lp := LinkParams{UpRate: 1e9, DownRate: 1e9, ClientDelay: 2 * time.Millisecond, ServerDelay: 10 * time.Millisecond}
+	a := NewAccess(Config{BufferUp: 64, BufferDown: 64, Seed: 3, Link: lp})
+	if a.UpLink.Rate != 1e9 || a.DownLink.Rate != 1e9 {
+		t.Fatalf("bottleneck rates = %v/%v, want 1e9", a.UpLink.Rate, a.DownLink.Rate)
+	}
+	// Zero fields keep the paper values.
+	b := NewAccess(Config{BufferUp: 64, BufferDown: 64, Seed: 3, Link: LinkParams{DownRate: 50e6}})
+	if b.UpLink.Rate != AccessUpRate || b.DownLink.Rate != 50e6 {
+		t.Fatalf("partial override = %v/%v", b.UpLink.Rate, b.DownLink.Rate)
+	}
+}
+
+func TestScenarioLookupErrors(t *testing.T) {
+	if _, err := LookupAccessScenario("nope", DirDown); err == nil {
+		t.Fatal("unknown access scenario accepted")
+	}
+	if _, err := LookupBackboneScenario("nope"); err == nil {
+		t.Fatal("unknown backbone scenario accepted")
+	}
+	if s, err := LookupAccessScenario("long-few", DirUp); err != nil || s.Up.Sessions == 0 {
+		t.Fatalf("long-few up: %+v, %v", s, err)
+	}
+	// The panicking wrappers must still panic for legacy callers.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AccessScenario did not panic on unknown name")
+		}
+	}()
+	AccessScenario("nope", DirDown)
+}

@@ -1,0 +1,294 @@
+package bufferqoe
+
+import (
+	"fmt"
+	"time"
+
+	"bufferqoe/internal/experiments"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/video"
+)
+
+// Link describes a custom access bottleneck: the rates and one-way
+// propagation delays of the network under study. The zero value of
+// any field keeps the paper's DSL figure (1 Mbit/s up, 16 Mbit/s
+// down, 5 ms client side, 20 ms server side). Custom links run on the
+// access topology template — clients behind a home router, a
+// bottleneck pair, servers behind the far switch — which covers
+// fiber, cable, and cellular access networks alike.
+type Link struct {
+	// UpRate / DownRate are the bottleneck rates in bits/s.
+	UpRate, DownRate float64
+	// ClientDelay / ServerDelay are the one-way propagation delays
+	// between the client network and the bottleneck, and between the
+	// bottleneck and the server network.
+	ClientDelay, ServerDelay time.Duration
+}
+
+// DSLLink is the paper's access link (Figure 3a): 1 Mbit/s up,
+// 16 Mbit/s down, 25 ms one-way base delay.
+func DSLLink() Link {
+	return Link{
+		UpRate: testbed.AccessUpRate, DownRate: testbed.AccessDownRate,
+		ClientDelay: testbed.AccessClientDelay, ServerDelay: testbed.AccessServerDelay,
+	}
+}
+
+// FiberLink is a symmetric 1 Gbit/s FTTH line with short last-mile
+// delay.
+func FiberLink() Link {
+	return Link{
+		UpRate: 1e9, DownRate: 1e9,
+		ClientDelay: 2 * time.Millisecond, ServerDelay: 10 * time.Millisecond,
+	}
+}
+
+// LTELink is a cellular-like access link: 8 Mbit/s up, 30 Mbit/s
+// down, with a longer radio-side delay. Combine it with
+// Scenario.Jitter for the air interface's delay variability.
+func LTELink() Link {
+	return Link{
+		UpRate: 8e6, DownRate: 30e6,
+		ClientDelay: 15 * time.Millisecond, ServerDelay: 20 * time.Millisecond,
+	}
+}
+
+func (l Link) internal() testbed.LinkParams {
+	return testbed.LinkParams{
+		UpRate: l.UpRate, DownRate: l.DownRate,
+		ClientDelay: l.ClientDelay, ServerDelay: l.ServerDelay,
+	}
+}
+
+// AQM selects the bottleneck queue discipline of a scenario.
+type AQM string
+
+// Queue disciplines. DropTail is the paper's configuration; the rest
+// are the post-bufferbloat alternatives the ablations study. On the
+// access shape the discipline manages both bottleneck queues, on the
+// backbone the congested downstream queue.
+const (
+	DropTail AQM = ""
+	CoDel    AQM = "codel"
+	FQCoDel  AQM = "fq-codel"
+	RED      AQM = "red"
+	ARED     AQM = "ared"
+	PIE      AQM = "pie"
+)
+
+// CC selects the background traffic's congestion control.
+type CC string
+
+// Congestion control algorithms. DefaultCC is the paper's choice for
+// the testbed: CUBIC on the access shape, Reno on the backbone.
+const (
+	DefaultCC CC = ""
+	Cubic     CC = "cubic"
+	Reno      CC = "reno"
+	BIC       CC = "bic"
+)
+
+// Scenario declares one network-plus-workload configuration: where
+// the traffic runs (a paper testbed or a custom link), what loads it
+// (a Table 1 workload and its direction), and how the bottleneck
+// behaves (queue discipline, congestion control, last-hop jitter).
+// The zero value with a Workload is that workload on the paper's
+// idle-default access testbed; everything else is opt-in.
+type Scenario struct {
+	// Name labels the scenario in results; "" derives a label from
+	// the fields.
+	Name string
+	// Network selects a paper testbed; default Access. Custom links
+	// run on the access shape, so Network must be Access (or empty)
+	// when Link is set — Backbone with a Link is an error.
+	Network Network
+	// Link, when non-nil, replaces the access bottleneck with a
+	// custom one; see Link.
+	Link *Link
+	// Workload is the Table 1 scenario name; "" means "noBG".
+	Workload string
+	// Direction is where background congestion applies (access shape
+	// only; the backbone is downstream-only). Default Down.
+	Direction Direction
+	// AQM is the bottleneck queue discipline. Default DropTail.
+	AQM AQM
+	// CC is the background congestion control. Default DefaultCC.
+	CC CC
+	// Jitter adds an exponential per-packet delay with this mean on
+	// the client's last hop (access shape only).
+	Jitter time.Duration
+}
+
+// Label returns the scenario's display name: Name if set, otherwise a
+// summary derived from the fields, e.g. "access/long-many/up" or
+// "custom(1G/1G)/short-few/down+codel".
+func (sc Scenario) Label() string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	net := string(sc.Network)
+	if net == "" {
+		net = string(Access)
+	}
+	if sc.Link != nil {
+		dims := rateLabel(sc.Link.UpRate) + "/" + rateLabel(sc.Link.DownRate)
+		// Append delays when customized, so two links differing only
+		// there derive distinct labels.
+		if sc.Link.ClientDelay != 0 || sc.Link.ServerDelay != 0 {
+			dims += "@" + delayLabel(sc.Link.ClientDelay) + "/" + delayLabel(sc.Link.ServerDelay)
+		}
+		net = "custom(" + dims + ")"
+	}
+	wl := sc.Workload
+	if wl == "" {
+		wl = "noBG"
+	}
+	out := net + "/" + wl
+	if sc.Network != Backbone && wl != "noBG" {
+		dir := sc.Direction
+		if dir == "" {
+			dir = Down
+		}
+		out += "/" + string(dir)
+	}
+	if sc.AQM != DropTail {
+		out += "+" + string(sc.AQM)
+	}
+	if sc.CC != DefaultCC {
+		out += "+" + string(sc.CC)
+	}
+	if sc.Jitter > 0 {
+		out += "+j" + sc.Jitter.String()
+	}
+	return out
+}
+
+func rateLabel(bps float64) string {
+	switch {
+	case bps <= 0:
+		return "dflt"
+	case bps >= 1e9:
+		return fmt.Sprintf("%gG", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%gM", bps/1e6)
+	default:
+		return fmt.Sprintf("%gk", bps/1e3)
+	}
+}
+
+func delayLabel(d time.Duration) string {
+	if d <= 0 {
+		return "dflt"
+	}
+	return d.String()
+}
+
+// spec compiles the scenario and one probe at one buffer size into
+// the internal probe spec, validating the combination.
+func (sc Scenario) spec(p Probe, buffer int) (experiments.ProbeSpec, error) {
+	out := experiments.ProbeSpec{
+		Scenario: sc.Workload,
+		Buffer:   buffer,
+		AQM:      string(sc.AQM),
+		CC:       string(sc.CC),
+		Jitter:   sc.Jitter,
+	}
+	switch sc.Network {
+	case Access, "":
+		out.Testbed = "access"
+	case Backbone:
+		out.Testbed = "backbone"
+		if sc.Link != nil {
+			return out, fmt.Errorf("bufferqoe: scenario %q: custom links use the access shape; drop Network: Backbone", sc.Label())
+		}
+		if sc.Jitter != 0 {
+			return out, fmt.Errorf("bufferqoe: scenario %q: jitter exists on the access shape only", sc.Label())
+		}
+		if sc.Direction != "" && sc.Direction != Down {
+			return out, fmt.Errorf("bufferqoe: scenario %q: the backbone is congested downstream only", sc.Label())
+		}
+	default:
+		return out, fmt.Errorf("bufferqoe: scenario %q: unknown network %q", sc.Label(), sc.Network)
+	}
+	if out.Testbed == "access" {
+		d, err := sc.Direction.internal()
+		if err != nil {
+			return out, err
+		}
+		out.Direction = d
+		if sc.Link != nil {
+			out.Link = sc.Link.internal()
+		}
+	}
+	switch p.Media {
+	case VoIP, Web, Video:
+		out.Media = string(p.Media)
+	default:
+		return out, fmt.Errorf("bufferqoe: unknown probe media %q (want voip, web, video)", p.Media)
+	}
+	if p.Media == Video {
+		prof, err := videoProfile(p.Profile)
+		if err != nil {
+			return out, err
+		}
+		out.Profile = prof
+	} else if p.Profile != "" {
+		return out, fmt.Errorf("bufferqoe: probe %q does not take a profile", p.Media)
+	}
+	if err := out.Validate(); err != nil {
+		return out, fmt.Errorf("bufferqoe: scenario %q: %w", sc.Label(), err)
+	}
+	return out, nil
+}
+
+// Validate checks the scenario against a probe without running
+// anything; a buffer of 1 packet stands in for the sweep axis.
+func (sc Scenario) Validate(p Probe) error {
+	_, err := sc.spec(p, 1)
+	return err
+}
+
+// Media selects what a probe measures.
+type Media string
+
+// Probe media.
+const (
+	VoIP  Media = "voip"
+	Web   Media = "web"
+	Video Media = "video"
+)
+
+// Probe declares one foreground measurement: the media under study
+// and, for video, the encoding profile.
+type Probe struct {
+	// Media is VoIP, Web, or Video.
+	Media Media
+	// Profile is the video encoding ladder entry, "SD" (default) or
+	// "HD"; must be empty for other media.
+	Profile string
+}
+
+// Label returns the probe's display name, e.g. "voip" or "video:HD".
+// The video profile is normalized ("sd" and "" both label as SD), so
+// equivalent probes always share a label.
+func (p Probe) Label() string {
+	if p.Media == Video {
+		prof := p.Profile
+		if v, err := videoProfile(prof); err == nil {
+			prof = v.Name
+		}
+		return "video:" + prof
+	}
+	return string(p.Media)
+}
+
+func videoProfile(profile string) (video.Profile, error) {
+	switch profile {
+	case "SD", "sd", "":
+		return video.SD, nil
+	case "HD", "hd":
+		return video.HD, nil
+	default:
+		return video.Profile{}, fmt.Errorf("bufferqoe: unknown profile %q (want SD or HD)", profile)
+	}
+}

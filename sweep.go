@@ -1,0 +1,224 @@
+package bufferqoe
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"bufferqoe/internal/experiments"
+	"bufferqoe/internal/qoe"
+	"bufferqoe/internal/stats"
+)
+
+// Sweep fans a scenario x buffer x probe grid through the cell
+// engine: every scenario is measured by every probe at every buffer
+// size. Cells run in parallel across the session's worker pool,
+// paired by common random numbers (one workload realization per
+// scenario, replayed at every buffer size and link), and answered
+// from the session cache when a configuration repeats across calls.
+type Sweep struct {
+	// Scenarios are the network-plus-workload configurations to
+	// sweep. Labels (Scenario.Label) must be unique within a sweep.
+	Scenarios []Scenario
+	// Buffers are the bottleneck buffer sizes in packets (the
+	// downlink buffer on access-shaped networks; BufferSizes returns
+	// the paper's values).
+	Buffers []int
+	// Probes are the foreground measurements to take.
+	Probes []Probe
+}
+
+// SweepCell is one measured cell of a sweep grid.
+type SweepCell struct {
+	// Scenario and Probe are the labels of the cell's coordinates;
+	// Buffer is the bottleneck buffer in packets.
+	Scenario string `json:"scenario"`
+	Probe    string `json:"probe"`
+	Buffer   int    `json:"buffer"`
+	// Metric names the native measurement in Value: "mos" (VoIP
+	// listen MOS), "plt_s" (web page load time, seconds), or "ssim".
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	// MOS is the value mapped to the 1..5 opinion scale (G.107 for
+	// VoIP, G.1030 for web, the SSIM regression for video), and
+	// Rating its verbal category.
+	MOS    float64 `json:"mos"`
+	Rating string  `json:"rating"`
+	// TalkMOS / TalkRating score the user's own speaking direction;
+	// populated for VoIP on access-shaped networks only.
+	TalkMOS    float64 `json:"talk_mos,omitempty"`
+	TalkRating string  `json:"talk_rating,omitempty"`
+}
+
+// Grid is a sweep's structured result: the three axes plus one
+// SweepCell per (scenario, probe, buffer) combination, in
+// scenario-major, then probe, then buffer order.
+type Grid struct {
+	Scenarios []string    `json:"scenarios"`
+	Probes    []string    `json:"probes"`
+	Buffers   []int       `json:"buffers"`
+	Cells     []SweepCell `json:"cells"`
+}
+
+// Cell returns the cell at the given coordinates.
+func (g *Grid) Cell(scenario, probe string, buffer int) (SweepCell, bool) {
+	si, pi, bi := index(g.Scenarios, scenario), index(g.Probes, probe), indexInt(g.Buffers, buffer)
+	if si < 0 || pi < 0 || bi < 0 {
+		return SweepCell{}, false
+	}
+	return g.Cells[(si*len(g.Probes)+pi)*len(g.Buffers)+bi], true
+}
+
+func index(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexInt(xs []int, want int) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// Text renders the grid as aligned tables, one per scenario: probes
+// as rows, buffer sizes as columns, each cell showing the native
+// value with its rating.
+func (g *Grid) Text() string {
+	var b strings.Builder
+	for si, sc := range g.Scenarios {
+		header := []string{""}
+		for _, buf := range g.Buffers {
+			header = append(header, fmt.Sprintf("%d", buf))
+		}
+		tb := stats.NewTable(header...)
+		for pi, p := range g.Probes {
+			row := []string{p}
+			for bi := range g.Buffers {
+				c := g.Cells[(si*len(g.Probes)+pi)*len(g.Buffers)+bi]
+				row = append(row, c.render())
+			}
+			tb.AddRow(row...)
+		}
+		fmt.Fprintf(&b, "== %s ==\n%s", sc, tb.String())
+	}
+	return b.String()
+}
+
+func (c SweepCell) render() string {
+	switch c.Metric {
+	case "plt_s":
+		return fmt.Sprintf("%.2fs (%s)", c.Value, c.Rating)
+	case "ssim":
+		return fmt.Sprintf("%.3f (%s)", c.Value, c.Rating)
+	default:
+		return fmt.Sprintf("%.2f (%s)", c.Value, c.Rating)
+	}
+}
+
+// JSON renders the grid as indented machine-readable JSON.
+func (g *Grid) JSON() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// Sweep runs the full scenario x buffer x probe grid on the session
+// and returns the structured results. Every combination is validated
+// before any cell is simulated, so an invalid corner fails the call
+// instead of crashing a worker mid-run.
+func (s *Session) Sweep(sw Sweep, o Options) (*Grid, error) {
+	if len(sw.Scenarios) == 0 || len(sw.Buffers) == 0 || len(sw.Probes) == 0 {
+		return nil, fmt.Errorf("bufferqoe: a sweep needs at least one scenario, one buffer size, and one probe")
+	}
+	g := &Grid{Buffers: append([]int(nil), sw.Buffers...)}
+	seenScenario := map[string]bool{}
+	for _, sc := range sw.Scenarios {
+		l := sc.Label()
+		if seenScenario[l] {
+			return nil, fmt.Errorf("bufferqoe: duplicate scenario label %q (set Scenario.Name to disambiguate)", l)
+		}
+		seenScenario[l] = true
+		g.Scenarios = append(g.Scenarios, l)
+	}
+	seenProbe := map[string]bool{}
+	for _, p := range sw.Probes {
+		l := p.Label()
+		if seenProbe[l] {
+			return nil, fmt.Errorf("bufferqoe: duplicate probe %q", l)
+		}
+		seenProbe[l] = true
+		g.Probes = append(g.Probes, l)
+	}
+	seenBuf := map[int]bool{}
+	for _, b := range sw.Buffers {
+		if seenBuf[b] {
+			return nil, fmt.Errorf("bufferqoe: duplicate buffer size %d", b)
+		}
+		seenBuf[b] = true
+	}
+
+	specs := make([]experiments.ProbeSpec, 0, len(sw.Scenarios)*len(sw.Probes)*len(sw.Buffers))
+	for _, sc := range sw.Scenarios {
+		for _, p := range sw.Probes {
+			for _, buf := range sw.Buffers {
+				spec, err := sc.spec(p, buf)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	values, err := s.inner.ProbeBatch(specs, o.internal())
+	if err != nil {
+		return nil, err
+	}
+
+	g.Cells = make([]SweepCell, len(values))
+	i := 0
+	for si, sc := range sw.Scenarios {
+		for pi, p := range sw.Probes {
+			for bi := range sw.Buffers {
+				g.Cells[i] = sweepCell(g.Scenarios[si], g.Probes[pi], sw.Buffers[bi], sc, p, values[i])
+				i++
+			}
+		}
+	}
+	return g, nil
+}
+
+// sweepCell scores one raw probe value on the opinion scale.
+func sweepCell(scLabel, pLabel string, buffer int, sc Scenario, p Probe, v experiments.ProbeValue) SweepCell {
+	out := SweepCell{Scenario: scLabel, Probe: pLabel, Buffer: buffer}
+	switch p.Media {
+	case VoIP:
+		out.Metric = "mos"
+		out.Value = v.ListenMOS
+		out.MOS = v.ListenMOS
+		out.Rating = string(qoe.VoIPSatisfaction(v.ListenMOS))
+		if sc.Network != Backbone {
+			out.TalkMOS = v.TalkMOS
+			out.TalkRating = string(qoe.VoIPSatisfaction(v.TalkMOS))
+		}
+	case Web:
+		model := qoe.AccessWebModel()
+		if sc.Network == Backbone {
+			model = qoe.BackboneWebModel()
+		}
+		out.Metric = "plt_s"
+		out.Value = v.PLT.Seconds()
+		out.MOS = model.MOS(v.PLT)
+		out.Rating = string(qoe.Rate(out.MOS))
+	case Video:
+		out.Metric = "ssim"
+		out.Value = v.SSIM
+		out.MOS = qoe.SSIMToMOS(v.SSIM)
+		out.Rating = string(qoe.Rate(out.MOS))
+	}
+	return out
+}
