@@ -32,11 +32,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"bufferqoe"
+	"bufferqoe/internal/bench"
 )
 
 func main() {
@@ -91,6 +94,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cc        = fs.String("cc", "", "sweep: congestion control (cubic, reno, bic)")
 		jitter    = fs.Duration("jitter", 0, "sweep: mean last-hop jitter (access shape)")
 
+		benchJSON = fs.String("benchjson", "", "run the canonical perf benchmarks and write JSON results to this file (e.g. BENCH_3.json); all other modes are skipped")
+
 		upRate      = fs.Float64("uprate", 0, "sweep: custom uplink rate in bits/s (enables a custom link)")
 		downRate    = fs.Float64("downrate", 0, "sweep: custom downlink rate in bits/s")
 		clientDelay = fs.Duration("clientdelay", 0, "sweep: custom client-side one-way delay")
@@ -105,6 +110,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, id)
 		}
 		return 0
+	}
+
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON, stdout, stderr)
 	}
 
 	session := bufferqoe.NewSession()
@@ -260,6 +269,79 @@ func runSweep(session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, j
 	fmt.Fprint(stdout, grid.Text())
 	fmt.Fprintf(stdout, "# summary: %d cells in %.1fs (%d workers; %d simulated, %d cache hits)\n",
 		len(grid.Cells), total.Seconds(), st.Workers, st.Misses, st.Hits)
+	return 0
+}
+
+// benchEntry is one benchmark's measurement in the -benchjson output.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the envelope written to the -benchjson file; BENCH_*
+// trajectory artifacts embed snapshots of this shape.
+type benchReport struct {
+	GeneratedBy string       `json:"generated_by"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+// runBenchJSON runs the canonical benchmarks from internal/bench via
+// testing.Benchmark and writes the measurements as JSON, so the perf
+// trajectory can be recorded per PR without a test harness.
+func runBenchJSON(path string, stdout, stderr io.Writer) int {
+	report := benchReport{
+		GeneratedBy: "qoebench -benchjson",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, bm := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SimCore", bench.SimCore},
+		{"SimCoreHandler", bench.SimCoreHandler},
+		{"LinkForward", bench.LinkForward},
+		{"WholeCell", bench.WholeCell},
+	} {
+		r := testing.Benchmark(bm.fn)
+		if r.N == 0 {
+			// testing.Benchmark returns the zero result when the
+			// benchmark aborts (b.Fatal); a zero row would report 0
+			// allocs/op and pass regression budgets it should fail.
+			fmt.Fprintf(stderr, "qoebench: benchmark %s failed (zero result)\n", bm.name)
+			return 1
+		}
+		e := benchEntry{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Benchmarks = append(report.Benchmarks, e)
+		fmt.Fprintf(stdout, "%-16s %10d ops %14.1f ns/op %10d B/op %8d allocs/op\n",
+			e.Name, e.N, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoebench: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(stderr, "qoebench: encoding %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "# wrote %s\n", path)
 	return 0
 }
 

@@ -158,6 +158,7 @@ func (c *CoDel) Dequeue(now sim.Time) *netem.Packet {
 				if c.Monitor != nil {
 					c.Monitor.NoteDrop(p, now, c.Len(), c.bytes)
 				}
+				p.Release()
 				var ok bool
 				p, ok = c.doDequeue(now)
 				if p == nil {
@@ -191,6 +192,7 @@ func (c *CoDel) Dequeue(now sim.Time) *netem.Packet {
 		if c.Monitor != nil {
 			c.Monitor.NoteDrop(p, now, c.Len(), c.bytes)
 		}
+		p.Release()
 		p2, _ := c.doDequeue(now)
 		c.dropping = true
 		// Start closer to the previous rate if we were dropping

@@ -184,6 +184,7 @@ func (fq *FQCoDel) dropFromFattest(now sim.Time) {
 	if fq.Monitor != nil {
 		fq.Monitor.NoteDrop(p, now, fq.pkts, fq.bytes)
 	}
+	p.Release()
 }
 
 // codelDequeue runs the per-flow CoDel state machine and returns the
@@ -234,6 +235,7 @@ func (fq *FQCoDel) codelDequeue(f *fqFlow, now sim.Time) *netem.Packet {
 				if fq.Monitor != nil {
 					fq.Monitor.NoteDrop(p, now, fq.pkts, fq.bytes)
 				}
+				p.Release()
 				var ok bool
 				p, ok = pop()
 				if p == nil {
@@ -265,6 +267,7 @@ func (fq *FQCoDel) codelDequeue(f *fqFlow, now sim.Time) *netem.Packet {
 		if fq.Monitor != nil {
 			fq.Monitor.NoteDrop(p, now, fq.pkts, fq.bytes)
 		}
+		p.Release()
 		p, _ = pop()
 		if p == nil {
 			f.dropping = false

@@ -1,0 +1,128 @@
+// Package bench holds the repository's canonical micro- and
+// macro-benchmarks as plain functions so they can run both under
+// `go test -bench` (see bench_test.go) and from `qoebench -benchjson`,
+// which records the perf trajectory in BENCH_<pr>.json artifacts.
+//
+// The three levels mirror the layers of the simulation core:
+//
+//   - SimCore: the event engine alone — a schedule/fire/stop cycle,
+//     the atom every model operation decomposes into.
+//   - LinkForward: the netem hot path — packets serialized through a
+//     rate/delay link into a sink, exercising queue, transmit and
+//     delivery events.
+//   - WholeCell: one end-to-end access VoIP cell (testbed build,
+//     background workload, one call, QoE evaluation), the unit the
+//     parallel cell engine schedules thousands of times per sweep.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/media"
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/voip"
+)
+
+// SimCore measures one schedule/fire plus one schedule/stop cycle on
+// the event engine, the pattern TCP retransmission timers generate at
+// scale.
+func SimCore(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New()
+	fired := 0
+	fn := func() { fired++ }
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(time.Microsecond, fn)
+		t := eng.Schedule(time.Millisecond, fn)
+		t.Stop()
+		eng.RunFor(2 * time.Microsecond)
+	}
+	if fired == 0 {
+		b.Fatal("no events fired")
+	}
+}
+
+// tickHandler counts pooled-handler fires.
+type tickHandler struct{ n int }
+
+func (h *tickHandler) Fire(now sim.Time) { h.n++ }
+
+// SimCoreHandler is SimCore on the zero-allocation tiers: a pooled
+// handler one-shot that fires plus an owned timer armed and stopped —
+// the pattern the migrated link/TCP schedulers generate.
+func SimCoreHandler(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New()
+	h := &tickHandler{}
+	var owned sim.Timer
+	eng.InitTimer(&owned, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ScheduleHandler(time.Microsecond, h)
+		owned.Reset(time.Millisecond)
+		owned.Stop()
+		eng.RunFor(2 * time.Microsecond)
+	}
+	if h.n == 0 {
+		b.Fatal("no events fired")
+	}
+}
+
+// countingSink consumes delivered packets.
+type countingSink struct{ n int }
+
+func (s *countingSink) Receive(p *netem.Packet) { s.n++ }
+
+// LinkForward measures one full-sized packet traversing a 100 Mbit/s
+// link: enqueue, serialization event, delivery event, sink receive.
+func LinkForward(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New()
+	sink := &countingSink{}
+	link := netem.NewLink(eng, "bench", 100e6, time.Millisecond, netem.NewDropTail(256), sink)
+	pkts := make([]netem.Packet, 64)
+	for i := range pkts {
+		pkts[i] = netem.Packet{Size: netem.MTU}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Send(&pkts[i%len(pkts)])
+		if (i+1)%len(pkts) == 0 {
+			// Drain so the queue never overflows and every packet takes
+			// the full transmit+deliver path.
+			eng.RunFor(time.Second)
+		}
+	}
+	eng.RunFor(time.Second)
+	if sink.n == 0 {
+		b.Fatal("no packets delivered")
+	}
+}
+
+// WholeCell measures one small access VoIP cell end to end: build the
+// Figure 3a testbed, start the short-few downstream workload, run one
+// 8-second call through the congested link, and evaluate its MOS.
+// This is the macro benchmark the ≥2x allocs/op acceptance target of
+// the zero-allocation event core refers to.
+func WholeCell(b *testing.B) {
+	b.ReportAllocs()
+	lib := media.Library(42)
+	for i := 0; i < b.N; i++ {
+		a := testbed.NewAccess(testbed.Config{BufferUp: 64, BufferDown: 64, Seed: 42})
+		a.StartWorkload(testbed.AccessScenario("short-few", testbed.DirDown))
+		got := false
+		a.Eng.Schedule(2*time.Second, func() {
+			voip.Start(a.MediaServer, a.MediaClient, lib[0], 0, func(r voip.Result) {
+				got = true
+				a.Eng.Halt()
+			})
+		})
+		a.Eng.RunFor(60 * time.Second)
+		if !got {
+			b.Fatal("call did not complete")
+		}
+	}
+}

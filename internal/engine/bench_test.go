@@ -7,7 +7,7 @@ import (
 
 // busyCell burns deterministic CPU proportional to the spec's buffer,
 // standing in for a simulation cell.
-func busyCell(sp CellSpec, seed uint64) any {
+func busyCell(sp CellSpec, seed uint64, _ Scratch) any {
 	x := seed
 	for i := 0; i < 200_000; i++ {
 		x ^= x << 13

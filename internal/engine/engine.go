@@ -11,7 +11,21 @@ import (
 // mutated by other cells. The engine enforces the payoff — a pure
 // cell's value can be computed once, on any worker, in any order, and
 // be shared by every experiment that names the same spec.
-type CellFunc func(spec CellSpec, seed uint64) any
+//
+// scr is the worker's reusable scratch (nil when the engine has no
+// scratch factory): per-run working memory — monitors, media caches,
+// metric accumulators — recycled between cells so steady-state sweeps
+// stop paying a fresh-allocation tax per cell. A cell may keep state
+// in the scratch only if reuse cannot change results: mutable state
+// must be behind Reset, caches must be keyed by everything that
+// determines their content.
+type CellFunc func(spec CellSpec, seed uint64, scr Scratch) any
+
+// Scratch is reusable per-cell working memory. Reset is called by the
+// engine before every cell that borrows the scratch.
+type Scratch interface {
+	Reset()
+}
 
 // Task pairs a spec with the function that computes it, for batch
 // submission.
@@ -51,6 +65,47 @@ type Engine struct {
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 	workers int
+
+	scratchNew  func() Scratch
+	scratchPool []Scratch
+}
+
+// SetScratch installs a factory for per-worker scratch memory. Each
+// cell computation borrows a scratch from a free-list (creating one
+// via the factory when none is idle), gets it Reset, and returns it
+// when done — so at most one scratch exists per concurrently running
+// cell, regardless of how many cells a sweep submits.
+func (e *Engine) SetScratch(factory func() Scratch) {
+	e.mu.Lock()
+	e.scratchNew = factory
+	e.scratchPool = nil
+	e.mu.Unlock()
+}
+
+func (e *Engine) takeScratch() Scratch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scratchNew == nil {
+		return nil
+	}
+	if n := len(e.scratchPool); n > 0 {
+		s := e.scratchPool[n-1]
+		e.scratchPool = e.scratchPool[:n-1]
+		s.Reset()
+		return s
+	}
+	s := e.scratchNew()
+	s.Reset()
+	return s
+}
+
+func (e *Engine) putScratch(s Scratch) {
+	if s == nil {
+		return
+	}
+	e.mu.Lock()
+	e.scratchPool = append(e.scratchPool, s)
+	e.mu.Unlock()
 }
 
 // New creates an engine with the given worker-pool size; n <= 0 uses
@@ -121,7 +176,12 @@ func (e *Engine) Do(spec CellSpec, fn CellFunc) any {
 		}
 		close(ent.done)
 	}()
-	ent.val = fn(spec, DeriveSeed(spec))
+	scr := e.takeScratch()
+	// Deferred so a panicking cell still returns the scratch (and its
+	// expensive content caches) to the pool; the next borrower Resets
+	// it before use, so partially mutated state cannot leak.
+	defer e.putScratch(scr)
+	ent.val = fn(spec, DeriveSeed(spec), scr)
 	completed = true
 	return ent.val
 }

@@ -113,7 +113,7 @@ func TestDeriveSeedPairsComparisonAxes(t *testing.T) {
 func TestDoMemoizes(t *testing.T) {
 	e := New(2)
 	var calls atomic.Int64
-	fn := func(sp CellSpec, seed uint64) any {
+	fn := func(sp CellSpec, seed uint64, _ Scratch) any {
 		calls.Add(1)
 		return seed
 	}
@@ -134,7 +134,7 @@ func TestDoMemoizes(t *testing.T) {
 func TestDoCoalescesConcurrentCallers(t *testing.T) {
 	e := New(4)
 	var calls atomic.Int64
-	fn := func(sp CellSpec, seed uint64) any {
+	fn := func(sp CellSpec, seed uint64, _ Scratch) any {
 		calls.Add(1)
 		time.Sleep(20 * time.Millisecond)
 		return seed
@@ -156,7 +156,7 @@ func TestDoCoalescesConcurrentCallers(t *testing.T) {
 func TestRunBatchOrderAndParallelism(t *testing.T) {
 	e := New(4)
 	var inFlight, peak atomic.Int64
-	fn := func(sp CellSpec, seed uint64) any {
+	fn := func(sp CellSpec, seed uint64, _ Scratch) any {
 		n := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -191,7 +191,7 @@ func TestSchedulingOrderIndependence(t *testing.T) {
 	// The same grid submitted forwards, backwards, and one-by-one must
 	// produce identical per-cell values: each value depends only on
 	// the derived seed.
-	fn := func(sp CellSpec, seed uint64) any {
+	fn := func(sp CellSpec, seed uint64, _ Scratch) any {
 		return fmt.Sprintf("%s:%d", sp.Scenario, seed%1000)
 	}
 	var fwd, rev []Task
@@ -212,7 +212,7 @@ func TestSchedulingOrderIndependence(t *testing.T) {
 
 func TestPanickingCellDoesNotPoisonEngine(t *testing.T) {
 	e := New(1) // one slot: a leaked slot would hang everything below
-	boom := func(CellSpec, uint64) any { panic("cell exploded") }
+	boom := func(CellSpec, uint64, Scratch) any { panic("cell exploded") }
 	mustPanic := func() (r any) {
 		defer func() { r = recover() }()
 		e.Do(spec(8), boom)
@@ -223,7 +223,7 @@ func TestPanickingCellDoesNotPoisonEngine(t *testing.T) {
 	}
 	// The poisoned entry must be gone: a retry recomputes...
 	var calls atomic.Int64
-	good := func(sp CellSpec, seed uint64) any { calls.Add(1); return seed }
+	good := func(sp CellSpec, seed uint64, _ Scratch) any { calls.Add(1); return seed }
 	e.Do(spec(8), good)
 	if calls.Load() != 1 {
 		t.Fatalf("retry after panic computed %d times", calls.Load())
@@ -244,7 +244,7 @@ func TestPanickingCellDoesNotPoisonEngine(t *testing.T) {
 func TestPanicPropagatesToCoalescedWaiters(t *testing.T) {
 	e := New(2)
 	started := make(chan struct{})
-	slow := func(CellSpec, uint64) any {
+	slow := func(CellSpec, uint64, Scratch) any {
 		close(started)
 		time.Sleep(20 * time.Millisecond)
 		panic("late boom")
@@ -274,7 +274,7 @@ func TestSetWorkersAndReset(t *testing.T) {
 	if e.Workers() != 3 || e.Stats().Workers != 3 {
 		t.Fatalf("workers = %d", e.Workers())
 	}
-	e.Do(spec(8), func(CellSpec, uint64) any { return 1 })
+	e.Do(spec(8), func(CellSpec, uint64, Scratch) any { return 1 })
 	if e.Stats().Entries != 1 {
 		t.Fatal("missing cache entry")
 	}

@@ -7,7 +7,6 @@ import (
 	"bufferqoe/internal/cdn"
 	"bufferqoe/internal/engine"
 	"bufferqoe/internal/httpvideo"
-	"bufferqoe/internal/media"
 	"bufferqoe/internal/netem"
 	"bufferqoe/internal/stats"
 	"bufferqoe/internal/tcp"
@@ -166,14 +165,17 @@ func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, 
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
-		a := testbed.NewAccess(v.config(buf, seed))
+		cfg := v.config(buf, seed)
+		cfg.Scratch = cs.tb()
+		a := testbed.NewAccess(cfg)
 		if scenario != "noBG" {
 			a.StartWorkload(testbed.AccessScenario(scenario, dir))
 		}
-		listen, talk := runVoIPPair(a, oc)
+		listen, talk := runVoIPPair(a, oc, cs)
 		now := a.Eng.Now()
 		return voipScore{
 			Listen: listen, Talk: talk,
@@ -198,14 +200,17 @@ func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) en
 		Variant: v.tag,
 		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
-		b := testbed.NewBackbone(v.config(buf, seed))
+		cfg := v.config(buf, seed)
+		cfg.Scratch = cs.tb()
+		b := testbed.NewBackbone(cfg)
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}
-		lib := media.Library(seed)
+		lib := cs.library(seed)
 		var mosS stats.Sample
 		for i := 0; i < oc.Reps; i++ {
 			i := i
@@ -232,12 +237,13 @@ func playoutTask(o Options, mode string) engine.Task {
 		Buffer: 256, Media: "voip", Variant: "playout=" + mode,
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
-		a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: seed})
+		a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: seed, Scratch: cs.tb()})
 		a.StartWorkload(testbed.AccessScenario("short-many", testbed.DirDown))
-		lib := media.Library(seed)
+		lib := cs.library(seed)
 		var mosS, z1S, lossS stats.Sample
 		for i := 0; i < oc.Reps; i++ {
 			i := i
@@ -281,10 +287,13 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
-		a := testbed.NewAccess(v.config(buf, seed))
+		cfg := v.config(buf, seed)
+		cfg.Scratch = cs.tb()
+		a := testbed.NewAccess(cfg)
 		if scenario != "noBG" {
 			a.StartWorkload(testbed.AccessScenario(scenario, dir))
 		}
@@ -315,10 +324,13 @@ func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) eng
 		Variant: v.tag,
 		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
-		b := testbed.NewBackbone(v.config(buf, seed))
+		cfg := v.config(buf, seed)
+		cfg.Scratch = cs.tb()
+		b := testbed.NewBackbone(cfg)
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}
@@ -351,11 +363,14 @@ func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip vid
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
-		src := video.NewSource(clip, p, oc.ClipSeconds)
-		a := testbed.NewAccess(v.config(buf, seed))
+		src := cs.source(clip, p, oc.ClipSeconds)
+		cfg := v.config(buf, seed)
+		cfg.Scratch = cs.tb()
+		a := testbed.NewAccess(cfg)
 		if scenario != "noBG" {
 			a.StartWorkload(testbed.AccessScenario(scenario, dir))
 		}
@@ -375,11 +390,14 @@ func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Prof
 		Media: "video", Variant: joinTags(videoVariantTag(clip, p, rec), v.tag),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
-		src := video.NewSource(clip, p, oc.ClipSeconds)
-		b := testbed.NewBackbone(v.config(buf, seed))
+		src := cs.source(clip, p, oc.ClipSeconds)
+		cfg := v.config(buf, seed)
+		cfg.Scratch = cs.tb()
+		b := testbed.NewBackbone(cfg)
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}
@@ -403,9 +421,10 @@ func smoothingTask(o Options, buf int, smooth bool) engine.Task {
 		Media: "video", Variant: "single;mode=" + mode + ";profile=SD",
 		Seed: o.Seed, ClipSeconds: o.ClipSeconds,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
-		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: seed})
-		src := video.NewSource(video.ClipC, video.SD, o.ClipSeconds)
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
+		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: buf, Seed: seed, Scratch: cs.tb()})
+		src := cs.source(video.ClipC, video.SD, o.ClipSeconds)
 		var got video.Result
 		video.Start(a.MediaServer, a.MediaClient, src,
 			video.Config{Smooth: smooth, Seed: seed},
@@ -425,11 +444,12 @@ func httpVideoTask(o Options, scenario string, buf int, player string) engine.Ta
 		Media: "httpvideo", Variant: "player=" + player,
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
 		mediaDur := time.Duration(oc.ClipSeconds*4) * time.Second
-		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed, Scratch: cs.tb()})
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}
@@ -489,8 +509,11 @@ func bgAccessTask(o Options, scenario string, dir testbed.Direction, bufUp, bufD
 		Buffer: bufDown, BufferUp: bufUp, Media: "background",
 		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
-		a := testbed.NewAccess(v.config(bufDown, seed))
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
+		cfg := v.config(bufDown, seed)
+		cfg.Scratch = cs.tb()
+		a := testbed.NewAccess(cfg)
 		if scenario != "noBG" {
 			a.StartWorkload(testbed.AccessScenario(scenario, dir))
 		}
@@ -525,8 +548,9 @@ func bgBackboneTask(o Options, scenario string, buf int) engine.Task {
 		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "background",
 		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
-		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed})
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+		cs := scratchOf(scr)
+		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed, Scratch: cs.tb()})
 		if scenario != "noBG" {
 			b.StartWorkload(testbed.BackboneScenario(scenario))
 		}
@@ -552,7 +576,7 @@ func wildTask(o Options) engine.Task {
 	sp := engine.CellSpec{
 		Media: "wild", Seed: o.Seed, CDNFlows: o.CDNFlows,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64) any {
+	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, _ engine.Scratch) any {
 		flows := cdn.Generate(cdn.Config{Flows: o.CDNFlows, Seed: seed})
 		return cdn.Analyze(flows, cdn.MinSamplesDefault)
 	}}

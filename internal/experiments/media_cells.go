@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"bufferqoe/internal/media"
 	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/sim"
 	"bufferqoe/internal/sizing"
@@ -27,8 +26,8 @@ const cellCap = 30 * time.Minute
 // already-configured access testbed and returns the median MOS of
 // each direction. The two directions of one call share the
 // conversational delay impairment, as in the paper's Section 7.2.
-func runVoIPPair(a *testbed.Access, o Options) (listen, talk float64) {
-	lib := media.Library(o.Seed)
+func runVoIPPair(a *testbed.Access, o Options, cs *CellScratch) (listen, talk float64) {
+	lib := cs.library(o.Seed)
 	var listenS, talkS stats.Sample
 	for i := 0; i < o.Reps; i++ {
 		i := i

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bufferqoe/internal/engine"
+	"bufferqoe/internal/media"
+	"bufferqoe/internal/testbed"
+	"bufferqoe/internal/video"
+)
+
+// CellScratch is the per-worker reusable working memory of the cell
+// runners: the testbed's bottleneck monitors (mutable, Reset between
+// cells) and two immutable content caches — the G.711 speech library
+// per seed and rendered video sources per (clip, profile, length).
+// Rendering a clip or synthesizing the speech library costs far more
+// than a small cell's network simulation, so reusing them across the
+// cells of a sweep is one of the larger wins of the scratch design.
+//
+// Reuse safety: the caches hold content that is a pure function of
+// their key and is only ever read by consumers, so a cache hit is
+// bit-identical to a rebuild; everything mutable lives behind Reset.
+type CellScratch struct {
+	// Testbed holds the queue/link monitors a testbed build would
+	// otherwise allocate per cell.
+	Testbed testbed.Scratch
+
+	lib     map[uint64][]*media.Sample
+	sources map[sourceKey]*video.Source
+}
+
+type sourceKey struct {
+	clip    string
+	profile string
+	seconds int
+}
+
+func newCellScratch() *CellScratch {
+	return &CellScratch{
+		lib:     map[uint64][]*media.Sample{},
+		sources: map[sourceKey]*video.Source{},
+	}
+}
+
+// Reset implements engine.Scratch: clear the mutable state, keep the
+// keyed content caches.
+func (cs *CellScratch) Reset() {
+	cs.Testbed.Reset()
+}
+
+// scratchOf narrows the engine's scratch handle; a nil result (no
+// scratch configured, e.g. a cell function invoked directly in tests)
+// makes every helper below fall back to fresh allocations.
+func scratchOf(scr engine.Scratch) *CellScratch {
+	cs, _ := scr.(*CellScratch)
+	return cs
+}
+
+// tb returns the testbed scratch to embed in a Config, or nil.
+func (cs *CellScratch) tb() *testbed.Scratch {
+	if cs == nil {
+		return nil
+	}
+	return &cs.Testbed
+}
+
+// library returns the speech library for a seed, cached across cells.
+func (cs *CellScratch) library(seed uint64) []*media.Sample {
+	if cs == nil {
+		return media.Library(seed)
+	}
+	if lib, ok := cs.lib[seed]; ok {
+		return lib
+	}
+	lib := media.Library(seed)
+	cs.lib[seed] = lib
+	return lib
+}
+
+// source returns the rendered video source for a clip/profile/length,
+// cached across cells.
+func (cs *CellScratch) source(clip video.Clip, p video.Profile, seconds int) *video.Source {
+	if cs == nil {
+		return video.NewSource(clip, p, seconds)
+	}
+	k := sourceKey{clip: clip.Name, profile: p.Name, seconds: seconds}
+	if src, ok := cs.sources[k]; ok {
+		return src
+	}
+	src := video.NewSource(clip, p, seconds)
+	cs.sources[k] = src
+	return src
+}

@@ -14,9 +14,12 @@ type Session struct {
 }
 
 // NewSession creates a session with its own engine; workers <= 0 uses
-// GOMAXPROCS.
+// GOMAXPROCS. Each worker gets a reusable CellScratch (monitors,
+// media/content caches) recycled between the cells it computes.
 func NewSession(workers int) *Session {
-	return &Session{eng: engine.New(workers)}
+	eng := engine.New(workers)
+	eng.SetScratch(func() engine.Scratch { return newCellScratch() })
+	return &Session{eng: eng}
 }
 
 // Default is the process-wide session behind the package-level

@@ -40,7 +40,8 @@ func NewJitterBox(eng *sim.Engine, rng *sim.RNG, base, jitter time.Duration, dst
 }
 
 // Receive implements Receiver: it forwards the packet after the jittered
-// delay, preserving arrival order.
+// delay, preserving arrival order. Each delivery is a pooled
+// ArgHandler event, so the per-packet path allocates nothing.
 func (j *JitterBox) Receive(p *Packet) {
 	maxJ := j.MaxJitter
 	if maxJ == 0 {
@@ -55,5 +56,11 @@ func (j *JitterBox) Receive(p *Packet) {
 		deliver = j.free
 	}
 	j.free = deliver
-	j.eng.At(deliver, func() { j.dst.Receive(p) })
+	j.eng.AtArg(deliver, j, p)
+}
+
+// FireArg implements sim.ArgHandler: the jittered delay elapsed —
+// deliver the packet downstream.
+func (j *JitterBox) FireArg(now sim.Time, arg any) {
+	j.dst.Receive(arg.(*Packet))
 }

@@ -15,51 +15,84 @@ type Receiver interface {
 // queue, are serialized at Rate bits per second, then propagate for
 // Delay before delivery. A Rate of 0 means infinite capacity (pure
 // delay element — the NetPath delay boxes of the backbone testbed).
+//
+// The link is its own event handler: serialization completion is an
+// owned timer dispatching to Fire, and each in-flight delivery is a
+// pooled ArgHandler event carrying the packet — the forwarding hot
+// path schedules zero closures and allocates nothing in steady state.
 type Link struct {
 	Name  string
 	Rate  float64       // bits per second; 0 = infinite
 	Delay time.Duration // one-way propagation delay
 
-	Queue   Queue
+	Queue Queue
+	// Monitor observes transmitted packets. It is nil by default — the
+	// per-packet fast path pays for instrumentation only on links an
+	// experiment actually reads — and is attached with EnsureMonitor.
 	Monitor *LinkMonitor
 
 	// Tap, if non-nil, observes every packet the link transmits (the
 	// tcpdump vantage point of the paper's trace analysis).
 	Tap func(p *Packet, at sim.Time)
 
-	eng  *sim.Engine
-	dst  Receiver
-	busy bool
+	eng     *sim.Engine
+	dst     Receiver
+	busy    bool
+	txTimer sim.Timer // owned: fires when the head packet finishes serializing
+	txPkt   *Packet   // packet in service
 }
 
-// NewLink creates a link feeding dst through queue.
+// NewLink creates a link feeding dst through queue. No LinkMonitor is
+// attached; call EnsureMonitor on links whose throughput or
+// utilization an experiment reads.
 func NewLink(eng *sim.Engine, name string, rate float64, delay time.Duration, queue Queue, dst Receiver) *Link {
 	l := &Link{
-		Name:    name,
-		Rate:    rate,
-		Delay:   delay,
-		Queue:   queue,
-		Monitor: &LinkMonitor{Name: name},
-		eng:     eng,
-		dst:     dst,
+		Name:  name,
+		Rate:  rate,
+		Delay: delay,
+		Queue: queue,
+		eng:   eng,
+		dst:   dst,
 	}
-	l.Monitor.link = l
+	eng.InitTimer(&l.txTimer, l)
 	return l
 }
 
+// EnsureMonitor attaches (or returns the existing) LinkMonitor, for
+// the bottleneck links whose utilization the experiments measure.
+func (l *Link) EnsureMonitor() *LinkMonitor {
+	if l.Monitor == nil {
+		l.Monitor = &LinkMonitor{Name: l.Name, link: l}
+	}
+	return l.Monitor
+}
+
+// AttachMonitor wires a caller-owned (typically scratch-pooled)
+// monitor to the link, replacing any current one. The monitor should
+// be Reset by the caller before reuse.
+func (l *Link) AttachMonitor(m *LinkMonitor) *LinkMonitor {
+	m.Name = l.Name
+	m.link = l
+	l.Monitor = m
+	return m
+}
+
 // Send offers a packet to the link. It reports whether the packet was
-// accepted (false = dropped by the queue).
+// accepted (false = dropped by the queue, which releases the packet).
 func (l *Link) Send(p *Packet) bool {
 	if l.Rate == 0 {
 		// Pure delay element: no serialization, no queueing.
-		l.Monitor.transmitted(p)
+		if l.Monitor != nil {
+			l.Monitor.transmitted(p)
+		}
 		if l.Tap != nil {
 			l.Tap(p, l.eng.Now())
 		}
-		l.eng.Schedule(l.Delay, func() { l.dst.Receive(p) })
+		l.eng.ScheduleArg(l.Delay, l, p)
 		return true
 	}
 	if !l.Queue.Enqueue(p, l.eng.Now()) {
+		p.Release()
 		return false
 	}
 	if !l.busy {
@@ -78,15 +111,30 @@ func (l *Link) transmitNext() {
 		return
 	}
 	l.busy = true
+	l.txPkt = p
 	txTime := time.Duration(float64(p.Size*8) / l.Rate * float64(time.Second))
-	l.eng.Schedule(txTime, func() {
+	l.txTimer.Reset(txTime)
+}
+
+// Fire implements sim.Handler: the packet in service finished
+// serializing — start its propagation and pull the next one.
+func (l *Link) Fire(now sim.Time) {
+	p := l.txPkt
+	l.txPkt = nil
+	if l.Monitor != nil {
 		l.Monitor.transmitted(p)
-		if l.Tap != nil {
-			l.Tap(p, l.eng.Now())
-		}
-		l.eng.Schedule(l.Delay, func() { l.dst.Receive(p) })
-		l.transmitNext()
-	})
+	}
+	if l.Tap != nil {
+		l.Tap(p, now)
+	}
+	l.eng.ScheduleArg(l.Delay, l, p)
+	l.transmitNext()
+}
+
+// FireArg implements sim.ArgHandler: a packet finished propagating —
+// hand it to the receiver.
+func (l *Link) FireArg(now sim.Time, arg any) {
+	l.dst.Receive(arg.(*Packet))
 }
 
 // TransmissionTime returns how long one packet of the given size takes

@@ -25,6 +25,17 @@ type QueueMonitor struct {
 	OccupancyPkts stats.TimeWeighted
 }
 
+// Reset clears the monitor for reuse on another run, keeping the
+// sample backing arrays so a scratch-pooled monitor refills without
+// reallocating.
+func (m *QueueMonitor) Reset(name string) {
+	m.Name = name
+	m.Enqueued, m.Dropped, m.Dequeued = 0, 0, 0
+	m.Delay.Reset()
+	m.DelayMean.Reset()
+	m.OccupancyPkts.Reset()
+}
+
 func (m *QueueMonitor) enqueue(p *Packet, now sim.Time, qlen, qbytes int) {
 	m.Enqueued++
 	m.OccupancyPkts.Set(now.Seconds(), float64(qlen))
@@ -91,6 +102,18 @@ type LinkMonitor struct {
 	lastBytes uint64
 	startTime sim.Time
 	started   bool
+}
+
+// Reset clears the monitor for reuse on another run (the link
+// attachment is re-established by Link.AttachMonitor).
+func (m *LinkMonitor) Reset() {
+	m.Name = ""
+	m.BytesSent, m.PktsSent = 0, 0
+	m.UtilSamples.Reset()
+	m.link = nil
+	m.lastBytes = 0
+	m.startTime = 0
+	m.started = false
 }
 
 func (m *LinkMonitor) transmitted(p *Packet) {

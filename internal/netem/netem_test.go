@@ -219,7 +219,7 @@ func TestLinkMonitorUtilization(t *testing.T) {
 	eng := sim.New()
 	s := &sink{eng: eng}
 	l := NewLink(eng, "l", 8e6, 0, NewDropTail(1000), s)
-	l.Monitor.StartSampling(eng, 100*time.Millisecond)
+	l.EnsureMonitor().StartSampling(eng, 100*time.Millisecond)
 	// Send 1000 B every ms for 1 s => 8 Mbit/s exactly => 100% util.
 	for i := 0; i < 1000; i++ {
 		d := time.Duration(i) * time.Millisecond

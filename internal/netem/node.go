@@ -99,16 +99,21 @@ func (n *Node) Send(p *Packet) bool {
 	return n.forward(p)
 }
 
-// Receive implements Receiver: deliver locally or forward.
+// Receive implements Receiver: deliver locally or forward. A locally
+// consumed (or undeliverable) pooled packet is released back to the
+// network free-list after the handler returns; handlers must copy what
+// they need and not retain the *Packet.
 func (n *Node) Receive(p *Packet) {
 	if p.Flow.Dst.Node == n.ID {
 		h, ok := n.handlers[portKey{p.Flow.Proto, p.Flow.Dst.Port}]
 		if !ok {
 			n.Undeliverable++
+			p.Release()
 			return
 		}
 		n.Delivered++
 		h.HandlePacket(p)
+		p.Release()
 		return
 	}
 	n.Forwarded++
@@ -122,17 +127,36 @@ func (n *Node) forward(p *Packet) bool {
 	}
 	if l == nil {
 		n.Undeliverable++
+		p.Release()
 		return false
 	}
 	return l.Send(p)
 }
 
-// Network owns the engine, nodes and links of one simulated testbed.
+// Network owns the engine, nodes and links of one simulated testbed,
+// plus the packet free-list: in steady state every datagram the models
+// send reuses a released *Packet instead of allocating.
 type Network struct {
 	Engine *sim.Engine
 
 	nodes    []*Node
 	packetID uint64
+	pktFree  []*Packet
+}
+
+// NewPacket returns a zeroed packet from the network's free-list (or a
+// fresh allocation when the list is empty). The caller fills it and
+// hands it to Node.Send; see the Packet ownership comment for who
+// releases it.
+func (nw *Network) NewPacket() *Packet {
+	if n := len(nw.pktFree); n > 0 {
+		p := nw.pktFree[n-1]
+		nw.pktFree[n-1] = nil
+		nw.pktFree = nw.pktFree[:n-1]
+		*p = Packet{pool: nw}
+		return p
+	}
+	return &Packet{pool: nw}
 }
 
 // NewNetwork creates an empty network on the engine.

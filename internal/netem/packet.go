@@ -79,6 +79,15 @@ func (f Flow) String() string {
 // including IP and transport headers. Payload carries the
 // protocol-specific content (e.g. *tcp.Segment); it is never inspected
 // by the network layer.
+//
+// Ownership: packets obtained from Network.NewPacket belong to exactly
+// one holder at a time — the sending endpoint until Send, then the
+// link/queue/delivery pipeline, then the consuming endpoint. Whoever
+// consumes a packet (the network on local delivery, a queue on a drop)
+// calls Release to return it to the per-network free-list; holding a
+// *Packet past its Release is a use-after-free class bug. Packets
+// built with a composite literal have no pool and Release is a no-op,
+// so tests and external constructions stay safe.
 type Packet struct {
 	ID   uint64
 	Flow Flow
@@ -100,4 +109,20 @@ type Packet struct {
 	// CE is the Congestion Experienced mark set by an ECN-enabled
 	// queue in place of a drop. Receivers echo it back to the sender.
 	CE bool
+
+	// pool is the owning network's free-list for pooled packets; nil
+	// for packets constructed directly.
+	pool *Network
+}
+
+// Release returns a pooled packet to its network's free-list. It is
+// idempotent (the first call clears the pool link) and a no-op for
+// packets not obtained from Network.NewPacket.
+func (p *Packet) Release() {
+	nw := p.pool
+	if nw == nil {
+		return
+	}
+	p.pool = nil
+	nw.pktFree = append(nw.pktFree, p)
 }

@@ -23,14 +23,20 @@ type Queue interface {
 // the paper's buffer configurations (Table 2: 8-256 packets on the
 // access testbed, 8-7490 on the backbone). A zero CapPackets means
 // capacity 1 (a queue must hold at least the packet in service).
+//
+// Storage is a circular buffer sized to CapPackets, allocated once on
+// first use and reused for the queue's lifetime: the bottleneck
+// buffer — the busiest data structure in a congested cell — never
+// grows, shrinks, or reallocates while packets churn through it.
 type DropTail struct {
 	// CapPackets is the buffer size in packets.
 	CapPackets int
 	// Monitor, if non-nil, observes enqueue/drop/dequeue events.
 	Monitor *QueueMonitor
 
-	q     []*Packet
-	head  int
+	ring  []*Packet
+	head  int // index of the oldest packet
+	n     int // occupied slots
 	bytes int
 }
 
@@ -45,42 +51,50 @@ func NewDropTail(capPackets int) *DropTail {
 
 // Enqueue implements Queue.
 func (d *DropTail) Enqueue(p *Packet, now sim.Time) bool {
-	if d.Len() >= d.CapPackets {
+	if d.n >= d.CapPackets {
 		if d.Monitor != nil {
-			d.Monitor.drop(p, now, d.Len(), d.bytes)
+			d.Monitor.drop(p, now, d.n, d.bytes)
 		}
 		return false
 	}
+	if d.ring == nil {
+		d.ring = make([]*Packet, d.CapPackets)
+	}
 	p.Enqueued = now
-	d.q = append(d.q, p)
+	i := d.head + d.n
+	if i >= len(d.ring) {
+		i -= len(d.ring)
+	}
+	d.ring[i] = p
+	d.n++
 	d.bytes += p.Size
 	if d.Monitor != nil {
-		d.Monitor.enqueue(p, now, d.Len(), d.bytes)
+		d.Monitor.enqueue(p, now, d.n, d.bytes)
 	}
 	return true
 }
 
 // Dequeue implements Queue.
 func (d *DropTail) Dequeue(now sim.Time) *Packet {
-	if d.Len() == 0 {
+	if d.n == 0 {
 		return nil
 	}
-	p := d.q[d.head]
-	d.q[d.head] = nil
+	p := d.ring[d.head]
+	d.ring[d.head] = nil
 	d.head++
-	if d.head == len(d.q) {
-		d.q = d.q[:0]
+	if d.head == len(d.ring) {
 		d.head = 0
 	}
+	d.n--
 	d.bytes -= p.Size
 	if d.Monitor != nil {
-		d.Monitor.dequeue(p, now, d.Len(), d.bytes)
+		d.Monitor.dequeue(p, now, d.n, d.bytes)
 	}
 	return p
 }
 
 // Len implements Queue.
-func (d *DropTail) Len() int { return len(d.q) - d.head }
+func (d *DropTail) Len() int { return d.n }
 
 // Bytes implements Queue.
 func (d *DropTail) Bytes() int { return d.bytes }

@@ -5,10 +5,33 @@
 // callbacks on a shared *Engine; the engine executes them in
 // non-decreasing time order. Events scheduled for the same instant run
 // in FIFO order of scheduling, which keeps runs bit-for-bit reproducible.
+//
+// # Scheduling tiers
+//
+// Three tiers trade convenience against allocation cost:
+//
+//   - Closure one-shots (At, Schedule) allocate one Timer per call and
+//     return the handle. They are the convenient tier for setup and
+//     low-frequency application logic, and the returned handle may be
+//     Stop()ped at any point before it fires.
+//   - Pooled one-shots (AtHandler, ScheduleHandler, AtArg, ScheduleArg)
+//     dispatch to a Handler/ArgHandler instead of a closure. Their
+//     Timer comes from a per-engine free-list and is recycled the
+//     moment it fires, so steady-state scheduling allocates nothing.
+//     No handle is returned — a recycled timer must never be reachable
+//     from model code — so pooled events cannot be cancelled.
+//   - Owned timers (InitTimer, Reset, Stop) are embedded in a model
+//     component and rearmed in place for the component's lifetime: the
+//     reschedulable retransmission/delayed-ACK timers of a TCP
+//     connection, a link's serialization tick. They are never pooled
+//     while owned, so a retained handle is always safe.
+//
+// Every arming operation — At, Schedule, the handler variants, and
+// Reset — draws one fresh sequence number, so migrating a call site
+// between tiers preserves the engine's same-instant FIFO order exactly.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -34,24 +57,59 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // String formats the time like a time.Duration, e.g. "1.5s".
 func (t Time) String() string { return time.Duration(t).String() }
 
-// A Timer is a handle to a scheduled event. It can be stopped before it
-// fires. Timers are not safe for concurrent use; the engine is a
-// single-threaded simulator by design.
-type Timer struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	stopped bool
-	fired   bool
+// Handler is a component that reacts to a timer firing. Implementing
+// it (instead of passing closures) lets a component schedule its
+// recurring ticks with zero per-event allocation.
+type Handler interface {
+	Fire(now Time)
 }
 
-// Stop cancels the timer. It reports whether the call prevented the
-// timer from firing (false if it had already fired or been stopped).
+// ArgHandler is a Handler variant carrying a per-event payload, for
+// events that are per-object rather than per-component: a link
+// delivering one specific packet, a sender emitting one specific
+// frame. The payload is stored in the pooled Timer, so scheduling an
+// ArgHandler event with a pointer payload allocates nothing.
+type ArgHandler interface {
+	FireArg(now Time, arg any)
+}
+
+// A Timer is a scheduled event. Closure timers (from At/Schedule) are
+// one-shot handles that may be stopped before firing. Owned timers
+// (prepared with InitTimer and embedded in a component) are rearmed in
+// place with Reset. Timers are not safe for concurrent use; the engine
+// is a single-threaded simulator by design.
+type Timer struct {
+	at  Time
+	seq uint64
+	// idx is the timer's position in the engine's event heap, valid
+	// only while queued. Tracking it makes Stop an O(log n) eager
+	// removal instead of leaving cancelled timers to be drained at
+	// their deadline (which let long runs with many cancelled
+	// retransmission timers grow the heap without bound).
+	idx int
+	// queued reports heap membership; false in the zero value, so an
+	// embedded timer is safely unarmed before InitTimer runs.
+	queued  bool
+	pooled  bool // recycled into the engine free-list when it fires
+	stopped bool
+	fired   bool
+
+	eng *Engine
+	fn  func()
+	h   Handler
+	ah  ArgHandler
+	arg any
+}
+
+// Stop cancels the timer, removing it from the event heap immediately.
+// It reports whether the call prevented the timer from firing (false
+// if it had already fired, been stopped, or was never armed).
 func (t *Timer) Stop() bool {
-	if t == nil || t.stopped || t.fired {
+	if t == nil || t.stopped || t.fired || !t.queued {
 		return false
 	}
 	t.stopped = true
+	t.eng.heapRemove(t)
 	t.fn = nil // release closure for GC
 	return true
 }
@@ -63,25 +121,40 @@ func (t *Timer) Stopped() bool { return t != nil && t.stopped }
 // fire).
 func (t *Timer) When() Time { return t.at }
 
-// eventHeap orders timers by (time, sequence).
-type eventHeap []*Timer
+// Armed reports whether the timer is currently queued to fire. The
+// zero value reports false.
+func (t *Timer) Armed() bool { return t != nil && t.queued }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Reset (re)arms an owned timer to fire d after the engine's current
+// time, clearing any stopped/fired state. It must only be used on
+// timers prepared with InitTimer. Like every arming operation it draws
+// a fresh sequence number, so a Reset orders after events already
+// scheduled for the same instant.
+func (t *Timer) Reset(d time.Duration) {
+	if d < 0 {
+		d = 0
 	}
-	return h[i].seq < h[j].seq
+	t.ResetAt(t.eng.now.Add(d))
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Timer)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+
+// ResetAt is Reset with an absolute fire time. Times in the past are
+// clamped to now.
+func (t *Timer) ResetAt(at Time) {
+	e := t.eng
+	if e == nil || t.h == nil && t.ah == nil {
+		panic("sim: ResetAt on a timer not prepared with InitTimer")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	t.at, t.seq = at, e.seq
+	t.stopped, t.fired = false, false
+	if t.queued {
+		e.heapFix(t)
+	} else {
+		e.heapPush(t)
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
@@ -89,7 +162,8 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*Timer // index-tracked 4-ary min-heap on (at, seq)
+	free    []*Timer // recycled pooled one-shot timers
 	running bool
 	halted  bool
 
@@ -121,6 +195,8 @@ func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
 }
 
 // At runs fn at absolute time t. Times in the past are clamped to Now.
+// The returned Timer is not pooled: the handle stays valid (and
+// Stop-able) for as long as the caller retains it.
 func (e *Engine) At(t Time, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: At called with nil function")
@@ -129,13 +205,97 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 		t = e.now
 	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, tm)
+	tm := &Timer{at: t, seq: e.seq, eng: e, fn: fn}
+	e.heapPush(tm)
 	return tm
 }
 
-// Pending reports the number of events in the queue, including
-// stopped-but-not-yet-drained timers.
+// InitTimer prepares an owned, reschedulable timer dispatching to h.
+// The timer is typically a field of the component implementing h, so
+// arming and rearming it never allocates. It starts unarmed; use
+// Reset/ResetAt to arm and Stop to cancel.
+func (e *Engine) InitTimer(t *Timer, h Handler) {
+	if h == nil {
+		panic("sim: InitTimer with nil handler")
+	}
+	if t.queued {
+		// Zeroing an armed timer would leave a stale pointer in the
+		// event heap whose idx no longer matches its slot, silently
+		// corrupting the heap much later; fail loudly instead.
+		panic("sim: InitTimer on an armed timer (Stop it first)")
+	}
+	*t = Timer{eng: e, h: h}
+}
+
+// ScheduleHandler fires h after delay d. The event's Timer comes from
+// the engine's free-list and is recycled when it fires: steady-state
+// scheduling allocates nothing, and no handle is returned.
+func (e *Engine) ScheduleHandler(d time.Duration, h Handler) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtHandler(e.now.Add(d), h)
+}
+
+// AtHandler fires h at absolute time t (clamped to Now), using a
+// pooled Timer.
+func (e *Engine) AtHandler(t Time, h Handler) {
+	if h == nil {
+		panic("sim: AtHandler called with nil handler")
+	}
+	tm := e.getPooled(t)
+	tm.h = h
+}
+
+// ScheduleArg fires h with the given payload after delay d, using a
+// pooled Timer.
+func (e *Engine) ScheduleArg(d time.Duration, h ArgHandler, arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtArg(e.now.Add(d), h, arg)
+}
+
+// AtArg fires h with the given payload at absolute time t (clamped to
+// Now), using a pooled Timer.
+func (e *Engine) AtArg(t Time, h ArgHandler, arg any) {
+	if h == nil {
+		panic("sim: AtArg called with nil handler")
+	}
+	tm := e.getPooled(t)
+	tm.ah = h
+	tm.arg = arg
+}
+
+// getPooled takes a timer from the free-list (or allocates one), arms
+// it at t with a fresh sequence number, and pushes it on the heap.
+func (e *Engine) getPooled(t Time) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	var tm *Timer
+	if n := len(e.free); n > 0 {
+		tm = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		tm = &Timer{eng: e}
+	}
+	e.seq++
+	tm.at, tm.seq, tm.pooled = t, e.seq, true
+	e.heapPush(tm)
+	return tm
+}
+
+// recycle returns a pooled timer to the free-list.
+func (e *Engine) recycle(t *Timer) {
+	t.h, t.ah, t.arg, t.fn = nil, nil, nil, nil
+	t.stopped, t.fired, t.pooled = false, false, false
+	e.free = append(e.free, t)
+}
+
+// Pending reports the number of events in the queue. Stopped timers
+// are removed eagerly, so they are never counted.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Halt stops the run loop after the current event completes. Unlike
@@ -163,21 +323,36 @@ func (e *Engine) RunUntil(t Time) {
 		if next.at > t {
 			break
 		}
-		heap.Pop(&e.events)
-		if next.stopped {
-			continue
-		}
+		e.heapRemove(next)
 		if next.at > e.now {
 			e.now = next.at
 		}
-		next.fired = true
-		fn := next.fn
-		next.fn = nil
 		e.Executed++
 		if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
 		}
-		fn()
+		// Read the dispatch target into locals first: a pooled timer is
+		// recycled before its handler runs, so the handler (or anything
+		// it schedules) may immediately reuse the Timer struct.
+		switch {
+		case next.fn != nil:
+			fn := next.fn
+			next.fn = nil
+			next.fired = true
+			fn()
+		case next.ah != nil:
+			h, arg := next.ah, next.arg
+			e.recycle(next)
+			h.FireArg(e.now, arg)
+		default:
+			h := next.h
+			if next.pooled {
+				e.recycle(next)
+			} else {
+				next.fired = true
+			}
+			h.Fire(e.now)
+		}
 	}
 	if !e.halted && e.now < t && t != Time(1<<63-1) {
 		e.now = t
@@ -187,4 +362,103 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor advances the simulation by d from the current time.
 func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now.Add(d))
+}
+
+// --- event heap -------------------------------------------------------
+//
+// A 4-ary min-heap on (at, seq) with index tracking. The wider node
+// fans out better than a binary heap for this workload: sift-downs
+// touch fewer levels (fewer cache lines) and the hot path — push a
+// timer, pop the minimum — is dominated by sift-up, which is cheaper
+// the shallower the tree. Index tracking is what makes eager Stop and
+// in-place Reset O(log n).
+
+// less orders timers by (time, sequence); seq is unique, so the order
+// is total and pop order is independent of heap layout.
+func less(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(t *Timer) {
+	t.idx = len(e.events)
+	t.queued = true
+	e.events = append(e.events, t)
+	e.siftUp(t.idx)
+}
+
+// heapRemove unlinks the timer at any position.
+func (e *Engine) heapRemove(t *Timer) {
+	i := t.idx
+	last := len(e.events) - 1
+	if i != last {
+		e.events[i] = e.events[last]
+		e.events[i].idx = i
+	}
+	e.events[last] = nil
+	e.events = e.events[:last]
+	t.queued = false
+	if i < last {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+}
+
+// heapFix repositions a timer whose key changed in place (Reset on an
+// armed timer).
+func (e *Engine) heapFix(t *Timer) {
+	if !e.siftDown(t.idx) {
+		e.siftUp(t.idx)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	t := e.events[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := e.events[parent]
+		if !less(t, p) {
+			break
+		}
+		e.events[i] = p
+		p.idx = i
+		i = parent
+	}
+	e.events[i] = t
+	t.idx = i
+}
+
+// siftDown reports whether the element moved.
+func (e *Engine) siftDown(i int) bool {
+	t := e.events[i]
+	n := len(e.events)
+	start := i
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(e.events[c], e.events[min]) {
+				min = c
+			}
+		}
+		if !less(e.events[min], t) {
+			break
+		}
+		e.events[i] = e.events[min]
+		e.events[i].idx = i
+		i = min
+	}
+	e.events[i] = t
+	t.idx = i
+	return i != start
 }

@@ -41,6 +41,9 @@ func (w *Welford) Add(x float64) {
 // N returns the number of observations.
 func (w *Welford) N() int { return w.n }
 
+// Reset clears the accumulator for reuse.
+func (w *Welford) Reset() { *w = Welford{} }
+
 // Mean returns the sample mean (0 if empty).
 func (w *Welford) Mean() float64 { return w.mean }
 
@@ -77,6 +80,13 @@ func (s *Sample) Add(x float64) {
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
+
+// Reset drops all observations but keeps the backing array, so a
+// scratch-pooled sample refills without reallocating.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+}
 
 // Values returns the observations in sorted order. The returned slice
 // is owned by the Sample; callers must not modify it.
@@ -223,6 +233,9 @@ func (tw *TimeWeighted) Set(t, v float64) {
 		tw.sampled = true
 	}
 }
+
+// Reset clears the tracker for reuse.
+func (tw *TimeWeighted) Reset() { *tw = TimeWeighted{} }
 
 // Finish closes the observation window at time t.
 func (tw *TimeWeighted) Finish(t float64) {

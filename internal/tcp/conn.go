@@ -85,9 +85,16 @@ type Conn struct {
 	rto          time.Duration
 	srtt         time.Duration
 	rttvar       time.Duration
-	rtoTimer     *sim.Timer
 	backoff      int
 	synTries     int
+
+	// Owned reschedulable timers (and their Fire adapters), embedded so
+	// arming a retransmission or delayed-ACK deadline never allocates —
+	// these are by far the highest-frequency timers in a congested cell.
+	rtoTimer    sim.Timer
+	delackTimer sim.Timer
+	rtoF        rtoFirer
+	delackF     delackFirer
 
 	// ECN state (RFC 3168). ecnOK is set when both ends negotiated
 	// ECN; the sender reduces once per window on ECE and confirms with
@@ -103,7 +110,6 @@ type Conn struct {
 	finSeqPeer  int64 // -1 until peer's FIN seen
 	finRcvd     bool  // peer FIN processed (rcvNxt passed it)
 	tsRecent    sim.Time
-	delackTimer *sim.Timer
 	unackedSegs int
 
 	// Application callbacks. All are optional.
@@ -118,6 +124,16 @@ type Conn struct {
 	// Stat accumulates counters.
 	Stat Stats
 }
+
+// rtoFirer and delackFirer adapt the connection's two owned timers to
+// sim.Handler with distinct Fire targets.
+type rtoFirer struct{ c *Conn }
+
+func (f *rtoFirer) Fire(now sim.Time) { f.c.onTimeout() }
+
+type delackFirer struct{ c *Conn }
+
+func (f *delackFirer) Fire(now sim.Time) { f.c.onDelack() }
 
 // connError is a minimal error type for aborts.
 type connError string
@@ -199,14 +215,13 @@ func (c *Conn) emit(seg *Segment) {
 			c.ecnCWRPending = false
 		}
 	}
-	pkt := &netem.Packet{
-		Flow:    c.flow,
-		Size:    seg.wireSize(),
-		Payload: seg,
-		// Only data segments are ECN-capable (RFC 3168 §6.1.5: pure
-		// ACKs are sent non-ECT).
-		ECT: c.ecnOK && seg.Len > 0,
-	}
+	pkt := c.stack.node.Network().NewPacket()
+	pkt.Flow = c.flow
+	pkt.Size = seg.wireSize()
+	pkt.Payload = seg
+	// Only data segments are ECN-capable (RFC 3168 §6.1.5: pure
+	// ACKs are sent non-ECT).
+	pkt.ECT = c.ecnOK && seg.Len > 0
 	c.Stat.SegmentsSent++
 	c.stack.node.Send(pkt)
 }
@@ -218,7 +233,9 @@ func (c *Conn) sendSyn(withAck bool) {
 		// stack is ECN-enabled (ecnOK was decided at SYN receipt).
 		setup = c.ecnOK
 	}
-	c.emit(&Segment{SYN: true, ACK: withAck, Ack: c.rcvNxt, ECNSetup: setup})
+	seg := newSegment()
+	seg.SYN, seg.ACK, seg.Ack, seg.ECNSetup = true, withAck, c.rcvNxt, setup
+	c.emit(seg)
 	c.synTries++
 	c.armRTO()
 }
@@ -226,7 +243,8 @@ func (c *Conn) sendSyn(withAck bool) {
 func (c *Conn) sendAck() {
 	c.stopDelack()
 	c.unackedSegs = 0
-	seg := &Segment{ACK: true, Ack: c.ackValue()}
+	seg := newSegment()
+	seg.ACK, seg.Ack = true, c.ackValue()
 	if c.cfg.SACK && !c.ooo.empty() {
 		// Report the most recent out-of-order blocks (up to three,
 		// as real option space allows with timestamps).
@@ -272,7 +290,9 @@ func (c *Conn) retransmitOneSACK() bool {
 	if n <= 0 {
 		return false
 	}
-	c.emit(&Segment{Seq: start, Len: int(n), ACK: true, Ack: c.ackValue()})
+	seg := newSegment()
+	seg.Seq, seg.Len, seg.ACK, seg.Ack = start, int(n), true, c.ackValue()
+	c.emit(seg)
 	c.Stat.BytesSent += n
 	c.sackRetxNext = start + n
 	return true
@@ -307,7 +327,9 @@ func (c *Conn) trySend() {
 			if n < mss && n < avail {
 				return
 			}
-			c.emit(&Segment{Seq: c.sndNxt, Len: int(n), ACK: true, Ack: c.ackValue()})
+			seg := newSegment()
+			seg.Seq, seg.Len, seg.ACK, seg.Ack = c.sndNxt, int(n), true, c.ackValue()
+			c.emit(seg)
 			c.Stat.BytesSent += n
 			c.sndNxt += n
 			c.armRTO()
@@ -315,7 +337,9 @@ func (c *Conn) trySend() {
 		}
 		// FIN transmission once the stream is fully sent.
 		if c.finQueued && !c.finSent && avail == 0 && room > 0 {
-			c.emit(&Segment{Seq: c.sndNxt, FIN: true, ACK: true, Ack: c.ackValue()})
+			seg := newSegment()
+			seg.Seq, seg.FIN, seg.ACK, seg.Ack = c.sndNxt, true, true, c.ackValue()
+			c.emit(seg)
 			c.finSent = true
 			c.sndNxt++ // FIN consumes one sequence unit
 			c.armRTO()
@@ -337,7 +361,7 @@ func min64(a, b int64) int64 {
 // --- retransmission timer ----------------------------------------------
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil && !c.rtoTimer.Stopped() {
+	if c.rtoTimer.Armed() {
 		return
 	}
 	c.startRTO()
@@ -348,18 +372,14 @@ func (c *Conn) startRTO() {
 	if d > c.cfg.MaxRTO {
 		d = c.cfg.MaxRTO
 	}
-	c.rtoTimer = c.eng.Schedule(d, c.onTimeout)
+	c.rtoTimer.Reset(d)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 }
 
 func (c *Conn) onTimeout() {
-	c.rtoTimer = nil
 	switch c.state {
 	case StateSynSent, StateSynReceived:
 		if c.synTries > c.cfg.MaxSynRetries {
@@ -415,34 +435,36 @@ func (c *Conn) retransmitHigh() int64 {
 func (c *Conn) retransmitOne() {
 	n := min64(int64(c.cfg.MSS), c.dataEnd()-c.sndUna)
 	if n > 0 {
-		c.emit(&Segment{Seq: c.sndUna, Len: int(n), ACK: true, Ack: c.ackValue()})
+		seg := newSegment()
+		seg.Seq, seg.Len, seg.ACK, seg.Ack = c.sndUna, int(n), true, c.ackValue()
+		c.emit(seg)
 		c.Stat.BytesSent += n
 		return
 	}
 	if c.finSent {
-		c.emit(&Segment{Seq: c.sndUna, FIN: true, ACK: true, Ack: c.ackValue()})
+		seg := newSegment()
+		seg.Seq, seg.FIN, seg.ACK, seg.Ack = c.sndUna, true, true, c.ackValue()
+		c.emit(seg)
 	}
 }
 
 // --- delayed acks -------------------------------------------------------
 
 func (c *Conn) scheduleDelack() {
-	if c.delackTimer != nil && !c.delackTimer.Stopped() {
+	if c.delackTimer.Armed() {
 		return
 	}
-	c.delackTimer = c.eng.Schedule(c.cfg.DelAckDelay, func() {
-		c.delackTimer = nil
-		if c.unackedSegs > 0 {
-			c.sendAck()
-		}
-	})
+	c.delackTimer.Reset(c.cfg.DelAckDelay)
+}
+
+func (c *Conn) onDelack() {
+	if c.unackedSegs > 0 {
+		c.sendAck()
+	}
 }
 
 func (c *Conn) stopDelack() {
-	if c.delackTimer != nil {
-		c.delackTimer.Stop()
-		c.delackTimer = nil
-	}
+	c.delackTimer.Stop()
 }
 
 // --- RTT estimation (RFC 6298) ------------------------------------------
@@ -501,7 +523,9 @@ func (c *Conn) handleSegment(seg *Segment) {
 	case StateSynReceived:
 		if seg.SYN {
 			// Duplicate SYN: re-answer.
-			c.emit(&Segment{SYN: true, ACK: true, Ack: c.rcvNxt})
+			resp := newSegment()
+			resp.SYN, resp.ACK, resp.Ack = true, true, c.rcvNxt
+			c.emit(resp)
 			return
 		}
 		if seg.ACK {

@@ -13,6 +13,8 @@
 package tcp
 
 import (
+	"sync"
+
 	"bufferqoe/internal/sim"
 )
 
@@ -57,6 +59,30 @@ type Segment struct {
 type SACKBlock struct {
 	Start, End int64
 }
+
+// segPool recycles Segments between emission and receive-side
+// consumption. Segments cross stacks (a data segment is allocated by
+// the server's stack and consumed by the client's), so the pool is
+// package-wide: per-stack free-lists would grow without bound on the
+// receive-heavy side while the send-heavy side kept allocating. A
+// sync.Pool is safe for determinism because newSegment resets every
+// field — behavior never depends on which recycled object is handed
+// out — and safe for the parallel cell engine because it is
+// goroutine-safe.
+var segPool = sync.Pool{New: func() any { return new(Segment) }}
+
+// newSegment returns a fully zeroed segment, reusing pool memory and
+// the SACK backing array.
+func newSegment() *Segment {
+	s := segPool.Get().(*Segment)
+	sack := s.SACK[:0]
+	*s = Segment{SACK: sack}
+	return s
+}
+
+// releaseSegment returns a consumed segment to the pool. The caller
+// (the receive-side dispatcher) must not touch it afterwards.
+func releaseSegment(s *Segment) { segPool.Put(s) }
 
 // wireSize returns the on-wire IP packet size for this segment.
 func (s *Segment) wireSize() int {

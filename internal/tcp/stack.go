@@ -175,11 +175,17 @@ func (s *Stack) newConn(flow netem.Flow, cc CongestionControl) *Conn {
 		rwndPeer:   s.cfg.RcvWnd,
 		finSeqPeer: -1,
 	}
+	c.rtoF.c, c.delackF.c = c, c
+	s.eng.InitTimer(&c.rtoTimer, &c.rtoF)
+	s.eng.InitTimer(&c.delackTimer, &c.delackF)
 	return c
 }
 
 // dispatch routes an inbound packet to its connection, creating
-// server-side connections for SYNs to listening ports.
+// server-side connections for SYNs to listening ports. The segment is
+// consumed here: once handling returns it goes back to the pool, so
+// connection code must copy anything it wants to keep (it does — SACK
+// blocks and timestamps are copied into connection state).
 func (s *Stack) dispatch(p *netem.Packet) {
 	seg, ok := p.Payload.(*Segment)
 	if !ok {
@@ -192,10 +198,12 @@ func (s *Stack) dispatch(p *netem.Packet) {
 	flow := p.Flow.Reverse()
 	if c, ok := s.conns[flow]; ok {
 		c.handleSegment(seg)
+		releaseSegment(seg)
 		return
 	}
 	l, ok := s.listeners[p.Flow.Dst.Port]
 	if !ok || !seg.SYN || seg.ACK {
+		releaseSegment(seg)
 		return // no listener or not a connection attempt
 	}
 	c := s.newConn(flow, s.cfg.NewCC())
@@ -207,6 +215,7 @@ func (s *Stack) dispatch(p *netem.Packet) {
 		l.accept(c)
 	}
 	c.sendSyn(true)
+	releaseSegment(seg)
 }
 
 // remove forgets a closed connection and releases ephemeral ports.

@@ -83,6 +83,25 @@ func (lp LinkParams) IsDefault() bool {
 	}
 }
 
+// Scratch holds the per-run instrumentation a testbed build would
+// otherwise allocate fresh: the bottleneck queue and link monitors.
+// A worker reuses one Scratch across the cells it computes; every
+// monitor is Reset before each build, so results are identical to a
+// cold build. The access testbed uses all four monitors, the backbone
+// only the Down pair.
+type Scratch struct {
+	UpQueueMon, DownQueueMon netem.QueueMonitor
+	UpLinkMon, DownLinkMon   netem.LinkMonitor
+}
+
+// Reset clears all monitors for the next run.
+func (s *Scratch) Reset() {
+	s.UpQueueMon.Reset("")
+	s.DownQueueMon.Reset("")
+	s.UpLinkMon.Reset()
+	s.DownLinkMon.Reset()
+}
+
 // Config configures a testbed build.
 type Config struct {
 	// BufferUp / BufferDown are bottleneck buffer sizes in packets.
@@ -106,6 +125,10 @@ type Config struct {
 	// testbed, both directions. The paper explicitly excludes wireless
 	// delay variability (§5.1); the ext-jitter experiment re-adds it.
 	Jitter time.Duration
+	// Scratch, if non-nil, supplies reusable monitors (reset before
+	// use) instead of allocating fresh ones — the cell engine passes a
+	// per-worker scratch here.
+	Scratch *Scratch
 }
 
 func (c Config) queue(f QueueFactory, capPkts int, mon *netem.QueueMonitor) netem.Queue {
@@ -158,16 +181,34 @@ func NewAccess(cfg Config) *Access {
 	dslam := nw.NewNode("dslam")
 	sswitch := nw.NewNode("server-switch")
 
-	a.UpMon = &netem.QueueMonitor{Name: "uplink"}
-	a.DownMon = &netem.QueueMonitor{Name: "downlink"}
+	if cfg.Scratch != nil {
+		cfg.Scratch.UpQueueMon.Reset("uplink")
+		cfg.Scratch.DownQueueMon.Reset("downlink")
+		a.UpMon = &cfg.Scratch.UpQueueMon
+		a.DownMon = &cfg.Scratch.DownQueueMon
+	} else {
+		a.UpMon = &netem.QueueMonitor{Name: "uplink"}
+		a.DownMon = &netem.QueueMonitor{Name: "downlink"}
+	}
 	upQ := cfg.queue(cfg.UpQueue, cfg.BufferUp, a.UpMon)
 	downQ := cfg.queue(cfg.DownQueue, cfg.BufferDown, a.DownMon)
 
 	// Bottleneck pair: the uplink buffer sits in the home router, the
 	// downlink buffer in the DSLAM (Section 5.3: the bottleneck
 	// interface is "the only location where packet loss occurs").
+	// Monitors go on the bottleneck links only (the experiments read
+	// nothing else); LAN links stay on the unmonitored fast path.
 	a.UpLink = netem.NewLink(eng, "uplink", lp.UpRate, 100*time.Microsecond, upQ, dslam)
 	a.DownLink = netem.NewLink(eng, "downlink", lp.DownRate, 100*time.Microsecond, downQ, home)
+	if cfg.Scratch != nil {
+		cfg.Scratch.UpLinkMon.Reset()
+		cfg.Scratch.DownLinkMon.Reset()
+		a.UpLink.AttachMonitor(&cfg.Scratch.UpLinkMon)
+		a.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
+	} else {
+		a.UpLink.EnsureMonitor()
+		a.DownLink.EnsureMonitor()
+	}
 	home.SetRoute(dslam.ID, a.UpLink)
 	dslam.SetRoute(home.ID, a.DownLink)
 
@@ -374,13 +415,24 @@ func NewBackbone(cfg Config) *Backbone {
 	rs := nw.NewNode("router-server")
 	sswitch := nw.NewNode("server-switch")
 
-	b.DownMon = &netem.QueueMonitor{Name: "oc3-down"}
+	if cfg.Scratch != nil {
+		cfg.Scratch.DownQueueMon.Reset("oc3-down")
+		b.DownMon = &cfg.Scratch.DownQueueMon
+	} else {
+		b.DownMon = &netem.QueueMonitor{Name: "oc3-down"}
+	}
 	downQ := cfg.queue(cfg.DownQueue, cfg.BufferDown, b.DownMon)
 	upQ := cfg.queue(cfg.UpQueue, nonzero(cfg.BufferUp, cfg.BufferDown), nil)
 
 	// OC3 with the NetPath delay box folded into propagation.
 	b.DownLink = netem.NewLink(eng, "oc3-sc", BackboneRate, BackboneDelay, downQ, rc)
 	upLink := netem.NewLink(eng, "oc3-cs", BackboneRate, BackboneDelay, upQ, rs)
+	if cfg.Scratch != nil {
+		cfg.Scratch.DownLinkMon.Reset()
+		b.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
+	} else {
+		b.DownLink.EnsureMonitor()
+	}
 	rs.SetDefaultRoute(b.DownLink)
 	rc.SetDefaultRoute(upLink)
 

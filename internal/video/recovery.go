@@ -106,16 +106,15 @@ func (st *Stream) noteArrival(seq int) {
 	}
 	if len(missing) > 0 {
 		st.nacksSent++
-		msg := &nackMsg{seqs: missing, stream: st}
-		st.to.Send(&netem.Packet{
-			Flow: netem.Flow{
-				Proto: netem.ProtoUDP,
-				Src:   st.to.Addr(st.toP),
-				Dst:   st.from.Addr(st.fromP),
-			},
-			Size:    nackWire(len(missing)),
-			Payload: msg,
-		})
+		p := st.to.Network().NewPacket()
+		p.Flow = netem.Flow{
+			Proto: netem.ProtoUDP,
+			Src:   st.to.Addr(st.toP),
+			Dst:   st.from.Addr(st.fromP),
+		}
+		p.Size = nackWire(len(missing))
+		p.Payload = &nackMsg{seqs: missing, stream: st}
+		st.to.Send(p)
 	}
 }
 

@@ -176,7 +176,7 @@ func Start(from, to *netem.Node, src *Source, cfg Config, onDone func(Result)) *
 			pk := &vpkt{seq: seq, frame: t, sliceLo: lo, sliceHi: hi, stream: st}
 			size := packetWire(payload)
 			st.records = append(st.records, pktRecord{pk: pk, size: size})
-			eng.At(sendAt, func() { st.send(pk, size) })
+			eng.AtArg(sendAt, st, pk)
 			st.sent++
 			if sendAt > lastSend {
 				lastSend = sendAt
@@ -195,29 +195,43 @@ func Start(from, to *netem.Node, src *Source, cfg Config, onDone func(Result)) *
 	st.nacked = make([]bool, len(st.records))
 	st.parityGot = make([]bool, (len(st.records)+st.fecGroup-1)/st.fecGroup)
 	end := time.Duration(n)*frameIv + StartupDelay + 3*time.Second
-	eng.Schedule(end, st.finish)
+	eng.ScheduleHandler(end, st)
 	return st
 }
+
+// FireArg implements sim.ArgHandler: one packet's send tick. The
+// payload identifies the data packet (its size is recorded in
+// records) or parity packet (always a full cell) to transmit, so the
+// per-packet schedule path allocates nothing.
+func (st *Stream) FireArg(now sim.Time, arg any) {
+	switch pk := arg.(type) {
+	case *vpkt:
+		st.send(pk, st.records[pk.seq].size)
+	case *fecPkt:
+		st.send(pk, packetWire(tsPayload))
+	}
+}
+
+// Fire implements sim.Handler: the clip (plus drain) ended — evaluate.
+func (st *Stream) Fire(now sim.Time) { st.finish() }
 
 // scheduleParity emits the XOR parity packet covering data sequence
 // numbers [lo, hi) right after the group's last member.
 func (st *Stream) scheduleParity(lo, hi int, at sim.Time) {
 	fp := &fecPkt{groupLo: lo, groupHi: hi, stream: st}
-	size := packetWire(tsPayload) // parity is one full payload cell
-	st.eng.At(at, func() { st.send(fp, size) })
+	st.eng.AtArg(at, st, fp)
 }
 
 // send transmits one payload (data, parity) toward the receiver.
 func (st *Stream) send(payload any, size int) {
-	p := &netem.Packet{
-		Flow: netem.Flow{
-			Proto: netem.ProtoUDP,
-			Src:   st.from.Addr(st.fromP),
-			Dst:   st.to.Addr(st.toP),
-		},
-		Size:    size,
-		Payload: payload,
+	p := st.from.Network().NewPacket()
+	p.Flow = netem.Flow{
+		Proto: netem.ProtoUDP,
+		Src:   st.from.Addr(st.fromP),
+		Dst:   st.to.Addr(st.toP),
 	}
+	p.Size = size
+	p.Payload = payload
 	st.from.Send(p)
 }
 

@@ -67,8 +67,19 @@ type Call struct {
 
 	arrivals []sim.Time // per-frame arrival, 0 = not (yet) received
 	received []bool
+	rtps     []rtp // preallocated per-frame payloads
 	onDone   func(Result)
 }
+
+// FireArg implements sim.ArgHandler: one frame's send tick. The
+// payload is the preallocated rtp of that frame, so the per-packet
+// schedule path allocates nothing.
+func (c *Call) FireArg(now sim.Time, arg any) {
+	c.sendFrame(arg.(*rtp))
+}
+
+// Fire implements sim.Handler: the drain deadline — evaluate the call.
+func (c *Call) Fire(now sim.Time) { c.finish() }
 
 // StartAdaptive streams a call whose receiver uses a Ramjee-style
 // adaptive playout buffer (EWMA delay estimate plus four deviations)
@@ -106,26 +117,26 @@ func Start(from, to *netem.Node, sample *media.Sample, playout time.Duration, on
 	to.Bind(netem.ProtoUDP, c.toP, netem.HandlerFunc(c.receive))
 
 	n := sample.Frames()
+	c.rtps = make([]rtp, n)
 	for i := 0; i < n; i++ {
-		i := i
-		eng.Schedule(time.Duration(i)*FrameInterval, func() { c.sendFrame(i) })
+		c.rtps[i] = rtp{seq: i, call: c}
+		eng.ScheduleArg(time.Duration(i)*FrameInterval, c, &c.rtps[i])
 	}
 	// Evaluate after the last deadline plus a generous network drain.
 	drain := time.Duration(n)*FrameInterval + playout + 5*time.Second
-	eng.Schedule(drain, c.finish)
+	eng.ScheduleHandler(drain, c)
 	return c
 }
 
-func (c *Call) sendFrame(i int) {
-	p := &netem.Packet{
-		Flow: netem.Flow{
-			Proto: netem.ProtoUDP,
-			Src:   c.from.Addr(c.fromP),
-			Dst:   c.to.Addr(c.toP),
-		},
-		Size:    packetSize,
-		Payload: &rtp{seq: i, call: c},
+func (c *Call) sendFrame(r *rtp) {
+	p := c.from.Network().NewPacket()
+	p.Flow = netem.Flow{
+		Proto: netem.ProtoUDP,
+		Src:   c.from.Addr(c.fromP),
+		Dst:   c.to.Addr(c.toP),
 	}
+	p.Size = packetSize
+	p.Payload = r
 	c.from.Send(p)
 }
 
