@@ -2,7 +2,7 @@
 // "A QoE Perspective on Sizing Network Buffers" (Hohlfeld, Pujol,
 // Ciucu, Feldmann, Barford — IMC 2014).
 //
-// It exposes four layers:
+// It exposes five layers:
 //
 //   - experiment runners that regenerate every table and figure of the
 //     paper's evaluation (Run / Experiments);
@@ -14,14 +14,22 @@
 //     AQM disciplines, congestion control, and last-hop jitter, swept
 //     as a scenario x buffer x probe grid through the parallel cell
 //     engine;
-//   - buffer sizing calculators for the schemes the paper compares
-//     (SizingSchemes).
+//   - a streaming, context-aware execution surface (SweepStream,
+//     SweepCtx, RunCtx, Session.WithContext, Options.OnProgress):
+//     cells arrive as workers complete them, deadlines and
+//     cancellations abandon queued work promptly (ErrCanceled) while
+//     in-flight cells drain into the cache;
+//   - buffer sizing: static calculators for the schemes the paper
+//     compares (SizingSchemes) and an adaptive recommender
+//     (Recommend) that searches the buffer axis for a QoE target
+//     instead of sweeping it exhaustively.
 //
 // All state lives in a Session (engine, cache, worker pool); the
 // package-level functions operate on a process-wide default session,
 // and independent callers create their own with NewSession. Results
 // are a pure function of the specs and options — never of session,
-// scheduling, or parallelism.
+// scheduling, parallelism, or whether a batch, stream, or search
+// computed them.
 //
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's two testbeds; see DESIGN.md for the substitutions made for
@@ -56,6 +64,22 @@ type Options struct {
 	// CDNFlows sizes the synthetic Section 3 population
 	// (default 200000).
 	CDNFlows int
+	// OnProgress, when set, is called after every completed cell of a
+	// Sweep, SweepStream, or Recommend call, from the goroutine
+	// consuming completions (never concurrently within one call). It
+	// observes progress only — it cannot alter results, and it does
+	// not participate in cell identity: runs with different hooks
+	// share cache entries.
+	OnProgress func(Progress)
+}
+
+// Progress reports one completed cell of a streaming or batch run.
+type Progress struct {
+	// Completed and Total count cells finished so far and the cells
+	// the call will compute in total (cache hits included).
+	Completed, Total int
+	// Cell is the cell that just completed.
+	Cell SweepCell
 }
 
 func (o Options) internal() experiments.Options {
@@ -69,6 +93,14 @@ func (o Options) internal() experiments.Options {
 	}
 }
 
+// ErrCanceled reports that a run was abandoned because its context
+// was canceled before all of its cells executed. Cells already
+// simulating at cancellation drain to completion and stay cached, so
+// repeating the canceled call re-simulates only the abandoned cells.
+// Test with errors.Is: deadline and cancellation both surface as this
+// value.
+var ErrCanceled = experiments.ErrCanceled
+
 // Result is a rendered experiment outcome.
 type Result struct {
 	// ID is the experiment identifier (e.g. "fig7b").
@@ -79,12 +111,24 @@ type Result struct {
 	inner *experiments.Result
 }
 
-// Value returns one cell's numeric value from the i-th grid.
+// Value returns one cell's numeric value from the i-th grid. Legacy
+// behavior, kept for compatibility: unknown grid indices and
+// row/column labels silently return 0, indistinguishable from a real
+// zero-valued cell. New code should use Lookup.
 func (r *Result) Value(grid int, row, col string) float64 {
-	if r.inner == nil || grid >= len(r.inner.Grids) {
-		return 0
+	v, _ := r.Lookup(grid, row, col)
+	return v
+}
+
+// Lookup returns one cell's numeric value from the i-th grid and
+// whether the addressed cell exists; unknown grid indices and
+// row/column labels report false instead of a forged zero.
+func (r *Result) Lookup(grid int, row, col string) (float64, bool) {
+	if r.inner == nil || grid < 0 || grid >= len(r.inner.Grids) {
+		return 0, false
 	}
-	return r.inner.Grids[grid].Get(row, col).Value
+	c, ok := r.inner.Grids[grid].Lookup(row, col)
+	return c.Value, ok
 }
 
 // Experiments lists all experiment IDs (tables, figures, ablations).
@@ -122,13 +166,16 @@ func SetParallelism(n int) { defaultSession.SetParallelism(n) }
 func Parallelism() int { return defaultSession.Parallelism() }
 
 // EngineStats is a snapshot of the cell engine's counters: pool size,
-// cached cells, and how many cell requests were answered from the
-// cache versus simulated.
+// cached cells, how many cell requests were answered from the cache
+// versus simulated, and how many were abandoned by cancellation.
 type EngineStats struct {
 	Workers     int
 	CachedCells int
 	Hits        uint64
 	Misses      uint64
+	// Canceled counts cells abandoned before execution because their
+	// run's context was canceled.
+	Canceled uint64
 }
 
 // Stats snapshots the default session's cell engine.

@@ -184,7 +184,15 @@ func TestResultValueAccessor(t *testing.T) {
 	if v := res.Value(0, "max RTT", "mode (ms)"); v <= 0 {
 		t.Fatalf("accessor value = %v", v)
 	}
+	// Legacy contract: Value forges 0 for unknown coordinates.
 	if v := res.Value(99, "x", "y"); v != 0 {
 		t.Fatalf("out-of-range grid returned %v", v)
+	}
+	// Lookup tells the two apart.
+	if v, ok := res.Lookup(0, "max RTT", "mode (ms)"); !ok || v <= 0 {
+		t.Fatalf("Lookup = (%v, %v), want the real cell", v, ok)
+	}
+	if _, ok := res.Lookup(99, "x", "y"); ok {
+		t.Fatal("Lookup reported an out-of-range cell as present")
 	}
 }

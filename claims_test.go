@@ -51,6 +51,32 @@ func TestHeadlineClaimWorkloadDominates(t *testing.T) {
 	}
 }
 
+// TestClaimWildRTTsViaLookup asserts the paper's Section 3 framing —
+// in-the-wild CDN flows see moderate RTTs (the mode of the per-flow
+// max-RTT distribution sits well under a second), which is why
+// bloated buffers are a latent rather than universal problem — using
+// Result.Lookup, which distinguishes a real cell from an unknown
+// coordinate (the legacy Value accessor forges 0 for both).
+func TestClaimWildRTTsViaLookup(t *testing.T) {
+	res, err := Run("fig1a", Options{Seed: 13, CDNFlows: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, ok := res.Lookup(0, "max RTT", "mode (ms)")
+	if !ok {
+		t.Fatal("fig1a max-RTT mode cell missing")
+	}
+	if mode <= 0 || mode >= 1000 {
+		t.Fatalf("max-RTT mode = %.1f ms, want a moderate (sub-second) mode", mode)
+	}
+	if _, ok := res.Lookup(0, "max RTT", "not-a-column"); ok {
+		t.Fatal("Lookup invented a cell for an unknown column")
+	}
+	if _, ok := res.Lookup(99, "max RTT", "mode (ms)"); ok {
+		t.Fatal("Lookup invented a cell for an out-of-range grid")
+	}
+}
+
 // TestHeadlineClaimBufferbloatNarrow asserts the paper's second claim:
 // bufferbloat seriously degrades QoE only when buffers are oversized
 // AND sustainably filled — an oversized but idle buffer is harmless.

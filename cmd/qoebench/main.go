@@ -7,9 +7,10 @@
 //	qoebench -list
 //	qoebench -exp fig7b
 //	qoebench -exp fig7a,fig7b,fig8 -json
-//	qoebench -exp all -duration 60s -reps 5 -parallel 16
-//	qoebench -sweep -workloads short-few,long-many -dir up -buffers 8,64,256
+//	qoebench -exp all -duration 60s -reps 5 -parallel 16 -timeout 10m
+//	qoebench -sweep -workloads short-few,long-many -dir up -buffers 8,64,256 -progress
 //	qoebench -sweep -uprate 1e9 -downrate 1e9 -aqm codel -probes voip,web -json
+//	qoebench -recommend -workloads long-many -dir up -probes voip,web -target max-mos
 //
 // With multiple experiments (or -exp all), experiments run through
 // the parallel cell engine: cells fan out across -parallel workers
@@ -23,11 +24,23 @@
 // access-shaped link (-uprate/-downrate/-clientdelay/-serverdelay),
 // optionally under an AQM discipline (-aqm), a congestion control
 // (-cc), and last-hop jitter (-jitter). -json emits machine-readable
-// results plus engine statistics in either mode.
+// results plus engine statistics in every mode.
+//
+// In -recommend mode the buffer axis is searched, not swept: the
+// adaptive recommender brackets the candidate buffers (the paper's
+// sweep plus the link's BDP unless -buffers is given) and bisects for
+// the -target optimum, evaluating only the buffers the search visits.
+//
+// -timeout bounds any mode by a wall-clock deadline: on expiry queued
+// cells are abandoned (in-flight cells drain into the session cache)
+// and qoebench exits non-zero. -progress streams per-cell completions
+// to stderr as workers finish them.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,12 +59,13 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// jsonReport is the -json envelope shared by both modes.
+// jsonReport is the -json envelope shared by all modes.
 type jsonReport struct {
-	Experiments []jsonExperiment `json:"experiments,omitempty"`
-	Sweep       *bufferqoe.Grid  `json:"sweep,omitempty"`
-	Stats       jsonStats        `json:"stats"`
-	ElapsedS    float64          `json:"elapsed_s"`
+	Experiments []jsonExperiment          `json:"experiments,omitempty"`
+	Sweep       *bufferqoe.Grid           `json:"sweep,omitempty"`
+	Recommend   *bufferqoe.Recommendation `json:"recommend,omitempty"`
+	Stats       jsonStats                 `json:"stats"`
+	ElapsedS    float64                   `json:"elapsed_s"`
 }
 
 type jsonExperiment struct {
@@ -63,10 +77,19 @@ type jsonExperiment struct {
 }
 
 type jsonStats struct {
-	Workers     int    `json:"workers"`
-	CellsRun    uint64 `json:"cells_simulated"`
-	CacheHits   uint64 `json:"cache_hits"`
-	CachedCells int    `json:"cached_cells"`
+	Workers       int    `json:"workers"`
+	CellsRun      uint64 `json:"cells_simulated"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CachedCells   int    `json:"cached_cells"`
+	CellsCanceled uint64 `json:"cells_canceled,omitempty"`
+}
+
+func statsOf(s *bufferqoe.Session) jsonStats {
+	st := s.Stats()
+	return jsonStats{
+		Workers: st.Workers, CellsRun: st.Misses, CacheHits: st.Hits,
+		CachedCells: st.CachedCells, CellsCanceled: st.Canceled,
+	}
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -83,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		flows    = fs.Int("cdnflows", 200000, "synthetic CDN population size (fig1*)")
 		parallel = fs.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON results and engine stats")
+		timeout  = fs.Duration("timeout", 0, "overall wall-clock deadline; on expiry queued cells are abandoned and the run exits non-zero (0 = none)")
+		progress = fs.Bool("progress", false, "print per-cell completion progress to stderr (-sweep and -recommend modes)")
 
 		sweep     = fs.Bool("sweep", false, "sweep scenarios instead of running paper experiments")
 		network   = fs.String("network", "access", "sweep: paper testbed (access or backbone)")
@@ -93,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		aqm       = fs.String("aqm", "", "sweep: queue discipline (droptail, codel, fq-codel, red, ared, pie)")
 		cc        = fs.String("cc", "", "sweep: congestion control (cubic, reno, bic)")
 		jitter    = fs.Duration("jitter", 0, "sweep: mean last-hop jitter (access shape)")
+
+		recommend = fs.Bool("recommend", false, "search the buffer axis for the -target optimum instead of sweeping it exhaustively")
+		target    = fs.String("target", "min-mos", "recommend: min-mos (smallest buffer with every probe >= -threshold) or max-mos (best aggregate MOS)")
+		threshold = fs.Float64("threshold", 3.5, "recommend: per-probe MOS floor for min-mos")
 
 		benchJSON = fs.String("benchjson", "", "run the canonical perf benchmarks and write JSON results to this file (e.g. BENCH_3.json); all other modes are skipped")
 
@@ -126,23 +155,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ClipSeconds: *clip,
 		CDNFlows:    *flows,
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *progress && !*sweep && !*recommend {
+		fmt.Fprintln(stderr, "qoebench: -progress requires -sweep or -recommend")
+		return 2
+	}
+	if *progress {
+		opt.OnProgress = func(p bufferqoe.Progress) {
+			fmt.Fprintf(stderr, "progress: %d/%d %s/%s@%d\n",
+				p.Completed, p.Total, p.Cell.Scenario, p.Cell.Probe, p.Cell.Buffer)
+		}
+	}
 
-	if *sweep {
+	if *sweep || *recommend {
 		if *exp != "" {
-			fmt.Fprintln(stderr, "qoebench: -sweep and -exp are mutually exclusive")
+			fmt.Fprintln(stderr, "qoebench: -sweep/-recommend and -exp are mutually exclusive")
 			return 2
 		}
-		return runSweep(session, opt, sweepFlags{
+		if *sweep && *recommend {
+			fmt.Fprintln(stderr, "qoebench: -sweep and -recommend are mutually exclusive")
+			return 2
+		}
+		f := sweepFlags{
 			network: *network, workloads: *workloads, dir: *dir,
 			buffers: *buffers, probes: *probes,
 			aqm: *aqm, cc: *cc, jitter: *jitter,
 			upRate: *upRate, downRate: *downRate,
 			clientDelay: *clientDelay, serverDelay: *serverDelay,
-		}, *jsonOut, stdout, stderr)
+		}
+		if *recommend {
+			return runRecommend(ctx, session, opt, f, *target, *threshold, *jsonOut, stdout, stderr)
+		}
+		return runSweep(ctx, session, opt, f, *jsonOut, stdout, stderr)
 	}
 
 	if *exp == "" {
-		fmt.Fprintln(stderr, "qoebench: -exp or -sweep required (or -list)")
+		fmt.Fprintln(stderr, "qoebench: -exp, -sweep, or -recommend required (or -list)")
 		return 2
 	}
 	ids := splitList(*exp)
@@ -155,7 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	outcomes := session.RunAll(ids, opt)
+	outcomes := session.RunAllCtx(ctx, ids, opt)
 	total := time.Since(start)
 
 	var failed []bufferqoe.Outcome
@@ -175,7 +228,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	st := session.Stats()
-	report.Stats = jsonStats{Workers: st.Workers, CellsRun: st.Misses, CacheHits: st.Hits, CachedCells: st.CachedCells}
+	report.Stats = statsOf(session)
 	if *jsonOut {
 		emitJSON(stdout, stderr, report)
 	} else {
@@ -200,8 +253,10 @@ type sweepFlags struct {
 	clientDelay, serverDelay                          time.Duration
 }
 
-func runSweep(session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, jsonOut bool, stdout, stderr io.Writer) int {
-	var net bufferqoe.Network
+// compileSweepFlags resolves the shared scenario/axis flags of the
+// -sweep and -recommend modes. A flag-level mistake returns exit code
+// 2 via ok=false after printing the error.
+func compileSweepFlags(f sweepFlags, stderr io.Writer) (scenarios []bufferqoe.Scenario, net bufferqoe.Network, bufs []int, probes []bufferqoe.Probe, ok bool) {
 	switch f.network {
 	case "access", "":
 		net = bufferqoe.Access
@@ -209,7 +264,7 @@ func runSweep(session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, j
 		net = bufferqoe.Backbone
 	default:
 		fmt.Fprintf(stderr, "qoebench: unknown -network %q (want access or backbone)\n", f.network)
-		return 2
+		return nil, net, nil, nil, false
 	}
 
 	var link *bufferqoe.Link
@@ -226,11 +281,10 @@ func runSweep(session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, j
 		// non-default -dir instead of silently measuring downstream.
 		if dir != bufferqoe.Down && dir != "" {
 			fmt.Fprintf(stderr, "qoebench: -dir %s: the backbone is congested downstream only\n", f.dir)
-			return 2
+			return nil, net, nil, nil, false
 		}
 		dir = ""
 	}
-	var scenarios []bufferqoe.Scenario
 	for _, wl := range splitList(f.workloads) {
 		scenarios = append(scenarios, bufferqoe.Scenario{
 			Network: net, Link: link, Workload: wl, Direction: dir,
@@ -241,16 +295,79 @@ func runSweep(session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, j
 	bufs, err := parseBuffers(f.buffers, net)
 	if err != nil {
 		fmt.Fprintf(stderr, "qoebench: %v\n", err)
-		return 2
+		return nil, net, nil, nil, false
 	}
-	probes, err := parseProbes(f.probes)
+	probes, err = parseProbes(f.probes)
 	if err != nil {
 		fmt.Fprintf(stderr, "qoebench: %v\n", err)
+		return nil, net, nil, nil, false
+	}
+	return scenarios, net, bufs, probes, true
+}
+
+func runSweep(ctx context.Context, session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, jsonOut bool, stdout, stderr io.Writer) int {
+	scenarios, _, bufs, probes, ok := compileSweepFlags(f, stderr)
+	if !ok {
 		return 2
+	}
+	start := time.Now()
+	grid, err := session.SweepCtx(ctx, bufferqoe.Sweep{Scenarios: scenarios, Buffers: bufs, Probes: probes}, opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "qoebench: %v\n", err)
+		if errors.Is(err, bufferqoe.ErrCanceled) {
+			fmt.Fprintln(stderr, "qoebench: deadline exceeded; queued cells abandoned (raise -timeout or shrink the grid)")
+		}
+		return 1
+	}
+	total := time.Since(start)
+
+	st := session.Stats()
+	if jsonOut {
+		emitJSON(stdout, stderr, jsonReport{
+			Sweep:    grid,
+			Stats:    statsOf(session),
+			ElapsedS: total.Seconds(),
+		})
+		return 0
+	}
+	fmt.Fprint(stdout, grid.Text())
+	fmt.Fprintf(stdout, "# summary: %d cells in %.1fs (%d workers; %d simulated, %d cache hits)\n",
+		len(grid.Cells), total.Seconds(), st.Workers, st.Misses, st.Hits)
+	return 0
+}
+
+// runRecommend searches the buffer axis instead of sweeping it: the
+// first -workloads entry names the scenario, -buffers (or the paper's
+// sweep bracketed by the link's BDP) is the candidate axis, and
+// -target picks the optimization goal.
+func runRecommend(ctx context.Context, session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, target string, threshold float64, jsonOut bool, stdout, stderr io.Writer) int {
+	scenarios, _, bufs, probes, ok := compileSweepFlags(f, stderr)
+	if !ok {
+		return 2
+	}
+	if len(scenarios) != 1 {
+		fmt.Fprintf(stderr, "qoebench: -recommend takes exactly one workload, got %q\n", f.workloads)
+		return 2
+	}
+	var tgt bufferqoe.Target
+	switch target {
+	case "min-mos", "":
+		tgt = bufferqoe.MinBufferMeetingMOS
+	case "max-mos":
+		tgt = bufferqoe.MaxAggregateMOS
+	default:
+		fmt.Fprintf(stderr, "qoebench: unknown -target %q (want min-mos or max-mos)\n", target)
+		return 2
+	}
+	if f.buffers == "" {
+		bufs = nil // let Recommend bracket the paper's sweep with the BDP
 	}
 
 	start := time.Now()
-	grid, err := session.Sweep(bufferqoe.Sweep{Scenarios: scenarios, Buffers: bufs, Probes: probes}, opt)
+	rec, err := session.Recommend(ctx, bufferqoe.RecommendSpec{
+		Scenario: scenarios[0], Probes: probes, Buffers: bufs,
+		Target: tgt, Threshold: threshold,
+	}, opt)
 	if err != nil {
 		fmt.Fprintf(stderr, "qoebench: %v\n", err)
 		return 1
@@ -260,15 +377,21 @@ func runSweep(session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, j
 	st := session.Stats()
 	if jsonOut {
 		emitJSON(stdout, stderr, jsonReport{
-			Sweep:    grid,
-			Stats:    jsonStats{Workers: st.Workers, CellsRun: st.Misses, CacheHits: st.Hits, CachedCells: st.CachedCells},
-			ElapsedS: total.Seconds(),
+			Recommend: rec,
+			Stats:     statsOf(session),
+			ElapsedS:  total.Seconds(),
 		})
 		return 0
 	}
-	fmt.Fprint(stdout, grid.Text())
-	fmt.Fprintf(stdout, "# summary: %d cells in %.1fs (%d workers; %d simulated, %d cache hits)\n",
-		len(grid.Cells), total.Seconds(), st.Workers, st.Misses, st.Hits)
+	fmt.Fprintf(stdout, "recommended buffer: %d packets (aggregate MOS %.2f, threshold met: %v)\n",
+		rec.Buffer, rec.Score, rec.Met)
+	for _, c := range rec.Cells {
+		fmt.Fprintf(stdout, "  %-12s %s\n", c.Probe, c.Rating)
+	}
+	fmt.Fprintf(stdout, "nearest paper scheme: %s (%d packets, max delay %s)\n",
+		rec.Scheme.Name, rec.Scheme.Packets, rec.Scheme.MaxDelay)
+	fmt.Fprintf(stdout, "# summary: evaluated %d of %d grid cells (buffers tried: %v) in %.1fs (%d simulated, %d cache hits)\n",
+		rec.CellsEvaluated, rec.GridCells, rec.BuffersTried, total.Seconds(), st.Misses, st.Hits)
 	return 0
 }
 

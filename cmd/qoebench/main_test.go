@@ -131,6 +131,92 @@ func TestSweepBadFlags(t *testing.T) {
 	}
 }
 
+// TestSweepProgress: -progress streams one per-cell completion line
+// per cell to stderr.
+func TestSweepProgress(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-sweep", "-workloads", "noBG", "-buffers", "16,64", "-probes", "voip", "-progress")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "2 cells") {
+		t.Fatalf("sweep output missing summary:\n%s", out)
+	}
+	if n := strings.Count(errOut, "progress: "); n != 2 {
+		t.Fatalf("progress lines = %d, want 2:\n%s", n, errOut)
+	}
+	if !strings.Contains(errOut, "progress: 2/2") {
+		t.Fatalf("missing final progress line:\n%s", errOut)
+	}
+}
+
+func TestProgressRequiresStreamingMode(t *testing.T) {
+	if _, _, code := runCLI(t, "-exp", "table2", "-progress"); code != 2 {
+		t.Fatalf("-progress with -exp: code %d, want 2", code)
+	}
+}
+
+// TestTimeoutExpiry: an already-expired deadline abandons the sweep
+// with a non-zero exit and a cancellation notice.
+func TestTimeoutExpiry(t *testing.T) {
+	_, errOut, code := runCLI(t,
+		"-sweep", "-workloads", "noBG", "-buffers", "16", "-probes", "voip",
+		"-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("expired deadline: code %d, want 1 (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(errOut, "deadline exceeded") {
+		t.Fatalf("no cancellation notice:\n%s", errOut)
+	}
+}
+
+// TestRecommendCLI: the recommender end to end, text and JSON.
+func TestRecommendCLI(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-recommend", "-workloads", "noBG", "-probes", "voip",
+		"-buffers", "8,16,32,64", "-target", "min-mos")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"recommended buffer: 8 packets", "threshold met: true", "nearest paper scheme", "evaluated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("recommend output missing %q:\n%s", want, out)
+		}
+	}
+
+	jsonOut, _, code := runCLI(t,
+		"-recommend", "-workloads", "noBG", "-probes", "voip",
+		"-buffers", "8,16,32,64", "-json")
+	if code != 0 {
+		t.Fatalf("json exit code %d", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(jsonOut), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, jsonOut)
+	}
+	if report.Recommend == nil || report.Recommend.Buffer != 8 {
+		t.Fatalf("recommend report = %+v", report.Recommend)
+	}
+	if report.Recommend.CellsEvaluated >= report.Recommend.GridCells {
+		t.Fatalf("no search savings: %+v", report.Recommend)
+	}
+}
+
+func TestRecommendBadFlags(t *testing.T) {
+	if _, _, code := runCLI(t, "-recommend", "-workloads", "noBG,short-few", "-probes", "voip"); code != 2 {
+		t.Fatalf("two workloads: code %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "-recommend", "-workloads", "noBG", "-probes", "voip", "-target", "fastest"); code != 2 {
+		t.Fatalf("bad target: code %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "-recommend", "-sweep", "-workloads", "noBG", "-probes", "voip"); code != 2 {
+		t.Fatalf("-recommend with -sweep: code %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "-recommend", "-exp", "fig7b", "-workloads", "noBG", "-probes", "voip"); code != 2 {
+		t.Fatalf("-recommend with -exp: code %d, want 2", code)
+	}
+}
+
 func TestProbeProfileOnNonVideoRejected(t *testing.T) {
 	if _, _, code := runCLI(t, "-sweep", "-buffers", "16", "-probes", "web:HD"); code != 2 {
 		t.Fatalf("web:HD probe: code %d, want 2", code)

@@ -1,6 +1,7 @@
 package bufferqoe_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,4 +37,49 @@ func ExampleSession_Sweep() {
 	// Output:
 	// 2 scenarios x 1 probes x 2 buffers = 4 cells
 	// fiber at least matches DSL under upload congestion: true
+}
+
+// ExampleSession_SweepStream consumes cells as workers finish them —
+// the same values the batch Sweep returns, incrementally.
+func ExampleSession_SweepStream() {
+	sweep := bufferqoe.Sweep{
+		Scenarios: []bufferqoe.Scenario{{Workload: "noBG"}},
+		Buffers:   []int{8, 64},
+		Probes:    []bufferqoe.Probe{{Media: bufferqoe.VoIP}},
+	}
+	s := bufferqoe.NewSession()
+	good := 0
+	for cell, err := range s.SweepStream(context.Background(), sweep, bufferqoe.Options{Seed: 1, Warmup: 2 * time.Second, Reps: 1}) {
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if cell.MOS >= 4 {
+			good++
+		}
+	}
+	fmt.Printf("%d of 2 idle-line cells score excellent\n", good)
+	// Output:
+	// 2 of 2 idle-line cells score excellent
+}
+
+// ExampleSession_Recommend asks the sizing question directly: the
+// smallest buffer keeping every probe satisfied, found by search
+// instead of an exhaustive sweep.
+func ExampleSession_Recommend() {
+	s := bufferqoe.NewSession()
+	rec, err := s.Recommend(context.Background(), bufferqoe.RecommendSpec{
+		Scenario: bufferqoe.Scenario{Workload: "noBG"},
+		Probes:   []bufferqoe.Probe{{Media: bufferqoe.VoIP}, {Media: bufferqoe.Web}},
+		Buffers:  []int{8, 16, 32, 64, 128, 256},
+	}, bufferqoe.Options{Seed: 1, Warmup: 2 * time.Second, Reps: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("buffer: %d packets, threshold met: %v\n", rec.Buffer, rec.Met)
+	fmt.Printf("evaluated %d of %d grid cells\n", rec.CellsEvaluated, rec.GridCells)
+	// Output:
+	// buffer: 8 packets, threshold met: true
+	// evaluated 4 of 12 grid cells
 }

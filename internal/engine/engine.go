@@ -1,10 +1,19 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrCanceled reports that a cell was abandoned because its context
+// was canceled before the cell executed. Cells already executing are
+// never interrupted — simulation state is not checkpointable — so a
+// canceled batch drains its in-flight cells (their results land in
+// the cache) and abandons only the queued remainder.
+var ErrCanceled = errors.New("engine: cell canceled")
 
 // CellFunc computes one cell. It must be a pure function of the spec
 // and the derived seed: no reads of clocks, global RNGs, or state
@@ -46,25 +55,34 @@ type Stats struct {
 	Hits uint64
 	// Misses counts Do calls that actually computed a cell.
 	Misses uint64
+	// Canceled counts cells abandoned before execution because their
+	// context was canceled (queued cells of a canceled batch, and
+	// waiters that gave up on an in-flight computation).
+	Canceled uint64
 }
 
-// entry is one cache slot; done is closed once val (or panicked) is
-// set.
+// entry is one cache slot; done is closed once val (or panicked, or
+// canceled) is set.
 type entry struct {
 	done     chan struct{}
 	val      any
 	panicked any
+	// canceled marks an entry whose owning caller was canceled before
+	// computing; the entry is already deleted from the cache and
+	// coalesced waiters must retry (the cell was never computed).
+	canceled bool
 }
 
 // Engine runs cells on a bounded worker pool and memoizes their
 // results by canonical spec.
 type Engine struct {
-	mu      sync.Mutex
-	sem     chan struct{} // capacity == worker count
-	cache   map[string]*entry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	workers int
+	mu       sync.Mutex
+	sem      chan struct{} // capacity == worker count
+	cache    map[string]*entry
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	canceled atomic.Uint64
+	workers  int
 
 	scratchNew  func() Scratch
 	scratchPool []Scratch
@@ -143,64 +161,147 @@ func (e *Engine) Workers() int {
 // released, the cache entry is dropped (a retry recomputes), and the
 // panic propagates to the computing caller and any coalesced waiters.
 func (e *Engine) Do(spec CellSpec, fn CellFunc) any {
+	// context.Background is never canceled, so DoCtx cannot fail here.
+	v, _ := e.DoCtx(context.Background(), spec, fn)
+	return v
+}
+
+// DoCtx is Do with cancellation: a call whose ctx is canceled before
+// the cell starts executing returns ErrCanceled and leaves the engine
+// exactly as if the call never happened (no cache entry, no leaked
+// worker slot — a later call recomputes). Once a cell is executing it
+// runs to completion and is cached; cancellation only prevents
+// execution from starting.
+func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, error) {
 	spec = spec.Canonical()
 	k := spec.Key()
 
-	e.mu.Lock()
-	if ent, ok := e.cache[k]; ok {
-		e.mu.Unlock()
-		e.hits.Add(1)
-		<-ent.done
-		if ent.panicked != nil {
-			panic(ent.panicked)
+	for {
+		if ctx.Err() != nil {
+			e.canceled.Add(1)
+			return nil, ErrCanceled
 		}
-		return ent.val
-	}
-	ent := &entry{done: make(chan struct{})}
-	e.cache[k] = ent
-	sem := e.sem
-	e.mu.Unlock()
-
-	e.misses.Add(1)
-	sem <- struct{}{}
-	completed := false
-	defer func() {
-		<-sem
-		if !completed {
-			ent.panicked = recover()
-			e.mu.Lock()
-			delete(e.cache, k)
+		e.mu.Lock()
+		if ent, ok := e.cache[k]; ok {
 			e.mu.Unlock()
-			close(ent.done)
-			panic(ent.panicked)
+			select {
+			case <-ent.done:
+			case <-ctx.Done():
+				e.canceled.Add(1)
+				return nil, ErrCanceled
+			}
+			if ent.canceled {
+				// The computing caller was canceled before executing and
+				// already dropped the entry; race for a fresh one.
+				continue
+			}
+			e.hits.Add(1)
+			if ent.panicked != nil {
+				panic(ent.panicked)
+			}
+			return ent.val, nil
 		}
-		close(ent.done)
-	}()
-	scr := e.takeScratch()
-	// Deferred so a panicking cell still returns the scratch (and its
-	// expensive content caches) to the pool; the next borrower Resets
-	// it before use, so partially mutated state cannot leak.
-	defer e.putScratch(scr)
-	ent.val = fn(spec, DeriveSeed(spec), scr)
-	completed = true
-	return ent.val
+		ent := &entry{done: make(chan struct{})}
+		e.cache[k] = ent
+		sem := e.sem
+		e.mu.Unlock()
+
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			e.abandon(k, ent)
+			return nil, ErrCanceled
+		}
+		// The semaphore send and the cancellation can race; re-check so
+		// a canceled batch never starts new work it won a slot for.
+		if ctx.Err() != nil {
+			<-sem
+			e.abandon(k, ent)
+			return nil, ErrCanceled
+		}
+
+		e.misses.Add(1)
+		completed := false
+		func() {
+			defer func() {
+				<-sem
+				if !completed {
+					ent.panicked = recover()
+					e.mu.Lock()
+					delete(e.cache, k)
+					e.mu.Unlock()
+					close(ent.done)
+					panic(ent.panicked)
+				}
+				close(ent.done)
+			}()
+			scr := e.takeScratch()
+			// Deferred so a panicking cell still returns the scratch (and
+			// its expensive content caches) to the pool; the next borrower
+			// Resets it before use, so partially mutated state cannot leak.
+			defer e.putScratch(scr)
+			ent.val = fn(spec, DeriveSeed(spec), scr)
+			completed = true
+		}()
+		return ent.val, nil
+	}
+}
+
+// abandon retracts a never-computed cache entry after a cancellation:
+// the slot is removed so future callers recompute, and coalesced
+// waiters are woken to retry.
+func (e *Engine) abandon(k string, ent *entry) {
+	e.mu.Lock()
+	delete(e.cache, k)
+	e.mu.Unlock()
+	ent.canceled = true
+	close(ent.done)
+	e.canceled.Add(1)
 }
 
 // RunBatch fans a batch of cells out across the worker pool and
 // returns their values in submission order. Duplicate specs within a
 // batch (or against other in-flight batches) are computed once.
 func (e *Engine) RunBatch(tasks []Task) []any {
+	out, _ := e.RunBatchCtx(context.Background(), tasks)
+	return out
+}
+
+// RunBatchCtx is RunBatch with cancellation: it returns ErrCanceled —
+// and a nil slice — if ctx was canceled before every task executed.
+// In-flight tasks drain into the cache; queued tasks are abandoned.
+func (e *Engine) RunBatchCtx(ctx context.Context, tasks []Task) ([]any, error) {
 	out := make([]any, len(tasks))
+	errs := make([]error, len(tasks))
+	e.SubmitBatch(ctx, tasks, func(i int, v any, err error) {
+		out[i], errs[i] = v, err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SubmitBatch fans a batch of cells out across the worker pool and
+// invokes each as every task completes, in completion order — the
+// streaming primitive batch APIs and progress reporting build on.
+// each(i, v, err) runs on the completing task's goroutine, possibly
+// concurrently with other completions; err is ErrCanceled for tasks
+// abandoned because ctx was canceled before they executed. SubmitBatch
+// returns once every callback has run.
+func (e *Engine) SubmitBatch(ctx context.Context, tasks []Task, each func(i int, v any, err error)) {
 	var wg sync.WaitGroup
 	wg.Add(len(tasks))
 	for i, t := range tasks {
 		go func(i int, t Task) {
 			defer wg.Done()
-			out[i] = e.Do(t.Spec, t.Fn)
+			v, err := e.DoCtx(ctx, t.Spec, t.Fn)
+			each(i, v, err)
 		}(i, t)
 	}
 	wg.Wait()
-	return out
 }
 
 // Stats snapshots the counters.
@@ -209,10 +310,11 @@ func (e *Engine) Stats() Stats {
 	entries, workers := len(e.cache), e.workers
 	e.mu.Unlock()
 	return Stats{
-		Workers: workers,
-		Entries: entries,
-		Hits:    e.hits.Load(),
-		Misses:  e.misses.Load(),
+		Workers:  workers,
+		Entries:  entries,
+		Hits:     e.hits.Load(),
+		Misses:   e.misses.Load(),
+		Canceled: e.canceled.Load(),
 	}
 }
 
@@ -226,4 +328,5 @@ func (e *Engine) ResetCache() {
 	e.mu.Unlock()
 	e.hits.Store(0)
 	e.misses.Store(0)
+	e.canceled.Store(0)
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -262,6 +264,215 @@ func TestPanicPropagatesToCoalescedWaiters(t *testing.T) {
 		if r := <-recovered; r != "late boom" {
 			t.Fatalf("caller %d got %v, want the cell's panic", i, r)
 		}
+	}
+}
+
+func TestDoCtxCanceledBeforeStart(t *testing.T) {
+	e := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	fn := func(CellSpec, uint64, Scratch) any { calls.Add(1); return 1 }
+	if _, err := e.DoCtx(ctx, spec(8), fn); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("canceled call executed the cell")
+	}
+	st := e.Stats()
+	if st.Canceled != 1 || st.Entries != 0 || st.Misses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The engine is unpoisoned: a live call computes normally.
+	if v := e.Do(spec(8), fn); v != 1 || calls.Load() != 1 {
+		t.Fatalf("retry after cancellation: v=%v calls=%d", v, calls.Load())
+	}
+}
+
+func TestDoCtxCanceledWhileQueued(t *testing.T) {
+	e := New(1) // one slot, occupied: the second call must queue
+	release := make(chan struct{})
+	started := make(chan struct{})
+	slow := func(CellSpec, uint64, Scratch) any {
+		close(started)
+		<-release
+		return "slow"
+	}
+	go e.Do(spec(8), slow)
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.DoCtx(ctx, spec(16), func(CellSpec, uint64, Scratch) any { return "fast" })
+		done <- err
+	}()
+	// Give the queued call time to block on the semaphore, then cancel:
+	// it must return promptly without waiting for the slow cell.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("queued call returned %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled queued call did not return promptly")
+	}
+	close(release)
+	// The abandoned cell left no cache entry: a later call recomputes.
+	var calls atomic.Int64
+	e.Do(spec(16), func(CellSpec, uint64, Scratch) any { calls.Add(1); return "fast" })
+	if calls.Load() != 1 {
+		t.Fatalf("abandoned cell cached? calls = %d", calls.Load())
+	}
+}
+
+func TestDoCtxWaiterCancellation(t *testing.T) {
+	e := New(2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	slow := func(CellSpec, uint64, Scratch) any {
+		close(started)
+		<-release
+		return "v"
+	}
+	go e.Do(spec(8), slow)
+	<-started
+
+	// A waiter coalesced onto the in-flight cell gives up on cancel...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.DoCtx(ctx, spec(8), slow); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("coalesced waiter returned %v, want ErrCanceled", err)
+	}
+	// ...while the in-flight computation drains and is cached.
+	close(release)
+	if v := e.Do(spec(8), func(CellSpec, uint64, Scratch) any { return "recomputed" }); v != "v" {
+		t.Fatalf("drained cell not cached: got %v", v)
+	}
+}
+
+func TestCanceledEntryWakesCoalescedWaiters(t *testing.T) {
+	e := New(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go e.Do(spec(8), func(CellSpec, uint64, Scratch) any {
+		close(started)
+		<-release
+		return "slow"
+	})
+	<-started
+
+	// Caller A queues for spec(16) and owns its entry; caller B
+	// coalesces onto that entry with a live context. When A is
+	// canceled, B must be woken, retry, and compute the cell itself.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aQueued := make(chan struct{})
+	go func() {
+		close(aQueued)
+		e.DoCtx(ctxA, spec(16), func(CellSpec, uint64, Scratch) any { return "A" })
+	}()
+	<-aQueued
+	time.Sleep(10 * time.Millisecond) // let A register its entry and queue
+
+	bDone := make(chan any, 1)
+	go func() {
+		v, err := e.DoCtx(context.Background(), spec(16), func(CellSpec, uint64, Scratch) any { return "B" })
+		if err != nil {
+			bDone <- err
+			return
+		}
+		bDone <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let B coalesce onto A's entry
+	cancelA()
+	close(release)
+	select {
+	case v := <-bDone:
+		if v != "B" && v != "A" {
+			t.Fatalf("waiter got %v, want a computed value", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter behind a canceled owner never woke")
+	}
+}
+
+func TestSubmitBatchCompletionCallbacks(t *testing.T) {
+	e := New(4)
+	fn := func(sp CellSpec, seed uint64, _ Scratch) any { return sp.Buffer }
+	bufs := []int{8, 16, 32, 64}
+	var tasks []Task
+	for _, b := range bufs {
+		tasks = append(tasks, Task{Spec: spec(b), Fn: fn})
+	}
+	var mu sync.Mutex
+	got := map[int]any{}
+	e.SubmitBatch(context.Background(), tasks, func(i int, v any, err error) {
+		if err != nil {
+			t.Errorf("task %d: %v", i, err)
+		}
+		mu.Lock()
+		got[i] = v
+		mu.Unlock()
+	})
+	if len(got) != len(bufs) {
+		t.Fatalf("callbacks for %d/%d tasks", len(got), len(bufs))
+	}
+	for i, b := range bufs {
+		if got[i] != b {
+			t.Fatalf("task %d = %v, want %d", i, got[i], b)
+		}
+	}
+}
+
+func TestSubmitBatchCancellationDrainsInFlight(t *testing.T) {
+	e := New(1) // serialize: first task in flight, rest queued
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	firstRunning := make(chan struct{})
+	var once sync.Once
+	fn := func(sp CellSpec, seed uint64, _ Scratch) any {
+		once.Do(func() {
+			close(firstRunning)
+			// Give the cancellation time to land while this cell is
+			// mid-execution: it must still run to completion.
+			time.Sleep(30 * time.Millisecond)
+		})
+		executed.Add(1)
+		return sp.Buffer
+	}
+	var tasks []Task
+	for _, b := range []int{8, 16, 32, 64, 128, 256} {
+		tasks = append(tasks, Task{Spec: spec(b), Fn: fn})
+	}
+	go func() {
+		<-firstRunning
+		cancel()
+	}()
+	var okCount, canceledCount atomic.Int64
+	e.SubmitBatch(ctx, tasks, func(i int, v any, err error) {
+		switch {
+		case err == nil:
+			okCount.Add(1)
+		case errors.Is(err, ErrCanceled):
+			canceledCount.Add(1)
+		default:
+			t.Errorf("task %d: unexpected error %v", i, err)
+		}
+	})
+	if okCount.Load() < 1 {
+		t.Fatal("in-flight cell did not drain to completion")
+	}
+	if canceledCount.Load() < 1 {
+		t.Fatal("no queued cell was abandoned")
+	}
+	if okCount.Load()+canceledCount.Load() != int64(len(tasks)) {
+		t.Fatalf("callbacks: %d ok + %d canceled != %d tasks",
+			okCount.Load(), canceledCount.Load(), len(tasks))
+	}
+	if st := e.Stats(); st.Canceled != uint64(canceledCount.Load()) {
+		t.Fatalf("Stats.Canceled = %d, callbacks saw %d", st.Canceled, canceledCount.Load())
 	}
 }
 

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -91,6 +92,13 @@ func (g *Grid) Set(row, col string, c Cell) { g.cells[key(row, col)] = c }
 
 // Get returns a cell (zero Cell if unset).
 func (g *Grid) Get(row, col string) Cell { return g.cells[key(row, col)] }
+
+// Lookup returns a cell and whether it was ever set, so callers can
+// tell a genuine zero value from an unknown coordinate.
+func (g *Grid) Lookup(row, col string) (Cell, bool) {
+	c, ok := g.cells[key(row, col)]
+	return c, ok
+}
 
 // Render draws the grid as an aligned table; cells show the value and
 // class (if any).
@@ -192,13 +200,33 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID on the session's engine.
-func (s *Session) Run(id string, o Options) (*Result, error) {
+// Run executes one experiment by ID on the session's engine. A run on
+// a WithContext view whose context is canceled abandons its queued
+// cells and returns ErrCanceled (in-flight cells drain into the
+// cache).
+func (s *Session) Run(id string, o Options) (res *Result, err error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
+	// Runners signal cancellation by panicking with cancelSignal from
+	// runOne/runCells (always on this goroutine); everything else is a
+	// genuine bug and keeps propagating.
+	defer func() {
+		if p := recover(); p != nil {
+			cs, ok := p.(cancelSignal)
+			if !ok {
+				panic(p)
+			}
+			res, err = nil, cs.err
+		}
+	}()
 	return r(s, o.withDefaults())
+}
+
+// RunCtx is Run bounded by ctx.
+func (s *Session) RunCtx(ctx context.Context, id string, o Options) (*Result, error) {
+	return s.WithContext(ctx).Run(id, o)
 }
 
 // Run executes one experiment by ID on the Default session.
@@ -219,6 +247,7 @@ type Outcome struct {
 // shared between experiments in the batch are simulated once: the
 // engine coalesces duplicate in-flight specs and caches results.
 func (s *Session) RunAll(ids []string, o Options) []Outcome {
+	ctx := s.context()
 	out := make([]Outcome, len(ids))
 	// Experiment-level concurrency is bounded separately from the cell
 	// pool: experiment goroutines spend almost all their time waiting
@@ -230,7 +259,14 @@ func (s *Session) RunAll(ids []string, o Options) []Outcome {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				// Canceled while waiting for an experiment slot: record
+				// the abandonment without starting the run.
+				out[i] = Outcome{ID: id, Err: ErrCanceled}
+				return
+			}
 			defer func() { <-sem }()
 			start := time.Now()
 			res, err := s.Run(id, o)
@@ -239,6 +275,12 @@ func (s *Session) RunAll(ids []string, o Options) []Outcome {
 	}
 	wg.Wait()
 	return out
+}
+
+// RunAllCtx is RunAll bounded by ctx: canceled experiments record
+// ErrCanceled outcomes instead of results.
+func (s *Session) RunAllCtx(ctx context.Context, ids []string, o Options) []Outcome {
+	return s.WithContext(ctx).RunAll(ids, o)
 }
 
 // RunAll executes a batch of experiments on the Default session.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -272,20 +273,26 @@ func (p ProbeSpec) Validate() error {
 
 // Probe runs one probe cell on the session's engine.
 func (s *Session) Probe(p ProbeSpec, o Options) (ProbeValue, error) {
+	return s.ProbeCtx(s.context(), p, o)
+}
+
+// ProbeCtx is Probe bounded by ctx: it returns ErrCanceled if the
+// context is canceled before the cell executes.
+func (s *Session) ProbeCtx(ctx context.Context, p ProbeSpec, o Options) (ProbeValue, error) {
 	t, err := p.task(o.withDefaults())
 	if err != nil {
 		return ProbeValue{}, err
 	}
-	return p.value(s.runOne(t)), nil
+	raw, err := s.eng.DoCtx(ctx, t.Spec, t.Fn)
+	if err != nil {
+		return ProbeValue{}, err
+	}
+	return p.value(raw), nil
 }
 
-// ProbeBatch validates every spec up front — an invalid spec fails
-// the whole call before any simulation starts — then fans the cells
-// out across the session's worker pool and returns one value per
-// spec, in input order. Duplicate specs within the batch, or specs
-// the session has already answered, are simulated once.
-func (s *Session) ProbeBatch(ps []ProbeSpec, o Options) ([]ProbeValue, error) {
-	o = o.withDefaults()
+// compile validates every spec up front and returns its engine tasks;
+// an invalid spec fails the whole batch before any simulation starts.
+func compileProbes(ps []ProbeSpec, o Options) ([]engine.Task, error) {
 	tasks := make([]engine.Task, len(ps))
 	for i, p := range ps {
 		t, err := p.task(o)
@@ -294,10 +301,57 @@ func (s *Session) ProbeBatch(ps []ProbeSpec, o Options) ([]ProbeValue, error) {
 		}
 		tasks[i] = t
 	}
-	raws := s.eng.RunBatch(tasks)
+	return tasks, nil
+}
+
+// ProbeBatch validates every spec up front — an invalid spec fails
+// the whole call before any simulation starts — then fans the cells
+// out across the session's worker pool and returns one value per
+// spec, in input order. Duplicate specs within the batch, or specs
+// the session has already answered, are simulated once.
+func (s *Session) ProbeBatch(ps []ProbeSpec, o Options) ([]ProbeValue, error) {
+	return s.ProbeBatchCtx(s.context(), ps, o)
+}
+
+// ProbeBatchCtx is ProbeBatch bounded by ctx. A canceled batch returns
+// ErrCanceled: in-flight cells drain into the session cache, queued
+// cells are abandoned, and no partial values are returned.
+func (s *Session) ProbeBatchCtx(ctx context.Context, ps []ProbeSpec, o Options) ([]ProbeValue, error) {
+	tasks, err := compileProbes(ps, o.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	raws, err := s.eng.RunBatchCtx(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]ProbeValue, len(ps))
 	for i, raw := range raws {
 		out[i] = ps[i].value(raw)
 	}
 	return out, nil
+}
+
+// ProbeSubmit is the streaming submission path: every spec is
+// validated up front (an invalid spec fails the call before any
+// simulation starts), then the cells fan out across the worker pool
+// and each(i, v, err) is invoked as every cell completes — in
+// completion order, possibly concurrently, from worker goroutines.
+// err is ErrCanceled for cells abandoned because ctx was canceled
+// before they executed. ProbeSubmit returns once every callback has
+// run; cells already executing at cancellation drain into the session
+// cache first.
+func (s *Session) ProbeSubmit(ctx context.Context, ps []ProbeSpec, o Options, each func(i int, v ProbeValue, err error)) error {
+	tasks, err := compileProbes(ps, o.withDefaults())
+	if err != nil {
+		return err
+	}
+	s.eng.SubmitBatch(ctx, tasks, func(i int, raw any, err error) {
+		if err != nil {
+			each(i, ProbeValue{}, err)
+			return
+		}
+		each(i, ps[i].value(raw), nil)
+	})
+	return nil
 }

@@ -1,6 +1,18 @@
 package experiments
 
-import "bufferqoe/internal/engine"
+import (
+	"context"
+
+	"bufferqoe/internal/engine"
+)
+
+// ErrCanceled reports that a run was abandoned because its context was
+// canceled. Cells already simulating when the cancellation lands drain
+// to completion and stay cached (the simulator has no checkpoints to
+// resume from); only queued cells are abandoned, so a canceled run
+// followed by the same run on the same session re-simulates exactly
+// the abandoned cells.
+var ErrCanceled = engine.ErrCanceled
 
 // Session owns one cell-execution engine: a worker pool, a result
 // cache, and the hit/miss counters. Everything the package can run —
@@ -11,6 +23,9 @@ import "bufferqoe/internal/engine"
 // on Default, preserving the original single-engine behavior.
 type Session struct {
 	eng *engine.Engine
+	// ctx, when non-nil, bounds every run on this view of the session;
+	// see WithContext. nil means context.Background().
+	ctx context.Context
 }
 
 // NewSession creates a session with its own engine; workers <= 0 uses
@@ -27,6 +42,28 @@ func NewSession(workers int) *Session {
 // caller that uses the package-level API.
 var Default = NewSession(0)
 
+// WithContext returns a view of the session whose runs are bounded by
+// ctx: queued cells are abandoned once ctx is canceled and the run
+// returns ErrCanceled. The view shares the session's engine, cache,
+// and counters — it is a call-scoping device, not a new session.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	view := *s
+	view.ctx = ctx
+	return &view
+}
+
+// Context returns the context bounding this session view:
+// context.Background() unless the view came from WithContext.
+func (s *Session) Context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
+// context is shorthand for Context in the run paths.
+func (s *Session) context() context.Context { return s.Context() }
+
 // SetParallelism resizes the session's cell worker pool; n <= 0 means
 // GOMAXPROCS. Parallelism never changes results: each cell's seed is
 // derived from its canonical spec, not from scheduling order.
@@ -41,9 +78,24 @@ func (s *Session) EngineStats() engine.Stats { return s.eng.Stats() }
 // ResetCache drops the session's memoized cell results.
 func (s *Session) ResetCache() { s.eng.ResetCache() }
 
+// cancelSignal carries a cancellation out of a grid runner through the
+// panic path. The ~40 runners are straight-line cell submitters with
+// no error plumbing of their own; rather than threading a ctx check
+// through every one, runOne/runCells panic with this sentinel and
+// Session.Run recovers it into an ordinary ErrCanceled return. The
+// sentinel never crosses a goroutine boundary: runCells collects cell
+// errors on the calling goroutine before panicking.
+type cancelSignal struct{ err error }
+
 // runOne executes a single cell synchronously (probes and small
 // grids); batches should go through runCells.
-func (s *Session) runOne(t engine.Task) any { return s.eng.Do(t.Spec, t.Fn) }
+func (s *Session) runOne(t engine.Task) any {
+	v, err := s.eng.DoCtx(s.context(), t.Spec, t.Fn)
+	if err != nil {
+		panic(cancelSignal{err})
+	}
+	return v
+}
 
 // runCells fans a batch of jobs out across the engine and hands each
 // value back with its grid coordinates.
@@ -52,7 +104,11 @@ func (s *Session) runCells(jobs []cellJob, each func(row, col string, v any)) {
 	for i, j := range jobs {
 		tasks[i] = j.task
 	}
-	for i, v := range s.eng.RunBatch(tasks) {
+	vals, err := s.eng.RunBatchCtx(s.context(), tasks)
+	if err != nil {
+		panic(cancelSignal{err})
+	}
+	for i, v := range vals {
 		each(jobs[i].row, jobs[i].col, v)
 	}
 }

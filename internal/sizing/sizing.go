@@ -8,6 +8,7 @@ package sizing
 
 import (
 	"math"
+	"sort"
 	"time"
 )
 
@@ -71,6 +72,45 @@ func LoadAware(bdpPackets, n int, utilization float64) int {
 	default:
 		return StanfordPackets(bdpPackets, n)
 	}
+}
+
+// Candidates merges a base buffer axis with extra bracket points
+// (typically scheme-derived sizes such as the link's BDP) into a
+// sorted, deduplicated, strictly positive candidate list — the search
+// axis an adaptive recommender bisects over.
+func Candidates(base []int, extras ...int) []int {
+	seen := make(map[int]bool, len(base)+len(extras))
+	out := make([]int, 0, len(base)+len(extras))
+	for _, b := range append(append([]int(nil), base...), extras...) {
+		if b > 0 && !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NearestIndex returns the index of the option closest to packets by
+// size ratio (log distance), so 8 vs 16 and 749 vs 1498 are equally
+// "near" — the right metric for buffer sizes, which the paper sweeps
+// in powers of two. It returns -1 for an empty option list or a
+// non-positive target.
+func NearestIndex(packets int, options []int) int {
+	if packets <= 0 {
+		return -1
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i, opt := range options {
+		if opt <= 0 {
+			continue
+		}
+		d := math.Abs(math.Log(float64(opt) / float64(packets)))
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
 }
 
 // Table2Row is one row of the paper's Table 2: a buffer size and its

@@ -128,3 +128,40 @@ func TestPropertyDelayLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCandidates(t *testing.T) {
+	got := Candidates([]int{8, 64, 16}, 64, 100, 0, -5)
+	want := []int{8, 16, 64, 100}
+	if len(got) != len(want) {
+		t.Fatalf("Candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Candidates = %v, want %v", got, want)
+		}
+	}
+	if out := Candidates(nil); len(out) != 0 {
+		t.Fatalf("empty Candidates = %v", out)
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	opts := []int{8, 28, 749, 7490}
+	cases := []struct {
+		packets, want int
+	}{
+		{8, 0},
+		{20, 1}, // log-nearest to 28, not 8
+		{600, 2},
+		{7490, 3},
+		{100000, 3},
+	}
+	for _, tc := range cases {
+		if got := NearestIndex(tc.packets, opts); got != tc.want {
+			t.Fatalf("NearestIndex(%d) = %d, want %d", tc.packets, got, tc.want)
+		}
+	}
+	if NearestIndex(64, nil) != -1 || NearestIndex(0, opts) != -1 {
+		t.Fatal("degenerate inputs must return -1")
+	}
+}

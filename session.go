@@ -1,6 +1,8 @@
 package bufferqoe
 
 import (
+	"context"
+
 	"bufferqoe/internal/experiments"
 	"bufferqoe/internal/qoe"
 )
@@ -29,6 +31,20 @@ func NewSession() *Session {
 // through either API share one cache.
 var defaultSession = &Session{inner: experiments.Default}
 
+// WithContext returns a view of the session whose runs — Run, RunAll,
+// Sweep, the Measure* probes — are bounded by ctx: once ctx is
+// canceled, queued cells are abandoned (in-flight cells drain into
+// the cache) and the run returns ErrCanceled. The view shares the
+// session's engine, cache, and counters; it scopes calls, it does not
+// create a new session. The explicit-context entry points (RunCtx,
+// SweepCtx, SweepStream, Recommend) are usually more convenient.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	return &Session{inner: s.inner.WithContext(ctx)}
+}
+
+// ctx returns the context this session view is bounded by.
+func (s *Session) ctx() context.Context { return s.inner.Context() }
+
 // SetParallelism resizes the session's cell worker pool; n <= 0 means
 // GOMAXPROCS. Parallelism never changes results.
 func (s *Session) SetParallelism(n int) { s.inner.SetParallelism(n) }
@@ -39,7 +55,7 @@ func (s *Session) Parallelism() int { return s.inner.Parallelism() }
 // Stats snapshots the session's engine counters.
 func (s *Session) Stats() EngineStats {
 	st := s.inner.EngineStats()
-	return EngineStats{Workers: st.Workers, CachedCells: st.Entries, Hits: st.Hits, Misses: st.Misses}
+	return EngineStats{Workers: st.Workers, CachedCells: st.Entries, Hits: st.Hits, Misses: st.Misses, Canceled: st.Canceled}
 }
 
 // Run executes one experiment by ID on the session.
@@ -49,6 +65,12 @@ func (s *Session) Run(id string, o Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{ID: res.ID, Text: res.Render(), inner: res}, nil
+}
+
+// RunCtx is Run bounded by ctx: a canceled context abandons the
+// experiment's queued cells and returns ErrCanceled.
+func (s *Session) RunCtx(ctx context.Context, id string, o Options) (*Result, error) {
+	return s.WithContext(ctx).Run(id, o)
 }
 
 // RunAll executes a batch of experiments on the session; see the
@@ -63,6 +85,12 @@ func (s *Session) RunAll(ids []string, o Options) []Outcome {
 		}
 	}
 	return out
+}
+
+// RunAllCtx is RunAll bounded by ctx: canceled experiments record
+// ErrCanceled outcomes instead of results.
+func (s *Session) RunAllCtx(ctx context.Context, ids []string, o Options) []Outcome {
+	return s.WithContext(ctx).RunAll(ids, o)
 }
 
 // The Measure* methods compile a one-cell Scenario/Probe pair through

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 
 	"bufferqoe/internal/experiments"
 	"bufferqoe/internal/qoe"
@@ -52,39 +53,49 @@ type SweepCell struct {
 
 // Grid is a sweep's structured result: the three axes plus one
 // SweepCell per (scenario, probe, buffer) combination, in
-// scenario-major, then probe, then buffer order.
+// scenario-major, then probe, then buffer order. A Grid is immutable
+// once returned; Cell lookups may be issued concurrently.
 type Grid struct {
 	Scenarios []string    `json:"scenarios"`
 	Probes    []string    `json:"probes"`
 	Buffers   []int       `json:"buffers"`
 	Cells     []SweepCell `json:"cells"`
+
+	// Axis label -> index maps, built lazily on the first Cell call so
+	// repeated lookups over large grids are O(1) instead of three
+	// linear scans. Grids are immutable once returned (including after
+	// a JSON round trip), so the index never goes stale.
+	idxOnce sync.Once
+	siIdx   map[string]int
+	piIdx   map[string]int
+	biIdx   map[int]int
+}
+
+func (g *Grid) buildIndex() {
+	g.siIdx = make(map[string]int, len(g.Scenarios))
+	for i, s := range g.Scenarios {
+		g.siIdx[s] = i
+	}
+	g.piIdx = make(map[string]int, len(g.Probes))
+	for i, p := range g.Probes {
+		g.piIdx[p] = i
+	}
+	g.biIdx = make(map[int]int, len(g.Buffers))
+	for i, b := range g.Buffers {
+		g.biIdx[b] = i
+	}
 }
 
 // Cell returns the cell at the given coordinates.
 func (g *Grid) Cell(scenario, probe string, buffer int) (SweepCell, bool) {
-	si, pi, bi := index(g.Scenarios, scenario), index(g.Probes, probe), indexInt(g.Buffers, buffer)
-	if si < 0 || pi < 0 || bi < 0 {
+	g.idxOnce.Do(g.buildIndex)
+	si, okS := g.siIdx[scenario]
+	pi, okP := g.piIdx[probe]
+	bi, okB := g.biIdx[buffer]
+	if !okS || !okP || !okB {
 		return SweepCell{}, false
 	}
 	return g.Cells[(si*len(g.Probes)+pi)*len(g.Buffers)+bi], true
-}
-
-func index(xs []string, want string) int {
-	for i, x := range xs {
-		if x == want {
-			return i
-		}
-	}
-	return -1
-}
-
-func indexInt(xs []int, want int) int {
-	for i, x := range xs {
-		if x == want {
-			return i
-		}
-	}
-	return -1
 }
 
 // Text renders the grid as aligned tables, one per scenario: probes
@@ -127,11 +138,22 @@ func (g *Grid) JSON() ([]byte, error) {
 	return json.MarshalIndent(g, "", "  ")
 }
 
-// Sweep runs the full scenario x buffer x probe grid on the session
-// and returns the structured results. Every combination is validated
-// before any cell is simulated, so an invalid corner fails the call
-// instead of crashing a worker mid-run.
-func (s *Session) Sweep(sw Sweep, o Options) (*Grid, error) {
+// sweepPlan is a validated, compiled sweep: the result grid skeleton
+// (axes labeled, cells zeroed) plus one internal probe spec per cell,
+// in the grid's scenario-major cell order. Both the batch (Sweep) and
+// streaming (SweepStream) paths execute the same plan, which is why
+// they cannot diverge.
+type sweepPlan struct {
+	grid      *Grid
+	specs     []experiments.ProbeSpec
+	scenarios []Scenario
+	probes    []Probe
+}
+
+// compileSweep validates every combination of the sweep's axes and
+// compiles the cell specs, so an invalid corner fails the call before
+// any simulation starts instead of crashing a worker mid-run.
+func compileSweep(sw Sweep) (*sweepPlan, error) {
 	if len(sw.Scenarios) == 0 || len(sw.Buffers) == 0 || len(sw.Probes) == 0 {
 		return nil, fmt.Errorf("bufferqoe: a sweep needs at least one scenario, one buffer size, and one probe")
 	}
@@ -174,22 +196,32 @@ func (s *Session) Sweep(sw Sweep, o Options) (*Grid, error) {
 			}
 		}
 	}
-	values, err := s.inner.ProbeBatch(specs, o.internal())
-	if err != nil {
-		return nil, err
-	}
+	g.Cells = make([]SweepCell, len(specs))
+	return &sweepPlan{
+		grid:      g,
+		specs:     specs,
+		scenarios: append([]Scenario(nil), sw.Scenarios...),
+		probes:    append([]Probe(nil), sw.Probes...),
+	}, nil
+}
 
-	g.Cells = make([]SweepCell, len(values))
-	i := 0
-	for si, sc := range sw.Scenarios {
-		for pi, p := range sw.Probes {
-			for bi := range sw.Buffers {
-				g.Cells[i] = sweepCell(g.Scenarios[si], g.Probes[pi], sw.Buffers[bi], sc, p, values[i])
-				i++
-			}
-		}
-	}
-	return g, nil
+// cell scores the i-th spec's raw value into its SweepCell. The value
+// is a pure function of the spec, so the cell is identical no matter
+// which path — batch, stream, probe — computed it, or in what order.
+func (p *sweepPlan) cell(i int, v experiments.ProbeValue) SweepCell {
+	np, nb := len(p.probes), len(p.grid.Buffers)
+	si, pi, bi := i/(np*nb), (i/nb)%np, i%nb
+	return sweepCell(p.grid.Scenarios[si], p.grid.Probes[pi], p.grid.Buffers[bi],
+		p.scenarios[si], p.probes[pi], v)
+}
+
+// Sweep runs the full scenario x buffer x probe grid on the session
+// and returns the structured results. Every combination is validated
+// before any cell is simulated, so an invalid corner fails the call
+// instead of crashing a worker mid-run. Sweep is SweepCtx without a
+// deadline (it still observes a WithContext bound on the session).
+func (s *Session) Sweep(sw Sweep, o Options) (*Grid, error) {
+	return s.SweepCtx(s.ctx(), sw, o)
 }
 
 // sweepCell scores one raw probe value on the opinion scale.
