@@ -11,9 +11,10 @@
 //     upload congestion?" (MeasureVoIP, MeasureWeb, MeasureVideo);
 //   - a composable scenario API (Scenario, Probe, Sweep) that goes
 //     beyond the paper's fixed testbeds: custom link rates and delays,
-//     AQM disciplines, congestion control, and last-hop jitter, swept
-//     as a scenario x buffer x probe grid through the parallel cell
-//     engine;
+//     typed workload mixes (Workload, with the Table 1 presets as
+//     constructors of the same type), asymmetric uplink buffers, AQM
+//     disciplines, congestion control, and last-hop jitter, swept as a
+//     scenario x buffer x probe grid through the parallel cell engine;
 //   - a streaming, context-aware execution surface (SweepStream,
 //     SweepCtx, RunCtx, Session.WithContext, Options.OnProgress):
 //     cells arrive as workers complete them, deadlines and

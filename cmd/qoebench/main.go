@@ -9,7 +9,9 @@
 //	qoebench -exp fig7a,fig7b,fig8 -json
 //	qoebench -exp all -duration 60s -reps 5 -parallel 16 -timeout 10m
 //	qoebench -sweep -workloads short-few,long-many -dir up -buffers 8,64,256 -progress
+//	qoebench -sweep -mix "up:long=2;down:web=16x3/1.5s" -buffers 8,64,256 -probes voip,web
 //	qoebench -sweep -uprate 1e9 -downrate 1e9 -aqm codel -probes voip,web -json
+//	qoebench -sweep -workloads long-many -dir bidir -bufup 256 -probes voip
 //	qoebench -recommend -workloads long-many -dir up -probes voip,web -target max-mos
 //
 // With multiple experiments (or -exp all), experiments run through
@@ -23,8 +25,12 @@
 // network: a paper testbed (-network access|backbone) or a custom
 // access-shaped link (-uprate/-downrate/-clientdelay/-serverdelay),
 // optionally under an AQM discipline (-aqm), a congestion control
-// (-cc), and last-hop jitter (-jitter). -json emits machine-readable
-// results plus engine statistics in every mode.
+// (-cc), last-hop jitter (-jitter), and an asymmetric uplink buffer
+// (-bufup). The workload axis takes Table 1 preset names
+// (-workloads/-dir) or a composable custom mix (-mix, grammar in
+// -list); a mix equal to a preset answers from the preset's cache
+// cells. -json emits machine-readable results plus engine statistics
+// in every mode.
 //
 // In -recommend mode the buffer axis is searched, not swept: the
 // adaptive recommender brackets the candidate buffers (the paper's
@@ -112,7 +118,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sweep     = fs.Bool("sweep", false, "sweep scenarios instead of running paper experiments")
 		network   = fs.String("network", "access", "sweep: paper testbed (access or backbone)")
 		workloads = fs.String("workloads", "noBG", "sweep: comma-separated Table 1 workload names")
+		mix       = fs.String("mix", "", "sweep: custom workload mix, e.g. \"up:long=2;down:web=16x3/1.5s\" (see -list; replaces -workloads/-dir)")
 		dir       = fs.String("dir", "down", "sweep: congestion direction (down, up, bidir)")
+		bufUp     = fs.Int("bufup", 0, "sweep: uplink buffer override in packets (access shape; 0 = same as the swept buffer)")
 		buffers   = fs.String("buffers", "", "sweep: comma-separated buffer sizes in packets (default: the paper's sweep for the network)")
 		probes    = fs.String("probes", "voip,web,video:SD", "sweep: comma-separated probes (voip, web, video[:SD|:HD])")
 		aqm       = fs.String("aqm", "", "sweep: queue discipline (droptail, codel, fq-codel, red, ared, pie)")
@@ -135,9 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, id := range bufferqoe.Experiments() {
-			fmt.Fprintln(stdout, id)
-		}
+		printList(stdout)
 		return 0
 	}
 
@@ -182,8 +188,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		f := sweepFlags{
-			network: *network, workloads: *workloads, dir: *dir,
-			buffers: *buffers, probes: *probes,
+			network: *network, workloads: *workloads, mix: *mix, dir: *dir,
+			buffers: *buffers, probes: *probes, bufUp: *bufUp,
 			aqm: *aqm, cc: *cc, jitter: *jitter,
 			upRate: *upRate, downRate: *downRate,
 			clientDelay: *clientDelay, serverDelay: *serverDelay,
@@ -247,10 +253,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 type sweepFlags struct {
-	network, workloads, dir, buffers, probes, aqm, cc string
-	jitter                                            time.Duration
-	upRate, downRate                                  float64
-	clientDelay, serverDelay                          time.Duration
+	network, workloads, mix, dir, buffers, probes, aqm, cc string
+	bufUp                                                  int
+	jitter                                                 time.Duration
+	upRate, downRate                                       float64
+	clientDelay, serverDelay                               time.Duration
 }
 
 // compileSweepFlags resolves the shared scenario/axis flags of the
@@ -275,21 +282,43 @@ func compileSweepFlags(f sweepFlags, stderr io.Writer) (scenarios []bufferqoe.Sc
 		}
 	}
 
-	dir := bufferqoe.Direction(f.dir)
-	if net == bufferqoe.Backbone && link == nil {
-		// The backbone has no congestion-direction axis; reject a
-		// non-default -dir instead of silently measuring downstream.
-		if dir != bufferqoe.Down && dir != "" {
-			fmt.Fprintf(stderr, "qoebench: -dir %s: the backbone is congested downstream only\n", f.dir)
+	if f.mix != "" {
+		// A custom mix replaces the preset/direction axes: the mix's
+		// own Up/Down components say where the congestion goes.
+		if f.workloads != "noBG" {
+			fmt.Fprintln(stderr, "qoebench: -mix and -workloads are mutually exclusive")
 			return nil, net, nil, nil, false
 		}
-		dir = ""
-	}
-	for _, wl := range splitList(f.workloads) {
+		if f.dir != "down" && f.dir != "" {
+			fmt.Fprintf(stderr, "qoebench: -dir %s: a -mix names its own directions (up:/down: sections)\n", f.dir)
+			return nil, net, nil, nil, false
+		}
+		w, err := bufferqoe.ParseMix(f.mix)
+		if err != nil {
+			fmt.Fprintf(stderr, "qoebench: %v\n", err)
+			return nil, net, nil, nil, false
+		}
 		scenarios = append(scenarios, bufferqoe.Scenario{
-			Network: net, Link: link, Workload: wl, Direction: dir,
+			Network: net, Link: link, Mix: w, BufferUp: f.bufUp,
 			AQM: bufferqoe.AQM(f.aqm), CC: bufferqoe.CC(f.cc), Jitter: f.jitter,
 		})
+	} else {
+		dir := bufferqoe.Direction(f.dir)
+		if net == bufferqoe.Backbone && link == nil {
+			// The backbone has no congestion-direction axis; reject a
+			// non-default -dir instead of silently measuring downstream.
+			if dir != bufferqoe.Down && dir != "" {
+				fmt.Fprintf(stderr, "qoebench: -dir %s: the backbone is congested downstream only\n", f.dir)
+				return nil, net, nil, nil, false
+			}
+			dir = ""
+		}
+		for _, wl := range splitList(f.workloads) {
+			scenarios = append(scenarios, bufferqoe.Scenario{
+				Network: net, Link: link, Workload: wl, Direction: dir, BufferUp: f.bufUp,
+				AQM: bufferqoe.AQM(f.aqm), CC: bufferqoe.CC(f.cc), Jitter: f.jitter,
+			})
+		}
 	}
 
 	bufs, err := parseBuffers(f.buffers, net)
@@ -474,6 +503,47 @@ func emitJSON(stdout, stderr io.Writer, report jsonReport) {
 	if err := enc.Encode(report); err != nil {
 		fmt.Fprintf(stderr, "qoebench: encoding JSON: %v\n", err)
 	}
+}
+
+// printList prints every discoverable axis — experiments, networks
+// with their paper buffer sweeps, workload presets with component
+// breakdowns, probes, AQMs, congestion controls, and the custom-mix
+// grammar — so valid flag values never require reading source.
+func printList(stdout io.Writer) {
+	fmt.Fprintln(stdout, "experiments (-exp):")
+	for _, id := range bufferqoe.Experiments() {
+		fmt.Fprintf(stdout, "  %s\n", id)
+	}
+	fmt.Fprintln(stdout, "networks (-network), with the paper's buffer sweeps (-buffers default):")
+	fmt.Fprintf(stdout, "  %-9s DSL 1 Mbit/s up / 16 Mbit/s down (Figure 3a); buffers: %s\n",
+		"access", joinInts(bufferqoe.BufferSizes(bufferqoe.Access)))
+	fmt.Fprintf(stdout, "  %-9s OC3 155 Mbit/s, 30 ms delay (Figure 3b); buffers: %s\n",
+		"backbone", joinInts(bufferqoe.BufferSizes(bufferqoe.Backbone)))
+	for _, net := range []bufferqoe.Network{bufferqoe.Access, bufferqoe.Backbone} {
+		fmt.Fprintf(stdout, "workload presets (-workloads, %s):\n", net)
+		for _, name := range bufferqoe.Scenarios(net) {
+			w, err := bufferqoe.PresetWorkload(net, name)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(stdout, "  %-15s %s\n", name, w)
+		}
+	}
+	fmt.Fprintln(stdout, "probes (-probes): voip, web, video:SD, video:HD")
+	fmt.Fprintln(stdout, "aqms (-aqm): droptail (default), codel, fq-codel, red, ared, pie")
+	fmt.Fprintln(stdout, "congestion controls (-cc): default (cubic on access, reno on backbone), cubic, reno, bic")
+	fmt.Fprintln(stdout, `mix grammar (-mix): "up:long=2;down:web=16x3/1.5s" — components long=n[xm] (bulk flows) and web=n[xm]/think (web sessions), sections joined by ';', optional scale=n`)
+}
+
+func joinInts(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
 }
 
 // splitList splits a comma-separated flag, dropping empty entries.

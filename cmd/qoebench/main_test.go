@@ -22,6 +22,82 @@ func TestList(t *testing.T) {
 	if code != 0 || !strings.Contains(out, "fig7b") || !strings.Contains(out, "table1") {
 		t.Fatalf("code=%d out=%q", code, out)
 	}
+	// -list must also expose every sweep axis: networks with their
+	// paper buffer sweeps, workload presets with component breakdowns,
+	// probes, AQMs, CCs, and the mix grammar.
+	for _, want := range []string{
+		"access", "backbone", "8 16 32 64 128 256", "8 28 749 7490",
+		"long-many", "8 long-lived flow(s); down: 64 long-lived flow(s)",
+		"short-overload", "2304 web loop(s), think 1.2s",
+		"video:SD", "fq-codel", "reno", "mix grammar", "up:long=2;down:web=16x3/1.5s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepMix drives the composable workload axis from the CLI: a
+// custom mix sweeps end to end, and a mix equal to a Table 1 preset
+// labels — and caches — as the preset.
+func TestSweepMix(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-sweep", "-mix", "up:long=2;down:web=16x3/1.5s",
+		"-buffers", "16,64", "-probes", "voip")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"access/mix(up:long=2;down:web=48/1.5s)", "2 cells", "2 simulated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mix sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Preset-equal mix: the label is the preset's.
+	out, errOut, code = runCLI(t,
+		"-sweep", "-mix", "up:long=8", "-buffers", "16", "-probes", "voip")
+	if code != 0 {
+		t.Fatalf("preset-equal mix: exit code %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "access/long-many/up") {
+		t.Fatalf("preset-equal mix not folded onto the preset label:\n%s", out)
+	}
+}
+
+func TestSweepMixBadFlags(t *testing.T) {
+	if _, errOut, code := runCLI(t, "-sweep", "-mix", "up:warp=9", "-buffers", "16", "-probes", "voip"); code != 2 ||
+		!strings.Contains(errOut, "unknown kind") {
+		t.Fatalf("bad mix: code %d, stderr %q", code, errOut)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-mix", "up:long=2", "-workloads", "short-few", "-buffers", "16", "-probes", "voip"); code != 2 {
+		t.Fatalf("-mix with -workloads: code %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-mix", "up:long=2", "-dir", "up", "-buffers", "16", "-probes", "voip"); code != 2 {
+		t.Fatalf("-mix with -dir: code %d, want 2", code)
+	}
+	// Backbone mixes are downstream-only; the facade rejects upstream
+	// components at validation (exit 1, an API-level error).
+	if _, errOut, code := runCLI(t, "-sweep", "-network", "backbone", "-mix", "up:long=2", "-buffers", "100", "-probes", "web"); code != 1 ||
+		!strings.Contains(errOut, "downstream-only") {
+		t.Fatalf("backbone upstream mix: code %d, stderr %q", code, errOut)
+	}
+}
+
+// TestSweepBufUp drives the asymmetric-buffer override from the CLI.
+func TestSweepBufUp(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-sweep", "-workloads", "long-many", "-dir", "up", "-bufup", "256",
+		"-buffers", "16", "-probes", "voip")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "access/long-many/up+bufup=256") {
+		t.Fatalf("bufup label missing:\n%s", out)
+	}
+	// The backbone has no uplink buffer.
+	if _, errOut, code := runCLI(t, "-sweep", "-network", "backbone", "-workloads", "long", "-bufup", "8", "-buffers", "100", "-probes", "web"); code != 1 ||
+		!strings.Contains(errOut, "access testbed only") {
+		t.Fatalf("backbone bufup: code %d, stderr %q", code, errOut)
+	}
 }
 
 func TestCommaSeparatedExperiments(t *testing.T) {

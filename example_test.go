@@ -83,3 +83,24 @@ func ExampleSession_Recommend() {
 	// buffer: 8 packets, threshold met: true
 	// evaluated 4 of 12 grid cells
 }
+
+// ExampleParseMix shows the composable-workload grammar and its
+// canonicalization: spelling never matters, and preset-equal mixes
+// are the preset.
+func ExampleParseMix() {
+	w, err := bufferqoe.ParseMix("down:web=16x3/1.5s;up:long=2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Encoding()) // canonical: loops form, sorted, up first
+	fmt.Println(w)
+
+	// A mix equal to a Table 1 preset labels as the preset and shares
+	// its cache cells when swept.
+	preset := &bufferqoe.Workload{Up: []bufferqoe.Traffic{bufferqoe.BulkFlows(8)}}
+	fmt.Println(bufferqoe.Scenario{Mix: preset}.Label())
+	// Output:
+	// up:long=2;down:web=48/1.5s
+	// up: 2 long-lived flow(s); down: 48 web loop(s), think 1.5s
+	// access/long-many/up
+}

@@ -110,9 +110,13 @@ func LinkForward(b *testing.B) {
 func WholeCell(b *testing.B) {
 	b.ReportAllocs()
 	lib := media.Library(42)
+	wl, err := testbed.LookupAccessScenario("short-few", testbed.DirDown)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		a := testbed.NewAccess(testbed.Config{BufferUp: 64, BufferDown: 64, Seed: 42})
-		a.StartWorkload(testbed.AccessScenario("short-few", testbed.DirDown))
+		a.StartWorkload(wl)
 		got := false
 		a.Eng.Schedule(2*time.Second, func() {
 			voip.Start(a.MediaServer, a.MediaClient, lib[0], 0, func(r voip.Result) {

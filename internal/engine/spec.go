@@ -32,11 +32,18 @@ type CellSpec struct {
 	// Testbed is "access" or "backbone" ("" for testbed-less cells
 	// such as the wild CDN analysis).
 	Testbed string
-	// Scenario is the Table 1 workload name ("noBG", "long-many", ...).
+	// Scenario is the canonical workload encoding: a Table 1 preset
+	// name ("noBG", "long-many", ...) or, for a custom mix, the
+	// canonical component rendering ("up:long=2;down:web=48/1.5s" —
+	// see testbed.Workload.Encode). The two alphabets cannot collide
+	// (preset names never contain ':'), and builders must fold a mix
+	// equal to a direction-masked preset onto the preset's name so
+	// both spellings share one cell.
 	Scenario string
 	// Direction is the congestion direction on the access testbed:
 	// "down", "up" or "bidir". It is meaningless — and canonicalized
-	// away — on the backbone and for the idle noBG scenario.
+	// away — on the backbone and for the idle noBG scenario, and empty
+	// for custom mixes (their encoding names its own directions).
 	Direction string
 	// Buffer is the bottleneck buffer in packets (downlink on the
 	// access testbed).

@@ -73,6 +73,11 @@ type accessVariant struct {
 	tcpCfg    tcp.Config
 	jitter    time.Duration
 	link      testbed.LinkParams // zero = the paper's DSL link
+	// mix, when non-nil, replaces the named Table 1 preset with a
+	// custom workload (already canonical and known not to equal any
+	// preset — ProbeSpec.normalize folds preset-equal mixes onto the
+	// preset path so both spellings share one cache cell).
+	mix *testbed.Workload
 }
 
 func (v accessVariant) config(buf int, seed uint64) testbed.Config {
@@ -108,6 +113,56 @@ func linkTag(lp testbed.LinkParams) string {
 		lp.UpRate, lp.DownRate, lp.ClientDelay, lp.ServerDelay)
 }
 
+// workload bundles the canonical workload axis of a cell: the
+// scenario/direction strings the CellSpec carries (cache key and CRN
+// seed stimulus) and the resolved session populations the cell
+// starts. Resolution happens at task-build time on the caller's
+// goroutine — workers only ever see an already-resolved Spec, so an
+// unknown workload name can never panic a worker.
+type workload struct {
+	name string       // CellSpec.Scenario: preset name or canonical mix encoding
+	dir  string       // CellSpec.Direction: "" for custom mixes (they encode direction)
+	spec testbed.Spec // populations to start; empty = idle (noBG)
+}
+
+// accessWL resolves an access workload at build time: a custom mix
+// when non-nil, the named Table 1 preset masked by dir otherwise.
+// Preset names on this path are either literals from the preset
+// tables (experiment grids) or pre-validated by ProbeSpec.normalize,
+// so the panic is a programming-error guard on the caller's
+// goroutine, not a reachable worker crash.
+func accessWL(scenario string, dir testbed.Direction, mix *testbed.Workload) workload {
+	if mix != nil {
+		return workload{name: mix.Encode(), spec: mix.Spec(mix.Encode())}
+	}
+	spec, err := testbed.LookupAccessScenario(scenario, dir)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return workload{name: scenario, dir: dir.String(), spec: spec}
+}
+
+// backboneWL is accessWL for the backbone's direction-less workloads.
+func backboneWL(scenario string, mix *testbed.Workload) workload {
+	if mix != nil {
+		return workload{name: mix.Encode(), spec: mix.Spec(mix.Encode())}
+	}
+	spec, err := testbed.LookupBackboneScenario(scenario)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return workload{name: scenario, spec: spec}
+}
+
+// start launches the resolved populations; idle workloads (noBG and
+// empty mixes) leave the testbed untouched, exactly like the historic
+// `scenario != "noBG"` guard.
+func (w workload) start(tb interface{ StartWorkload(testbed.Spec) }) {
+	if w.spec.HasTraffic() {
+		tb.StartWorkload(w.spec)
+	}
+}
+
 // backboneVariant is accessVariant's counterpart for the backbone
 // testbed: congestion control, TCP tuning, and the bottleneck queue
 // discipline (applied to the congested server->client direction).
@@ -116,6 +171,7 @@ type backboneVariant struct {
 	downQueue queueFactory
 	cc        func() tcp.CongestionControl
 	tcpCfg    tcp.Config
+	mix       *testbed.Workload // see accessVariant.mix
 }
 
 func (v backboneVariant) config(buf int, seed uint64) testbed.Config {
@@ -159,8 +215,9 @@ func msToDuration(ms float64) time.Duration {
 // voipAccessTask describes one access VoIP cell: Reps bidirectional
 // calls under the named workload at the given buffers.
 func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v accessVariant) engine.Task {
+	wl := accessWL(scenario, dir, v.mix)
 	sp := engine.CellSpec{
-		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Testbed: "access", Scenario: wl.name, Direction: wl.dir,
 		Buffer: buf, BufferUp: v.bufUp, Media: "voip", Variant: v.tag,
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
@@ -172,9 +229,7 @@ func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, 
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
-		if scenario != "noBG" {
-			a.StartWorkload(testbed.AccessScenario(scenario, dir))
-		}
+		wl.start(a)
 		listen, talk := runVoIPPair(a, oc, cs)
 		now := a.Eng.Now()
 		return voipScore{
@@ -195,8 +250,9 @@ func (s *Session) voipAccessCell(o Options, scenario string, dir testbed.Directi
 // voipBackboneTask describes one backbone VoIP cell (unidirectional
 // calls, server -> client).
 func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) engine.Task {
+	wl := backboneWL(scenario, v.mix)
 	sp := engine.CellSpec{
-		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "voip",
+		Testbed: "backbone", Scenario: wl.name, Buffer: buf, Media: "voip",
 		Variant: v.tag,
 		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
@@ -207,9 +263,7 @@ func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) en
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		b := testbed.NewBackbone(cfg)
-		if scenario != "noBG" {
-			b.StartWorkload(testbed.BackboneScenario(scenario))
-		}
+		wl.start(b)
 		lib := cs.library(seed)
 		var mosS stats.Sample
 		for i := 0; i < oc.Reps; i++ {
@@ -237,12 +291,13 @@ func playoutTask(o Options, mode string) engine.Task {
 		Buffer: 256, Media: "voip", Variant: "playout=" + mode,
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
+	wl := accessWL("short-many", testbed.DirDown, nil)
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
 		a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: seed, Scratch: cs.tb()})
-		a.StartWorkload(testbed.AccessScenario("short-many", testbed.DirDown))
+		wl.start(a)
 		lib := cs.library(seed)
 		var mosS, z1S, lossS stats.Sample
 		for i := 0; i < oc.Reps; i++ {
@@ -281,8 +336,9 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 		}
 		variant += fmt.Sprintf("par=%d", fetchConns)
 	}
+	wl := accessWL(scenario, dir, v.mix)
 	sp := engine.CellSpec{
-		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Testbed: "access", Scenario: wl.name, Direction: wl.dir,
 		Buffer: buf, BufferUp: v.bufUp, Media: "web", Variant: variant,
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
@@ -294,9 +350,7 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
-		if scenario != "noBG" {
-			a.StartWorkload(testbed.AccessScenario(scenario, dir))
-		}
+		wl.start(a)
 		if fetchConns > 0 {
 			web.RegisterBrowserServer(a.MediaServerTCP, web.BrowserPort)
 			return webReps(a.Eng, oc, func(done func(web.Result)) {
@@ -319,8 +373,9 @@ func (s *Session) webAccessCell(o Options, scenario string, dir testbed.Directio
 
 // webBackboneTask describes one backbone web cell.
 func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) engine.Task {
+	wl := backboneWL(scenario, v.mix)
 	sp := engine.CellSpec{
-		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "web",
+		Testbed: "backbone", Scenario: wl.name, Buffer: buf, Media: "web",
 		Variant: v.tag,
 		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
@@ -331,9 +386,7 @@ func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) eng
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		b := testbed.NewBackbone(cfg)
-		if scenario != "noBG" {
-			b.StartWorkload(testbed.BackboneScenario(scenario))
-		}
+		wl.start(b)
 		web.RegisterServer(b.MediaServerTCP, web.Port)
 		return webReps(b.Eng, oc, func(done func(web.Result)) {
 			web.Fetch(b.MediaClientTCP, b.MediaServer.Addr(web.Port), 60*time.Second, done)
@@ -356,8 +409,9 @@ func videoVariantTag(clip video.Clip, p video.Profile, rec video.Recovery) strin
 // the composable probe path may ask for upload or bidirectional
 // background congestion instead.
 func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip video.Clip, p video.Profile, buf int, v accessVariant) engine.Task {
+	wl := accessWL(scenario, dir, v.mix)
 	sp := engine.CellSpec{
-		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Testbed: "access", Scenario: wl.name, Direction: wl.dir,
 		Buffer: buf, BufferUp: v.bufUp,
 		Media: "video", Variant: joinTags(videoVariantTag(clip, p, video.RecoveryNone), v.tag),
 		Link: linkTag(v.link),
@@ -371,9 +425,7 @@ func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip vid
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
-		if scenario != "noBG" {
-			a.StartWorkload(testbed.AccessScenario(scenario, dir))
-		}
+		wl.start(a)
 		return videoReps(a.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second,
 			func(done func(video.Result)) {
 				video.Start(a.MediaServer, a.MediaClient, src,
@@ -385,8 +437,9 @@ func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip vid
 // videoBackboneTask describes one backbone RTP-video cell, optionally
 // with ARQ/FEC recovery.
 func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Profile, rec video.Recovery, buf int, v backboneVariant) engine.Task {
+	wl := backboneWL(scenario, v.mix)
 	sp := engine.CellSpec{
-		Testbed: "backbone", Scenario: scenario, Buffer: buf,
+		Testbed: "backbone", Scenario: wl.name, Buffer: buf,
 		Media: "video", Variant: joinTags(videoVariantTag(clip, p, rec), v.tag),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
@@ -398,9 +451,7 @@ func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Prof
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		b := testbed.NewBackbone(cfg)
-		if scenario != "noBG" {
-			b.StartWorkload(testbed.BackboneScenario(scenario))
-		}
+		wl.start(b)
 		return videoReps(b.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second,
 			func(done func(video.Result)) {
 				video.Start(b.MediaServer, b.MediaClient, src,
@@ -444,15 +495,14 @@ func httpVideoTask(o Options, scenario string, buf int, player string) engine.Ta
 		Media: "httpvideo", Variant: "player=" + player,
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
+	wl := backboneWL(scenario, nil)
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
 		oc := o
 		oc.Seed = seed
 		mediaDur := time.Duration(oc.ClipSeconds*4) * time.Second
 		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed, Scratch: cs.tb()})
-		if scenario != "noBG" {
-			b.StartWorkload(testbed.BackboneScenario(scenario))
-		}
+		wl.start(b)
 		var mosS, rateS stats.Sample
 		remaining := oc.Reps
 		var next func()
@@ -504,8 +554,9 @@ func httpVideoTask(o Options, scenario string, buf int, player string) engine.Ta
 // workload for Warmup+Duration and report the link/queue statistics.
 func bgAccessTask(o Options, scenario string, dir testbed.Direction, bufUp, bufDown int) engine.Task {
 	v := accessVariant{bufUp: bufUp}
+	wl := accessWL(scenario, dir, nil)
 	sp := engine.CellSpec{
-		Testbed: "access", Scenario: scenario, Direction: dir.String(),
+		Testbed: "access", Scenario: wl.name, Direction: wl.dir,
 		Buffer: bufDown, BufferUp: bufUp, Media: "background",
 		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 	}
@@ -514,9 +565,7 @@ func bgAccessTask(o Options, scenario string, dir testbed.Direction, bufUp, bufD
 		cfg := v.config(bufDown, seed)
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
-		if scenario != "noBG" {
-			a.StartWorkload(testbed.AccessScenario(scenario, dir))
-		}
+		wl.start(a)
 		a.Eng.RunFor(o.Warmup + o.Duration)
 		now := a.Eng.Now()
 		m := bgMetrics{
@@ -548,12 +597,11 @@ func bgBackboneTask(o Options, scenario string, buf int) engine.Task {
 		Testbed: "backbone", Scenario: scenario, Buffer: buf, Media: "background",
 		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 	}
+	wl := backboneWL(scenario, nil)
 	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
 		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed, Scratch: cs.tb()})
-		if scenario != "noBG" {
-			b.StartWorkload(testbed.BackboneScenario(scenario))
-		}
+		wl.start(b)
 		b.Eng.RunFor(o.Warmup + o.Duration)
 		now := b.Eng.Now()
 		return bgMetrics{

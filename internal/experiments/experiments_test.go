@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -50,6 +52,30 @@ func TestIDsComplete(t *testing.T) {
 func TestUnknownID(t *testing.T) {
 	if _, err := Run("nope", tiny()); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// TestEveryRunnerBuildsItsCells drives every registered experiment
+// under an already-canceled context: each runner builds its full task
+// list (workload names resolve at task-build time, so a runner
+// handing an access builder a backbone scenario name — the fig9b bug
+// — panics right here), then the engine abandons the cells without
+// simulating anything. Cheap total coverage of every builder path.
+func TestEveryRunnerBuildsItsCells(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSession(1).WithContext(ctx)
+	for _, id := range IDs() {
+		res, err := s.Run(id, tiny())
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%s: %v", id, err)
+		}
+		// Cell-free experiments (table2, fig1* population analysis may
+		// still submit one cell) legitimately complete; everything else
+		// reports the cancellation.
+		if err == nil && res == nil {
+			t.Fatalf("%s: nil result without error", id)
+		}
 	}
 }
 

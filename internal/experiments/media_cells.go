@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bufferqoe/internal/engine"
 	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/sim"
 	"bufferqoe/internal/sizing"
@@ -154,8 +155,13 @@ func fig9(s *Session, o Options, variant string) (*Result, error) {
 		col := cols[bi]
 		for _, s := range scenarios {
 			for _, p := range profiles {
-				task := videoAccessTask(o, s, testbed.DirDown, clip, p, buf, accessVariant{})
-				if variant != "a" {
+				// Build only the variant's own task: workload names
+				// resolve at build time, and the backbone names are not
+				// access names.
+				var task engine.Task
+				if variant == "a" {
+					task = videoAccessTask(o, s, testbed.DirDown, clip, p, buf, accessVariant{})
+				} else {
 					task = videoBackboneTask(o, s, clip, p, video.RecoveryNone, buf, backboneVariant{})
 				}
 				jobs = append(jobs, cellJob{task, p.Name + "/" + s, col})

@@ -26,8 +26,18 @@ type ProbeSpec struct {
 	// jitter, and congestion direction exist on the access shape only;
 	// the backbone is downstream-congested as in the paper.
 	Testbed string
-	// Scenario is the Table 1 workload name; "" means "noBG".
+	// Scenario is the Table 1 workload name; "" means "noBG". Mutually
+	// exclusive with Mix.
 	Scenario string
+	// Mix, when non-nil, replaces the named preset with a composable
+	// workload. A mix equal to a Table 1 preset under some congestion
+	// direction is folded onto that preset's (Scenario, Direction)
+	// during normalization, so both spellings submit the identical
+	// cell spec and share one cache entry and CRN seed; a genuinely
+	// custom mix is canonicalized and carried on the cell spec's
+	// workload axis by its canonical encoding. Because a mix names its
+	// own directions, Direction must be left at its zero value.
+	Mix *testbed.Workload
 	// Direction is where the background congestion applies (access).
 	Direction testbed.Direction
 	// Buffer is the bottleneck buffer in packets (downlink on access).
@@ -135,9 +145,22 @@ func ccChoice(name, testbedName string) (func() tcp.CongestionControl, string, e
 }
 
 // normalize fills defaults and validates the spec without building
-// anything.
+// anything. A Mix is validated, canonicalized, and folded onto the
+// matching Table 1 preset when one exists, so the rest of the
+// pipeline sees exactly one spelling per workload.
 func (p ProbeSpec) normalize() (ProbeSpec, error) {
-	if p.Scenario == "" {
+	if p.Mix != nil {
+		if p.Scenario != "" {
+			return p, fmt.Errorf("set Scenario or Mix, not both (Scenario %q and a custom mix given)", p.Scenario)
+		}
+		if err := p.Mix.Validate(); err != nil {
+			return p, fmt.Errorf("invalid mix: %w", err)
+		}
+		if p.Direction != testbed.DirDown {
+			return p, fmt.Errorf("a mix names its own directions (Up/Down components); leave Direction at its zero value")
+		}
+	}
+	if p.Scenario == "" && p.Mix == nil {
 		p.Scenario = "noBG"
 	}
 	switch p.Testbed {
@@ -146,6 +169,25 @@ func (p ProbeSpec) normalize() (ProbeSpec, error) {
 	case "access", "backbone":
 	default:
 		return p, fmt.Errorf("unknown testbed %q (want access or backbone)", p.Testbed)
+	}
+	if p.Mix != nil {
+		canon := p.Mix.Canonical()
+		if p.Testbed == "backbone" {
+			if len(canon.Up) > 0 {
+				return p, fmt.Errorf("backbone mixes are downstream-only (Figure 3b): drop the Up components or use the access testbed")
+			}
+			if name, ok := testbed.MatchBackbonePreset(canon); ok {
+				p.Scenario, p.Mix = name, nil
+			} else {
+				p.Mix = &canon
+			}
+		} else {
+			if name, dir, ok := testbed.MatchAccessPreset(canon); ok {
+				p.Scenario, p.Direction, p.Mix = name, dir, nil
+			} else {
+				p.Mix = &canon
+			}
+		}
 	}
 	if p.Buffer <= 0 {
 		return p, fmt.Errorf("buffer must be positive, got %d", p.Buffer)
@@ -162,8 +204,10 @@ func (p ProbeSpec) normalize() (ProbeSpec, error) {
 		p.Profile = video.SD
 	}
 	if p.Testbed == "backbone" {
-		if _, err := testbed.LookupBackboneScenario(p.Scenario); err != nil {
-			return p, err
+		if p.Mix == nil {
+			if _, err := testbed.LookupBackboneScenario(p.Scenario); err != nil {
+				return p, err
+			}
 		}
 		if p.Direction != testbed.DirDown {
 			return p, fmt.Errorf("backbone congestion is downstream-only, got direction %v", p.Direction)
@@ -178,8 +222,10 @@ func (p ProbeSpec) normalize() (ProbeSpec, error) {
 			return p, fmt.Errorf("uplink buffer override exists on the access testbed only")
 		}
 	} else {
-		if _, err := testbed.LookupAccessScenario(p.Scenario, p.Direction); err != nil {
-			return p, err
+		if p.Mix == nil {
+			if _, err := testbed.LookupAccessScenario(p.Scenario, p.Direction); err != nil {
+				return p, err
+			}
 		}
 		if p.Jitter < 0 {
 			return p, fmt.Errorf("jitter must be non-negative, got %v", p.Jitter)
@@ -217,7 +263,7 @@ func (p ProbeSpec) task(o Options) (engine.Task, error) {
 
 	if p.Testbed == "backbone" {
 		downQ, _ := aqmFactory(p.AQM, testbed.BackboneRate, "aqm-down")
-		v := backboneVariant{tag: tag, downQueue: downQ, cc: cc}
+		v := backboneVariant{tag: tag, downQueue: downQ, cc: cc, mix: p.Mix}
 		switch p.Media {
 		case "voip":
 			return voipBackboneTask(o, p.Scenario, p.Buffer, v), nil
@@ -235,6 +281,7 @@ func (p ProbeSpec) task(o Options) (engine.Task, error) {
 		tag: tag, bufUp: p.BufferUp,
 		upQueue: upQ, downQueue: downQ,
 		cc: cc, jitter: p.Jitter, link: p.Link,
+		mix: p.Mix,
 	}
 	switch p.Media {
 	case "voip":

@@ -78,7 +78,7 @@ func binnedBytes(scenario string, dur time.Duration, seed uint64) []float64 {
 			bins[i] += float64(p.Size)
 		}
 	}
-	b.StartWorkload(testbed.BackboneScenario(scenario))
+	b.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario(scenario)))
 	b.Eng.RunFor(dur)
 	// Drop the slow-start warmup.
 	return bins[nBins/10:]

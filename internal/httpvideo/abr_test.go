@@ -54,7 +54,7 @@ func TestABRDownshiftsUnderCongestion(t *testing.T) {
 	}()
 	congested := func() float64 {
 		b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 2})
-		b.StartWorkload(testbed.BackboneScenario("long"))
+		b.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario("long")))
 		b.Eng.RunFor(3 * time.Second)
 		return abrWatch(t, b, ABRConfig{MediaDuration: 16 * time.Second}).MeanBitrate
 	}()
@@ -68,12 +68,12 @@ func TestABRDownshiftsUnderCongestion(t *testing.T) {
 func runBoth(t *testing.T, scenario string) (abr ABRResult, prog Result) {
 	t.Helper()
 	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 3})
-	b.StartWorkload(testbed.BackboneScenario(scenario))
+	b.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario(scenario)))
 	b.Eng.RunFor(3 * time.Second)
 	abr = abrWatch(t, b, ABRConfig{MediaDuration: 16 * time.Second})
 
 	b2 := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 3})
-	b2.StartWorkload(testbed.BackboneScenario(scenario))
+	b2.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario(scenario)))
 	b2.Eng.RunFor(3 * time.Second)
 	cfg := Config{Bitrate: 4e6, MediaDuration: 16 * time.Second}
 	RegisterServer(b2.MediaServerTCP, Port, cfg)

@@ -46,7 +46,7 @@ func TestCongestionCausesStalls(t *testing.T) {
 	// collapses under sustained congestion — but via stalls, not
 	// artifacts.
 	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 2})
-	b.StartWorkload(testbed.BackboneScenario("short-overload"))
+	b.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario("short-overload")))
 	b.Eng.RunFor(5 * time.Second)
 	r := watch(t, b, Config{MediaDuration: 8 * time.Second})
 	if r.Stalls == 0 && r.StartupDelay < 3*time.Second && r.Completed {
@@ -71,7 +71,7 @@ func TestTCPVideoToleratesModerateLossUnlikeRTP(t *testing.T) {
 	// hide moderate loss behind the playback buffer, so medium load
 	// that would blemish RTP video leaves HTTP video clean.
 	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 4})
-	b.StartWorkload(testbed.BackboneScenario("short-medium"))
+	b.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario("short-medium")))
 	b.Eng.RunFor(5 * time.Second)
 	r := watch(t, b, Config{MediaDuration: 8 * time.Second})
 	if !r.Completed || r.Stalls > 0 {

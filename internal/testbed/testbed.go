@@ -289,24 +289,29 @@ func (d Direction) String() string {
 }
 
 // Spec pairs the up and down session populations of one scenario.
+// Each direction holds zero or more harpoon populations, started in
+// order on one shared generator — the compiled form of a Workload
+// (preset or custom mix).
 type Spec struct {
 	Name     string
-	Up, Down harpoon.Spec // zero Sessions = no traffic
+	Up, Down []harpoon.Spec // empty = no traffic in that direction
+}
+
+// HasTraffic reports whether the spec starts any background traffic.
+func (s Spec) HasTraffic() bool { return len(s.Up)+len(s.Down) > 0 }
+
+// MustSpec unwraps a preset lookup whose name is a compile-time
+// literal — the test/benchmark companion of the non-panicking
+// Lookup* variants. Validated paths must use the Lookup* errors.
+func MustSpec(s Spec, err error) Spec {
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // AccessScenarioNames lists the access workloads of Table 1.
 var AccessScenarioNames = []string{"noBG", "long-few", "long-many", "short-few", "short-many"}
-
-// AccessScenario returns the Table 1 session populations for a named
-// access workload restricted to a direction. It panics on an unknown
-// name; validated paths should use LookupAccessScenario.
-func AccessScenario(name string, dir Direction) Spec {
-	s, err := LookupAccessScenario(name, dir)
-	if err != nil {
-		panic("testbed: " + err.Error())
-	}
-	return s
-}
 
 // LookupAccessScenario returns the Table 1 session populations for a
 // named access workload restricted to a direction, or an error for an
@@ -318,47 +323,46 @@ func LookupAccessScenario(name string, dir Direction) (Spec, error) {
 	default:
 		return Spec{}, fmt.Errorf("unknown direction %d (want DirDown, DirUp, DirBidir)", dir)
 	}
-	var up, down harpoon.Spec
-	switch name {
-	case "noBG":
-	case "short-few":
-		up = harpoon.Spec{Sessions: 1, Parallel: 8, Think: 200 * time.Millisecond}
-		down = harpoon.Spec{Sessions: 8, Parallel: 3, Think: 1500 * time.Millisecond}
-	case "short-many":
-		up = harpoon.Spec{Sessions: 1, Parallel: 8, Think: 200 * time.Millisecond}
-		down = harpoon.Spec{Sessions: 16, Parallel: 3, Think: 1500 * time.Millisecond}
-	case "long-few":
-		up = harpoon.Spec{Sessions: 1, Infinite: true}
-		down = harpoon.Spec{Sessions: 8, Infinite: true}
-	case "long-many":
-		up = harpoon.Spec{Sessions: 8, Infinite: true}
-		down = harpoon.Spec{Sessions: 64, Infinite: true}
-	default:
-		return Spec{}, fmt.Errorf("unknown access scenario %q (have %v)", name, AccessScenarioNames)
+	w, err := AccessWorkload(name)
+	if err != nil {
+		return Spec{}, err
 	}
-	s := Spec{Name: name}
-	if dir == DirUp || dir == DirBidir {
-		s.Up = up
+	return tableSpec(name, w.Mask(dir)), nil
+}
+
+// tableSpec compiles a preset workload verbatim — table form, not the
+// canonical loops form — so preset populations are byte-identical to
+// the paper's Table 1 rows (custom mixes compile via Workload.Spec
+// instead; the two forms provably start identical loop populations,
+// covered by the facade's preset-vs-mix bit-identity test).
+func tableSpec(name string, w Workload) Spec {
+	out := Spec{Name: name}
+	for _, c := range w.Up {
+		out.Up = append(out.Up, c.spec())
 	}
-	if dir == DirDown || dir == DirBidir {
-		s.Down = down
+	for _, c := range w.Down {
+		out.Down = append(out.Down, c.spec())
 	}
-	return s, nil
+	return out
 }
 
 // StartWorkload launches the background traffic of a scenario and
-// begins sampling bottleneck utilization and flow concurrency.
+// begins sampling bottleneck utilization and flow concurrency. The
+// populations of a direction start in spec order on one generator, so
+// the realization is a pure function of the (canonicalized) spec.
 func (a *Access) StartWorkload(s Spec) {
-	if s.Down.Sessions > 0 {
+	if len(s.Down) > 0 {
 		for _, st := range a.BGClients {
 			harpoon.RegisterSink(st, harpoon.SinkPort)
 		}
 		sinks := sinkAddrs(a.BGClients)
 		a.DownGen = harpoon.NewGenerator(a.Eng, sim.NewRNG(a.seed, "harpoon-down"), a.BGServers, sinks)
-		a.DownGen.Start(s.Down)
+		for _, sp := range s.Down {
+			a.DownGen.Start(sp)
+		}
 		a.DownGen.StartConcurrencySampling(time.Second)
 	}
-	if s.Up.Sessions > 0 {
+	if len(s.Up) > 0 {
 		for _, st := range a.BGServers {
 			harpoon.RegisterSink(st, harpoon.SinkPort+1)
 		}
@@ -367,7 +371,9 @@ func (a *Access) StartWorkload(s Spec) {
 			sinks = append(sinks, st.Node().Addr(harpoon.SinkPort+1))
 		}
 		a.UpGen = harpoon.NewGenerator(a.Eng, sim.NewRNG(a.seed, "harpoon-up"), a.BGClients, sinks)
-		a.UpGen.Start(s.Up)
+		for _, sp := range s.Up {
+			a.UpGen.Start(sp)
+		}
 		a.UpGen.StartConcurrencySampling(time.Second)
 	}
 	a.UpLink.Monitor.StartSampling(a.Eng, time.Second)
@@ -479,47 +485,27 @@ func nonzero(a, b int) int {
 // BackboneScenarioNames lists the backbone workloads of Table 1.
 var BackboneScenarioNames = []string{"noBG", "short-low", "short-medium", "short-high", "short-overload", "long"}
 
-// BackboneScenario returns the Table 1 backbone session population
-// (downstream only, as in the paper). It panics on an unknown name;
-// validated paths should use LookupBackboneScenario.
-func BackboneScenario(name string) Spec {
-	s, err := LookupBackboneScenario(name)
-	if err != nil {
-		panic("testbed: " + err.Error())
-	}
-	return s
-}
-
 // LookupBackboneScenario returns the Table 1 backbone session
-// population, or an error for an unknown name.
+// population (downstream only, as in the paper), or an error for an
+// unknown name.
 func LookupBackboneScenario(name string) (Spec, error) {
-	var down harpoon.Spec
-	switch name {
-	case "noBG":
-	case "short-low":
-		down = harpoon.Spec{Sessions: 30, Parallel: 3, Think: 1200 * time.Millisecond}
-	case "short-medium":
-		down = harpoon.Spec{Sessions: 90, Parallel: 3, Think: 1200 * time.Millisecond}
-	case "short-high":
-		down = harpoon.Spec{Sessions: 180, Parallel: 3, Think: 1200 * time.Millisecond}
-	case "short-overload":
-		down = harpoon.Spec{Sessions: 768, Parallel: 3, Think: 1200 * time.Millisecond}
-	case "long":
-		down = harpoon.Spec{Sessions: 768, Infinite: true}
-	default:
-		return Spec{}, fmt.Errorf("unknown backbone scenario %q (have %v)", name, BackboneScenarioNames)
+	w, err := BackboneWorkload(name)
+	if err != nil {
+		return Spec{}, err
 	}
-	return Spec{Name: name, Down: down}, nil
+	return tableSpec(name, w), nil
 }
 
 // StartWorkload launches the backbone background traffic.
 func (b *Backbone) StartWorkload(s Spec) {
-	if s.Down.Sessions > 0 {
+	if len(s.Down) > 0 {
 		for _, st := range b.BGClients {
 			harpoon.RegisterSink(st, harpoon.SinkPort)
 		}
 		b.Gen = harpoon.NewGenerator(b.Eng, sim.NewRNG(b.seed, "harpoon-bb"), b.BGServers, sinkAddrs(b.BGClients))
-		b.Gen.Start(s.Down)
+		for _, sp := range s.Down {
+			b.Gen.Start(sp)
+		}
 		b.Gen.StartConcurrencySampling(time.Second)
 	}
 	b.DownLink.Monitor.StartSampling(b.Eng, time.Second)

@@ -42,60 +42,59 @@ func TestBackboneBaseRTT(t *testing.T) {
 	}
 }
 
+func sessions(specs []harpoon.Spec) int {
+	n := 0
+	for _, s := range specs {
+		n += s.Sessions
+	}
+	return n
+}
+
 func TestAccessScenarioDefinitions(t *testing.T) {
 	for _, name := range AccessScenarioNames {
 		for _, dir := range []Direction{DirUp, DirDown, DirBidir} {
-			s := AccessScenario(name, dir)
+			s := MustSpec(LookupAccessScenario(name, dir))
 			if s.Name != name {
 				t.Fatalf("scenario name %q != %q", s.Name, name)
 			}
-			if name == "noBG" && (s.Up.Sessions != 0 || s.Down.Sessions != 0) {
+			if name == "noBG" && s.HasTraffic() {
 				t.Fatal("noBG has sessions")
 			}
-			if dir == DirUp && s.Down.Sessions != 0 {
+			if dir == DirUp && len(s.Down) != 0 {
 				t.Fatalf("%s up-only has down sessions", name)
 			}
-			if dir == DirDown && s.Up.Sessions != 0 {
+			if dir == DirDown && len(s.Up) != 0 {
 				t.Fatalf("%s down-only has up sessions", name)
 			}
 		}
 	}
 	// Table 1: long-many is 8 up / 64 down infinite flows.
-	s := AccessScenario("long-many", DirBidir)
-	if s.Up.Sessions != 8 || s.Down.Sessions != 64 || !s.Up.Infinite {
+	s := MustSpec(LookupAccessScenario("long-many", DirBidir))
+	if sessions(s.Up) != 8 || sessions(s.Down) != 64 || !s.Up[0].Infinite {
 		t.Fatalf("long-many = %+v", s)
 	}
 }
 
 func TestBackboneScenarioDefinitions(t *testing.T) {
 	for _, name := range BackboneScenarioNames {
-		s := BackboneScenario(name)
-		if s.Up.Sessions != 0 {
+		s := MustSpec(LookupBackboneScenario(name))
+		if len(s.Up) != 0 {
 			t.Fatalf("%s: backbone must be downstream-only", name)
 		}
 	}
-	if BackboneScenario("short-overload").Down.Sessions != 768 {
+	if sessions(MustSpec(LookupBackboneScenario("short-overload")).Down) != 768 {
 		t.Fatal("short-overload sessions != 3*256")
 	}
-	if !BackboneScenario("long").Down.Infinite {
+	if !MustSpec(LookupBackboneScenario("long")).Down[0].Infinite {
 		t.Fatal("long not infinite")
 	}
-}
-
-func TestUnknownScenarioPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	AccessScenario("nope", DirDown)
 }
 
 func TestAccessLongDownSaturatesDownlink(t *testing.T) {
 	// Table 1: long downstream scenarios reach ~100% downlink
 	// utilization at BDP buffers.
 	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 2})
-	a.StartWorkload(AccessScenario("long-few", DirDown))
+	a.StartWorkload(MustSpec(LookupAccessScenario("long-few", DirDown)))
 	a.Eng.RunUntil(sim.Time(30 * time.Second))
 	util := a.DownLink.Monitor.MeanUtilization(a.Eng.Now())
 	if util < 90 {
@@ -112,7 +111,7 @@ func TestAccessUpWorkloadSaturatesUplink(t *testing.T) {
 	// Table 1: upstream scenarios saturate the 1 Mbit/s uplink with
 	// substantial loss.
 	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 3})
-	a.StartWorkload(AccessScenario("short-few", DirUp))
+	a.StartWorkload(MustSpec(LookupAccessScenario("short-few", DirUp)))
 	a.Eng.RunUntil(sim.Time(30 * time.Second))
 	util := a.UpLink.Monitor.MeanUtilization(a.Eng.Now())
 	if util < 85 {
@@ -127,7 +126,7 @@ func TestAccessShortFewDownModerate(t *testing.T) {
 	// Table 1: short-few downstream yields moderate (~40-60%)
 	// downlink utilization — the key "moderate load" regime.
 	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 4})
-	a.StartWorkload(AccessScenario("short-few", DirDown))
+	a.StartWorkload(MustSpec(LookupAccessScenario("short-few", DirDown)))
 	a.Eng.RunUntil(sim.Time(60 * time.Second))
 	util := a.DownLink.Monitor.MeanUtilization(a.Eng.Now())
 	if util < 20 || util > 75 {
@@ -135,7 +134,7 @@ func TestAccessShortFewDownModerate(t *testing.T) {
 	}
 	// short-many must load the link more than short-few.
 	a2 := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 4})
-	a2.StartWorkload(AccessScenario("short-many", DirDown))
+	a2.StartWorkload(MustSpec(LookupAccessScenario("short-many", DirDown)))
 	a2.Eng.RunUntil(sim.Time(60 * time.Second))
 	util2 := a2.DownLink.Monitor.MeanUtilization(a2.Eng.Now())
 	if util2 <= util {
@@ -149,7 +148,7 @@ func TestBufferbloatDelaysGrowWithBufferSize(t *testing.T) {
 	delays := map[int]float64{}
 	for _, buf := range []int{8, 256} {
 		a := NewAccess(Config{BufferUp: buf, BufferDown: buf, Seed: 5})
-		a.StartWorkload(AccessScenario("long-many", DirUp))
+		a.StartWorkload(MustSpec(LookupAccessScenario("long-many", DirUp)))
 		a.Eng.RunUntil(sim.Time(30 * time.Second))
 		delays[buf] = a.UpMon.MeanDelayMs()
 	}
@@ -166,7 +165,7 @@ func TestBackboneUtilizationLadder(t *testing.T) {
 	utils := map[string]float64{}
 	for _, name := range []string{"short-low", "short-medium", "short-high"} {
 		b := NewBackbone(Config{BufferDown: 749, Seed: 6})
-		b.StartWorkload(BackboneScenario(name))
+		b.StartWorkload(MustSpec(LookupBackboneScenario(name)))
 		b.Eng.RunUntil(sim.Time(30 * time.Second))
 		utils[name] = b.DownLink.Monitor.MeanUtilization(b.Eng.Now())
 	}
@@ -183,7 +182,7 @@ func TestBackboneUtilizationLadder(t *testing.T) {
 
 func TestBackboneOverloadLoss(t *testing.T) {
 	b := NewBackbone(Config{BufferDown: 749, Seed: 7})
-	b.StartWorkload(BackboneScenario("short-overload"))
+	b.StartWorkload(MustSpec(LookupBackboneScenario("short-overload")))
 	b.Eng.RunUntil(sim.Time(20 * time.Second))
 	util := b.DownLink.Monitor.MeanUtilization(b.Eng.Now())
 	if util < 90 {
@@ -196,7 +195,7 @@ func TestBackboneOverloadLoss(t *testing.T) {
 
 func TestHarpoonSinkAndCompletion(t *testing.T) {
 	a := NewAccess(Config{BufferUp: 64, BufferDown: 64, Seed: 8})
-	a.StartWorkload(AccessScenario("short-few", DirDown))
+	a.StartWorkload(MustSpec(LookupAccessScenario("short-few", DirDown)))
 	a.Eng.RunUntil(sim.Time(30 * time.Second))
 	st := a.DownGen.Stats()
 	if st.Completed == 0 {
@@ -243,7 +242,7 @@ func TestDataPendulum(t *testing.T) {
 	// value.
 	mkUtil := func(dir Direction) float64 {
 		a := NewAccess(Config{BufferUp: 256, BufferDown: 8, Seed: 11})
-		a.StartWorkload(AccessScenario("long-few", dir))
+		a.StartWorkload(MustSpec(LookupAccessScenario("long-few", dir)))
 		a.Eng.RunUntil(sim.Time(40 * time.Second))
 		return a.DownLink.Monitor.MeanUtilization(a.Eng.Now())
 	}
@@ -292,14 +291,10 @@ func TestScenarioLookupErrors(t *testing.T) {
 	if _, err := LookupBackboneScenario("nope"); err == nil {
 		t.Fatal("unknown backbone scenario accepted")
 	}
-	if s, err := LookupAccessScenario("long-few", DirUp); err != nil || s.Up.Sessions == 0 {
+	if s, err := LookupAccessScenario("long-few", DirUp); err != nil || sessions(s.Up) == 0 {
 		t.Fatalf("long-few up: %+v, %v", s, err)
 	}
-	// The panicking wrappers must still panic for legacy callers.
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AccessScenario did not panic on unknown name")
-		}
-	}()
-	AccessScenario("nope", DirDown)
+	if _, err := LookupAccessScenario("long-few", Direction(99)); err == nil {
+		t.Fatal("out-of-range direction accepted")
+	}
 }

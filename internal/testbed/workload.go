@@ -1,0 +1,372 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bufferqoe/internal/harpoon"
+)
+
+// Component is one typed traffic population of a workload direction:
+// either long-lived bulk flows (Infinite) or a harpoon-style web
+// session population (Sessions closed loops issuing Weibull-sized
+// transfers with exponential think times). The Table 1 presets and
+// arbitrary custom mixes are both built from Components, so "between
+// and beyond the presets" is the same type as the presets themselves.
+type Component struct {
+	// Sessions is the number of user sessions (Table 1 "# Sessions").
+	Sessions int
+	// Parallel is the number of independent request loops per session;
+	// 0 means 1. A session's loops are indistinguishable from extra
+	// sessions (harpoon loops share nothing), which is why
+	// canonicalization folds Sessions x Parallel into a loop count.
+	Parallel int
+	// Think is the mean exponential gap between a transfer completing
+	// and the loop's next request. Ignored for Infinite components.
+	Think time.Duration
+	// Infinite marks long-lived bulk flows (iperf-style) instead of
+	// closed request loops.
+	Infinite bool
+}
+
+// loops is the number of independent request loops the component
+// expands to (harpoon.Spec.Loops).
+func (c Component) loops() int {
+	p := c.Parallel
+	if p < 1 {
+		p = 1
+	}
+	return c.Sessions * p
+}
+
+// spec converts the component verbatim into its harpoon population.
+func (c Component) spec() harpoon.Spec {
+	return harpoon.Spec{Sessions: c.Sessions, Parallel: c.Parallel, Think: c.Think, Infinite: c.Infinite}
+}
+
+// Workload is a composable background-traffic mix: typed components
+// per direction plus a scale multiplier applied to every session
+// count. The Table 1 presets are Workload values (AccessWorkload /
+// BackboneWorkload); custom mixes are the same type, so both flow
+// through one compile step (Spec), one canonical cache encoding
+// (Encode), and one CRN seed derivation.
+type Workload struct {
+	// Up / Down are the traffic components per congestion direction.
+	Up, Down []Component
+	// Scale multiplies the session count of every component; 0 and 1
+	// both mean unscaled.
+	Scale int
+}
+
+// MaxWorkloadLoops bounds the total request loops a workload may
+// expand to, as a guard against runaway mixes (the paper's largest
+// population, backbone short-overload, is 2304 loops).
+const MaxWorkloadLoops = 1 << 20
+
+// Validate reports whether the workload can be compiled: no negative
+// knobs, and a bounded total population. Every multiplication is
+// guarded against the cap before it happens, so oversized session
+// counts are rejected rather than overflowing into a silently
+// wrong (or empty) population.
+func (w Workload) Validate() error {
+	if w.Scale < 0 {
+		return fmt.Errorf("workload scale must be non-negative, got %d", w.Scale)
+	}
+	total := 0
+	for side, comps := range map[string][]Component{"up": w.Up, "down": w.Down} {
+		for i, c := range comps {
+			switch {
+			case c.Sessions < 0:
+				return fmt.Errorf("%s component %d: sessions must be non-negative, got %d", side, i, c.Sessions)
+			case c.Parallel < 0:
+				return fmt.Errorf("%s component %d: parallel must be non-negative, got %d", side, i, c.Parallel)
+			case c.Think < 0:
+				return fmt.Errorf("%s component %d: think time must be non-negative, got %v", side, i, c.Think)
+			}
+			p := c.Parallel
+			if p < 1 {
+				p = 1
+			}
+			// Factors capped first, so Sessions*p (<= cap^2) cannot
+			// overflow; then the product and the running total.
+			if c.Sessions > MaxWorkloadLoops || p > MaxWorkloadLoops || c.Sessions*p > MaxWorkloadLoops {
+				return fmt.Errorf("%s component %d: %d sessions x %d loops exceeds the %d-loop cap", side, i, c.Sessions, p, MaxWorkloadLoops)
+			}
+			total += c.Sessions * p
+			if total > MaxWorkloadLoops {
+				return fmt.Errorf("workload expands to %d loops, above the %d cap", total, MaxWorkloadLoops)
+			}
+		}
+	}
+	scale := w.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	// total*scale > cap, without computing the overflowable product.
+	if total > 0 && scale > MaxWorkloadLoops/total {
+		return fmt.Errorf("workload expands to more than %d loops after scaling %d loops by %d", MaxWorkloadLoops, total, scale)
+	}
+	return nil
+}
+
+// canonComponents normalizes one direction's components: session
+// parallelism folds into a loop count, the scale multiplier applies,
+// think times of bulk flows are dropped (unused), equal-shaped
+// components merge by summing loops, empty components vanish, and the
+// result is sorted (bulk flows first, then web populations by think
+// time). Two mixes describing the same traffic — in any component
+// order, any Sessions x Parallel split, any scale spelling — thus
+// normalize to the same component list, which is both the cache
+// encoding and the order the simulator starts them in.
+func canonComponents(comps []Component, scale int) []Component {
+	type key struct {
+		infinite bool
+		think    time.Duration
+	}
+	loops := map[key]int{}
+	for _, c := range comps {
+		n := c.loops() * scale
+		if n <= 0 {
+			continue
+		}
+		k := key{infinite: c.Infinite, think: c.Think}
+		if c.Infinite {
+			k.think = 0
+		}
+		loops[k] += n
+	}
+	out := make([]Component, 0, len(loops))
+	for k, n := range loops {
+		out = append(out, Component{Sessions: n, Parallel: 1, Think: k.think, Infinite: k.infinite})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Infinite != out[j].Infinite {
+			return out[i].Infinite
+		}
+		return out[i].Think < out[j].Think
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Canonical returns the workload's normal form; see canonComponents.
+// Canonical workloads compare equal exactly when they describe the
+// same traffic, and the simulator always runs the canonical form, so
+// the encoding never diverges from the realization.
+func (w Workload) Canonical() Workload {
+	scale := w.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	return Workload{Up: canonComponents(w.Up, scale), Down: canonComponents(w.Down, scale)}
+}
+
+// IsEmpty reports whether the workload generates no traffic (the noBG
+// scenario).
+func (w Workload) IsEmpty() bool {
+	c := w.Canonical()
+	return len(c.Up) == 0 && len(c.Down) == 0
+}
+
+// Equal reports canonical equality: w and o describe the same traffic.
+func (w Workload) Equal(o Workload) bool {
+	a, b := w.Canonical(), o.Canonical()
+	return componentsEqual(a.Up, b.Up) && componentsEqual(a.Down, b.Down)
+}
+
+func componentsEqual(a, b []Component) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mask restricts the workload to a congestion direction, the way the
+// paper's Table 1 scenarios are applied ("Only downstream", "Up and
+// downstream", "Only upstream").
+func (w Workload) Mask(dir Direction) Workload {
+	out := Workload{Scale: w.Scale}
+	if dir == DirUp || dir == DirBidir {
+		out.Up = w.Up
+	}
+	if dir == DirDown || dir == DirBidir {
+		out.Down = w.Down
+	}
+	return out
+}
+
+// Encode renders the canonical form as the cache/seed encoding the
+// cell engine sees, e.g. "up:long=8;down:long=48,web=24/1.5s". The
+// rendering is injective over canonical workloads — distinct mixes
+// never collide — and the empty workload encodes as "noBG". Preset
+// detection is separate (MatchAccessPreset / MatchBackbonePreset):
+// builders must map preset-equal mixes to the preset's name so both
+// spellings share one cache cell.
+func (w Workload) Encode() string {
+	c := w.Canonical()
+	var parts []string
+	if s := encodeSide(c.Up); s != "" {
+		parts = append(parts, "up:"+s)
+	}
+	if s := encodeSide(c.Down); s != "" {
+		parts = append(parts, "down:"+s)
+	}
+	if len(parts) == 0 {
+		return "noBG"
+	}
+	return strings.Join(parts, ";")
+}
+
+func encodeSide(comps []Component) string {
+	var out []string
+	for _, c := range comps {
+		if c.Infinite {
+			out = append(out, fmt.Sprintf("long=%d", c.Sessions))
+		} else {
+			out = append(out, fmt.Sprintf("web=%d/%s", c.Sessions, c.Think))
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// Describe renders a human-readable component breakdown, e.g.
+// "up: 8 long-lived flows; down: 64 web loops (think 1.5s)".
+func (w Workload) Describe() string {
+	c := w.Canonical()
+	var parts []string
+	if s := describeSide(c.Up); s != "" {
+		parts = append(parts, "up: "+s)
+	}
+	if s := describeSide(c.Down); s != "" {
+		parts = append(parts, "down: "+s)
+	}
+	if len(parts) == 0 {
+		return "idle (no background traffic)"
+	}
+	return strings.Join(parts, "; ")
+}
+
+func describeSide(comps []Component) string {
+	var out []string
+	for _, c := range comps {
+		if c.Infinite {
+			out = append(out, fmt.Sprintf("%d long-lived flow(s)", c.Sessions))
+		} else {
+			out = append(out, fmt.Sprintf("%d web loop(s), think %s", c.Sessions, c.Think))
+		}
+	}
+	return strings.Join(out, " + ")
+}
+
+// Spec compiles the workload into the session populations the
+// testbeds start: the canonical components, in canonical order, one
+// harpoon population each. The realization is therefore a pure
+// function of the canonical form, never of how the mix was spelled.
+func (w Workload) Spec(name string) Spec {
+	c := w.Canonical()
+	out := Spec{Name: name}
+	for _, comp := range c.Up {
+		out.Up = append(out.Up, comp.spec())
+	}
+	for _, comp := range c.Down {
+		out.Down = append(out.Down, comp.spec())
+	}
+	return out
+}
+
+// accessWorkloads is the single source of the Table 1 access presets:
+// full (unmasked) up and down populations, in the paper's table form.
+// Parallelism and think times are the calibration documented in the
+// harpoon package comment.
+var accessWorkloads = map[string]Workload{
+	"noBG": {},
+	"short-few": {
+		Up:   []Component{{Sessions: 1, Parallel: 8, Think: 200 * time.Millisecond}},
+		Down: []Component{{Sessions: 8, Parallel: 3, Think: 1500 * time.Millisecond}},
+	},
+	"short-many": {
+		Up:   []Component{{Sessions: 1, Parallel: 8, Think: 200 * time.Millisecond}},
+		Down: []Component{{Sessions: 16, Parallel: 3, Think: 1500 * time.Millisecond}},
+	},
+	"long-few": {
+		Up:   []Component{{Sessions: 1, Infinite: true}},
+		Down: []Component{{Sessions: 8, Infinite: true}},
+	},
+	"long-many": {
+		Up:   []Component{{Sessions: 8, Infinite: true}},
+		Down: []Component{{Sessions: 64, Infinite: true}},
+	},
+}
+
+// backboneWorkloads is the single source of the Table 1 backbone
+// presets (downstream only, as in the paper).
+var backboneWorkloads = map[string]Workload{
+	"noBG":           {},
+	"short-low":      {Down: []Component{{Sessions: 30, Parallel: 3, Think: 1200 * time.Millisecond}}},
+	"short-medium":   {Down: []Component{{Sessions: 90, Parallel: 3, Think: 1200 * time.Millisecond}}},
+	"short-high":     {Down: []Component{{Sessions: 180, Parallel: 3, Think: 1200 * time.Millisecond}}},
+	"short-overload": {Down: []Component{{Sessions: 768, Parallel: 3, Think: 1200 * time.Millisecond}}},
+	"long":           {Down: []Component{{Sessions: 768, Infinite: true}}},
+}
+
+// AccessWorkload returns the full (unmasked) Table 1 access workload
+// for a preset name.
+func AccessWorkload(name string) (Workload, error) {
+	w, ok := accessWorkloads[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("unknown access scenario %q (have %v)", name, AccessScenarioNames)
+	}
+	return w, nil
+}
+
+// BackboneWorkload returns the Table 1 backbone workload for a preset
+// name.
+func BackboneWorkload(name string) (Workload, error) {
+	w, ok := backboneWorkloads[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("unknown backbone scenario %q (have %v)", name, BackboneScenarioNames)
+	}
+	return w, nil
+}
+
+// matchDirections is the deterministic probe order for preset
+// matching; noBG masks equal under every direction, and DirDown first
+// makes the fold land on the canonical idle cell.
+var matchDirections = []Direction{DirDown, DirUp, DirBidir}
+
+// MatchAccessPreset reports whether the workload is one of the
+// Table 1 access presets under some congestion direction. Builders
+// fold matching mixes onto the preset's (name, direction) cell so a
+// custom spelling of a paper scenario answers from — and warms — the
+// same cache entry as the preset, with the same CRN-paired seed.
+func MatchAccessPreset(w Workload) (name string, dir Direction, ok bool) {
+	for _, n := range AccessScenarioNames {
+		full := accessWorkloads[n]
+		for _, d := range matchDirections {
+			if full.Mask(d).Equal(w) {
+				return n, d, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// MatchBackbonePreset is MatchAccessPreset for the backbone's
+// direction-less preset table.
+func MatchBackbonePreset(w Workload) (name string, ok bool) {
+	for _, n := range BackboneScenarioNames {
+		if backboneWorkloads[n].Equal(w) {
+			return n, true
+		}
+	}
+	return "", false
+}

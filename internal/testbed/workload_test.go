@@ -1,0 +1,229 @@
+package testbed
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randWorkload draws a random workload: up to 3 components per side
+// from a small palette of think times, random session/parallel
+// splits, and an occasional scale.
+func randWorkload(r *rand.Rand) Workload {
+	thinks := []time.Duration{0, 200 * time.Millisecond, time.Second, 1500 * time.Millisecond}
+	side := func() []Component {
+		n := r.Intn(4)
+		out := make([]Component, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, Component{
+				Sessions: r.Intn(5),
+				Parallel: r.Intn(4),
+				Think:    thinks[r.Intn(len(thinks))],
+				Infinite: r.Intn(2) == 0,
+			})
+		}
+		return out
+	}
+	return Workload{Up: side(), Down: side(), Scale: r.Intn(3)}
+}
+
+// reshuffle returns an equivalent respelling: permuted component
+// order, random Sessions x Parallel resplits of each loop count, and
+// the scale folded in or factored out.
+func reshuffle(r *rand.Rand, w Workload) Workload {
+	scale := w.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	respell := func(comps []Component) []Component {
+		out := make([]Component, 0, len(comps))
+		for _, c := range comps {
+			loops := c.loops() * scale
+			if loops == 0 {
+				// A dead component may vanish or stay; both spellings are
+				// equivalent.
+				if r.Intn(2) == 0 {
+					out = append(out, Component{Parallel: c.Parallel, Think: c.Think, Infinite: c.Infinite})
+				}
+				continue
+			}
+			// Split the loops into up to three chunks with random
+			// sessions x parallel factorizations.
+			for loops > 0 {
+				chunk := 1 + r.Intn(loops)
+				loops -= chunk
+				c2 := Component{Sessions: chunk, Parallel: 1, Think: c.Think, Infinite: c.Infinite}
+				if c.Infinite {
+					c2.Think = time.Duration(r.Intn(2)) * time.Second // ignored for bulk flows
+				}
+				out = append(out, c2)
+			}
+		}
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	return Workload{Up: respell(w.Up), Down: respell(w.Down)}
+}
+
+// TestWorkloadCanonicalizationProperties is the property test the
+// cache-key guarantee rests on: canonicalization is order- and
+// spelling-insensitive (equivalent mixes share one encoding) and
+// collision-free (distinct canonical mixes never share one).
+func TestWorkloadCanonicalizationProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	seen := map[string]Workload{}
+	for i := 0; i < 2000; i++ {
+		w := randWorkload(r)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("random workload invalid: %v", err)
+		}
+		enc := w.Encode()
+
+		// Order/spelling insensitivity: every respelling encodes and
+		// canonicalizes identically.
+		for j := 0; j < 3; j++ {
+			alt := reshuffle(r, w)
+			if got := alt.Encode(); got != enc {
+				t.Fatalf("respelling changed encoding:\n%+v -> %q\n%+v -> %q", w, enc, alt, got)
+			}
+			if !alt.Equal(w) {
+				t.Fatalf("respelling not Equal: %+v vs %+v", w, alt)
+			}
+		}
+
+		// Collision freedom: equal encodings imply equal canonical
+		// workloads across everything ever generated.
+		if prev, ok := seen[enc]; ok {
+			if !prev.Equal(w) {
+				t.Fatalf("encoding collision %q:\n%+v\n%+v", enc, prev, w)
+			}
+		} else {
+			seen[enc] = w
+		}
+
+		// The compiled Spec must follow the canonical form exactly.
+		spec := w.Spec(enc)
+		canon := w.Canonical()
+		if len(spec.Up) != len(canon.Up) || len(spec.Down) != len(canon.Down) {
+			t.Fatalf("Spec shape diverges from canonical: %+v vs %+v", spec, canon)
+		}
+		for i, c := range canon.Up {
+			if spec.Up[i].Sessions != c.Sessions || spec.Up[i].Infinite != c.Infinite || spec.Up[i].Think != c.Think {
+				t.Fatalf("Spec.Up[%d] = %+v, canonical %+v", i, spec.Up[i], c)
+			}
+		}
+	}
+	if len(seen) < 100 {
+		t.Fatalf("generator produced only %d distinct workloads", len(seen))
+	}
+}
+
+// TestWorkloadCanonicalShape pins the normalization rules: loops
+// form, merged equal shapes, bulk-first ordering, think-ascending web
+// components, scale application.
+func TestWorkloadCanonicalShape(t *testing.T) {
+	w := Workload{
+		Down: []Component{
+			{Sessions: 2, Parallel: 3, Think: time.Second},
+			{Sessions: 4, Infinite: true, Think: 99 * time.Second}, // think ignored on bulk
+			{Sessions: 6, Think: time.Second},
+			{Sessions: 1, Think: 200 * time.Millisecond},
+			{Sessions: 0, Think: 5 * time.Second}, // empty: dropped
+			{Sessions: 1, Parallel: 4, Infinite: true},
+		},
+		Scale: 2,
+	}
+	c := w.Canonical()
+	want := []Component{
+		{Sessions: 16, Parallel: 1, Infinite: true},               // (4 + 1x4) x2, merged, first
+		{Sessions: 2, Parallel: 1, Think: 200 * time.Millisecond}, // 1x2
+		{Sessions: 24, Parallel: 1, Think: time.Second},           // (2x3 + 6) x2, merged
+	}
+	if len(c.Up) != 0 || !componentsEqual(c.Down, want) {
+		t.Fatalf("canonical = %+v, want Down %+v", c, want)
+	}
+	if enc := w.Encode(); enc != "down:long=16,web=2/200ms,web=24/1s" {
+		t.Fatalf("encoding = %q", enc)
+	}
+	if got := (Workload{}).Encode(); got != "noBG" {
+		t.Fatalf("empty encoding = %q", got)
+	}
+}
+
+// TestMatchPresets covers the preset-fold both ways: every Table 1
+// preset under every direction matches itself, and near misses do
+// not match.
+func TestMatchPresets(t *testing.T) {
+	for _, name := range AccessScenarioNames {
+		full, err := AccessWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range []Direction{DirDown, DirUp, DirBidir} {
+			masked := full.Mask(dir)
+			gotName, gotDir, ok := MatchAccessPreset(masked)
+			if !ok {
+				t.Fatalf("%s/%s does not match itself", name, dir)
+			}
+			// The match must name traffic identical to the input. It may
+			// legitimately be a different (name, dir): Table 1 gives
+			// short-few and short-many the same upstream population, so
+			// short-many/up deterministically folds onto short-few/up —
+			// the first equivalent preset in table order.
+			gotFull, err := AccessWorkload(gotName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gotFull.Mask(gotDir).Equal(masked) {
+				t.Fatalf("%s/%s matched non-equivalent %s/%s", name, dir, gotName, gotDir)
+			}
+		}
+	}
+	for _, name := range BackboneScenarioNames {
+		full, err := BackboneWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := MatchBackbonePreset(full); !ok || got != name {
+			t.Fatalf("backbone %s matched %q, %v", name, got, ok)
+		}
+	}
+	// Near misses: one flow off, or the wrong think time.
+	if _, _, ok := MatchAccessPreset(Workload{Up: []Component{{Sessions: 7, Infinite: true}}}); ok {
+		t.Fatal("7 upstream bulk flows matched a preset")
+	}
+	if _, _, ok := MatchAccessPreset(Workload{
+		Up:   []Component{{Sessions: 1, Parallel: 8, Think: 300 * time.Millisecond}},
+		Down: []Component{{Sessions: 8, Parallel: 3, Think: 1500 * time.Millisecond}},
+	}); ok {
+		t.Fatal("short-few with the wrong think time matched")
+	}
+	if _, ok := MatchBackbonePreset(Workload{Down: []Component{{Sessions: 768, Parallel: 3, Think: time.Second}}}); ok {
+		t.Fatal("short-overload with the wrong think time matched")
+	}
+}
+
+// TestWorkloadValidateBounds pins the validation errors.
+func TestWorkloadValidateBounds(t *testing.T) {
+	for name, w := range map[string]Workload{
+		"negative sessions": {Up: []Component{{Sessions: -1}}},
+		"negative parallel": {Down: []Component{{Sessions: 1, Parallel: -2}}},
+		"negative think":    {Down: []Component{{Sessions: 1, Think: -time.Second}}},
+		"negative scale":    {Down: []Component{{Sessions: 1}}, Scale: -1},
+		"runaway":           {Down: []Component{{Sessions: MaxWorkloadLoops, Parallel: 2}}},
+		"runaway by scale":  {Down: []Component{{Sessions: MaxWorkloadLoops / 2, Parallel: 1}}, Scale: 4},
+		// Products that would wrap int64 must be rejected, not
+		// overflow into a tiny (or empty) population.
+		"overflow to zero":  {Up: []Component{{Sessions: 1 << 62, Parallel: 4}}},
+		"overflow to tiny":  {Up: []Component{{Sessions: 1<<62 + 1, Parallel: 4}}},
+		"overflow by scale": {Up: []Component{{Sessions: 2, Parallel: 1}}, Scale: 1 << 62},
+		"overflow in total": {Up: []Component{{Sessions: MaxWorkloadLoops}}, Down: []Component{{Sessions: MaxWorkloadLoops}}},
+	} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+	if err := (Workload{}).Validate(); err != nil {
+		t.Errorf("empty workload: %v", err)
+	}
+}

@@ -120,7 +120,7 @@ func TestWebFetchClassification(t *testing.T) {
 	cap := &Capture{}
 	cap.Attach(a.UpLink)
 	cap.Attach(a.DownLink)
-	a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirUp))
+	a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-few", testbed.DirUp)))
 	a.Eng.RunFor(8 * time.Second)
 	web.RegisterServer(a.MediaServerTCP, web.Port)
 	var res *web.Result

@@ -15,7 +15,7 @@ import (
 func lossyStream(t *testing.T, rec Recovery, seed uint64) Result {
 	t.Helper()
 	b := testbed.NewBackbone(testbed.Config{BufferDown: 28, Seed: seed})
-	b.StartWorkload(testbed.BackboneScenario("short-high"))
+	b.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario("short-high")))
 	b.Eng.RunFor(3 * time.Second)
 	src := NewSource(ClipC, shortSD, 2)
 	var res *Result

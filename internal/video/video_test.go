@@ -122,7 +122,7 @@ func TestUnsmoothedBurstsOverflowAccessLink(t *testing.T) {
 func TestCongestionDegradesVideo(t *testing.T) {
 	// Figure 9b: sustained high utilization wrecks the stream.
 	b := testbed.NewBackbone(testbed.Config{BufferDown: 749, Seed: 3})
-	b.StartWorkload(testbed.BackboneScenario("long"))
+	b.StartWorkload(testbed.MustSpec(testbed.LookupBackboneScenario("long")))
 	b.Eng.RunFor(5 * time.Second)
 	src := NewSource(ClipC, shortSD, 2)
 	var res *Result
@@ -168,7 +168,7 @@ func TestHDvsSDArtifactGeometry(t *testing.T) {
 func TestDeterministicStream(t *testing.T) {
 	run := func() Result {
 		a := testbed.NewAccess(testbed.Config{BufferUp: 8, BufferDown: 16, Seed: 7})
-		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirDown))
+		a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-few", testbed.DirDown)))
 		a.Eng.RunFor(2 * time.Second)
 		src := NewSource(ClipA, shortSD, 1)
 		var res Result

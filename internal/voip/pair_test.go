@@ -38,7 +38,7 @@ func TestPairSharesDelayImpairment(t *testing.T) {
 	// the conversational delay is shared (paper: 4.2 -> ~2.1-2.3 at
 	// buffers >= 64).
 	a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: 2})
-	a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirUp))
+	a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-many", testbed.DirUp)))
 	a.Eng.RunFor(10 * time.Second)
 	pr := runPair(t, a)
 	if pr.Listen.Z1 < 3.8 {

@@ -47,7 +47,7 @@ func TestUplinkCongestionWrecksTalkDirection(t *testing.T) {
 	// Paper Figure 7b "user talks": upstream congestion with a
 	// 256-packet uplink buffer gives MOS ~1.
 	a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: 2})
-	a.StartWorkload(testbed.AccessScenario("short-many", testbed.DirUp))
+	a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("short-many", testbed.DirUp)))
 	a.Eng.RunFor(10 * time.Second) // let the queue fill
 	r := runCall(t, a, true)
 	if r.MOS > 2.0 {
@@ -56,7 +56,7 @@ func TestUplinkCongestionWrecksTalkDirection(t *testing.T) {
 	// The long-flow variant keeps the signal cleaner but the delay
 	// impairment still drags it below "many users dissatisfied".
 	a2 := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: 2})
-	a2.StartWorkload(testbed.AccessScenario("long-many", testbed.DirUp))
+	a2.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-many", testbed.DirUp)))
 	a2.Eng.RunFor(10 * time.Second)
 	r2 := runCall(t, a2, true)
 	if r2.MOS > 3.1 {
@@ -70,7 +70,7 @@ func TestUplinkBloatDegradesListenDirectionViaDelay(t *testing.T) {
 	// uplink drags the listen-direction score down: the signal z1
 	// stays high, the combined MOS does not.
 	a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: 3})
-	a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirUp))
+	a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-many", testbed.DirUp)))
 	a.Eng.RunFor(10 * time.Second)
 
 	lib := media.Library(2)
@@ -97,7 +97,7 @@ func TestSmallBufferBeatsBloatUnderUploadCongestion(t *testing.T) {
 	mos := map[int]float64{}
 	for _, buf := range []int{8, 256} {
 		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: 64, Seed: 4})
-		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirUp))
+		a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-few", testbed.DirUp)))
 		a.Eng.RunFor(8 * time.Second)
 		r := runCall(t, a, true)
 		mos[buf] = r.MOS
@@ -122,7 +122,7 @@ func TestPlayoutBufferLateLoss(t *testing.T) {
 	// With a congested downlink and a small playout buffer, jitter
 	// should convert into late frames.
 	a := testbed.NewAccess(testbed.Config{BufferUp: 64, BufferDown: 256, Seed: 5})
-	a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirDown))
+	a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-many", testbed.DirDown)))
 	a.Eng.RunFor(8 * time.Second)
 	lib := media.Library(3)
 	var r *Result
@@ -139,7 +139,7 @@ func TestPlayoutBufferLateLoss(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() Result {
 		a := testbed.NewAccess(testbed.Config{BufferUp: 32, BufferDown: 32, Seed: 9})
-		a.StartWorkload(testbed.AccessScenario("short-few", testbed.DirDown))
+		a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("short-few", testbed.DirDown)))
 		a.Eng.RunFor(3 * time.Second)
 		return runCallQuiet(a)
 	}
@@ -167,7 +167,7 @@ func TestAdaptivePlayoutReducesLateLoss(t *testing.T) {
 	// frames; the adaptive receiver grows its budget instead.
 	run := func(adaptive bool) Result {
 		a := testbed.NewAccess(testbed.Config{BufferUp: 64, BufferDown: 256, Seed: 21})
-		a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirDown))
+		a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-many", testbed.DirDown)))
 		a.Eng.RunFor(8 * time.Second)
 		lib := media.Library(5)
 		var got Result

@@ -79,7 +79,7 @@ func TestParallelDeadlineReported(t *testing.T) {
 	// Against a congested uplink with a tiny deadline, the result must
 	// report non-completion at the deadline.
 	a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: 4})
-	a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirUp))
+	a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-many", testbed.DirUp)))
 	RegisterBrowserServer(a.MediaServerTCP, BrowserPort)
 	var res *Result
 	FetchParallel(a.MediaClientTCP, a.MediaServer.Addr(BrowserPort), 6,

@@ -66,7 +66,7 @@ func TestUplinkCongestionDestroysPLT(t *testing.T) {
 	// Figure 10b: upload congestion with bloated buffers pushes PLTs
 	// to many seconds (bad QoE).
 	a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 64, Seed: 3})
-	a.StartWorkload(testbed.AccessScenario("long-many", testbed.DirUp))
+	a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-many", testbed.DirUp)))
 	a.Eng.RunFor(8 * time.Second)
 	r := fetchOnce(t, a, 60*time.Second)
 	if r.PLT < 3*time.Second {
@@ -85,7 +85,7 @@ func TestSmallUplinkBufferImprovesPLTUnderLongFew(t *testing.T) {
 	plt := map[int]time.Duration{}
 	for _, buf := range []int{8, 256} {
 		a := testbed.NewAccess(testbed.Config{BufferUp: buf, BufferDown: 64, Seed: 4})
-		a.StartWorkload(testbed.AccessScenario("long-few", testbed.DirUp))
+		a.StartWorkload(testbed.MustSpec(testbed.LookupAccessScenario("long-few", testbed.DirUp)))
 		a.Eng.RunFor(8 * time.Second)
 		r := fetchOnce(t, a, 60*time.Second)
 		plt[buf] = r.PLT

@@ -106,10 +106,25 @@ type Scenario struct {
 	// custom one; see Link.
 	Link *Link
 	// Workload is the Table 1 scenario name; "" means "noBG".
+	// Mutually exclusive with Mix.
 	Workload string
+	// Mix, when non-nil, replaces the named preset with a composable
+	// workload (see Workload and the preset constructors LongMany,
+	// ShortFew, ...). A mix equal to a Table 1 preset under some
+	// congestion direction compiles to that preset's exact cell specs
+	// — same cache entries, same CRN-paired seeds — so custom and
+	// named spellings of the same traffic are one set of cells.
+	// Because a mix names its own directions, Direction must stay
+	// empty when Mix is set.
+	Mix *Workload
 	// Direction is where background congestion applies (access shape
-	// only; the backbone is downstream-only). Default Down.
+	// only; the backbone is downstream-only). Default Down. Must be
+	// empty when Mix is set.
 	Direction Direction
+	// BufferUp overrides the access uplink buffer in packets; 0 keeps
+	// the paper's symmetric configuration (uplink = the swept buffer).
+	// Access shape only.
+	BufferUp int
 	// AQM is the bottleneck queue discipline. Default DropTail.
 	AQM AQM
 	// CC is the background congestion control. Default DefaultCC.
@@ -139,17 +154,10 @@ func (sc Scenario) Label() string {
 		}
 		net = "custom(" + dims + ")"
 	}
-	wl := sc.Workload
-	if wl == "" {
-		wl = "noBG"
-	}
+	wl, dir, hasDir := sc.workloadLabel()
 	out := net + "/" + wl
-	if sc.Network != Backbone && wl != "noBG" {
-		dir := sc.Direction
-		if dir == "" {
-			dir = Down
-		}
-		out += "/" + string(dir)
+	if hasDir {
+		out += "/" + dir
 	}
 	if sc.AQM != DropTail {
 		out += "+" + string(sc.AQM)
@@ -160,7 +168,40 @@ func (sc Scenario) Label() string {
 	if sc.Jitter > 0 {
 		out += "+j" + sc.Jitter.String()
 	}
+	if sc.BufferUp > 0 {
+		out += "+bufup=" + fmt.Sprintf("%d", sc.BufferUp)
+	}
 	return out
+}
+
+// workloadLabel derives the workload axis of the label: the preset
+// name plus congestion direction, or the canonical mix rendering. A
+// Mix equal to a direction-masked Table 1 preset labels exactly like
+// the preset spelling, so the two produce byte-identical SweepCells.
+func (sc Scenario) workloadLabel() (wl, dir string, hasDir bool) {
+	if sc.Mix != nil {
+		c := sc.Mix.internal().Canonical()
+		if sc.Network == Backbone {
+			if name, ok := testbed.MatchBackbonePreset(c); ok {
+				return name, "", false
+			}
+		} else if name, d, ok := testbed.MatchAccessPreset(c); ok {
+			return name, d.String(), name != "noBG"
+		}
+		return "mix(" + c.Encode() + ")", "", false
+	}
+	wl = sc.Workload
+	if wl == "" {
+		wl = "noBG"
+	}
+	if sc.Network != Backbone && wl != "noBG" {
+		d := sc.Direction
+		if d == "" {
+			d = Down
+		}
+		return wl, string(d), true
+	}
+	return wl, "", false
 }
 
 func rateLabel(bps float64) string {
@@ -189,9 +230,20 @@ func (sc Scenario) spec(p Probe, buffer int) (experiments.ProbeSpec, error) {
 	out := experiments.ProbeSpec{
 		Scenario: sc.Workload,
 		Buffer:   buffer,
+		BufferUp: sc.BufferUp,
 		AQM:      string(sc.AQM),
 		CC:       string(sc.CC),
 		Jitter:   sc.Jitter,
+	}
+	if sc.Mix != nil {
+		if sc.Workload != "" {
+			return out, fmt.Errorf("bufferqoe: scenario %q: set Workload or Mix, not both", sc.Label())
+		}
+		if sc.Direction != "" {
+			return out, fmt.Errorf("bufferqoe: scenario %q: a Mix names its own directions (Up/Down components); leave Direction empty", sc.Label())
+		}
+		iw := sc.Mix.internal()
+		out.Mix = &iw
 	}
 	switch sc.Network {
 	case Access, "":

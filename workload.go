@@ -1,0 +1,337 @@
+package bufferqoe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"bufferqoe/internal/testbed"
+)
+
+// Traffic is one typed component of a Workload: either long-lived
+// bulk flows (Infinite) or a harpoon-style population of web sessions
+// issuing Weibull-sized transfers over Parallel request loops with
+// exponential think times. The Table 1 presets are built from the
+// same components (see LongMany, ShortFew, ...), so custom mixes and
+// presets share one compile, cache, and seed path.
+type Traffic struct {
+	// Sessions is the number of user sessions.
+	Sessions int
+	// Parallel is the number of independent request loops per session;
+	// 0 means 1.
+	Parallel int
+	// Think is the mean exponential gap between a transfer completing
+	// and the loop's next request. Ignored for Infinite components.
+	Think time.Duration
+	// Infinite marks long-lived bulk flows (iperf-style) instead of
+	// closed request loops.
+	Infinite bool
+}
+
+// BulkFlows is a component of n long-lived bulk flows.
+func BulkFlows(n int) Traffic {
+	return Traffic{Sessions: n, Infinite: true}
+}
+
+// WebSessions is a component of closed-loop web sessions: sessions
+// users, each running parallel request loops with the given mean
+// think time.
+func WebSessions(sessions, parallel int, think time.Duration) Traffic {
+	return Traffic{Sessions: sessions, Parallel: parallel, Think: think}
+}
+
+// Workload is a composable background-traffic mix: typed components
+// per congestion direction plus a scale multiplier applied to every
+// session count. Set it on Scenario.Mix to sweep traffic mixes the
+// paper's five Table 1 presets cannot express — e.g. bulk uploads
+// competing with a downstream web-session population. A Workload
+// canonicalizes before anything runs: component order, the
+// Sessions x Parallel split, and the Scale spelling never affect
+// results, and a mix equal to a Table 1 preset under some congestion
+// direction is the preset — same cell spec, same cache entry, same
+// CRN-paired seed.
+type Workload struct {
+	// Up / Down are the traffic components per congestion direction.
+	Up, Down []Traffic
+	// Scale multiplies the session count of every component; 0 and 1
+	// both mean unscaled.
+	Scale int
+}
+
+// internal converts to the testbed's workload model.
+func (w *Workload) internal() testbed.Workload {
+	out := testbed.Workload{Scale: w.Scale}
+	conv := func(ts []Traffic) []testbed.Component {
+		if len(ts) == 0 {
+			return nil
+		}
+		cs := make([]testbed.Component, len(ts))
+		for i, t := range ts {
+			cs[i] = testbed.Component{Sessions: t.Sessions, Parallel: t.Parallel, Think: t.Think, Infinite: t.Infinite}
+		}
+		return cs
+	}
+	out.Up = conv(w.Up)
+	out.Down = conv(w.Down)
+	return out
+}
+
+// fromInternal converts a testbed workload to the facade type.
+func fromInternal(iw testbed.Workload) *Workload {
+	out := &Workload{Scale: iw.Scale}
+	conv := func(cs []testbed.Component) []Traffic {
+		if len(cs) == 0 {
+			return nil
+		}
+		ts := make([]Traffic, len(cs))
+		for i, c := range cs {
+			ts[i] = Traffic{Sessions: c.Sessions, Parallel: c.Parallel, Think: c.Think, Infinite: c.Infinite}
+		}
+		return ts
+	}
+	out.Up = conv(iw.Up)
+	out.Down = conv(iw.Down)
+	return out
+}
+
+// Validate reports whether the mix can be compiled: no negative
+// knobs, and a bounded total population.
+func (w *Workload) Validate() error {
+	if err := w.internal().Validate(); err != nil {
+		return fmt.Errorf("bufferqoe: invalid mix: %w", err)
+	}
+	return nil
+}
+
+// Scaled returns a copy whose effective scale is multiplied by n, so
+// presets compose with load factors: LongMany().Scaled(4) is the
+// long-many mix at four times the session counts. Scaled(0) is the
+// empty workload (multiplying the load by zero, not "unscaled");
+// negative n yields a workload that fails Validate.
+func (w *Workload) Scaled(n int) *Workload {
+	if n == 0 {
+		return &Workload{}
+	}
+	out := *w
+	scale := out.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	out.Scale = scale * n
+	return &out
+}
+
+// Label returns the workload's deterministic display name for grid
+// axes: the preset name when the mix equals a full Table 1 workload
+// (access table first, then backbone), otherwise "mix(<canonical
+// encoding>)". Equivalent mixes always share a label, whatever their
+// spelling. Scenario.Label refines this with the congestion
+// direction when a mix equals a direction-masked preset.
+func (w *Workload) Label() string {
+	c := w.internal().Canonical()
+	for _, name := range Scenarios(Access) {
+		if full, err := testbed.AccessWorkload(name); err == nil && full.Equal(c) {
+			return name
+		}
+	}
+	for _, name := range Scenarios(Backbone) {
+		if full, err := testbed.BackboneWorkload(name); err == nil && full.Equal(c) {
+			return name
+		}
+	}
+	return "mix(" + c.Encode() + ")"
+}
+
+// String renders a human-readable component breakdown, e.g.
+// "up: 8 long-lived flow(s); down: 48 web loop(s), think 1.5s".
+func (w *Workload) String() string {
+	return w.internal().Describe()
+}
+
+// Encoding returns the canonical -mix grammar rendering of the
+// workload ("noBG" for the empty mix). It is injective over
+// equivalence classes — two mixes encode equally exactly when they
+// describe the same traffic — and ParseMix(w.Encoding()) always
+// round-trips to an equivalent workload, so encodings are safe to
+// persist and compare.
+func (w *Workload) Encoding() string {
+	return w.internal().Encode()
+}
+
+// Equal reports whether two mixes describe the same traffic, i.e.
+// canonicalize identically.
+func (w *Workload) Equal(o *Workload) bool {
+	return w.internal().Equal(o.internal())
+}
+
+// PresetWorkload returns a Table 1 preset as a Workload, so preset
+// mixes can be inspected, scaled, or extended component-wise. The
+// returned value is the full (unmasked) up+down population; applying
+// it via Scenario.Mix with only one side kept reproduces the
+// direction-restricted variants.
+func PresetWorkload(n Network, name string) (*Workload, error) {
+	var (
+		iw  testbed.Workload
+		err error
+	)
+	if n == Backbone {
+		iw, err = testbed.BackboneWorkload(name)
+	} else {
+		iw, err = testbed.AccessWorkload(name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bufferqoe: %w", err)
+	}
+	return fromInternal(iw), nil
+}
+
+func mustPreset(n Network, name string) *Workload {
+	w, err := PresetWorkload(n, name)
+	if err != nil {
+		panic(err) // unreachable: preset names below are table literals
+	}
+	return w
+}
+
+// NoBG is the idle workload: no background traffic.
+func NoBG() *Workload { return mustPreset(Access, "noBG") }
+
+// LongFew is Table 1 access "long-few": 1 up / 8 down long-lived
+// flows.
+func LongFew() *Workload { return mustPreset(Access, "long-few") }
+
+// LongMany is Table 1 access "long-many": 8 up / 64 down long-lived
+// flows.
+func LongMany() *Workload { return mustPreset(Access, "long-many") }
+
+// ShortFew is Table 1 access "short-few": web sessions at moderate
+// load.
+func ShortFew() *Workload { return mustPreset(Access, "short-few") }
+
+// ShortMany is Table 1 access "short-many": web sessions at high
+// load.
+func ShortMany() *Workload { return mustPreset(Access, "short-many") }
+
+// BackboneShortLow is Table 1 backbone "short-low" (~16% load).
+func BackboneShortLow() *Workload { return mustPreset(Backbone, "short-low") }
+
+// BackboneShortMedium is Table 1 backbone "short-medium" (~50% load).
+func BackboneShortMedium() *Workload { return mustPreset(Backbone, "short-medium") }
+
+// BackboneShortHigh is Table 1 backbone "short-high" (~98% load).
+func BackboneShortHigh() *Workload { return mustPreset(Backbone, "short-high") }
+
+// BackboneShortOverload is Table 1 backbone "short-overload"
+// (persistent overload).
+func BackboneShortOverload() *Workload { return mustPreset(Backbone, "short-overload") }
+
+// BackboneLong is Table 1 backbone "long": 768 long-lived flows.
+func BackboneLong() *Workload { return mustPreset(Backbone, "long") }
+
+// ParseMix parses the qoebench mix grammar into a Workload:
+//
+//	mix       := section (';' section)*
+//	section   := ('up'|'down') ':' component (',' component)*
+//	           | 'scale=' n
+//	component := 'long=' n ['x' m]                 n sessions (x m loops)
+//	           | 'web='  n ['x' m] '/' duration    with mean think time
+//
+// Examples: "up:long=2;down:web=16x3/1.5s", "down:long=64,web=48/1s",
+// "up:long=8;down:long=64;scale=2". The literal "noBG" parses to the
+// empty workload, so canonical encodings (Workload.Label without the
+// mix(...) wrapper) round-trip.
+func ParseMix(s string) (*Workload, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("bufferqoe: empty mix (want e.g. %q)", "up:long=2;down:web=16x3/1.5s")
+	}
+	if s == "noBG" {
+		return &Workload{}, nil
+	}
+	w := &Workload{}
+	for _, sec := range strings.Split(s, ";") {
+		sec = strings.TrimSpace(sec)
+		if v, ok := strings.CutPrefix(sec, "scale="); ok {
+			if w.Scale != 0 {
+				return nil, fmt.Errorf("bufferqoe: mix: duplicate scale section")
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bufferqoe: mix: scale must be a positive integer, got %q", v)
+			}
+			w.Scale = n
+			continue
+		}
+		side, list, ok := strings.Cut(sec, ":")
+		if !ok {
+			return nil, fmt.Errorf("bufferqoe: mix section %q: want \"up:...\", \"down:...\", or \"scale=n\"", sec)
+		}
+		var dst *[]Traffic
+		switch strings.TrimSpace(side) {
+		case "up":
+			dst = &w.Up
+		case "down":
+			dst = &w.Down
+		default:
+			return nil, fmt.Errorf("bufferqoe: mix section %q: unknown direction %q (want up or down)", sec, side)
+		}
+		for _, cs := range strings.Split(list, ",") {
+			t, err := parseMixComponent(cs)
+			if err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, t)
+		}
+	}
+	return w, nil
+}
+
+// parseMixComponent parses one "long=..." / "web=..." term.
+func parseMixComponent(s string) (Traffic, error) {
+	s = strings.TrimSpace(s)
+	kind, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return Traffic{}, fmt.Errorf("bufferqoe: mix component %q: want \"long=n\" or \"web=n[xm]/think\"", s)
+	}
+	switch kind {
+	case "long":
+		sessions, parallel, err := parseMixCounts(val)
+		if err != nil {
+			return Traffic{}, fmt.Errorf("bufferqoe: mix component %q: %w", s, err)
+		}
+		return Traffic{Sessions: sessions, Parallel: parallel, Infinite: true}, nil
+	case "web":
+		counts, thinkStr, ok := strings.Cut(val, "/")
+		if !ok {
+			return Traffic{}, fmt.Errorf("bufferqoe: mix component %q: web components need a think time, e.g. web=16x3/1.5s", s)
+		}
+		sessions, parallel, err := parseMixCounts(counts)
+		if err != nil {
+			return Traffic{}, fmt.Errorf("bufferqoe: mix component %q: %w", s, err)
+		}
+		think, err := time.ParseDuration(strings.TrimSpace(thinkStr))
+		if err != nil || think < 0 {
+			return Traffic{}, fmt.Errorf("bufferqoe: mix component %q: bad think time %q", s, thinkStr)
+		}
+		return Traffic{Sessions: sessions, Parallel: parallel, Think: think}, nil
+	default:
+		return Traffic{}, fmt.Errorf("bufferqoe: mix component %q: unknown kind %q (want long or web)", s, kind)
+	}
+}
+
+// parseMixCounts parses "n" or "nxm" session/parallel counts.
+func parseMixCounts(s string) (sessions, parallel int, err error) {
+	a, b, hasPar := strings.Cut(strings.TrimSpace(s), "x")
+	sessions, err = strconv.Atoi(a)
+	if err != nil || sessions < 0 {
+		return 0, 0, fmt.Errorf("bad session count %q", a)
+	}
+	if hasPar {
+		parallel, err = strconv.Atoi(b)
+		if err != nil || parallel < 0 {
+			return 0, 0, fmt.Errorf("bad parallelism %q", b)
+		}
+	}
+	return sessions, parallel, nil
+}

@@ -1,0 +1,355 @@
+package bufferqoe
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMixEqualPresetSharesCellsBitIdentically is the tentpole
+// acceptance check: a custom Workload mix that equals a Table 1
+// preset under some congestion direction must produce byte-identical
+// SweepCell values AND answer from the preset's cache entries — one
+// simulation serving both spellings.
+func TestMixEqualPresetSharesCellsBitIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates cells")
+	}
+	s := NewSession()
+	o := sweepOpts()
+	buffers := []int{8, 64}
+	probes := []Probe{{Media: VoIP}, {Media: Web}}
+
+	preset := Sweep{
+		Scenarios: []Scenario{{Workload: "long-many", Direction: Up}},
+		Buffers:   buffers, Probes: probes,
+	}
+	pg, err := s.Sweep(preset, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Misses == 0 {
+		t.Fatal("preset sweep simulated nothing")
+	}
+
+	// Three spellings of the same traffic: long-many restricted to the
+	// upload direction is 8 infinite upstream flows.
+	for name, mix := range map[string]*Workload{
+		"plain":     {Up: []Traffic{BulkFlows(8)}},
+		"split":     {Up: []Traffic{BulkFlows(3), BulkFlows(5)}},
+		"parallel":  {Up: []Traffic{{Sessions: 2, Parallel: 4, Infinite: true}}},
+		"scaled":    {Up: []Traffic{BulkFlows(2)}, Scale: 4},
+		"preset-up": {Up: LongMany().Up},
+	} {
+		mg, err := s.Sweep(Sweep{
+			Scenarios: []Scenario{{Mix: mix}},
+			Buffers:   buffers, Probes: probes,
+		}, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(pg.Cells, mg.Cells) {
+			t.Fatalf("%s: mix cells differ from preset cells:\npreset: %+v\nmix:    %+v", name, pg.Cells, mg.Cells)
+		}
+		pj, _ := pg.JSON()
+		mj, _ := mg.JSON()
+		if !bytes.Equal(pj, mj) {
+			t.Fatalf("%s: mix grid JSON differs from preset grid JSON", name)
+		}
+	}
+	// No spelling may have simulated anything new: every mix answered
+	// from the preset's cache entries.
+	if after := s.Stats(); after.Misses != st.Misses {
+		t.Fatalf("mix spellings simulated %d new cells, want 0 (cache sharing broken)", after.Misses-st.Misses)
+	}
+}
+
+// TestCustomMixRunsAndCaches covers a genuinely custom mix: it must
+// simulate (no preset collision), reuse its own cells across calls,
+// and stay CRN-paired across the buffer axis.
+func TestCustomMixRunsAndCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates cells")
+	}
+	s := NewSession()
+	o := sweepOpts()
+	mix := &Workload{
+		Up:   []Traffic{BulkFlows(2)},
+		Down: []Traffic{WebSessions(16, 3, 1500*time.Millisecond)},
+	}
+	sw := Sweep{Scenarios: []Scenario{{Mix: mix}}, Buffers: []int{8, 64}, Probes: []Probe{{Media: VoIP}}}
+	g1, err := s.Sweep(sw, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("custom mix simulated %d cells, want 2", st.Misses)
+	}
+	// Repeating the sweep — and a component-order permutation of the
+	// same mix — must be pure cache hits with identical cells.
+	perm := &Workload{
+		Up:   []Traffic{{Sessions: 1, Parallel: 2, Infinite: true}},
+		Down: []Traffic{WebSessions(48, 1, 1500*time.Millisecond)},
+	}
+	g2, err := s.Sweep(Sweep{Scenarios: []Scenario{{Mix: perm}}, Buffers: []int{8, 64}, Probes: []Probe{{Media: VoIP}}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats(); after.Misses != st.Misses {
+		t.Fatalf("equivalent mix re-simulated cells (misses %d -> %d)", st.Misses, after.Misses)
+	}
+	if !reflect.DeepEqual(g1.Cells, g2.Cells) {
+		t.Fatalf("equivalent mixes disagree:\n%+v\n%+v", g1.Cells, g2.Cells)
+	}
+}
+
+func TestWorkloadLabels(t *testing.T) {
+	for _, tc := range []struct {
+		sc   Scenario
+		want string
+	}{
+		{Scenario{Mix: &Workload{Up: []Traffic{BulkFlows(8)}}}, "access/long-many/up"},
+		{Scenario{Mix: &Workload{Down: []Traffic{BulkFlows(64)}}}, "access/long-many/down"},
+		{Scenario{Mix: LongMany()}, "access/long-many/bidir"},
+		{Scenario{Mix: &Workload{}}, "access/noBG"},
+		{Scenario{Network: Backbone, Mix: BackboneLong()}, "backbone/long"},
+		{Scenario{Mix: &Workload{Up: []Traffic{BulkFlows(2)}}}, "access/mix(up:long=2)"},
+		{
+			Scenario{Mix: &Workload{Down: []Traffic{BulkFlows(1), WebSessions(4, 2, time.Second)}}},
+			"access/mix(down:long=1,web=8/1s)",
+		},
+		{Scenario{Workload: "long-many", Direction: Up, BufferUp: 256}, "access/long-many/up+bufup=256"},
+	} {
+		if got := tc.sc.Label(); got != tc.want {
+			t.Errorf("Label() = %q, want %q", got, tc.want)
+		}
+	}
+	if l := LongMany().Label(); l != "long-many" {
+		t.Errorf("LongMany().Label() = %q", l)
+	}
+	if l := (&Workload{Up: []Traffic{BulkFlows(2)}}).Label(); l != "mix(up:long=2)" {
+		t.Errorf("custom label = %q", l)
+	}
+	// Scaling a preset is no longer the preset.
+	if l := LongMany().Scaled(2).Label(); l != "mix(up:long=16;down:long=128)" {
+		t.Errorf("scaled label = %q", l)
+	}
+	// Scaled(0) is zero traffic, not "unscaled"; negative scales fail
+	// validation instead of silently running.
+	if w := LongMany().Scaled(0); !w.Equal(&Workload{}) {
+		t.Errorf("Scaled(0) = %v, want the empty workload", w)
+	}
+	if err := LongMany().Scaled(-1).Validate(); err == nil {
+		t.Error("Scaled(-1) validated, want error")
+	}
+	// A mix whose loop count would overflow must be rejected, not run
+	// as a mangled population (reachable via qoebench -mix).
+	if err := (&Workload{Up: []Traffic{{Sessions: 1 << 62, Parallel: 4, Infinite: true}}}).Validate(); err == nil {
+		t.Error("overflowing mix validated, want error")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	p := Probe{Media: VoIP}
+	for name, sc := range map[string]Scenario{
+		"both workload and mix": {Workload: "long-many", Mix: LongFew()},
+		"mix with direction":    {Mix: LongFew(), Direction: Up},
+		"backbone upstream mix": {Network: Backbone, Mix: &Workload{Up: []Traffic{BulkFlows(2)}}},
+		"negative sessions":     {Mix: &Workload{Up: []Traffic{BulkFlows(-1)}}},
+		"negative think":        {Mix: &Workload{Down: []Traffic{{Sessions: 1, Think: -time.Second}}}},
+		"negative scale":        {Mix: &Workload{Down: []Traffic{BulkFlows(1)}, Scale: -2}},
+		"runaway mix":           {Mix: &Workload{Down: []Traffic{WebSessions(1<<20, 4, time.Second)}}},
+		"bufup on backbone":     {Network: Backbone, Workload: "long", BufferUp: 8},
+		"negative bufup":        {Workload: "long-many", BufferUp: -1},
+	} {
+		if err := sc.Validate(p); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+	// Valid corners: empty mix, backbone downstream mix, bufup on access.
+	for name, sc := range map[string]Scenario{
+		"empty mix":              {Mix: &Workload{}},
+		"backbone down mix":      {Network: Backbone, Mix: &Workload{Down: []Traffic{BulkFlows(4)}}},
+		"bufup on access":        {Workload: "long-many", Direction: Bidir, BufferUp: 256},
+		"mix with custom link":   {Link: &Link{UpRate: 1e9}, Mix: &Workload{Up: []Traffic{BulkFlows(2)}}},
+		"mix with aqm and bufup": {Mix: LongFew(), AQM: CoDel, BufferUp: 16},
+	} {
+		if err := sc.Validate(p); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := ParseMix("up:long=2;down:web=16x3/1.5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Workload{
+		Up:   []Traffic{BulkFlows(2)},
+		Down: []Traffic{WebSessions(16, 3, 1500*time.Millisecond)},
+	}
+	if !w.Equal(want) {
+		t.Fatalf("parsed %+v, want equivalent of %+v", w, want)
+	}
+	if enc := w.Encoding(); enc != "up:long=2;down:web=48/1.5s" {
+		t.Fatalf("encoding = %q", enc)
+	}
+	// Scale, multiple components, and the noBG literal.
+	w, err = ParseMix("down:long=4,web=8/1s;scale=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc := w.Encoding(); enc != "down:long=8,web=16/1s" {
+		t.Fatalf("scaled encoding = %q", enc)
+	}
+	if w, err := ParseMix("noBG"); err != nil || !w.Equal(&Workload{}) {
+		t.Fatalf("noBG literal: %+v, %v", w, err)
+	}
+	for _, bad := range []string{
+		"", "up", "sideways:long=2", "up:long", "up:bulk=3", "up:web=3",
+		"up:web=3/fast", "up:long=x", "up:long=2x", "scale=0", "scale=1;scale=2",
+		"up:web=-1/1s", "up:long=3x-2",
+	} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// FuzzParseMix fuzzes the qoebench -mix grammar: the parser must
+// never panic, and anything it accepts that also validates must
+// round-trip through the canonical encoding to an equivalent mix.
+func FuzzParseMix(f *testing.F) {
+	for _, seed := range []string{
+		"up:long=2;down:web=16x3/1.5s",
+		"down:long=64",
+		"up:long=8;down:long=64;scale=2",
+		"down:long=4,web=8/1s",
+		"noBG",
+		"up:web=1x8/200ms;down:web=16x3/1.5s",
+		"scale=3;up:long=1",
+		"up:long=0;down:web=0/0s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := ParseMix(s)
+		if err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			return
+		}
+		enc := w.Encoding()
+		w2, err := ParseMix(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding %q of %q does not re-parse: %v", enc, s, err)
+		}
+		if !w.Equal(w2) {
+			t.Fatalf("round trip of %q via %q changed the mix", s, enc)
+		}
+		if w2.Encoding() != enc {
+			t.Fatalf("encoding not a fixed point: %q -> %q", enc, w2.Encoding())
+		}
+		if strings.Contains(enc, " ") {
+			t.Fatalf("canonical encoding %q contains spaces", enc)
+		}
+	})
+}
+
+// TestBufferUpSweep exercises the facade uplink-buffer override end
+// to end: distinct cells from the symmetric configuration, identical
+// cells when the override equals the swept buffer (canonical fold).
+func TestBufferUpSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates cells")
+	}
+	s := NewSession()
+	o := sweepOpts()
+	sym, err := s.Sweep(Sweep{
+		Scenarios: []Scenario{{Workload: "long-many", Direction: Up}},
+		Buffers:   []int{8}, Probes: []Probe{{Media: VoIP}},
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+
+	// BufferUp equal to the swept buffer folds onto the symmetric cell:
+	// cache hit, identical value (modulo the label suffix).
+	fold, err := s.Sweep(Sweep{
+		Scenarios: []Scenario{{Workload: "long-many", Direction: Up, BufferUp: 8}},
+		Buffers:   []int{8}, Probes: []Probe{{Media: VoIP}},
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats(); after.Misses != st.Misses {
+		t.Fatalf("bufup=buffer re-simulated (misses %d -> %d)", st.Misses, after.Misses)
+	}
+	if fold.Cells[0].Value != sym.Cells[0].Value {
+		t.Fatalf("bufup=buffer value %v != symmetric %v", fold.Cells[0].Value, sym.Cells[0].Value)
+	}
+
+	// A bloated uplink under upload congestion must measurably change
+	// the outcome (that is the paper's bufferbloat story).
+	bloat, err := s.Sweep(Sweep{
+		Scenarios: []Scenario{{Workload: "long-many", Direction: Up, BufferUp: 256}},
+		Buffers:   []int{8}, Probes: []Probe{{Media: VoIP}},
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats(); after.Misses == st.Misses {
+		t.Fatal("bufup=256 answered from the symmetric cell")
+	}
+	if bloat.Cells[0].Value == sym.Cells[0].Value && bloat.Cells[0].TalkMOS == sym.Cells[0].TalkMOS {
+		t.Fatal("bloated uplink indistinguishable from BDP uplink")
+	}
+	if !strings.Contains(bloat.Scenarios[0], "bufup=256") {
+		t.Fatalf("label %q missing bufup suffix", bloat.Scenarios[0])
+	}
+}
+
+// TestMixThroughRecommendAndStream confirms the mix axis is accepted
+// by every execution surface, not just Sweep.
+func TestMixThroughRecommendAndStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates cells")
+	}
+	s := NewSession()
+	o := sweepOpts()
+	mix := &Workload{Up: []Traffic{BulkFlows(8)}} // == long-many/up
+	rec, err := s.Recommend(t.Context(), RecommendSpec{
+		Scenario: Scenario{Mix: mix},
+		Probes:   []Probe{{Media: VoIP}},
+		Buffers:  []int{8, 64},
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Buffer != 8 && rec.Buffer != 64 {
+		t.Fatalf("recommended %d, not on the axis", rec.Buffer)
+	}
+	n := 0
+	for c, err := range s.SweepStream(t.Context(), Sweep{
+		Scenarios: []Scenario{{Mix: mix}},
+		Buffers:   []int{8, 64}, Probes: []Probe{{Media: VoIP}},
+	}, o) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Scenario != "access/long-many/up" {
+			t.Fatalf("stream cell label %q", c.Scenario)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("streamed %d cells, want 2", n)
+	}
+}
