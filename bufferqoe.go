@@ -72,6 +72,14 @@ type Options struct {
 	// not participate in cell identity: runs with different hooks
 	// share cache entries.
 	OnProgress func(Progress)
+	// Collector, when non-nil, receives telemetry from this run:
+	// per-cell build/sim/score phase timings, simulator event counts,
+	// and trace events. Like OnProgress it is observational only — it
+	// never enters cell identity, so runs with and without a collector
+	// share cache entries and produce bit-identical results. Runs that
+	// leave this nil report to the session's collector, if one was
+	// attached with Session.SetCollector.
+	Collector *Collector
 }
 
 // Progress reports one completed cell of a streaming or batch run.
@@ -81,6 +89,29 @@ type Progress struct {
 	Completed, Total int
 	// Cell is the cell that just completed.
 	Cell SweepCell
+	// Elapsed is the wall time since the run started consuming
+	// completions.
+	Elapsed time.Duration
+	// Rate is the observed completion throughput in cells per second
+	// (cache hits included; they complete near-instantly and inflate
+	// the early rate of warm runs).
+	Rate float64
+	// ETA estimates the remaining wall time from Rate; zero when the
+	// run is complete or no rate is measurable yet.
+	ETA time.Duration
+}
+
+// timing fills the Elapsed/Rate/ETA fields of a Progress from a run
+// start time.
+func (p Progress) timing(start time.Time) Progress {
+	p.Elapsed = time.Since(start)
+	if s := p.Elapsed.Seconds(); s > 0 && p.Completed > 0 {
+		p.Rate = float64(p.Completed) / s
+		if rem := p.Total - p.Completed; rem > 0 {
+			p.ETA = time.Duration(float64(rem) / p.Rate * float64(time.Second))
+		}
+	}
+	return p
 }
 
 func (o Options) internal() experiments.Options {
@@ -91,6 +122,7 @@ func (o Options) internal() experiments.Options {
 		Reps:        o.Reps,
 		ClipSeconds: o.ClipSeconds,
 		CDNFlows:    o.CDNFlows,
+		Collector:   o.Collector.raw(),
 	}
 }
 
@@ -177,6 +209,14 @@ type EngineStats struct {
 	// Canceled counts cells abandoned before execution because their
 	// run's context was canceled.
 	Canceled uint64
+	// InFlight, QueueDepth, and Waiters are live gauges: cells
+	// currently executing, callers waiting for a worker slot, and
+	// callers coalesced onto another caller's in-flight cell. All
+	// three return to zero when the engine is idle — including after
+	// canceled batches.
+	InFlight   int64
+	QueueDepth int64
+	Waiters    int64
 }
 
 // Stats snapshots the default session's cell engine.

@@ -13,6 +13,7 @@
 //	qoebench -sweep -uprate 1e9 -downrate 1e9 -aqm codel -probes voip,web -json
 //	qoebench -sweep -workloads long-many -dir bidir -bufup 256 -probes voip
 //	qoebench -recommend -workloads long-many -dir up -probes voip,web -target max-mos
+//	qoebench -sweep -workloads short-few -dir up -metrics-addr localhost:6060 -trace cells.jsonl
 //
 // With multiple experiments (or -exp all), experiments run through
 // the parallel cell engine: cells fan out across -parallel workers
@@ -40,7 +41,14 @@
 // -timeout bounds any mode by a wall-clock deadline: on expiry queued
 // cells are abandoned (in-flight cells drain into the session cache)
 // and qoebench exits non-zero. -progress streams per-cell completions
-// to stderr as workers finish them.
+// with throughput and ETA to stderr as workers finish them.
+//
+// -metrics-addr serves live telemetry while the run executes:
+// /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof/
+// (CPU profiles carry per-cell scenario labels). -trace appends one
+// JSON event per freshly simulated cell — its build/sim/score phase
+// timings and simulator event counts — to a file; -json embeds the
+// same collector snapshot under "telemetry".
 package main
 
 import (
@@ -71,7 +79,16 @@ type jsonReport struct {
 	Sweep       *bufferqoe.Grid           `json:"sweep,omitempty"`
 	Recommend   *bufferqoe.Recommendation `json:"recommend,omitempty"`
 	Stats       jsonStats                 `json:"stats"`
-	ElapsedS    float64                   `json:"elapsed_s"`
+	// Telemetry is the run's collector snapshot: per-phase wall time,
+	// cell wall-time distribution, and simulator event/pool counters.
+	Telemetry *bufferqoe.Metrics `json:"telemetry,omitempty"`
+	ElapsedS  float64            `json:"elapsed_s"`
+}
+
+// telemetryOf snapshots a session's collector for the -json report.
+func telemetryOf(s *bufferqoe.Session) *bufferqoe.Metrics {
+	m := s.Metrics()
+	return &m
 }
 
 type jsonExperiment struct {
@@ -113,7 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON results and engine stats")
 		timeout  = fs.Duration("timeout", 0, "overall wall-clock deadline; on expiry queued cells are abandoned and the run exits non-zero (0 = none)")
-		progress = fs.Bool("progress", false, "print per-cell completion progress to stderr (-sweep and -recommend modes)")
+		progress = fs.Bool("progress", false, "print per-cell completion progress with rate and ETA to stderr (-sweep and -recommend modes)")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve live telemetry on this address during the run: /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof/ (e.g. localhost:6060)")
+		traceFile   = fs.String("trace", "", "append one JSON trace event per freshly simulated cell to this file (build/sim/score phase timings, simulator event counts)")
 
 		sweep     = fs.Bool("sweep", false, "sweep scenarios instead of running paper experiments")
 		network   = fs.String("network", "access", "sweep: paper testbed (access or backbone)")
@@ -173,9 +193,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *progress {
 		opt.OnProgress = func(p bufferqoe.Progress) {
-			fmt.Fprintf(stderr, "progress: %d/%d %s/%s@%d\n",
+			line := fmt.Sprintf("progress: %d/%d %s/%s@%d",
 				p.Completed, p.Total, p.Cell.Scenario, p.Cell.Probe, p.Cell.Buffer)
+			if p.Rate > 0 {
+				line += fmt.Sprintf(" (%.1f cells/s, eta %s)", p.Rate, p.ETA.Round(time.Second))
+			}
+			fmt.Fprintln(stderr, line)
 		}
+	}
+
+	// Telemetry: a collector is attached when any output wants it —
+	// the metrics endpoint, a trace file, or the -json report. Without
+	// one the run takes the engine's collector-off fast paths.
+	var col *bufferqoe.Collector
+	if *metricsAddr != "" || *traceFile != "" || *jsonOut {
+		col = bufferqoe.NewCollector()
+		session.SetCollector(col)
+	}
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "qoebench: -trace: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		col.TraceTo(f)
+	}
+	if *metricsAddr != "" {
+		bound, stop, err := startMetricsServer(*metricsAddr, col)
+		if err != nil {
+			fmt.Fprintf(stderr, "qoebench: -metrics-addr: %v\n", err)
+			return 2
+		}
+		defer stop()
+		fmt.Fprintf(stderr, "qoebench: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", bound)
 	}
 
 	if *sweep || *recommend {
@@ -236,6 +287,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	st := session.Stats()
 	report.Stats = statsOf(session)
 	if *jsonOut {
+		report.Telemetry = telemetryOf(session)
 		emitJSON(stdout, stderr, report)
 	} else {
 		fmt.Fprintf(stdout, "# summary: %d/%d experiments ok in %.1fs (%d workers; %d cells simulated, %d cache hits)\n",
@@ -353,9 +405,10 @@ func runSweep(ctx context.Context, session *bufferqoe.Session, opt bufferqoe.Opt
 	st := session.Stats()
 	if jsonOut {
 		emitJSON(stdout, stderr, jsonReport{
-			Sweep:    grid,
-			Stats:    statsOf(session),
-			ElapsedS: total.Seconds(),
+			Sweep:     grid,
+			Stats:     statsOf(session),
+			Telemetry: telemetryOf(session),
+			ElapsedS:  total.Seconds(),
 		})
 		return 0
 	}
@@ -408,6 +461,7 @@ func runRecommend(ctx context.Context, session *bufferqoe.Session, opt bufferqoe
 		emitJSON(stdout, stderr, jsonReport{
 			Recommend: rec,
 			Stats:     statsOf(session),
+			Telemetry: telemetryOf(session),
 			ElapsedS:  total.Seconds(),
 		})
 		return 0
@@ -461,6 +515,7 @@ func runBenchJSON(path string, stdout, stderr io.Writer) int {
 		{"SimCoreHandler", bench.SimCoreHandler},
 		{"LinkForward", bench.LinkForward},
 		{"WholeCell", bench.WholeCell},
+		{"WholeCellTelemetry", bench.WholeCellTelemetry},
 	} {
 		r := testing.Benchmark(bm.fn)
 		if r.N == 0 {

@@ -13,6 +13,8 @@
 //   - WholeCell: one end-to-end access VoIP cell (testbed build,
 //     background workload, one call, QoE evaluation), the unit the
 //     parallel cell engine schedules thousands of times per sweep.
+//     WholeCellTelemetry is the same cell observed by a live
+//     telemetry collector, gating the overhead of telemetry-on runs.
 package bench
 
 import (
@@ -22,6 +24,7 @@ import (
 	"bufferqoe/internal/media"
 	"bufferqoe/internal/netem"
 	"bufferqoe/internal/sim"
+	"bufferqoe/internal/telemetry"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/voip"
 )
@@ -128,5 +131,54 @@ func WholeCell(b *testing.B) {
 		if !got {
 			b.Fatal("call did not complete")
 		}
+	}
+}
+
+// WholeCellTelemetry is WholeCell with a live telemetry collector
+// observing every cell, mirroring the instrumentation the experiments
+// layer applies (phase clock around build and sim, simulator metrics
+// flushed per cell). The CI gate holds it to the same allocs/op
+// budget as WholeCell and within a few percent of its wall time — the
+// "cheap when on" half of the telemetry layer's contract.
+func WholeCellTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	lib := media.Library(42)
+	wl, err := testbed.LookupAccessScenario("short-few", testbed.DirDown)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := telemetry.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := col.StartCell()
+		a := testbed.NewAccess(testbed.Config{BufferUp: 64, BufferDown: 64, Seed: 42})
+		a.StartWorkload(wl)
+		got := false
+		a.Eng.Schedule(2*time.Second, func() {
+			voip.Start(a.MediaServer, a.MediaClient, lib[0], 0, func(r voip.Result) {
+				got = true
+				a.Eng.Halt()
+			})
+		})
+		pc.Mark(telemetry.PhaseBuild)
+		a.Eng.RunFor(60 * time.Second)
+		pc.Mark(telemetry.PhaseSim)
+		if !got {
+			b.Fatal("call did not complete")
+		}
+		sm := a.Eng.Metrics()
+		pc.Done("bench/short-few@64", telemetry.SimMetrics{
+			EventsClosure:  sm.EventsClosure,
+			EventsPooled:   sm.EventsPooled,
+			EventsArg:      sm.EventsArg,
+			EventsOwned:    sm.EventsOwned,
+			TimerRecycles:  sm.TimerRecycles,
+			PacketRecycles: a.Net.PacketRecycles(),
+			HeapHighWater:  sm.HeapHighWater,
+		})
+	}
+	b.StopTimer()
+	if col.PhaseCells.Value() != uint64(b.N) {
+		b.Fatalf("collector saw %d cells, want %d", col.PhaseCells.Value(), b.N)
 	}
 }

@@ -4,8 +4,13 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"bufferqoe/internal/telemetry"
 )
 
 // ErrCanceled reports that a cell was abandoned because its context
@@ -59,6 +64,14 @@ type Stats struct {
 	// context was canceled (queued cells of a canceled batch, and
 	// waiters that gave up on an in-flight computation).
 	Canceled uint64
+	// InFlight is the number of cells executing right now.
+	InFlight int64
+	// QueueDepth is the number of callers holding a cache entry but
+	// still waiting for a worker slot.
+	QueueDepth int64
+	// Waiters is the number of callers blocked on another caller's
+	// in-flight computation of the same cell.
+	Waiters int64
 }
 
 // entry is one cache slot; done is closed once val (or panicked, or
@@ -84,9 +97,35 @@ type Engine struct {
 	canceled atomic.Uint64
 	workers  int
 
+	// Live gauges: maintained on every DoCtx path (including panics
+	// and canceled-batch abandonment) so Stats stays consistent — each
+	// increment has a matching decrement on every exit.
+	inFlight   atomic.Int64
+	queueDepth atomic.Int64
+	waiters    atomic.Int64
+
+	// collector, when non-nil, mirrors every counter and gauge into a
+	// telemetry.Collector and enables the per-cell extras that cost
+	// something (wall-clock reads, pprof labels). Loaded once per DoCtx
+	// call; nil is the zero-overhead disabled state.
+	collector atomic.Pointer[telemetry.Collector]
+
 	scratchNew  func() Scratch
 	scratchPool []Scratch
 }
+
+// SetCollector attaches a telemetry collector (nil detaches). With a
+// collector attached, every cache hit/miss/cancel and gauge movement
+// is mirrored into it, fresh computations record wall time and worker
+// busy-nanoseconds, and worker goroutines carry runtime/pprof labels
+// (qoe_testbed, qoe_scenario, qoe_media, qoe_buffer) so CPU profiles
+// attribute samples to grid coordinates. Attach before submitting
+// work: counters mirror from attachment onward, so a collector
+// attached to an idle engine reconciles exactly with Stats deltas.
+func (e *Engine) SetCollector(c *telemetry.Collector) { e.collector.Store(c) }
+
+// Collector returns the attached collector, or nil.
+func (e *Engine) Collector() *telemetry.Collector { return e.collector.Load() }
 
 // SetScratch installs a factory for per-worker scratch memory. Each
 // cell computation borrows a scratch from a free-list (creating one
@@ -175,10 +214,13 @@ func (e *Engine) Do(spec CellSpec, fn CellFunc) any {
 func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, error) {
 	spec = spec.Canonical()
 	k := spec.Key()
+	// One collector load per call: the nil check is the entire cost of
+	// disabled telemetry on this path.
+	col := e.collector.Load()
 
 	for {
 		if ctx.Err() != nil {
-			e.canceled.Add(1)
+			e.noteCanceled(col)
 			return nil, ErrCanceled
 		}
 		e.mu.Lock()
@@ -186,9 +228,27 @@ func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, er
 			e.mu.Unlock()
 			select {
 			case <-ent.done:
-			case <-ctx.Done():
-				e.canceled.Add(1)
-				return nil, ErrCanceled
+				// Completed entry (the warm-hit fast path): no waiting, so
+				// the waiters gauge is never churned.
+			default:
+				e.waiters.Add(1)
+				if col != nil {
+					col.Waiters.Add(1)
+				}
+				select {
+				case <-ent.done:
+					e.waiters.Add(-1)
+					if col != nil {
+						col.Waiters.Add(-1)
+					}
+				case <-ctx.Done():
+					e.waiters.Add(-1)
+					if col != nil {
+						col.Waiters.Add(-1)
+					}
+					e.noteCanceled(col)
+					return nil, ErrCanceled
+				}
 			}
 			if ent.canceled {
 				// The computing caller was canceled before executing and
@@ -196,6 +256,9 @@ func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, er
 				continue
 			}
 			e.hits.Add(1)
+			if col != nil {
+				col.CacheHits.Inc()
+			}
 			if ent.panicked != nil {
 				panic(ent.panicked)
 			}
@@ -206,57 +269,112 @@ func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, er
 		sem := e.sem
 		e.mu.Unlock()
 
+		e.queueDepth.Add(1)
+		if col != nil {
+			col.QueueDepth.Add(1)
+		}
 		select {
 		case sem <- struct{}{}:
+			e.queueDepth.Add(-1)
+			if col != nil {
+				col.QueueDepth.Add(-1)
+			}
 		case <-ctx.Done():
-			e.abandon(k, ent)
+			e.queueDepth.Add(-1)
+			if col != nil {
+				col.QueueDepth.Add(-1)
+			}
+			e.abandon(k, ent, col)
 			return nil, ErrCanceled
 		}
 		// The semaphore send and the cancellation can race; re-check so
 		// a canceled batch never starts new work it won a slot for.
 		if ctx.Err() != nil {
 			<-sem
-			e.abandon(k, ent)
+			e.abandon(k, ent, col)
 			return nil, ErrCanceled
 		}
 
 		e.misses.Add(1)
-		completed := false
-		func() {
-			defer func() {
-				<-sem
-				if !completed {
-					ent.panicked = recover()
-					e.mu.Lock()
-					delete(e.cache, k)
-					e.mu.Unlock()
-					close(ent.done)
-					panic(ent.panicked)
-				}
-				close(ent.done)
-			}()
-			scr := e.takeScratch()
-			// Deferred so a panicking cell still returns the scratch (and
-			// its expensive content caches) to the pool; the next borrower
-			// Resets it before use, so partially mutated state cannot leak.
-			defer e.putScratch(scr)
-			ent.val = fn(spec, DeriveSeed(spec), scr)
-			completed = true
-		}()
+		if col != nil {
+			col.CacheMisses.Inc()
+		}
+		e.compute(ctx, spec, fn, k, ent, sem, col)
 		return ent.val, nil
+	}
+}
+
+// compute executes one cell on an acquired worker slot, maintaining
+// the in-flight gauge and — with a collector attached — the wall-time
+// histogram, worker busy-time, and pprof labels, on completion and
+// panic alike.
+func (e *Engine) compute(ctx context.Context, spec CellSpec, fn CellFunc, k string, ent *entry, sem chan struct{}, col *telemetry.Collector) {
+	e.inFlight.Add(1)
+	var start time.Time
+	if col != nil {
+		col.CellsInFlight.Add(1)
+		start = time.Now()
+	}
+	completed := false
+	defer func() {
+		e.inFlight.Add(-1)
+		if col != nil {
+			wall := time.Since(start)
+			col.CellsInFlight.Add(-1)
+			col.WorkerBusy.Add(uint64(wall))
+			col.CellWall.Observe(wall.Seconds())
+		}
+		<-sem
+		if !completed {
+			ent.panicked = recover()
+			e.mu.Lock()
+			delete(e.cache, k)
+			e.mu.Unlock()
+			close(ent.done)
+			panic(ent.panicked)
+		}
+		close(ent.done)
+	}()
+	scr := e.takeScratch()
+	// Deferred so a panicking cell still returns the scratch (and
+	// its expensive content caches) to the pool; the next borrower
+	// Resets it before use, so partially mutated state cannot leak.
+	defer e.putScratch(scr)
+	if col != nil {
+		// pprof labels cost a context and a label-set allocation per
+		// cell; worth it only when someone is observing.
+		pprof.Do(ctx, pprof.Labels(
+			"qoe_testbed", spec.Testbed,
+			"qoe_scenario", spec.Scenario,
+			"qoe_media", spec.Media,
+			"qoe_buffer", strconv.Itoa(spec.Buffer),
+		), func(context.Context) {
+			ent.val = fn(spec, DeriveSeed(spec), scr)
+		})
+	} else {
+		ent.val = fn(spec, DeriveSeed(spec), scr)
+	}
+	completed = true
+}
+
+// noteCanceled bumps the canceled counter and its collector mirror.
+func (e *Engine) noteCanceled(col *telemetry.Collector) {
+	e.canceled.Add(1)
+	if col != nil {
+		col.CellsCanceled.Inc()
 	}
 }
 
 // abandon retracts a never-computed cache entry after a cancellation:
 // the slot is removed so future callers recompute, and coalesced
 // waiters are woken to retry.
-func (e *Engine) abandon(k string, ent *entry) {
+func (e *Engine) abandon(k string, ent *entry, col *telemetry.Collector) {
 	e.mu.Lock()
 	delete(e.cache, k)
 	e.mu.Unlock()
 	ent.canceled = true
 	close(ent.done)
-	e.canceled.Add(1)
+	e.noteCanceled(col)
 }
 
 // RunBatch fans a batch of cells out across the worker pool and
@@ -310,11 +428,14 @@ func (e *Engine) Stats() Stats {
 	entries, workers := len(e.cache), e.workers
 	e.mu.Unlock()
 	return Stats{
-		Workers:  workers,
-		Entries:  entries,
-		Hits:     e.hits.Load(),
-		Misses:   e.misses.Load(),
-		Canceled: e.canceled.Load(),
+		Workers:    workers,
+		Entries:    entries,
+		Hits:       e.hits.Load(),
+		Misses:     e.misses.Load(),
+		Canceled:   e.canceled.Load(),
+		InFlight:   e.inFlight.Load(),
+		QueueDepth: e.queueDepth.Load(),
+		Waiters:    e.waiters.Load(),
 	}
 }
 

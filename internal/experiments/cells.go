@@ -8,8 +8,10 @@ import (
 	"bufferqoe/internal/engine"
 	"bufferqoe/internal/httpvideo"
 	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
 	"bufferqoe/internal/stats"
 	"bufferqoe/internal/tcp"
+	"bufferqoe/internal/telemetry"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/video"
 	"bufferqoe/internal/voip"
@@ -210,6 +212,34 @@ func msToDuration(ms float64) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
+// simMetricsOf bundles a finished testbed's simulator and packet-pool
+// counters for the telemetry flush. Called only on instrumented runs,
+// after the cell's simulation has completed.
+func simMetricsOf(se *sim.Engine, nw *netem.Network) telemetry.SimMetrics {
+	m := se.Metrics()
+	return telemetry.SimMetrics{
+		EventsClosure:  m.EventsClosure,
+		EventsPooled:   m.EventsPooled,
+		EventsArg:      m.EventsArg,
+		EventsOwned:    m.EventsOwned,
+		TimerRecycles:  m.TimerRecycles,
+		PacketRecycles: nw.PacketRecycles(),
+		HeapHighWater:  m.HeapHighWater,
+	}
+}
+
+// finishCell closes a cell's phase clock: remaining time is scored as
+// the QoE/aggregation phase, the testbed's simulator counters are
+// flushed, and the cell's trace event is emitted. The Enabled guard
+// keeps the disabled path free — no spec stringification, no metric
+// reads.
+func finishCell(pc *telemetry.PhaseClock, sp engine.CellSpec, se *sim.Engine, nw *netem.Network) {
+	if !pc.Enabled() {
+		return
+	}
+	pc.Done(sp.String(), simMetricsOf(se, nw))
+}
+
 // --- VoIP cells ---------------------------------------------------
 
 // voipAccessTask describes one access VoIP cell: Reps bidirectional
@@ -222,21 +252,25 @@ func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, 
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		oc := o
 		oc.Seed = seed
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
 		wl.start(a)
-		listen, talk := runVoIPPair(a, oc, cs)
+		pc.Mark(telemetry.PhaseBuild)
+		listen, talk := runVoIPPair(a, oc, cs, &pc)
 		now := a.Eng.Now()
-		return voipScore{
+		score := voipScore{
 			Listen: listen, Talk: talk,
 			UpDelayMs: a.UpMon.MeanDelayMs(),
 			UpUtilPct: a.UpLink.Monitor.MeanUtilization(now),
 		}
+		finishCell(&pc, sp, a.Eng, a.Net)
+		return score
 	}}
 }
 
@@ -256,8 +290,9 @@ func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) en
 		Variant: v.tag,
 		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		oc := o
 		oc.Seed = seed
 		cfg := v.config(buf, seed)
@@ -278,8 +313,12 @@ func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) en
 					})
 			})
 		}
+		pc.Mark(telemetry.PhaseBuild)
 		b.Eng.RunFor(cellCap)
-		return mosS.Median()
+		pc.Mark(telemetry.PhaseSim)
+		med := mosS.Median()
+		finishCell(&pc, sp, b.Eng, b.Net)
+		return med
 	}}
 }
 
@@ -343,25 +382,32 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		oc := o
 		oc.Seed = seed
 		cfg := v.config(buf, seed)
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
 		wl.start(a)
+		var plt time.Duration
 		if fetchConns > 0 {
 			web.RegisterBrowserServer(a.MediaServerTCP, web.BrowserPort)
-			return webReps(a.Eng, oc, func(done func(web.Result)) {
+			pc.Mark(telemetry.PhaseBuild)
+			plt = webReps(a.Eng, oc, &pc, func(done func(web.Result)) {
 				web.FetchParallel(a.MediaClientTCP, a.MediaServer.Addr(web.BrowserPort),
 					fetchConns, 60*time.Second, done)
 			})
+		} else {
+			web.RegisterServer(a.MediaServerTCP, web.Port)
+			pc.Mark(telemetry.PhaseBuild)
+			plt = webReps(a.Eng, oc, &pc, func(done func(web.Result)) {
+				web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
+			})
 		}
-		web.RegisterServer(a.MediaServerTCP, web.Port)
-		return webReps(a.Eng, oc, func(done func(web.Result)) {
-			web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
-		})
+		finishCell(&pc, sp, a.Eng, a.Net)
+		return plt
 	}}
 }
 
@@ -379,8 +425,9 @@ func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) eng
 		Variant: v.tag,
 		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		oc := o
 		oc.Seed = seed
 		cfg := v.config(buf, seed)
@@ -388,9 +435,12 @@ func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) eng
 		b := testbed.NewBackbone(cfg)
 		wl.start(b)
 		web.RegisterServer(b.MediaServerTCP, web.Port)
-		return webReps(b.Eng, oc, func(done func(web.Result)) {
+		pc.Mark(telemetry.PhaseBuild)
+		plt := webReps(b.Eng, oc, &pc, func(done func(web.Result)) {
 			web.Fetch(b.MediaClientTCP, b.MediaServer.Addr(web.Port), 60*time.Second, done)
 		})
+		finishCell(&pc, sp, b.Eng, b.Net)
+		return plt
 	}}
 }
 
@@ -417,8 +467,9 @@ func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip vid
 		Link: linkTag(v.link),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		oc := o
 		oc.Seed = seed
 		src := cs.source(clip, p, oc.ClipSeconds)
@@ -426,11 +477,14 @@ func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip vid
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
 		wl.start(a)
-		return videoReps(a.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second,
+		pc.Mark(telemetry.PhaseBuild)
+		score := videoReps(a.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second, &pc,
 			func(done func(video.Result)) {
 				video.Start(a.MediaServer, a.MediaClient, src,
 					video.Config{Smooth: true, Seed: seed}, done)
 			})
+		finishCell(&pc, sp, a.Eng, a.Net)
+		return score
 	}}
 }
 
@@ -443,8 +497,9 @@ func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Prof
 		Media: "video", Variant: joinTags(videoVariantTag(clip, p, rec), v.tag),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		oc := o
 		oc.Seed = seed
 		src := cs.source(clip, p, oc.ClipSeconds)
@@ -452,11 +507,14 @@ func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Prof
 		cfg.Scratch = cs.tb()
 		b := testbed.NewBackbone(cfg)
 		wl.start(b)
-		return videoReps(b.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second,
+		pc.Mark(telemetry.PhaseBuild)
+		score := videoReps(b.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second, &pc,
 			func(done func(video.Result)) {
 				video.Start(b.MediaServer, b.MediaClient, src,
 					video.Config{Smooth: true, Seed: seed, Recovery: rec}, done)
 			})
+		finishCell(&pc, sp, b.Eng, b.Net)
+		return score
 	}}
 }
 
@@ -560,13 +618,17 @@ func bgAccessTask(o Options, scenario string, dir testbed.Direction, bufUp, bufD
 		Buffer: bufDown, BufferUp: bufUp, Media: "background",
 		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 	}
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		cfg := v.config(bufDown, seed)
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
 		wl.start(a)
+		pc.Mark(telemetry.PhaseBuild)
 		a.Eng.RunFor(o.Warmup + o.Duration)
+		pc.Mark(telemetry.PhaseSim)
+		defer finishCell(&pc, sp, a.Eng, a.Net)
 		now := a.Eng.Now()
 		m := bgMetrics{
 			UtilUpPct:   a.UpLink.Monitor.MeanUtilization(now),
@@ -598,11 +660,15 @@ func bgBackboneTask(o Options, scenario string, buf int) engine.Task {
 		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 	}
 	wl := backboneWL(scenario, nil)
-	return engine.Task{Spec: sp, Fn: func(_ engine.CellSpec, seed uint64, scr engine.Scratch) any {
+	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
+		pc := o.Collector.StartCell()
 		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed, Scratch: cs.tb()})
 		wl.start(b)
+		pc.Mark(telemetry.PhaseBuild)
 		b.Eng.RunFor(o.Warmup + o.Duration)
+		pc.Mark(telemetry.PhaseSim)
+		defer finishCell(&pc, sp, b.Eng, b.Net)
 		now := b.Eng.Now()
 		return bgMetrics{
 			Conc:        b.Gen.Stats().Concurrent.Mean(),

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bufferqoe/internal/stats"
+	"bufferqoe/internal/telemetry"
 )
 
 // Options scale an experiment run. The zero value gives CLI-friendly
@@ -33,6 +34,15 @@ type Options struct {
 	ClipSeconds int
 	// CDNFlows sizes the synthetic Section 3 population.
 	CDNFlows int
+	// Collector, when non-nil, receives per-cell telemetry — the
+	// build/sim/score phase breakdown, simulator event counts, and
+	// JSON-lines trace events — from cells computed under these
+	// options. It is observational only: it never enters a cell spec,
+	// so runs with and without a collector share cache entries and
+	// produce bit-identical results (cached cells report nothing; only
+	// fresh computes are traced). Session.SetCollector installs a
+	// session-wide default for runs that leave this nil.
+	Collector *telemetry.Collector
 }
 
 // withDefaults normalizes an Options value: zero and negative fields
@@ -221,7 +231,7 @@ func (s *Session) Run(id string, o Options) (res *Result, err error) {
 			res, err = nil, cs.err
 		}
 	}()
-	return r(s, o.withDefaults())
+	return r(s, s.opts(o))
 }
 
 // RunCtx is Run bounded by ctx.

@@ -18,7 +18,7 @@ import (
 // calls under the named workload/direction at the given buffer size)
 // and returns the median listen and talk MOS.
 func (s *Session) MeasureVoIPAccess(scenario string, dir testbed.Direction, buffer int, o Options) (listen, talk float64) {
-	p := s.voipAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{})
+	p := s.voipAccessCell(s.opts(o), scenario, dir, buffer, accessVariant{})
 	return p.Listen, p.Talk
 }
 
@@ -30,7 +30,7 @@ func MeasureVoIPAccess(scenario string, dir testbed.Direction, buffer int, o Opt
 // MeasureVoIPBackbone runs one backbone VoIP cell and returns the
 // median MOS.
 func (s *Session) MeasureVoIPBackbone(scenario string, buffer int, o Options) float64 {
-	return s.runOne(voipBackboneTask(o.withDefaults(), scenario, buffer, backboneVariant{})).(float64)
+	return s.runOne(voipBackboneTask(s.opts(o), scenario, buffer, backboneVariant{})).(float64)
 }
 
 // MeasureVoIPBackbone probes the Default session.
@@ -41,7 +41,7 @@ func MeasureVoIPBackbone(scenario string, buffer int, o Options) float64 {
 // MeasureWebAccess runs one access web cell and returns the median
 // page load time.
 func (s *Session) MeasureWebAccess(scenario string, dir testbed.Direction, buffer int, o Options) time.Duration {
-	return s.webAccessCell(o.withDefaults(), scenario, dir, buffer, accessVariant{}, 0)
+	return s.webAccessCell(s.opts(o), scenario, dir, buffer, accessVariant{}, 0)
 }
 
 // MeasureWebAccess probes the Default session.
@@ -52,7 +52,7 @@ func MeasureWebAccess(scenario string, dir testbed.Direction, buffer int, o Opti
 // MeasureWebBackbone runs one backbone web cell and returns the median
 // page load time.
 func (s *Session) MeasureWebBackbone(scenario string, buffer int, o Options) time.Duration {
-	return s.runOne(webBackboneTask(o.withDefaults(), scenario, buffer, backboneVariant{})).(time.Duration)
+	return s.runOne(webBackboneTask(s.opts(o), scenario, buffer, backboneVariant{})).(time.Duration)
 }
 
 // MeasureWebBackbone probes the Default session.
@@ -63,7 +63,7 @@ func MeasureWebBackbone(scenario string, buffer int, o Options) time.Duration {
 // MeasureVideoAccess streams clip C at the given profile over the
 // access testbed (download congestion) and returns the median SSIM.
 func (s *Session) MeasureVideoAccess(scenario string, profile video.Profile, buffer int, o Options) float64 {
-	t := videoAccessTask(o.withDefaults(), scenario, testbed.DirDown, video.ClipC, profile, buffer, accessVariant{})
+	t := videoAccessTask(s.opts(o), scenario, testbed.DirDown, video.ClipC, profile, buffer, accessVariant{})
 	return s.runOne(t).(videoScore).SSIM
 }
 
@@ -75,7 +75,7 @@ func MeasureVideoAccess(scenario string, profile video.Profile, buffer int, o Op
 // MeasureVideoBackbone streams clip C over the backbone testbed and
 // returns the median SSIM.
 func (s *Session) MeasureVideoBackbone(scenario string, profile video.Profile, buffer int, o Options) float64 {
-	t := videoBackboneTask(o.withDefaults(), scenario, video.ClipC, profile, video.RecoveryNone, buffer, backboneVariant{})
+	t := videoBackboneTask(s.opts(o), scenario, video.ClipC, profile, video.RecoveryNone, buffer, backboneVariant{})
 	return s.runOne(t).(videoScore).SSIM
 }
 

@@ -9,6 +9,7 @@ import (
 	"bufferqoe/internal/sim"
 	"bufferqoe/internal/sizing"
 	"bufferqoe/internal/stats"
+	"bufferqoe/internal/telemetry"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/video"
 	"bufferqoe/internal/voip"
@@ -27,7 +28,9 @@ const cellCap = 30 * time.Minute
 // already-configured access testbed and returns the median MOS of
 // each direction. The two directions of one call share the
 // conversational delay impairment, as in the paper's Section 7.2.
-func runVoIPPair(a *testbed.Access, o Options, cs *CellScratch) (listen, talk float64) {
+// pc marks the end of the cell's simulation phase; a disabled clock
+// no-ops.
+func runVoIPPair(a *testbed.Access, o Options, cs *CellScratch, pc *telemetry.PhaseClock) (listen, talk float64) {
 	lib := cs.library(o.Seed)
 	var listenS, talkS stats.Sample
 	for i := 0; i < o.Reps; i++ {
@@ -45,6 +48,7 @@ func runVoIPPair(a *testbed.Access, o Options, cs *CellScratch) (listen, talk fl
 		})
 	}
 	a.Eng.RunFor(cellCap)
+	pc.Mark(telemetry.PhaseSim)
 	return listenS.Median(), talkS.Median()
 }
 
@@ -107,7 +111,7 @@ func fig8(s *Session, o Options) (*Result, error) {
 // videoReps streams the clip sequentially Reps times; start is
 // invoked per repetition with the completion callback. It returns the
 // median SSIM and PSNR across repetitions.
-func videoReps(se *sim.Engine, o Options, clipDur time.Duration, start func(done func(video.Result))) videoScore {
+func videoReps(se *sim.Engine, o Options, clipDur time.Duration, pc *telemetry.PhaseClock, start func(done func(video.Result))) videoScore {
 	var ssims, psnrs stats.Sample
 	spacing := clipDur + video.StartupDelay + 5*time.Second
 	for i := 0; i < o.Reps; i++ {
@@ -122,6 +126,7 @@ func videoReps(se *sim.Engine, o Options, clipDur time.Duration, start func(done
 		})
 	}
 	se.RunFor(cellCap)
+	pc.Mark(telemetry.PhaseSim)
 	return videoScore{SSIM: ssims.Median(), PSNR: psnrs.Median()}
 }
 
@@ -180,7 +185,7 @@ func fig9(s *Session, o Options, variant string) (*Result, error) {
 
 // webReps fetches the page sequentially Reps times and returns the
 // median PLT.
-func webReps(se *sim.Engine, o Options, fetch func(done func(web.Result))) time.Duration {
+func webReps(se *sim.Engine, o Options, pc *telemetry.PhaseClock, fetch func(done func(web.Result))) time.Duration {
 	var plts stats.Sample
 	remaining := o.Reps
 	var next func()
@@ -197,6 +202,7 @@ func webReps(se *sim.Engine, o Options, fetch func(done func(web.Result))) time.
 	}
 	se.Schedule(o.Warmup, next)
 	se.RunFor(cellCap)
+	pc.Mark(telemetry.PhaseSim)
 	return time.Duration(plts.Median() * float64(time.Second))
 }
 

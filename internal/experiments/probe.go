@@ -326,7 +326,7 @@ func (s *Session) Probe(p ProbeSpec, o Options) (ProbeValue, error) {
 // ProbeCtx is Probe bounded by ctx: it returns ErrCanceled if the
 // context is canceled before the cell executes.
 func (s *Session) ProbeCtx(ctx context.Context, p ProbeSpec, o Options) (ProbeValue, error) {
-	t, err := p.task(o.withDefaults())
+	t, err := p.task(s.opts(o))
 	if err != nil {
 		return ProbeValue{}, err
 	}
@@ -364,7 +364,7 @@ func (s *Session) ProbeBatch(ps []ProbeSpec, o Options) ([]ProbeValue, error) {
 // ErrCanceled: in-flight cells drain into the session cache, queued
 // cells are abandoned, and no partial values are returned.
 func (s *Session) ProbeBatchCtx(ctx context.Context, ps []ProbeSpec, o Options) ([]ProbeValue, error) {
-	tasks, err := compileProbes(ps, o.withDefaults())
+	tasks, err := compileProbes(ps, s.opts(o))
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +389,7 @@ func (s *Session) ProbeBatchCtx(ctx context.Context, ps []ProbeSpec, o Options) 
 // run; cells already executing at cancellation drain into the session
 // cache first.
 func (s *Session) ProbeSubmit(ctx context.Context, ps []ProbeSpec, o Options, each func(i int, v ProbeValue, err error)) error {
-	tasks, err := compileProbes(ps, o.withDefaults())
+	tasks, err := compileProbes(ps, s.opts(o))
 	if err != nil {
 		return err
 	}

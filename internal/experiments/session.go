@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"bufferqoe/internal/engine"
+	"bufferqoe/internal/telemetry"
 )
 
 // ErrCanceled reports that a run was abandoned because its context was
@@ -26,6 +27,11 @@ type Session struct {
 	// ctx, when non-nil, bounds every run on this view of the session;
 	// see WithContext. nil means context.Background().
 	ctx context.Context
+	// collector, when non-nil, is merged into every run's Options (see
+	// opts) so cells report per-cell telemetry without each caller
+	// threading a collector through. Set via SetCollector on the root
+	// session, before WithContext views are taken.
+	collector *telemetry.Collector
 }
 
 // NewSession creates a session with its own engine; workers <= 0 uses
@@ -74,6 +80,32 @@ func (s *Session) Parallelism() int { return s.eng.Workers() }
 
 // EngineStats snapshots the session's cell cache/pool counters.
 func (s *Session) EngineStats() engine.Stats { return s.eng.Stats() }
+
+// SetCollector attaches a telemetry collector to the session (nil
+// detaches): the cell engine mirrors its cache counters, gauges, and
+// per-cell wall time into it, and every run whose Options leave
+// Collector nil reports phase telemetry to it. Attach before
+// submitting work and before taking WithContext views — views copy
+// the session struct, so they see the collector set at copy time.
+func (s *Session) SetCollector(c *telemetry.Collector) {
+	s.collector = c
+	s.eng.SetCollector(c)
+}
+
+// Collector returns the session's attached collector, or nil.
+func (s *Session) Collector() *telemetry.Collector { return s.collector }
+
+// opts normalizes run options and fills the session's collector into
+// runs that don't bring their own. Every run entry point routes
+// through it, so a collector attached to the session observes probes,
+// experiments, and sweeps alike.
+func (s *Session) opts(o Options) Options {
+	o = o.withDefaults()
+	if o.Collector == nil {
+		o.Collector = s.collector
+	}
+	return o
+}
 
 // ResetCache drops the session's memoized cell results.
 func (s *Session) ResetCache() { s.eng.ResetCache() }

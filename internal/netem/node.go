@@ -142,7 +142,14 @@ type Network struct {
 	nodes    []*Node
 	packetID uint64
 	pktFree  []*Packet
+	recycles uint64
 }
+
+// PacketRecycles reports how many packets have been returned to the
+// free-list over the network's lifetime — a pool-effectiveness signal
+// for telemetry (recycles ≈ packets sent means steady state allocates
+// nothing).
+func (nw *Network) PacketRecycles() uint64 { return nw.recycles }
 
 // NewPacket returns a zeroed packet from the network's free-list (or a
 // fresh allocation when the list is empty). The caller fills it and

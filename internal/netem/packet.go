@@ -125,4 +125,5 @@ func (p *Packet) Release() {
 	}
 	p.pool = nil
 	nw.pktFree = append(nw.pktFree, p)
+	nw.recycles++
 }

@@ -175,7 +175,33 @@ type Engine struct {
 	// events — a guard against accidental infinite event loops in
 	// model code.
 	MaxEvents uint64
+
+	// met holds the engine's telemetry counters: plain ints, updated
+	// unconditionally on the dispatch path. The engine is
+	// single-threaded, so increments cost one add each — no atomics,
+	// no branches, no allocations — and callers that don't care simply
+	// never read them. Flushed per cell via Metrics.
+	met Metrics
 }
+
+// Metrics is a snapshot of the engine's internal counters: events
+// fired per scheduling tier, pooled-timer recycles, and the deepest
+// the event heap ever ran. Read it with Engine.Metrics after (or
+// during) a run.
+type Metrics struct {
+	// Per-tier fired-event counts. Their sum equals Executed.
+	EventsClosure uint64 // closure one-shots (At/Schedule)
+	EventsPooled  uint64 // pooled Handler one-shots
+	EventsArg     uint64 // pooled ArgHandler one-shots
+	EventsOwned   uint64 // owned reschedulable timers
+	// TimerRecycles counts pooled timers returned to the free-list.
+	TimerRecycles uint64
+	// HeapHighWater is the maximum number of queued events observed.
+	HeapHighWater int
+}
+
+// Metrics returns a copy of the engine's telemetry counters.
+func (e *Engine) Metrics() Metrics { return e.met }
 
 // New returns an empty engine with the clock at zero.
 func New() *Engine {
@@ -292,6 +318,7 @@ func (e *Engine) recycle(t *Timer) {
 	t.h, t.ah, t.arg, t.fn = nil, nil, nil, nil
 	t.stopped, t.fired, t.pooled = false, false, false
 	e.free = append(e.free, t)
+	e.met.TimerRecycles++
 }
 
 // Pending reports the number of events in the queue. Stopped timers
@@ -339,17 +366,21 @@ func (e *Engine) RunUntil(t Time) {
 			fn := next.fn
 			next.fn = nil
 			next.fired = true
+			e.met.EventsClosure++
 			fn()
 		case next.ah != nil:
 			h, arg := next.ah, next.arg
 			e.recycle(next)
+			e.met.EventsArg++
 			h.FireArg(e.now, arg)
 		default:
 			h := next.h
 			if next.pooled {
 				e.recycle(next)
+				e.met.EventsPooled++
 			} else {
 				next.fired = true
+				e.met.EventsOwned++
 			}
 			h.Fire(e.now)
 		}
@@ -386,6 +417,9 @@ func (e *Engine) heapPush(t *Timer) {
 	t.idx = len(e.events)
 	t.queued = true
 	e.events = append(e.events, t)
+	if n := len(e.events); n > e.met.HeapHighWater {
+		e.met.HeapHighWater = n
+	}
 	e.siftUp(t.idx)
 }
 

@@ -1,0 +1,200 @@
+// Package telemetry is the repository's zero-overhead observability
+// layer: allocation-free counters, gauges, and fixed-bucket histograms
+// built on atomic operations, aggregated by a Collector that every
+// execution layer (engine, sim, experiments, facade) reports into.
+//
+// The design contract is "free when off, cheap when on":
+//
+//   - Off: a nil *Collector is the disabled state. Every Collector
+//     method nil-checks its receiver and returns immediately, so the
+//     instrumented hot paths cost one predictable branch and the
+//     golden bit-identity and allocation budgets of the simulation
+//     core are untouched.
+//   - On: all primitives are preallocated at Collector construction
+//     and mutated with atomic ops only — recording a counter, gauge,
+//     or histogram observation never allocates, so a live collector
+//     cannot perturb the allocs/op budgets it is supposed to watch.
+//
+// Layers that fire events at MHz rates (the discrete-event simulator)
+// do not touch atomics per event: they keep plain local counters and
+// the experiments layer flushes them into the Collector once per cell
+// (see Collector.FlushSim), amortizing the synchronization cost to a
+// handful of atomic adds per ~30 ms of simulation.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, in-flight cells). The
+// zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HighWater retains the maximum value ever observed (timer-heap
+// high-water marks). The zero value is ready to use.
+type HighWater struct{ v atomic.Int64 }
+
+// Observe raises the mark to v if v exceeds it.
+func (h *HighWater) Observe(v int64) {
+	for {
+		cur := h.v.Load()
+		if v <= cur || h.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the high-water mark.
+func (h *HighWater) Value() int64 { return h.v.Load() }
+
+// Histogram is a fixed-bucket histogram: cumulative-style buckets with
+// preallocated counts, an observation count, and a running sum. Bounds
+// are upper bucket edges in ascending order; an implicit +Inf bucket
+// catches the overflow. Observe is allocation-free and safe for
+// concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; [len(bounds)] is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds. This is the only allocation the histogram ever performs.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bucket is one cumulative histogram bucket in a snapshot: the count
+// of observations <= LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders the overflow bucket's +Inf edge as the string
+// "+Inf" (JSON has no infinity literal); finite edges stay numeric.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.LE, 1) {
+		return []byte(fmt.Sprintf(`{"le":"+Inf","count":%d}`, b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"le":%g,"count":%d}`, b.LE, b.Count)), nil
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, with cumulative
+// buckets in Prometheus style (the +Inf bucket equals Count).
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Buckets are cumulative; under
+// concurrent Observe calls the copy is a consistent-enough monotone
+// view (each bucket count is read once, in ascending order).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Sum: h.Sum(), Buckets: make([]Bucket, 0, len(h.bounds)+1)}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, Bucket{LE: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	s.Buckets = append(s.Buckets, Bucket{LE: math.Inf(1), Count: cum})
+	s.Count = cum
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) from the snapshot by linear
+// interpolation within the holding bucket, Prometheus
+// histogram_quantile-style. It returns 0 for an empty snapshot and
+// clamps to the last finite bound when the quantile lands in +Inf.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i, b := range s.Buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		if math.IsInf(b.LE, 1) {
+			// Overflow bucket: report the last finite edge.
+			if i > 0 {
+				return s.Buckets[i-1].LE
+			}
+			return 0
+		}
+		lo, loCount := 0.0, uint64(0)
+		if i > 0 {
+			lo, loCount = s.Buckets[i-1].LE, s.Buckets[i-1].Count
+		}
+		span := float64(b.Count - loCount)
+		if span == 0 {
+			return b.LE
+		}
+		return lo + (b.LE-lo)*(rank-float64(loCount))/span
+	}
+	return s.Buckets[len(s.Buckets)-1].LE
+}

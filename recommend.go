@@ -105,6 +105,7 @@ type recommendSearch struct {
 	evals map[int]*evaluation // candidate index -> outcome
 	tried []int               // buffers in evaluation order
 	done  int                 // cells completed, for OnProgress
+	start time.Time           // search start, for Progress timing
 }
 
 // Recommend searches the buffer axis for the spec's target instead of
@@ -122,7 +123,7 @@ type recommendSearch struct {
 // with Total equal to the full-grid upper bound GridCells — the
 // search finishing well short of Total is the point.
 func (s *Session) Recommend(ctx context.Context, spec RecommendSpec, o Options) (*Recommendation, error) {
-	r := &recommendSearch{s: s, ctx: ctx, o: o, sc: spec.Scenario, scLabel: spec.Scenario.Label()}
+	r := &recommendSearch{s: s, ctx: ctx, o: o, sc: spec.Scenario, scLabel: spec.Scenario.Label(), start: time.Now()}
 	if len(spec.Probes) == 0 {
 		return nil, fmt.Errorf("bufferqoe: a recommendation needs at least one probe")
 	}
@@ -288,7 +289,7 @@ func (r *recommendSearch) evaluate(i int) (*evaluation, error) {
 		}
 		r.done++
 		if r.o.OnProgress != nil {
-			r.o.OnProgress(Progress{Completed: r.done, Total: len(r.bufs) * len(r.probes), Cell: c})
+			r.o.OnProgress(Progress{Completed: r.done, Total: len(r.bufs) * len(r.probes), Cell: c}.timing(r.start))
 		}
 	}
 	ev.score = sum / float64(len(values))

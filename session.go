@@ -55,7 +55,11 @@ func (s *Session) Parallelism() int { return s.inner.Parallelism() }
 // Stats snapshots the session's engine counters.
 func (s *Session) Stats() EngineStats {
 	st := s.inner.EngineStats()
-	return EngineStats{Workers: st.Workers, CachedCells: st.Entries, Hits: st.Hits, Misses: st.Misses, Canceled: st.Canceled}
+	return EngineStats{
+		Workers: st.Workers, CachedCells: st.Entries,
+		Hits: st.Hits, Misses: st.Misses, Canceled: st.Canceled,
+		InFlight: st.InFlight, QueueDepth: st.QueueDepth, Waiters: st.Waiters,
+	}
 }
 
 // Run executes one experiment by ID on the session.

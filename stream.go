@@ -3,6 +3,7 @@ package bufferqoe
 import (
 	"context"
 	"iter"
+	"time"
 
 	"bufferqoe/internal/experiments"
 )
@@ -111,6 +112,14 @@ func (s *Session) streamSweep(ctx context.Context, plan *sweepPlan, o Options, e
 		}
 	}()
 
+	// The sweep-cell counter goes to the run's collector (or the
+	// session's, via the same fallback the cells themselves use).
+	col := o.Collector.raw()
+	if col == nil {
+		col = s.inner.Collector()
+	}
+
+	start := time.Now()
 	completed, total := 0, len(plan.specs)
 	for c := range ch {
 		if c.err != nil {
@@ -120,9 +129,12 @@ func (s *Session) streamSweep(ctx context.Context, plan *sweepPlan, o Options, e
 			return c.err
 		}
 		completed++
+		if col != nil {
+			col.SweepCells.Inc()
+		}
 		cell := plan.cell(c.i, c.v)
 		if o.OnProgress != nil {
-			o.OnProgress(Progress{Completed: completed, Total: total, Cell: cell})
+			o.OnProgress(Progress{Completed: completed, Total: total, Cell: cell}.timing(start))
 		}
 		if !emit(c.i, cell) {
 			return nil
