@@ -217,6 +217,16 @@ type EngineStats struct {
 	InFlight   int64
 	QueueDepth int64
 	Waiters    int64
+	// StoreHits counts cells answered from the persistent store tier
+	// (no simulation ran), StoreMisses counts store lookups that fell
+	// through to a fresh compute, and StoreWrites counts results
+	// accepted by the store for persistence. All zero unless the
+	// session opened a store (Session.OpenStore / qoebench -store).
+	// A fully warm store shows Misses == 0 with StoreHits covering
+	// every unique cell.
+	StoreHits   uint64
+	StoreMisses uint64
+	StoreWrites uint64
 }
 
 // Stats snapshots the default session's cell engine.

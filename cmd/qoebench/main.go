@@ -14,6 +14,8 @@
 //	qoebench -sweep -workloads long-many -dir bidir -bufup 256 -probes voip
 //	qoebench -recommend -workloads long-many -dir up -probes voip,web -target max-mos
 //	qoebench -sweep -workloads short-few -dir up -metrics-addr localhost:6060 -trace cells.jsonl
+//	qoebench -sweep -workloads long-many -dir up -store /var/cache/qoe -json
+//	qoebench -serve localhost:8080 -store /var/cache/qoe
 //
 // With multiple experiments (or -exp all), experiments run through
 // the parallel cell engine: cells fan out across -parallel workers
@@ -42,6 +44,21 @@
 // cells are abandoned (in-flight cells drain into the session cache)
 // and qoebench exits non-zero. -progress streams per-cell completions
 // with throughput and ETA to stderr as workers finish them.
+//
+// -store DIR attaches a persistent content-addressed result store:
+// any cell already computed by a run sharing DIR (other processes,
+// machines, CI jobs) is answered from disk instead of simulated, and
+// fresh results are persisted for future runs. Entries are keyed by
+// the canonical cell spec plus the engine's semantic version, so a
+// store never serves values the current code would not produce.
+//
+// -serve ADDR turns qoebench into a long-lived HTTP/JSON service:
+// POST /sweep and POST /recommend accept the sweep axes as a JSON
+// body and run them on one shared session (one cache, one bounded
+// worker pool), GET /healthz reports liveness and engine statistics,
+// and SIGINT/SIGTERM drains in-flight requests before exiting. Pair
+// with -store so the service starts warm and keeps learning; see
+// serve.go for the request schema.
 //
 // -metrics-addr serves live telemetry while the run executes:
 // /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof/
@@ -105,6 +122,12 @@ type jsonStats struct {
 	CacheHits     uint64 `json:"cache_hits"`
 	CachedCells   int    `json:"cached_cells"`
 	CellsCanceled uint64 `json:"cells_canceled,omitempty"`
+	// Store counters are zero (and omitted) unless -store attached a
+	// persistent tier; a fully warm store shows cells_simulated 0 with
+	// store_hits covering every unique cell.
+	StoreHits   uint64 `json:"store_hits,omitempty"`
+	StoreMisses uint64 `json:"store_misses,omitempty"`
+	StoreWrites uint64 `json:"store_writes,omitempty"`
 }
 
 func statsOf(s *bufferqoe.Session) jsonStats {
@@ -112,6 +135,7 @@ func statsOf(s *bufferqoe.Session) jsonStats {
 	return jsonStats{
 		Workers: st.Workers, CellsRun: st.Misses, CacheHits: st.Hits,
 		CachedCells: st.CachedCells, CellsCanceled: st.Canceled,
+		StoreHits: st.StoreHits, StoreMisses: st.StoreMisses, StoreWrites: st.StoreWrites,
 	}
 }
 
@@ -131,6 +155,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON results and engine stats")
 		timeout  = fs.Duration("timeout", 0, "overall wall-clock deadline; on expiry queued cells are abandoned and the run exits non-zero (0 = none)")
 		progress = fs.Bool("progress", false, "print per-cell completion progress with rate and ETA to stderr (-sweep and -recommend modes)")
+
+		storeDir  = fs.String("store", "", "persistent result store directory: cells computed by any prior run sharing it are answered from disk instead of simulated, and fresh results persist for future runs")
+		serveAddr = fs.String("serve", "", "run as a long-lived HTTP/JSON service on this address (POST /sweep, POST /recommend, GET /healthz); pair with -store for a disk-warm cache")
 
 		metricsAddr = fs.String("metrics-addr", "", "serve live telemetry on this address during the run: /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof/ (e.g. localhost:6060)")
 		traceFile   = fs.String("trace", "", "append one JSON trace event per freshly simulated cell to this file (build/sim/score phase timings, simulator event counts)")
@@ -229,6 +256,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "qoebench: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", bound)
 	}
 
+	if *storeDir != "" {
+		if err := session.OpenStore(*storeDir); err != nil {
+			fmt.Fprintf(stderr, "qoebench: -store: %v\n", err)
+			return 2
+		}
+		// Deferred (not inline per mode) so every exit path — including
+		// serve-mode shutdown — flushes queued writes to disk.
+		defer func() {
+			if err := session.CloseStore(); err != nil {
+				fmt.Fprintf(stderr, "qoebench: -store close: %v\n", err)
+			}
+		}()
+	}
+
+	if *serveAddr != "" {
+		if *exp != "" || *sweep || *recommend {
+			fmt.Fprintln(stderr, "qoebench: -serve runs a service; it is exclusive with -exp/-sweep/-recommend")
+			return 2
+		}
+		return runServe(*serveAddr, session, opt, stderr)
+	}
+
 	if *sweep || *recommend {
 		if *exp != "" {
 			fmt.Fprintln(stderr, "qoebench: -sweep/-recommend and -exp are mutually exclusive")
@@ -312,18 +361,19 @@ type sweepFlags struct {
 	clientDelay, serverDelay                               time.Duration
 }
 
-// compileSweepFlags resolves the shared scenario/axis flags of the
-// -sweep and -recommend modes. A flag-level mistake returns exit code
-// 2 via ok=false after printing the error.
-func compileSweepFlags(f sweepFlags, stderr io.Writer) (scenarios []bufferqoe.Scenario, net bufferqoe.Network, bufs []int, probes []bufferqoe.Probe, ok bool) {
+// compileSweep resolves the shared scenario/axis parameters of the
+// -sweep and -recommend modes (and of every -serve request, which
+// reuses the same axes over HTTP). It is the single authority on how
+// the flat flag surface maps onto the Scenario/Probe API.
+func (f sweepFlags) compileSweep() (scenarios []bufferqoe.Scenario, bufs []int, probes []bufferqoe.Probe, err error) {
+	var net bufferqoe.Network
 	switch f.network {
 	case "access", "":
 		net = bufferqoe.Access
 	case "backbone":
 		net = bufferqoe.Backbone
 	default:
-		fmt.Fprintf(stderr, "qoebench: unknown -network %q (want access or backbone)\n", f.network)
-		return nil, net, nil, nil, false
+		return nil, nil, nil, fmt.Errorf("unknown network %q (want access or backbone)", f.network)
 	}
 
 	var link *bufferqoe.Link
@@ -338,17 +388,14 @@ func compileSweepFlags(f sweepFlags, stderr io.Writer) (scenarios []bufferqoe.Sc
 		// A custom mix replaces the preset/direction axes: the mix's
 		// own Up/Down components say where the congestion goes.
 		if f.workloads != "noBG" {
-			fmt.Fprintln(stderr, "qoebench: -mix and -workloads are mutually exclusive")
-			return nil, net, nil, nil, false
+			return nil, nil, nil, fmt.Errorf("a custom mix and workload presets are mutually exclusive")
 		}
 		if f.dir != "down" && f.dir != "" {
-			fmt.Fprintf(stderr, "qoebench: -dir %s: a -mix names its own directions (up:/down: sections)\n", f.dir)
-			return nil, net, nil, nil, false
+			return nil, nil, nil, fmt.Errorf("direction %s: a mix names its own directions (up:/down: sections)", f.dir)
 		}
 		w, err := bufferqoe.ParseMix(f.mix)
 		if err != nil {
-			fmt.Fprintf(stderr, "qoebench: %v\n", err)
-			return nil, net, nil, nil, false
+			return nil, nil, nil, err
 		}
 		scenarios = append(scenarios, bufferqoe.Scenario{
 			Network: net, Link: link, Mix: w, BufferUp: f.bufUp,
@@ -360,8 +407,7 @@ func compileSweepFlags(f sweepFlags, stderr io.Writer) (scenarios []bufferqoe.Sc
 			// The backbone has no congestion-direction axis; reject a
 			// non-default -dir instead of silently measuring downstream.
 			if dir != bufferqoe.Down && dir != "" {
-				fmt.Fprintf(stderr, "qoebench: -dir %s: the backbone is congested downstream only\n", f.dir)
-				return nil, net, nil, nil, false
+				return nil, nil, nil, fmt.Errorf("direction %s: the backbone is congested downstream only", f.dir)
 			}
 			dir = ""
 		}
@@ -373,21 +419,31 @@ func compileSweepFlags(f sweepFlags, stderr io.Writer) (scenarios []bufferqoe.Sc
 		}
 	}
 
-	bufs, err := parseBuffers(f.buffers, net)
+	bufs, err = parseBuffers(f.buffers, net)
 	if err != nil {
-		fmt.Fprintf(stderr, "qoebench: %v\n", err)
-		return nil, net, nil, nil, false
+		return nil, nil, nil, err
 	}
 	probes, err = parseProbes(f.probes)
 	if err != nil {
-		fmt.Fprintf(stderr, "qoebench: %v\n", err)
-		return nil, net, nil, nil, false
+		return nil, nil, nil, err
 	}
-	return scenarios, net, bufs, probes, true
+	return scenarios, bufs, probes, nil
+}
+
+// compileSweepFlags is the CLI wrapper around compileSweep: a
+// flag-level mistake returns exit code 2 via ok=false after printing
+// the error.
+func compileSweepFlags(f sweepFlags, stderr io.Writer) (scenarios []bufferqoe.Scenario, bufs []int, probes []bufferqoe.Probe, ok bool) {
+	scenarios, bufs, probes, err := f.compileSweep()
+	if err != nil {
+		fmt.Fprintf(stderr, "qoebench: %v\n", err)
+		return nil, nil, nil, false
+	}
+	return scenarios, bufs, probes, true
 }
 
 func runSweep(ctx context.Context, session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, jsonOut bool, stdout, stderr io.Writer) int {
-	scenarios, _, bufs, probes, ok := compileSweepFlags(f, stderr)
+	scenarios, bufs, probes, ok := compileSweepFlags(f, stderr)
 	if !ok {
 		return 2
 	}
@@ -423,7 +479,7 @@ func runSweep(ctx context.Context, session *bufferqoe.Session, opt bufferqoe.Opt
 // sweep bracketed by the link's BDP) is the candidate axis, and
 // -target picks the optimization goal.
 func runRecommend(ctx context.Context, session *bufferqoe.Session, opt bufferqoe.Options, f sweepFlags, target string, threshold float64, jsonOut bool, stdout, stderr io.Writer) int {
-	scenarios, _, bufs, probes, ok := compileSweepFlags(f, stderr)
+	scenarios, bufs, probes, ok := compileSweepFlags(f, stderr)
 	if !ok {
 		return 2
 	}

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bufferqoe"
+)
+
+// serveOpts are the run options every server test shares: small enough
+// that a cell simulates in well under a second.
+func serveOpts() bufferqoe.Options {
+	return bufferqoe.Options{
+		Seed: 5, Duration: 4 * time.Second, Warmup: 2 * time.Second,
+		Reps: 1, ClipSeconds: 1, CDNFlows: 20000,
+	}
+}
+
+func newTestServer(t *testing.T, session *bufferqoe.Session) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newServeHandler(session, serveOpts()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// post sends body to the endpoint and decodes the JSON response.
+func post(t *testing.T, url, body string, into any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("bad JSON (%v): %s", err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeHealthz(t *testing.T) {
+	srv := newTestServer(t, bufferqoe.NewSession())
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, h)
+	}
+}
+
+func TestServeSweep(t *testing.T) {
+	srv := newTestServer(t, bufferqoe.NewSession())
+	var r serveResponse
+	code := post(t, srv.URL+"/sweep",
+		`{"buffers": [16, 64], "probes": ["voip"]}`, &r)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if r.Sweep == nil || len(r.Sweep.Cells) != 2 {
+		t.Fatalf("sweep response = %+v", r)
+	}
+	if r.Stats.CellsRun != 2 {
+		t.Fatalf("stats = %+v, want 2 simulated cells", r.Stats)
+	}
+	// Identical request: every cell answered from the shared cache.
+	var r2 serveResponse
+	post(t, srv.URL+"/sweep", `{"buffers": [16, 64], "probes": ["voip"]}`, &r2)
+	if r2.Stats.CellsRun != 2 || r2.Stats.CacheHits != 2 {
+		t.Fatalf("repeat stats = %+v, want warm hits", r2.Stats)
+	}
+}
+
+func TestServeRecommend(t *testing.T) {
+	srv := newTestServer(t, bufferqoe.NewSession())
+	var r serveResponse
+	code := post(t, srv.URL+"/recommend",
+		`{"buffers": [8, 64], "probes": ["web"]}`, &r)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, r)
+	}
+	if r.Recommend == nil || r.Recommend.Buffer == 0 {
+		t.Fatalf("recommend response = %+v", r)
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	srv := newTestServer(t, bufferqoe.NewSession())
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"bad json", "/sweep", `{"buffers": `, http.StatusBadRequest},
+		{"unknown field", "/sweep", `{"bufffers": [16]}`, http.StatusBadRequest},
+		{"unknown workload", "/sweep", `{"workloads": ["nonsense"]}`, http.StatusBadRequest},
+		{"bad target", "/recommend", `{"target": "fastest"}`, http.StatusBadRequest},
+		{"multi-workload recommend", "/recommend", `{"workloads": ["noBG", "long-many"]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e map[string]string
+			if code := post(t, srv.URL+tc.path, tc.body, &e); code != tc.want {
+				t.Fatalf("status %d, want %d (%v)", code, tc.want, e)
+			}
+			if e["error"] == "" {
+				t.Fatal("error body missing")
+			}
+		})
+	}
+	resp, err := http.Get(srv.URL + "/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "POST" {
+		t.Fatalf("GET /sweep = %d, Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestServeConcurrentRecommend is the load acceptance test: at least a
+// thousand concurrent Recommend requests against one server, all
+// answered correctly, no goroutine leaks. The requests are identical,
+// so the engine coalesces them onto one set of cells — the service's
+// designed-for hot path.
+func TestServeConcurrentRecommend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped with -short")
+	}
+	session := bufferqoe.NewSession()
+	srv := newTestServer(t, session)
+	client := srv.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+
+	// Warm the cells once so the concurrent wave measures the service,
+	// not a thousand waiters on first-compute.
+	var warm serveResponse
+	if code := post(t, srv.URL+"/recommend", `{"buffers": [8, 64], "probes": ["voip"]}`, &warm); code != http.StatusOK {
+		t.Fatalf("warmup status %d", code)
+	}
+
+	const clients = 1000
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(srv.URL+"/recommend", "application/json",
+				strings.NewReader(`{"buffers": [8, 64], "probes": ["voip"]}`))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			var r serveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+				errs <- "decode: " + err.Error()
+				return
+			}
+			if resp.StatusCode != http.StatusOK || r.Recommend == nil {
+				errs <- fmt.Sprintf("status %d, recommend %v", resp.StatusCode, r.Recommend)
+				return
+			}
+			if r.Recommend.Buffer != warm.Recommend.Buffer {
+				errs <- fmt.Sprintf("buffer %d, want %d", r.Recommend.Buffer, warm.Recommend.Buffer)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Every request after warmup must have been answered from cache.
+	st := session.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits across %d requests: %+v", clients, st)
+	}
+	srv.Close()
+	waitForServeGoroutines(t)
+}
+
+// waitForServeGoroutines fails the test if the goroutine count does
+// not settle back near the baseline after the server closes.
+func waitForServeGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		// The test binary's own baseline is single digits; idle HTTP
+		// keep-alive reapers drain within seconds.
+		if n <= 20 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("%d goroutines still running:\n%s", n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestServeWarmStoreRestart: a restarted server sharing the store
+// directory answers a previously-run sweep entirely from disk.
+func TestServeWarmStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"buffers": [16], "probes": ["voip", "web"]}`
+
+	s1 := bufferqoe.NewSession()
+	if err := s1.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv1 := newTestServer(t, s1)
+	var cold serveResponse
+	if code := post(t, srv1.URL+"/sweep", body, &cold); code != http.StatusOK {
+		t.Fatalf("cold status %d", code)
+	}
+	if cold.Stats.CellsRun == 0 {
+		t.Fatalf("cold stats = %+v", cold.Stats)
+	}
+	srv1.Close()
+	if err := s1.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh session and handler over the same directory.
+	s2 := bufferqoe.NewSession()
+	if err := s2.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseStore()
+	srv2 := newTestServer(t, s2)
+	var warmResp serveResponse
+	if code := post(t, srv2.URL+"/sweep", body, &warmResp); code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	if warmResp.Stats.CellsRun != 0 || warmResp.Stats.StoreHits == 0 {
+		t.Fatalf("restarted server simulated cells: %+v", warmResp.Stats)
+	}
+	coldJSON, _ := json.Marshal(cold.Sweep)
+	warmJSON, _ := json.Marshal(warmResp.Sweep)
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatal("warm-store sweep differs from cold sweep")
+	}
+}
+
+// TestServeExclusiveFlags: -serve refuses to combine with one-shot
+// modes.
+func TestServeExclusiveFlags(t *testing.T) {
+	_, errOut, code := runCLI(t, "-serve", "localhost:0", "-sweep")
+	if code != 2 || !strings.Contains(errOut, "-serve") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}

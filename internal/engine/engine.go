@@ -13,6 +13,34 @@ import (
 	"bufferqoe/internal/telemetry"
 )
 
+// Version stamps the simulation semantics. It is part of every
+// persistent-store content address: two processes may share a stored
+// cell result only if they agree on Version, because a cell's value
+// is a pure function of (canonical spec, Version).
+//
+// Bump rule: increment whenever any cell's computed value can change —
+// simulator behavior, seed derivation, QoE models, default folding in
+// Canonical(), or the meaning of any CellSpec field. The golden
+// bit-identity test is the tripwire: if it needs regenerating, Version
+// must be bumped in the same change, otherwise warm stores would keep
+// serving values the new code can no longer reproduce. Cache-neutral
+// changes (scheduling, telemetry, new axes that canonicalize away)
+// must NOT bump it, or stores would be orphaned for nothing.
+const Version = "1"
+
+// CellStore is a persistent second cache tier consulted on in-memory
+// misses and written through after fresh computes. Implementations
+// (see internal/store) must be safe for concurrent use, and Get must
+// return values bit-identical to the compute it replaces. Put must
+// not block: persistence is off the hot path by contract.
+type CellStore interface {
+	// Get returns the stored value for an engine cache key, if any.
+	Get(key string) (any, bool)
+	// Put schedules the value for persistence and reports whether it
+	// was accepted (false: unsupported type, duplicate, or shed load).
+	Put(key string, v any) bool
+}
+
 // ErrCanceled reports that a cell was abandoned because its context
 // was canceled before the cell executed. Cells already executing are
 // never interrupted — simulation state is not checkpointable — so a
@@ -72,6 +100,14 @@ type Stats struct {
 	// Waiters is the number of callers blocked on another caller's
 	// in-flight computation of the same cell.
 	Waiters int64
+	// StoreHits counts cells answered from the persistent store tier
+	// (no simulation ran); StoreMisses counts store lookups that found
+	// nothing and fell through to a compute; StoreWrites counts fresh
+	// results accepted by the store for persistence. All zero when no
+	// store is attached.
+	StoreHits   uint64
+	StoreMisses uint64
+	StoreWrites uint64
 }
 
 // entry is one cache slot; done is closed once val (or panicked, or
@@ -96,6 +132,15 @@ type Engine struct {
 	misses   atomic.Uint64
 	canceled atomic.Uint64
 	workers  int
+
+	// store, when non-nil, is the persistent second cache tier: an
+	// in-memory miss consults it before acquiring a worker slot, and a
+	// fresh compute writes through to it. Guarded by mu (read once per
+	// DoCtx miss path); nil is the detached state.
+	store       CellStore
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+	storeWrites atomic.Uint64
 
 	// Live gauges: maintained on every DoCtx path (including panics
 	// and canceled-batch abandonment) so Stats stays consistent — each
@@ -126,6 +171,25 @@ func (e *Engine) SetCollector(c *telemetry.Collector) { e.collector.Store(c) }
 
 // Collector returns the attached collector, or nil.
 func (e *Engine) Collector() *telemetry.Collector { return e.collector.Load() }
+
+// SetStore attaches a persistent result store as the second cache
+// tier (nil detaches). Attaching a store never changes results — a
+// store hit is by contract bit-identical to the compute it skips — it
+// only changes how many cells are simulated. The store is consulted
+// on the in-memory miss path exclusively, so the warm-cache fast path
+// and the collector-off zero-overhead guarantees are untouched.
+func (e *Engine) SetStore(st CellStore) {
+	e.mu.Lock()
+	e.store = st
+	e.mu.Unlock()
+}
+
+// Store returns the attached persistent store, or nil.
+func (e *Engine) Store() CellStore {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store
+}
 
 // SetScratch installs a factory for per-worker scratch memory. Each
 // cell computation borrows a scratch from a free-list (creating one
@@ -267,7 +331,20 @@ func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, er
 		ent := &entry{done: make(chan struct{})}
 		e.cache[k] = ent
 		sem := e.sem
+		st := e.store
 		e.mu.Unlock()
+
+		// Second tier: before competing for a worker slot, ask the
+		// persistent store. A hit completes the entry without simulating
+		// — it is neither a Hit (in-memory) nor a Miss (no compute ran),
+		// so Stats.Misses == 0 on a fully warm store.
+		if st != nil {
+			if v, ok := e.storeGet(st, k, col); ok {
+				ent.val = v
+				close(ent.done)
+				return v, nil
+			}
+		}
 
 		e.queueDepth.Add(1)
 		if col != nil {
@@ -300,8 +377,43 @@ func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, er
 			col.CacheMisses.Inc()
 		}
 		e.compute(ctx, spec, fn, k, ent, sem, col)
+		// Write-through: persist the fresh result. Put only enqueues
+		// (the store writes on its own goroutine), so the compute path
+		// never waits on disk; a panicking cell never reaches here.
+		if st != nil && st.Put(k, ent.val) {
+			e.storeWrites.Add(1)
+			if col != nil {
+				col.StoreWrites.Inc()
+			}
+		}
 		return ent.val, nil
 	}
+}
+
+// storeGet consults the persistent tier, maintaining the store
+// counters and — with a collector attached — the store-load latency
+// histogram.
+func (e *Engine) storeGet(st CellStore, k string, col *telemetry.Collector) (any, bool) {
+	var start time.Time
+	if col != nil {
+		start = time.Now()
+	}
+	v, ok := st.Get(k)
+	if col != nil {
+		col.StoreLoad.Observe(time.Since(start).Seconds())
+	}
+	if ok {
+		e.storeHits.Add(1)
+		if col != nil {
+			col.StoreHits.Inc()
+		}
+	} else {
+		e.storeMisses.Add(1)
+		if col != nil {
+			col.StoreMisses.Inc()
+		}
+	}
+	return v, ok
 }
 
 // compute executes one cell on an acquired worker slot, maintaining
@@ -428,26 +540,35 @@ func (e *Engine) Stats() Stats {
 	entries, workers := len(e.cache), e.workers
 	e.mu.Unlock()
 	return Stats{
-		Workers:    workers,
-		Entries:    entries,
-		Hits:       e.hits.Load(),
-		Misses:     e.misses.Load(),
-		Canceled:   e.canceled.Load(),
-		InFlight:   e.inFlight.Load(),
-		QueueDepth: e.queueDepth.Load(),
-		Waiters:    e.waiters.Load(),
+		Workers:     workers,
+		Entries:     entries,
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Canceled:    e.canceled.Load(),
+		InFlight:    e.inFlight.Load(),
+		QueueDepth:  e.queueDepth.Load(),
+		Waiters:     e.waiters.Load(),
+		StoreHits:   e.storeHits.Load(),
+		StoreMisses: e.storeMisses.Load(),
+		StoreWrites: e.storeWrites.Load(),
 	}
 }
 
-// ResetCache drops all cached results and zeroes the hit/miss
-// counters. Intended for tests and long-lived processes that change
-// the simulation code underneath the cache (which nothing in-process
-// can).
+// ResetCache drops all cached results, detaches the persistent store
+// tier, and zeroes the hit/miss counters. Intended for tests and
+// long-lived processes that change the simulation code underneath the
+// cache (which nothing in-process can). Detaching the store is part
+// of the contract: a reset promises genuine cold runs, and a store
+// left attached would silently answer "cold" cells from disk.
 func (e *Engine) ResetCache() {
 	e.mu.Lock()
 	e.cache = map[string]*entry{}
+	e.store = nil
 	e.mu.Unlock()
 	e.hits.Store(0)
 	e.misses.Store(0)
 	e.canceled.Store(0)
+	e.storeHits.Store(0)
+	e.storeMisses.Store(0)
+	e.storeWrites.Store(0)
 }

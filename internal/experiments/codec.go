@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+)
+
+// cellCodec is the store.Codec for cell results: the experiments
+// layer is the only place that knows the closed set of types a
+// CellFunc can return, so the serializable set is defined here, as an
+// explicit enumeration, instead of leaking reflection-driven "encode
+// whatever shows up" semantics into the store.
+//
+// Wire format: one kind tag byte followed by the gob encoding of the
+// concrete value. gob is self-describing (field names travel with the
+// data, so adding fields to a score type keeps old entries readable)
+// and encodes float64 by bit pattern, which the determinism contract
+// requires: a decoded result must be bit-identical to the compute it
+// replaces.
+//
+// Deliberately excluded: *cdn.Analysis (the fig1* population cells).
+// Its histogram types keep unexported state that gob cannot see, so a
+// round trip would silently drop data; those cells stay
+// process-local and recompute per run (Encode reports ok=false and
+// the store counts them as skipped).
+type cellCodec struct{}
+
+// Kind tags. Append-only: a tag's meaning is frozen once written to
+// any store, and removing a type must retire its tag, not recycle it.
+const (
+	kindVoIP byte = iota + 1
+	kindVideo
+	kindHTTP
+	kindPlayout
+	kindSmoothing
+	kindBG
+	kindFloat
+	kindDuration
+)
+
+// Encode renders one cell result; ok=false means the value is
+// outside the serializable set (never persisted, always recomputed).
+func (cellCodec) Encode(v any) ([]byte, bool) {
+	var tag byte
+	switch v.(type) {
+	case voipScore:
+		tag = kindVoIP
+	case videoScore:
+		tag = kindVideo
+	case httpScore:
+		tag = kindHTTP
+	case playoutScore:
+		tag = kindPlayout
+	case smoothingScore:
+		tag = kindSmoothing
+	case bgMetrics:
+		tag = kindBG
+	case float64:
+		tag = kindFloat
+	case time.Duration:
+		tag = kindDuration
+	default:
+		return nil, false
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(tag)
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// Decode reverses Encode into the tagged concrete type.
+func (cellCodec) Decode(data []byte) (any, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("experiments: empty cell payload")
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data[1:]))
+	switch tag := data[0]; tag {
+	case kindVoIP:
+		var v voipScore
+		return v, dec.Decode(&v)
+	case kindVideo:
+		var v videoScore
+		return v, dec.Decode(&v)
+	case kindHTTP:
+		var v httpScore
+		return v, dec.Decode(&v)
+	case kindPlayout:
+		var v playoutScore
+		return v, dec.Decode(&v)
+	case kindSmoothing:
+		var v smoothingScore
+		return v, dec.Decode(&v)
+	case kindBG:
+		var v bgMetrics
+		return v, dec.Decode(&v)
+	case kindFloat:
+		var v float64
+		return v, dec.Decode(&v)
+	case kindDuration:
+		var v time.Duration
+		return v, dec.Decode(&v)
+	default:
+		return nil, fmt.Errorf("experiments: unknown cell payload kind %d", tag)
+	}
+}
+
+// cellCodec must keep satisfying store.Codec structurally (the store
+// package is not imported here to keep this layer's dependencies
+// one-directional).
+var _ interface {
+	Encode(any) ([]byte, bool)
+	Decode([]byte) (any, error)
+} = cellCodec{}

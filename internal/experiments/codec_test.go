@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"bufferqoe/internal/cdn"
+	"bufferqoe/internal/stats"
+)
+
+// TestCodecRoundTripBitIdentity: every type in the serializable set
+// must decode to exactly the value encoded — same concrete type, same
+// float bit patterns — because warm-store results are asserted
+// bit-identical to fresh computes.
+func TestCodecRoundTripBitIdentity(t *testing.T) {
+	box := stats.Boxplot{Min: 0.25, Q1: 1, Median: 2.5, Q3: 4, Max: 9, WhiskerLo: 0.5, WhiskerHi: 8, N: 17}
+	values := []any{
+		voipScore{Listen: 4.103500000000001, Talk: 3.2, UpDelayMs: 17.25, UpUtilPct: 93.7},
+		videoScore{SSIM: 0.9876543210987654, PSNR: 41.5},
+		httpScore{MOS: 3.5000000000000004, Bitrate: 7.9e6},
+		playoutScore{MOS: 2.1, Z1: 0.333, LossPct: 1.25},
+		smoothingScore{SSIM: 0.75, LossPct: 12.5},
+		bgMetrics{
+			Conc: 12.5, UtilUpPct: 88.8, UtilDownPct: 97.1,
+			SdUp: 0.11, SdDown: 0.07, LossUpPct: 2.5, LossDownPct: 0.1,
+			DelayUpMs: 350.125, DelayDownMs: 41.0625,
+			UpBox: box, DownBox: box,
+		},
+		float64(4.499999999999999),
+		123456789 * time.Microsecond,
+	}
+	c := cellCodec{}
+	for _, v := range values {
+		data, ok := c.Encode(v)
+		if !ok {
+			t.Fatalf("Encode(%T) rejected", v)
+		}
+		got, err := c.Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", v, err)
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(v) {
+			t.Fatalf("round trip changed type: %T -> %T", v, got)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("round trip changed value: %#v -> %#v", v, got)
+		}
+	}
+}
+
+// NaN survives (gob encodes float64 by bit pattern); DeepEqual can't
+// check it, so it gets its own case.
+func TestCodecRoundTripNaN(t *testing.T) {
+	c := cellCodec{}
+	data, ok := c.Encode(math.NaN())
+	if !ok {
+		t.Fatal("Encode(NaN) rejected")
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, isF := got.(float64); !isF || !math.IsNaN(f) {
+		t.Fatalf("Decode = %v (%T), want NaN", got, got)
+	}
+}
+
+// *cdn.Analysis carries histogram types with unexported state gob
+// would silently drop; the codec must refuse it so those cells are
+// recomputed instead of corrupted.
+func TestCodecRejectsOutOfSetTypes(t *testing.T) {
+	c := cellCodec{}
+	for _, v := range []any{
+		&cdn.Analysis{},
+		"a string",
+		nil,
+		struct{ X int }{1},
+	} {
+		if _, ok := c.Encode(v); ok {
+			t.Fatalf("Encode(%T) accepted; outside the serializable set", v)
+		}
+	}
+}
+
+func TestCodecRejectsCorruptPayloads(t *testing.T) {
+	c := cellCodec{}
+	for _, data := range [][]byte{
+		nil,
+		{},
+		{0xff},              // unknown kind tag
+		{kindVoIP},          // tag with no gob body
+		{kindVoIP, 1, 2, 3}, // tag with a torn gob body
+	} {
+		if _, err := c.Decode(data); err == nil {
+			t.Fatalf("Decode(%v) succeeded on corrupt payload", data)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"bufferqoe/internal/engine"
+	"bufferqoe/internal/store"
 	"bufferqoe/internal/telemetry"
 )
 
@@ -32,6 +34,11 @@ type Session struct {
 	// threading a collector through. Set via SetCollector on the root
 	// session, before WithContext views are taken.
 	collector *telemetry.Collector
+	// store is the session's handle on the persistent result store
+	// attached to the engine, kept so CloseStore/ResetCache can flush
+	// and release it. Like collector, manage it on the root session
+	// before WithContext views are taken (views copy the struct).
+	store *store.Store
 }
 
 // NewSession creates a session with its own engine; workers <= 0 uses
@@ -107,8 +114,60 @@ func (s *Session) opts(o Options) Options {
 	return o
 }
 
-// ResetCache drops the session's memoized cell results.
-func (s *Session) ResetCache() { s.eng.ResetCache() }
+// OpenStore attaches a persistent content-addressed result store at
+// dir as the engine's second cache tier: in-memory misses are
+// answered from disk when a prior run (any process, any machine)
+// already computed the cell under the same engine.Version, and fresh
+// computes are written through off the hot path. Open the store on
+// the root session before submitting work or taking WithContext
+// views; a session holds at most one store at a time.
+func (s *Session) OpenStore(dir string) error {
+	if s.store != nil {
+		return fmt.Errorf("experiments: session already has a store open at %s", s.store.Dir())
+	}
+	st, err := store.Open(dir, engine.Version, cellCodec{})
+	if err != nil {
+		return err
+	}
+	s.store = st
+	s.eng.SetStore(st)
+	return nil
+}
+
+// CloseStore detaches the session's persistent store, flushes its
+// queued writes to disk, and releases it. No-op without an open
+// store. The session keeps working afterwards — cells just stop
+// hitting and feeding the disk tier.
+func (s *Session) CloseStore() error {
+	st := s.store
+	if st == nil {
+		return nil
+	}
+	s.store = nil
+	s.eng.SetStore(nil)
+	return st.Close()
+}
+
+// StoreStats snapshots the open store's counters; ok is false when no
+// store is open.
+func (s *Session) StoreStats() (store.Stats, bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
+}
+
+// ResetCache drops the session's memoized cell results and detaches
+// (closing) any open persistent store, so subsequent runs are genuine
+// cold runs: nothing in memory, nothing answered from disk. Reattach
+// with OpenStore if warm-store behavior is wanted again.
+func (s *Session) ResetCache() {
+	s.eng.ResetCache()
+	if s.store != nil {
+		s.store.Close()
+		s.store = nil
+	}
+}
 
 // cancelSignal carries a cancellation out of a grid runner through the
 // panic path. The ~40 runners are straight-line cell submitters with

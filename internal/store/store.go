@@ -1,0 +1,415 @@
+// Package store implements the persistent, content-addressed cell
+// result store: the on-disk second tier behind the engine's in-memory
+// single-flight cache.
+//
+// Every cell result is a pure function of its canonical CellSpec and
+// the engine's simulation semantics, so the pair (engine version,
+// CellSpec.Key()) is a complete content address: equal addresses mean
+// bit-identical values, on any machine, in any process, forever. The
+// store exploits that by writing each result to one immutable file
+// named by the SHA-256 of its address. There is nothing to update and
+// nothing to lock across processes — concurrent writers of the same
+// address produce identical bytes and the atomic rename makes one of
+// them win harmlessly.
+//
+// Crash safety is write-to-temp + fsync + rename: a reader never
+// observes a partial entry file, only a missing one. Every load
+// re-validates the entry (magic, version, key echo, CRC32 over the
+// whole record) and deletes anything that fails, so torn files from
+// crashes, disk corruption, or foreign junk in the directory degrade
+// to cache misses — the cell is recomputed, never trusted.
+//
+// Writes happen on a background goroutine fed by a bounded queue, so
+// persisting results never blocks the engine's compute path; under
+// sustained pressure excess writes are dropped (and counted), which
+// only costs a recomputation in some later process.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Codec serializes cell values. The store is value-agnostic: the
+// experiments layer, which owns the closed set of cell result types,
+// supplies the codec (see experiments.CellCodec).
+type Codec interface {
+	// Encode renders v as a self-describing payload. ok is false when
+	// v's dynamic type is outside the serializable set (such values are
+	// computed per process but never persisted) or when encoding fails.
+	Encode(v any) (data []byte, ok bool)
+	// Decode reverses Encode. Decode(Encode(v)) must be bit-identical
+	// to v for every value Encode accepts — the warm-store path feeds
+	// decoded values straight into results that are asserted
+	// bit-identical to fresh computes.
+	Decode(data []byte) (any, error)
+}
+
+// Stats is a snapshot of one store handle's counters.
+type Stats struct {
+	// Entries is the number of entry files this handle knows about
+	// (indexed at Open plus its own completed writes).
+	Entries int
+	// Hits counts Gets answered from disk; Misses counts Gets that
+	// found nothing usable.
+	Hits, Misses uint64
+	// Writes counts entries durably persisted; Skipped counts Puts of
+	// values outside the codec's serializable set; Dropped counts Puts
+	// shed because the write queue was full or the write failed.
+	Writes, Skipped, Dropped uint64
+	// Corrupt counts entries that failed validation on load and were
+	// deleted (the caller recomputes).
+	Corrupt uint64
+}
+
+// Store is one handle on an on-disk result store directory. A handle
+// is safe for concurrent use by any number of goroutines; independent
+// handles (even in different processes) may share one directory —
+// entries are immutable and atomically created, so the only cost of
+// not seeing another handle's fresh writes is a recomputation.
+type Store struct {
+	dir     string
+	version string
+	codec   Codec
+
+	mu      sync.Mutex
+	index   map[string]struct{} // entry file names known present
+	pending map[string]struct{} // names queued for write, not yet renamed
+	closed  bool
+
+	queue chan writeReq
+	done  sync.WaitGroup
+
+	hits, misses, writes, skipped, corrupt, dropped atomic.Uint64
+}
+
+type writeReq struct {
+	name string
+	data []byte
+}
+
+const (
+	entrySuffix = ".cell"
+	tmpPrefix   = "tmp-"
+	// writeQueueCap bounds the persistence backlog; cell results are a
+	// few hundred bytes, so the queue holds well under a megabyte.
+	writeQueueCap = 1024
+	// tmpMaxAge is how old an orphaned temp file must be before Open
+	// sweeps it: old enough that no live writer (writes take
+	// milliseconds) can still own it.
+	tmpMaxAge = 15 * time.Minute
+)
+
+// entryMagic stamps every entry file; a version bump here invalidates
+// the container format itself (distinct from the engine version, which
+// invalidates the simulated values).
+var entryMagic = [4]byte{'Q', 'B', 'S', '1'}
+
+// Open opens (creating if needed) the store rooted at dir, stamped
+// with the given engine version. Entries written under a different
+// version hash to different file names, so old results are never
+// served — they simply stop being addressable and can be garbage
+// collected by deleting the directory.
+func Open(dir, version string, codec Codec) (*Store, error) {
+	if codec == nil {
+		return nil, errors.New("store: nil codec")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		version: version,
+		codec:   codec,
+		index:   make(map[string]struct{}),
+		pending: make(map[string]struct{}),
+		queue:   make(chan writeReq, writeQueueCap),
+	}
+	// Fast startup: index entry names only — no file is opened or
+	// validated until a Get addresses it.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, entrySuffix):
+			s.index[name] = struct{}{}
+		case strings.HasPrefix(name, tmpPrefix):
+			// A temp file is an in-flight write or a crash leftover; only
+			// sweep ones old enough that no live writer can own them.
+			if info, err := de.Info(); err == nil && time.Since(info.ModTime()) > tmpMaxAge {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	s.done.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName is the content address: entries live at
+// sha256(version \x00 key).cell, so the (version, key) pair fully
+// determines the file and a version bump orphans every old entry.
+func (s *Store) fileName(key string) string {
+	h := sha256.New()
+	h.Write([]byte(s.version))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return hex.EncodeToString(h.Sum(nil)) + entrySuffix
+}
+
+// Get loads the value stored for key, if a valid entry exists.
+// Entries that fail validation (torn writes, corruption, a hash
+// collision's mismatched key echo) are deleted and reported as misses
+// — the caller recomputes and the recompute re-persists.
+func (s *Store) Get(key string) (any, bool) {
+	name := s.fileName(key)
+	s.mu.Lock()
+	_, known := s.index[name]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed || !known {
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		// Indexed but unreadable: deleted or made unreadable externally.
+		s.dropEntry(name)
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := parseEntry(data, s.version, key)
+	if err != nil {
+		s.discardCorrupt(name)
+		s.misses.Add(1)
+		return nil, false
+	}
+	v, err := s.codec.Decode(payload)
+	if err != nil {
+		s.discardCorrupt(name)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return v, true
+}
+
+// Put schedules key's value for persistence and reports whether it
+// was accepted. It never blocks: values outside the codec's
+// serializable set are skipped, already-persisted (or already-queued)
+// keys are deduplicated, and a full write queue sheds the put — all
+// of which only cost a recomputation in some later process.
+func (s *Store) Put(key string, v any) bool {
+	data, ok := s.codec.Encode(v)
+	if !ok {
+		s.skipped.Add(1)
+		return false
+	}
+	name := s.fileName(key)
+	rec := encodeEntry(s.version, key, data)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if _, dup := s.index[name]; dup {
+		return false
+	}
+	if _, dup := s.pending[name]; dup {
+		return false
+	}
+	// The enqueue happens under mu alongside the closed check, so Close
+	// (which flips closed before closing the channel) can never race a
+	// send onto a closed channel.
+	select {
+	case s.queue <- writeReq{name: name, data: rec}:
+		s.pending[name] = struct{}{}
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Close flushes all queued writes and releases the handle. Further
+// Gets miss and further Puts are dropped. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.done.Wait()
+	return nil
+}
+
+// Stats snapshots the handle's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries := len(s.index)
+	s.mu.Unlock()
+	return Stats{
+		Entries: entries,
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Writes:  s.writes.Load(),
+		Skipped: s.skipped.Load(),
+		Dropped: s.dropped.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// writer drains the persistence queue. One goroutine per handle: cell
+// results are small and writes are rare relative to computes, so a
+// single writer keeps up while guaranteeing entries appear in the
+// index only after they are durably on disk.
+func (s *Store) writer() {
+	defer s.done.Done()
+	for req := range s.queue {
+		err := s.writeEntry(req.name, req.data)
+		s.mu.Lock()
+		delete(s.pending, req.name)
+		if err == nil {
+			s.index[req.name] = struct{}{}
+		}
+		s.mu.Unlock()
+		if err == nil {
+			s.writes.Add(1)
+		} else {
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// writeEntry persists one record atomically: unique temp file in the
+// same directory, write, fsync, rename. A crash at any point leaves
+// either no entry or a complete one, never a torn file under the
+// final name.
+func (s *Store) writeEntry(name string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	} else {
+		f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(s.dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+// dropEntry forgets an indexed name that turned out to be unreadable.
+func (s *Store) dropEntry(name string) {
+	s.mu.Lock()
+	delete(s.index, name)
+	s.mu.Unlock()
+}
+
+// discardCorrupt deletes an entry that failed validation so it is
+// never consulted again; the caller's recompute will re-persist it.
+func (s *Store) discardCorrupt(name string) {
+	os.Remove(filepath.Join(s.dir, name))
+	s.dropEntry(name)
+	s.corrupt.Add(1)
+}
+
+// Entry file layout (all integers little-endian uint32):
+//
+//	magic "QBS1" | len(version) version | len(key) key | len(payload) payload | CRC32
+//
+// The version and key are echoed in full so a load verifies the
+// entry's identity independently of its file name — a SHA-256
+// collision or a renamed file can never serve the wrong cell — and
+// the trailing CRC32 (IEEE, over everything before it) rejects torn
+// or bit-flipped records.
+
+// encodeEntry renders one record.
+func encodeEntry(version, key string, payload []byte) []byte {
+	n := len(entryMagic) + 4 + len(version) + 4 + len(key) + 4 + len(payload) + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, entryMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(version)))
+	buf = append(buf, version...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// errCorrupt is the catch-all validation failure; callers only need
+// success/failure, the specific defect is irrelevant (the entry is
+// deleted either way).
+var errCorrupt = errors.New("store: corrupt entry")
+
+// parseEntry validates one record against the expected version and
+// key and returns its payload.
+func parseEntry(data []byte, version, key string) ([]byte, error) {
+	if len(data) < len(entryMagic)+4*4 {
+		return nil, errCorrupt
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errCorrupt
+	}
+	if string(body[:len(entryMagic)]) != string(entryMagic[:]) {
+		return nil, errCorrupt
+	}
+	rest := body[len(entryMagic):]
+	ver, rest, ok := readChunk(rest)
+	if !ok || string(ver) != version {
+		return nil, errCorrupt
+	}
+	k, rest, ok := readChunk(rest)
+	if !ok || string(k) != key {
+		return nil, errCorrupt
+	}
+	payload, rest, ok := readChunk(rest)
+	if !ok || len(rest) != 0 {
+		return nil, errCorrupt
+	}
+	return payload, nil
+}
+
+// readChunk pops one length-prefixed chunk.
+func readChunk(b []byte) (chunk, rest []byte, ok bool) {
+	if len(b) < 4 {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, nil, false
+	}
+	return b[:n], b[n:], true
+}

@@ -91,6 +91,12 @@ type Collector struct {
 	WorkerBusy    Counter // nanoseconds workers spent executing cells
 	CellWall      *Histogram
 
+	// Persistent store tier (zero when no store is attached).
+	StoreHits   Counter    // cells answered from the on-disk store
+	StoreMisses Counter    // store lookups that fell through to a compute
+	StoreWrites Counter    // fresh results accepted for persistence
+	StoreLoad   *Histogram // store lookup latency in seconds (hit or miss)
+
 	// Sim-layer totals, flushed per cell via FlushSim.
 	EventsClosure  Counter
 	EventsPooled   Counter
@@ -118,12 +124,22 @@ var cellWallBounds = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// storeLoadBounds are the store-lookup latency histogram's upper
+// bucket edges in seconds: lookups are an index probe plus at most
+// one small file read, so the range spans microseconds to the tens of
+// milliseconds a cold page cache can cost.
+var storeLoadBounds = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+}
+
 // New creates a live collector. This is where every allocation the
 // collector will ever perform happens.
 func New() *Collector {
 	return &Collector{
-		start:    time.Now(),
-		CellWall: NewHistogram(cellWallBounds...),
+		start:     time.Now(),
+		CellWall:  NewHistogram(cellWallBounds...),
+		StoreLoad: NewHistogram(storeLoadBounds...),
 	}
 }
 
@@ -217,6 +233,12 @@ type Snapshot struct {
 	WorkerBusySeconds float64      `json:"worker_busy_seconds"`
 	CellWall          HistSnapshot `json:"cell_wall_seconds"`
 
+	// Persistent store tier counters and lookup latency.
+	StoreHits   uint64       `json:"store_hits"`
+	StoreMisses uint64       `json:"store_misses"`
+	StoreWrites uint64       `json:"store_writes"`
+	StoreLoad   HistSnapshot `json:"store_load_seconds"`
+
 	Sim SimMetrics `json:"sim"`
 
 	// PhaseSeconds maps phase label ("build", "sim", "score") to
@@ -243,6 +265,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Waiters:           c.Waiters.Value(),
 		WorkerBusySeconds: float64(c.WorkerBusy.Value()) / 1e9,
 		CellWall:          c.CellWall.Snapshot(),
+		StoreHits:         c.StoreHits.Value(),
+		StoreMisses:       c.StoreMisses.Value(),
+		StoreWrites:       c.StoreWrites.Value(),
+		StoreLoad:         c.StoreLoad.Snapshot(),
 		Sim: SimMetrics{
 			EventsClosure:  c.EventsClosure.Value(),
 			EventsPooled:   c.EventsPooled.Value(),

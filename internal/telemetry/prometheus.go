@@ -44,6 +44,19 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	}
 	fmt.Fprintf(ew, "qoe_cell_wall_seconds_sum %g\nqoe_cell_wall_seconds_count %d\n", s.CellWall.Sum, s.CellWall.Count)
 
+	counter("qoe_store_hits_total", "Cells answered from the persistent store tier.", s.StoreHits)
+	counter("qoe_store_misses_total", "Persistent-store lookups that fell through to a compute.", s.StoreMisses)
+	counter("qoe_store_writes_total", "Fresh results accepted by the persistent store.", s.StoreWrites)
+	fmt.Fprintf(ew, "# HELP qoe_store_load_seconds Persistent-store lookup latency.\n# TYPE qoe_store_load_seconds histogram\n")
+	for _, b := range s.StoreLoad.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = fmt.Sprintf("%g", b.LE)
+		}
+		fmt.Fprintf(ew, "qoe_store_load_seconds_bucket{le=%q} %d\n", le, b.Count)
+	}
+	fmt.Fprintf(ew, "qoe_store_load_seconds_sum %g\nqoe_store_load_seconds_count %d\n", s.StoreLoad.Sum, s.StoreLoad.Count)
+
 	fmt.Fprintf(ew, "# HELP qoe_sim_events_total Simulator events fired, by scheduling tier.\n# TYPE qoe_sim_events_total counter\n")
 	fmt.Fprintf(ew, "qoe_sim_events_total{tier=\"closure\"} %d\n", s.Sim.EventsClosure)
 	fmt.Fprintf(ew, "qoe_sim_events_total{tier=\"pooled\"} %d\n", s.Sim.EventsPooled)

@@ -59,8 +59,33 @@ func (s *Session) Stats() EngineStats {
 		Workers: st.Workers, CachedCells: st.Entries,
 		Hits: st.Hits, Misses: st.Misses, Canceled: st.Canceled,
 		InFlight: st.InFlight, QueueDepth: st.QueueDepth, Waiters: st.Waiters,
+		StoreHits: st.StoreHits, StoreMisses: st.StoreMisses, StoreWrites: st.StoreWrites,
 	}
 }
+
+// OpenStore attaches a persistent content-addressed result store
+// rooted at dir to the session. Cells already computed by any prior
+// run sharing the directory — other processes, other machines, other
+// CI jobs — are answered from disk instead of simulated, and every
+// fresh compute is persisted (off the hot path) for future runs.
+// Stored results are bit-identical to fresh computes by construction,
+// and entries are keyed by the engine's semantic version, so a store
+// can never serve values the current code would not produce; see
+// DESIGN.md "Persistence & server mode". Open the store before
+// submitting work; a session holds at most one store at a time.
+func (s *Session) OpenStore(dir string) error { return s.inner.OpenStore(dir) }
+
+// CloseStore flushes and detaches the session's persistent store (a
+// no-op when none is open). The session keeps working afterwards;
+// cells just stop being answered from or persisted to disk. Call it
+// before process exit so queued writes reach the directory.
+func (s *Session) CloseStore() error { return s.inner.CloseStore() }
+
+// ResetCache drops the session's memoized cell results, zeroes its
+// counters, and detaches (closing) any open store, so the next run is
+// genuinely cold — nothing is answered from memory or disk. Reattach
+// with OpenStore if persistence is wanted again.
+func (s *Session) ResetCache() { s.inner.ResetCache() }
 
 // Run executes one experiment by ID on the session.
 func (s *Session) Run(id string, o Options) (*Result, error) {

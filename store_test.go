@@ -1,0 +1,254 @@
+package bufferqoe
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// storeSweep is a small grid mixing all three probe media, so the
+// persisted set spans voipScore, time.Duration, and videoScore cells.
+func storeSweep() Sweep {
+	return Sweep{
+		Scenarios: []Scenario{
+			{Network: Access, Workload: "noBG"},
+			{Network: Access, Workload: "short-few", Direction: Up},
+		},
+		Buffers: []int{16, 64},
+		Probes:  []Probe{{Media: VoIP}, {Media: Web}, {Media: Video, Profile: "SD"}},
+	}
+}
+
+func storeOpts() Options {
+	return Options{Seed: 7, Duration: 3 * time.Second, Warmup: 1 * time.Second, Reps: 1, ClipSeconds: 1}
+}
+
+// gridJSON renders a grid for bit-identity comparison.
+func gridJSON(t *testing.T, g *Grid) []byte {
+	t.Helper()
+	raw, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestStoreWarmSweepZeroComputes is the tentpole acceptance test: the
+// same sweep run twice through one store directory simulates zero
+// cells on the second run and returns bit-identical results.
+func TestStoreWarmSweepZeroComputes(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewSession()
+	if err := s1.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s1.Sweep(storeSweep(), storeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := s1.Stats()
+	if st1.Misses == 0 || st1.StoreHits != 0 {
+		t.Fatalf("cold run stats = %+v", st1)
+	}
+	if st1.StoreWrites != st1.Misses {
+		t.Fatalf("cold run persisted %d of %d computes", st1.StoreWrites, st1.Misses)
+	}
+	if err := s1.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewSession()
+	if err := s2.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseStore()
+	warm, err := s2.Sweep(storeSweep(), storeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := s2.Stats()
+	if st2.Misses != 0 {
+		t.Fatalf("warm-store run simulated %d cells, want 0 (stats %+v)", st2.Misses, st2)
+	}
+	if st2.StoreHits != st1.Misses {
+		t.Fatalf("store hits = %d, want %d", st2.StoreHits, st1.Misses)
+	}
+	if !bytes.Equal(gridJSON(t, cold), gridJSON(t, warm)) {
+		t.Fatalf("warm-store grid differs from cold grid:\n%s\n---\n%s",
+			gridJSON(t, cold), gridJSON(t, warm))
+	}
+}
+
+// TestStoreCorruptEntryRecovery: mangling stored entries degrades to
+// recomputation with identical results, never to wrong answers.
+func TestStoreCorruptEntryRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewSession()
+	if err := s1.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s1.Sweep(storeSweep(), storeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate one entry, bit-flip another, zero a third.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 3 {
+		t.Fatalf("only %d entries persisted", len(ents))
+	}
+	mangle := []func(p string, d []byte) []byte{
+		func(p string, d []byte) []byte { return d[:len(d)/3] },
+		func(p string, d []byte) []byte { d[len(d)/2] ^= 0x55; return d },
+		func(p string, d []byte) []byte { return nil },
+	}
+	for i, m := range mangle {
+		p := filepath.Join(dir, ents[i].Name())
+		d, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, m(p, d), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := NewSession()
+	if err := s2.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseStore()
+	warm, err := s2.Sweep(storeSweep(), storeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("recomputed %d cells, want exactly the 3 corrupted (stats %+v)", st.Misses, st)
+	}
+	if !bytes.Equal(gridJSON(t, cold), gridJSON(t, warm)) {
+		t.Fatal("recovered grid differs from cold grid")
+	}
+}
+
+// TestStoreConcurrentSessions: several sessions sharing one directory
+// concurrently (separate handles, like separate processes) all get
+// correct, identical grids.
+func TestStoreConcurrentSessions(t *testing.T) {
+	dir := t.TempDir()
+	want := func() []byte {
+		s := NewSession()
+		g, err := s.Sweep(storeSweep(), storeOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gridJSON(t, g)
+	}()
+
+	const sessions = 4
+	grids := make([][]byte, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := NewSession()
+			if err := s.OpenStore(dir); err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.CloseStore()
+			g, err := s.Sweep(storeSweep(), storeOpts())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			grids[i] = gridJSON(t, g)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, g := range grids {
+		if !bytes.Equal(g, want) {
+			t.Fatalf("session %d grid differs from store-less grid", i)
+		}
+	}
+}
+
+// TestSessionResetCacheDetachesStore: after ResetCache the next run
+// is genuinely cold — no in-memory entries, no store answers.
+func TestSessionResetCacheDetachesStore(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSession()
+	if err := s.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sweep(storeSweep(), storeOpts()); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Stats().Misses
+
+	s.ResetCache()
+	if st := s.Stats(); st.Misses != 0 || st.StoreHits != 0 {
+		t.Fatalf("counters survive reset: %+v", st)
+	}
+	if _, err := s.Sweep(storeSweep(), storeOpts()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Misses != first {
+		t.Fatalf("post-reset run simulated %d cells, want %d (store leaked through)", st.Misses, first)
+	}
+	if st.StoreHits != 0 || st.StoreWrites != 0 {
+		t.Fatalf("post-reset run still using a store: %+v", st)
+	}
+	// The store handle is closed by ResetCache; a second OpenStore on
+	// the same session must work.
+	if err := s.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenStoreTwiceFails pins the one-store-per-session contract.
+func TestOpenStoreTwiceFails(t *testing.T) {
+	s := NewSession()
+	if err := s.OpenStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.CloseStore()
+	if err := s.OpenStore(t.TempDir()); err == nil {
+		t.Fatal("second OpenStore succeeded")
+	}
+}
+
+// TestCloseStoreIdempotent: closing without a store is a no-op.
+func TestCloseStoreIdempotent(t *testing.T) {
+	s := NewSession()
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+}

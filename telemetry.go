@@ -78,6 +78,15 @@ type Metrics struct {
 	QueueDepth    int64 `json:"queue_depth"`
 	Waiters       int64 `json:"waiters"`
 
+	// StoreHits, StoreMisses, and StoreWrites report the persistent
+	// store tier: cells answered from disk, lookups that fell through
+	// to a compute, and fresh results persisted. StoreLoadP95Seconds
+	// summarizes store lookup latency (collector only).
+	StoreHits           uint64  `json:"store_hits"`
+	StoreMisses         uint64  `json:"store_misses"`
+	StoreWrites         uint64  `json:"store_writes"`
+	StoreLoadP95Seconds float64 `json:"store_load_p95_s"`
+
 	// WorkerBusySeconds is cumulative wall time workers spent
 	// executing cells; divide by elapsed time x Parallelism() for
 	// utilization.
@@ -120,6 +129,9 @@ func metricsFromSnapshot(s telemetry.Snapshot) Metrics {
 		CellsInFlight:     s.CellsInFlight,
 		QueueDepth:        s.QueueDepth,
 		Waiters:           s.Waiters,
+		StoreHits:         s.StoreHits,
+		StoreMisses:       s.StoreMisses,
+		StoreWrites:       s.StoreWrites,
 		WorkerBusySeconds: s.WorkerBusySeconds,
 		CellWallCount:     s.CellWall.Count,
 		SimEvents:         s.Sim.Events(),
@@ -140,6 +152,9 @@ func metricsFromSnapshot(s telemetry.Snapshot) Metrics {
 		m.CellWallMeanSeconds = s.CellWall.Sum / float64(s.CellWall.Count)
 		m.CellWallP50Seconds = s.CellWall.Quantile(0.50)
 		m.CellWallP95Seconds = s.CellWall.Quantile(0.95)
+	}
+	if s.StoreLoad.Count > 0 {
+		m.StoreLoadP95Seconds = s.StoreLoad.Quantile(0.95)
 	}
 	return m
 }
@@ -167,5 +182,8 @@ func (s *Session) Metrics() Metrics {
 		CellsInFlight:  st.InFlight,
 		QueueDepth:     st.QueueDepth,
 		Waiters:        st.Waiters,
+		StoreHits:      st.StoreHits,
+		StoreMisses:    st.StoreMisses,
+		StoreWrites:    st.StoreWrites,
 	}
 }
