@@ -65,6 +65,21 @@ type Options struct {
 	// CDNFlows sizes the synthetic Section 3 population
 	// (default 200000).
 	CDNFlows int
+	// CIHalfWidth, when > 0, enables adaptive replication: repetition
+	// loops (VoIP calls, video streams, web fetches) stop early once
+	// the 95% confidence interval of the cell's per-repetition QoE
+	// score has half-width at most CIHalfWidth MOS points, instead of
+	// always running Reps repetitions. Cheap, stable cells finish after
+	// MinReps; noisy ones still run to Reps. The rule is part of cell
+	// identity — adaptive and exhaustive runs cache separately, and an
+	// adaptive cell's repetitions are the exhaustive cell's first n, so
+	// its value is within the configured half-width of the full run's.
+	// Zero (the default) keeps the exhaustive, bit-identical behavior.
+	CIHalfWidth float64
+	// MinReps is the minimum repetitions before the adaptive rule may
+	// stop a cell (default 2 when CIHalfWidth is set; clamped to Reps).
+	// Ignored when CIHalfWidth is 0.
+	MinReps int
 	// OnProgress, when set, is called after every completed cell of a
 	// Sweep, SweepStream, or Recommend call, from the goroutine
 	// consuming completions (never concurrently within one call). It
@@ -122,6 +137,8 @@ func (o Options) internal() experiments.Options {
 		Reps:        o.Reps,
 		ClipSeconds: o.ClipSeconds,
 		CDNFlows:    o.CDNFlows,
+		CIHalfWidth: o.CIHalfWidth,
+		MinReps:     o.MinReps,
 		Collector:   o.Collector.raw(),
 	}
 }

@@ -15,7 +15,9 @@
 //	qoebench -recommend -workloads long-many -dir up -probes voip,web -target max-mos
 //	qoebench -sweep -workloads short-few -dir up -metrics-addr localhost:6060 -trace cells.jsonl
 //	qoebench -sweep -workloads long-many -dir up -store /var/cache/qoe -json
+//	qoebench -sweep -workloads long-many -dir up -reps 10 -halfwidth 0.1 -json
 //	qoebench -serve localhost:8080 -store /var/cache/qoe
+//	qoebench -exp fig7b -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With multiple experiments (or -exp all), experiments run through
 // the parallel cell engine: cells fan out across -parallel workers
@@ -34,6 +36,17 @@
 // -list); a mix equal to a preset answers from the preset's cache
 // cells. -json emits machine-readable results plus engine statistics
 // in every mode.
+//
+// -halfwidth enables adaptive replication: a cell stops repeating
+// once the 95% confidence interval of its per-repetition QoE score
+// is tighter than the given half-width (in MOS points), instead of
+// always running -reps repetitions; -minreps floors the rule. The
+// stopping rule is part of the cell's cache identity, so adaptive
+// and exhaustive runs never contaminate each other's caches, and an
+// adaptive cell's repetitions are the exhaustive cell's first n.
+//
+// -cpuprofile/-memprofile write pprof profiles covering whichever
+// mode ran, including -benchjson.
 //
 // In -recommend mode the buffer axis is searched, not swept: the
 // adaptive recommender brackets the candidate buffers (the paper's
@@ -77,6 +90,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
@@ -143,18 +157,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("qoebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "", "experiment ID(s), comma-separated (see -list), or 'all'")
-		list     = fs.Bool("list", false, "list experiment IDs")
-		seed     = fs.Uint64("seed", 42, "random seed")
-		duration = fs.Duration("duration", 30*time.Second, "per-cell background measurement window")
-		warmup   = fs.Duration("warmup", 5*time.Second, "background warmup before measuring")
-		reps     = fs.Int("reps", 3, "calls/streams/fetches per cell")
-		clip     = fs.Int("clip", 4, "video clip length in seconds")
-		flows    = fs.Int("cdnflows", 200000, "synthetic CDN population size (fig1*)")
-		parallel = fs.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
-		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON results and engine stats")
-		timeout  = fs.Duration("timeout", 0, "overall wall-clock deadline; on expiry queued cells are abandoned and the run exits non-zero (0 = none)")
-		progress = fs.Bool("progress", false, "print per-cell completion progress with rate and ETA to stderr (-sweep and -recommend modes)")
+		exp       = fs.String("exp", "", "experiment ID(s), comma-separated (see -list), or 'all'")
+		list      = fs.Bool("list", false, "list experiment IDs")
+		seed      = fs.Uint64("seed", 42, "random seed")
+		duration  = fs.Duration("duration", 30*time.Second, "per-cell background measurement window")
+		warmup    = fs.Duration("warmup", 5*time.Second, "background warmup before measuring")
+		reps      = fs.Int("reps", 3, "calls/streams/fetches per cell")
+		halfWidth = fs.Float64("halfwidth", 0, "adaptive replication: stop repeating a cell once its 95% CI half-width (MOS points) is at most this; 0 disables and always runs -reps repetitions")
+		minReps   = fs.Int("minreps", 0, "adaptive replication: minimum repetitions before -halfwidth may stop a cell (default 2; ignored without -halfwidth)")
+		clip      = fs.Int("clip", 4, "video clip length in seconds")
+		flows     = fs.Int("cdnflows", 200000, "synthetic CDN population size (fig1*)")
+		parallel  = fs.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
+		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON results and engine stats")
+		timeout   = fs.Duration("timeout", 0, "overall wall-clock deadline; on expiry queued cells are abandoned and the run exits non-zero (0 = none)")
+		progress  = fs.Bool("progress", false, "print per-cell completion progress with rate and ETA to stderr (-sweep and -recommend modes)")
 
 		storeDir  = fs.String("store", "", "persistent result store directory: cells computed by any prior run sharing it are answered from disk instead of simulated, and fresh results persist for future runs")
 		serveAddr = fs.String("serve", "", "run as a long-lived HTTP/JSON service on this address (POST /sweep, POST /recommend, GET /healthz); pair with -store for a disk-warm cache")
@@ -180,6 +196,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		benchJSON = fs.String("benchjson", "", "run the canonical perf benchmarks and write JSON results to this file (e.g. BENCH_3.json); all other modes are skipped")
 
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile at the end of the run to this file (go tool pprof)")
+
 		upRate      = fs.Float64("uprate", 0, "sweep: custom uplink rate in bits/s (enables a custom link)")
 		downRate    = fs.Float64("downrate", 0, "sweep: custom downlink rate in bits/s")
 		clientDelay = fs.Duration("clientdelay", 0, "sweep: custom client-side one-way delay")
@@ -192,6 +211,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		printList(stdout)
 		return 0
+	}
+
+	// Profiles cover every mode, including -benchjson, so a perf
+	// regression spotted in a BENCH artifact can be profiled with the
+	// exact same command plus one flag.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "qoebench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "qoebench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "qoebench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "qoebench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *benchJSON != "" {
@@ -207,6 +260,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Reps:        *reps,
 		ClipSeconds: *clip,
 		CDNFlows:    *flows,
+		CIHalfWidth: *halfWidth,
+		MinReps:     *minReps,
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -572,6 +627,9 @@ func runBenchJSON(path string, stdout, stderr io.Writer) int {
 		{"LinkForward", bench.LinkForward},
 		{"WholeCell", bench.WholeCell},
 		{"WholeCellTelemetry", bench.WholeCellTelemetry},
+		{"TestbedBuild", bench.TestbedBuild},
+		{"StatsAccumulate", bench.StatsAccumulate},
+		{"CellRepLoop", bench.CellRepLoop},
 	} {
 		r := testing.Benchmark(bm.fn)
 		if r.N == 0 {

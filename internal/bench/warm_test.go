@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/testbed"
+)
+
+// TestWarmScratchSweepAllocatesLess gates the second perf wave's core
+// claim: sweeping cells through a warmed testbed.Scratch must allocate
+// less than running the same number of cells cold (each paying the
+// structural build). CI runs this as its own step next to the alloc
+// budgets, so a regression in carcass reuse fails loudly even if the
+// absolute budgets still hold.
+func TestWarmScratchSweepAllocatesLess(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	wl, err := testbed.LookupAccessScenario("short-few", testbed.DirDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(scr *testbed.Scratch) {
+		a := testbed.NewAccess(testbed.Config{BufferUp: 64, BufferDown: 64, Seed: 42, Scratch: scr})
+		a.StartWorkload(wl)
+		a.Eng.RunFor(5 * time.Second)
+	}
+	cold := testing.AllocsPerRun(3, func() {
+		var scr testbed.Scratch
+		cell(&scr)
+	})
+
+	var scr testbed.Scratch
+	cell(&scr) // warm the carcass outside the measurement
+	const sweep = 4
+	warm := testing.AllocsPerRun(3, func() {
+		for i := 0; i < sweep; i++ {
+			scr.Reset()
+			cell(&scr)
+		}
+	})
+	t.Logf("cold cell: %.0f allocs; warm %d-cell sweep: %.0f allocs (%.0f per cell)",
+		cold, sweep, warm, warm/sweep)
+	// Require real savings, not a rounding-error win: the warm sweep
+	// must cost less than three quarters of the equivalent cold cells.
+	if warm >= 0.75*sweep*cold {
+		t.Fatalf("warm %d-cell sweep allocated %.0f, cold cells would cost %.0f — carcass reuse is not saving allocations",
+			sweep, warm, sweep*cold)
+	}
+}

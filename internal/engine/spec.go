@@ -64,6 +64,16 @@ type CellSpec struct {
 	// the named testbed. Builders must canonicalize: a custom link
 	// equal to the preset must be encoded as "".
 	Link string
+	// Stop is the canonical encoding of an adaptive-replication
+	// stopping rule ("ci<minReps>:<halfWidth>"), or "" for exhaustive
+	// repetition. Unlike the observational Collector, the stopping rule
+	// shapes the cell's value (it may run fewer reps), so it is a cache
+	// axis: adaptive and exhaustive runs of the same cell occupy
+	// distinct cache/store entries. It deliberately does NOT enter the
+	// seed (see SeedKey): an adaptive cell's first n repetitions are
+	// the same realizations as the exhaustive cell's, which is what
+	// makes early-stopped results comparable to full runs.
+	Stop string
 
 	// Seed is the root seed; the cell's own seed is derived from it
 	// together with the stimulus-defining fields only — see SeedKey
@@ -98,13 +108,21 @@ func (s CellSpec) Canonical() CellSpec {
 	return s
 }
 
-// Key renders the canonical spec as the cache/seed key.
+// Key renders the canonical spec as the cache/seed key. The Stop axis
+// is appended only when set, so every pre-existing cell keeps the
+// content address it had before adaptive replication existed (the
+// persistent store stays valid across the upgrade); the suffix cannot
+// collide with a suffix-free key because those always end in "cdn=<n>".
 func (s CellSpec) Key() string {
 	c := s.Canonical()
-	return fmt.Sprintf("tb=%s|sc=%s|dir=%s|buf=%d|bufup=%d|media=%s|var=%s|link=%s|seed=%d|dur=%d|warm=%d|reps=%d|clip=%d|cdn=%d",
+	k := fmt.Sprintf("tb=%s|sc=%s|dir=%s|buf=%d|bufup=%d|media=%s|var=%s|link=%s|seed=%d|dur=%d|warm=%d|reps=%d|clip=%d|cdn=%d",
 		c.Testbed, c.Scenario, c.Direction, c.Buffer, c.BufferUp,
 		c.Media, c.Variant, c.Link, c.Seed,
 		int64(c.Duration), int64(c.Warmup), c.Reps, c.ClipSeconds, c.CDNFlows)
+	if c.Stop != "" {
+		k += "|stop=" + c.Stop
+	}
+	return k
 }
 
 // String is a compact human-readable form for logs and errors.
@@ -120,6 +138,9 @@ func (s CellSpec) String() string {
 	}
 	if c.Link != "" {
 		out += "{" + c.Link + "}"
+	}
+	if c.Stop != "" {
+		out += "<" + c.Stop + ">"
 	}
 	return out
 }

@@ -1,0 +1,22 @@
+package engine
+
+import "testing"
+
+// TestVersionPinned is the tripwire for the cell-value format version.
+// The perf waves (segment pooling, scratch arenas, conn recycling,
+// warm-testbed reuse) are required to be bit-identical — the golden
+// cross-section test proves it — so Version stays "1" and every entry
+// in a persistent store written by an earlier build remains valid.
+//
+// If this test fails, one of two things happened:
+//   - cell values were perturbed intentionally: bump the golden file
+//     too, and update this pin — the store will correctly refuse old
+//     entries; or
+//   - Version was bumped without a value change (needlessly orphaning
+//     every existing store) or a value change shipped without a bump
+//     (stale store entries would be served as current): fix that.
+func TestVersionPinned(t *testing.T) {
+	if Version != "1" {
+		t.Fatalf("engine.Version = %q, want %q (see comment above before updating)", Version, "1")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"bufferqoe/internal/stats"
+)
+
+// Adaptive replication: the paper runs a fixed number of calls/streams
+// per cell (200-2000), far past where medians stabilize. The sequential
+// stopping rule here keeps repeating a cell only until the 95%
+// confidence interval of its per-repetition QoE score is tight enough,
+// so cheap cells (idle links, uncongested buffers) stop after the
+// minimum repetitions while noisy cells run to their configured cap.
+//
+// Determinism contract: the stop decision is a pure function of the
+// completed repetitions' scores, which under the engine's
+// common-random-numbers seeding are identical to the first n
+// repetitions of an exhaustive run. The rule is therefore a cache axis
+// (CellSpec.Stop) — adaptive and exhaustive runs of one configuration
+// are distinct, individually deterministic cells — and early-stopped
+// cells cache, persist, and replay exactly like any other.
+
+// stopRule is the compiled form of Options.MinReps/CIHalfWidth. The
+// zero value is the disabled rule (never stops early).
+type stopRule struct {
+	min int     // repetitions required before stopping is considered
+	hw  float64 // target 95% CI half-width; <= 0 disables the rule
+}
+
+// stop compiles the options' stopping rule (the zero rule when
+// adaptive replication is off).
+func (o Options) stop() stopRule {
+	if o.CIHalfWidth <= 0 {
+		return stopRule{}
+	}
+	return stopRule{min: o.MinReps, hw: o.CIHalfWidth}
+}
+
+// tag renders the rule as its canonical CellSpec.Stop encoding, or ""
+// when disabled. strconv's shortest-float rendering makes the encoding
+// injective: distinct rules never share a cell.
+func (r stopRule) tag() string {
+	if r.hw <= 0 {
+		return ""
+	}
+	return "ci" + strconv.Itoa(r.min) + ":" + strconv.FormatFloat(r.hw, 'g', -1, 64)
+}
+
+// done reports whether the repetitions accumulated in s satisfy the
+// rule: at least min (and two, so a variance exists) observations and
+// a 95% CI half-width t(n-1) * s/sqrt(n) no wider than hw. A disabled
+// rule never stops.
+func (r stopRule) done(s *stats.Sample) bool {
+	n := s.N()
+	if r.hw <= 0 || n < r.min || n < 2 {
+		return false
+	}
+	return tCritical(n-1)*s.Std()/math.Sqrt(float64(n)) <= r.hw
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond 30 the normal approximation is within
+// half a percent.
+var tCrit95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical returns the two-sided 95% Student-t critical value for df
+// degrees of freedom.
+func tCritical(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
+// recordReps flushes one rep-loop cell's replication telemetry: the
+// repetitions actually run and whether the stopping rule cut the cell
+// short. Free when no collector is attached.
+func recordReps(o Options, reps int, stopped bool) {
+	col := o.Collector
+	if col == nil {
+		return
+	}
+	col.RepsPerCell.Observe(float64(reps))
+	if stopped {
+		col.CellsStoppedEarly.Inc()
+	}
+}

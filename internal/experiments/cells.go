@@ -8,6 +8,7 @@ import (
 	"bufferqoe/internal/engine"
 	"bufferqoe/internal/httpvideo"
 	"bufferqoe/internal/netem"
+	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/sim"
 	"bufferqoe/internal/stats"
 	"bufferqoe/internal/tcp"
@@ -249,7 +250,7 @@ func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, 
 	sp := engine.CellSpec{
 		Testbed: "access", Scenario: wl.name, Direction: wl.dir,
 		Buffer: buf, BufferUp: v.bufUp, Media: "voip", Variant: v.tag,
-		Link: linkTag(v.link),
+		Link: linkTag(v.link), Stop: o.stop().tag(),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
@@ -287,8 +288,8 @@ func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) en
 	wl := backboneWL(scenario, v.mix)
 	sp := engine.CellSpec{
 		Testbed: "backbone", Scenario: wl.name, Buffer: buf, Media: "voip",
-		Variant: v.tag,
-		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+		Variant: v.tag, Stop: o.stop().tag(),
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
@@ -300,14 +301,15 @@ func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) en
 		b := testbed.NewBackbone(cfg)
 		wl.start(b)
 		lib := cs.library(seed)
-		var mosS stats.Sample
+		rule := oc.stop()
+		mosS := cs.sample(0)
 		for i := 0; i < oc.Reps; i++ {
 			i := i
 			b.Eng.Schedule(oc.Warmup+time.Duration(i)*callSpacing, func() {
 				voip.Start(b.MediaServer, b.MediaClient, lib[i%len(lib)], 0,
 					func(r voip.Result) {
 						mosS.Add(r.MOS)
-						if mosS.N() == oc.Reps {
+						if mosS.N() == oc.Reps || rule.done(mosS) {
 							b.Eng.Halt()
 						}
 					})
@@ -316,6 +318,7 @@ func voipBackboneTask(o Options, scenario string, buf int, v backboneVariant) en
 		pc.Mark(telemetry.PhaseBuild)
 		b.Eng.RunFor(cellCap)
 		pc.Mark(telemetry.PhaseSim)
+		recordReps(oc, mosS.N(), mosS.N() < oc.Reps)
 		med := mosS.Median()
 		finishCell(&pc, sp, b.Eng, b.Net)
 		return med
@@ -338,7 +341,7 @@ func playoutTask(o Options, mode string) engine.Task {
 		a := testbed.NewAccess(testbed.Config{BufferUp: 256, BufferDown: 256, Seed: seed, Scratch: cs.tb()})
 		wl.start(a)
 		lib := cs.library(seed)
-		var mosS, z1S, lossS stats.Sample
+		mosS, z1S, lossS := cs.sample(0), cs.sample(1), cs.sample(2)
 		for i := 0; i < oc.Reps; i++ {
 			i := i
 			a.Eng.Schedule(oc.Warmup+time.Duration(i)*callSpacing, func() {
@@ -379,7 +382,7 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 	sp := engine.CellSpec{
 		Testbed: "access", Scenario: wl.name, Direction: wl.dir,
 		Buffer: buf, BufferUp: v.bufUp, Media: "web", Variant: variant,
-		Link: linkTag(v.link),
+		Link: linkTag(v.link), Stop: o.stop().tag(),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
@@ -391,18 +394,19 @@ func webAccessTask(o Options, scenario string, dir testbed.Direction, buf int, v
 		cfg.Scratch = cs.tb()
 		a := testbed.NewAccess(cfg)
 		wl.start(a)
+		mos := qoe.AccessWebModel().MOS
 		var plt time.Duration
 		if fetchConns > 0 {
 			web.RegisterBrowserServer(a.MediaServerTCP, web.BrowserPort)
 			pc.Mark(telemetry.PhaseBuild)
-			plt = webReps(a.Eng, oc, &pc, func(done func(web.Result)) {
+			plt = webReps(a.Eng, oc, cs, &pc, mos, func(done func(web.Result)) {
 				web.FetchParallel(a.MediaClientTCP, a.MediaServer.Addr(web.BrowserPort),
 					fetchConns, 60*time.Second, done)
 			})
 		} else {
 			web.RegisterServer(a.MediaServerTCP, web.Port)
 			pc.Mark(telemetry.PhaseBuild)
-			plt = webReps(a.Eng, oc, &pc, func(done func(web.Result)) {
+			plt = webReps(a.Eng, oc, cs, &pc, mos, func(done func(web.Result)) {
 				web.Fetch(a.MediaClientTCP, a.MediaServer.Addr(web.Port), 60*time.Second, done)
 			})
 		}
@@ -422,8 +426,8 @@ func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) eng
 	wl := backboneWL(scenario, v.mix)
 	sp := engine.CellSpec{
 		Testbed: "backbone", Scenario: wl.name, Buffer: buf, Media: "web",
-		Variant: v.tag,
-		Seed:    o.Seed, Warmup: o.Warmup, Reps: o.Reps,
+		Variant: v.tag, Stop: o.stop().tag(),
+		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps,
 	}
 	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
 		cs := scratchOf(scr)
@@ -436,7 +440,7 @@ func webBackboneTask(o Options, scenario string, buf int, v backboneVariant) eng
 		wl.start(b)
 		web.RegisterServer(b.MediaServerTCP, web.Port)
 		pc.Mark(telemetry.PhaseBuild)
-		plt := webReps(b.Eng, oc, &pc, func(done func(web.Result)) {
+		plt := webReps(b.Eng, oc, cs, &pc, qoe.BackboneWebModel().MOS, func(done func(web.Result)) {
 			web.Fetch(b.MediaClientTCP, b.MediaServer.Addr(web.Port), 60*time.Second, done)
 		})
 		finishCell(&pc, sp, b.Eng, b.Net)
@@ -464,7 +468,7 @@ func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip vid
 		Testbed: "access", Scenario: wl.name, Direction: wl.dir,
 		Buffer: buf, BufferUp: v.bufUp,
 		Media: "video", Variant: joinTags(videoVariantTag(clip, p, video.RecoveryNone), v.tag),
-		Link: linkTag(v.link),
+		Link: linkTag(v.link), Stop: o.stop().tag(),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
 	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
@@ -478,7 +482,7 @@ func videoAccessTask(o Options, scenario string, dir testbed.Direction, clip vid
 		a := testbed.NewAccess(cfg)
 		wl.start(a)
 		pc.Mark(telemetry.PhaseBuild)
-		score := videoReps(a.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second, &pc,
+		score := videoReps(a.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second, cs, &pc,
 			func(done func(video.Result)) {
 				video.Start(a.MediaServer, a.MediaClient, src,
 					video.Config{Smooth: true, Seed: seed}, done)
@@ -495,6 +499,7 @@ func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Prof
 	sp := engine.CellSpec{
 		Testbed: "backbone", Scenario: wl.name, Buffer: buf,
 		Media: "video", Variant: joinTags(videoVariantTag(clip, p, rec), v.tag),
+		Stop: o.stop().tag(),
 		Seed: o.Seed, Warmup: o.Warmup, Reps: o.Reps, ClipSeconds: o.ClipSeconds,
 	}
 	return engine.Task{Spec: sp, Fn: func(sp engine.CellSpec, seed uint64, scr engine.Scratch) any {
@@ -508,7 +513,7 @@ func videoBackboneTask(o Options, scenario string, clip video.Clip, p video.Prof
 		b := testbed.NewBackbone(cfg)
 		wl.start(b)
 		pc.Mark(telemetry.PhaseBuild)
-		score := videoReps(b.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second, &pc,
+		score := videoReps(b.Eng, oc, time.Duration(oc.ClipSeconds)*time.Second, cs, &pc,
 			func(done func(video.Result)) {
 				video.Start(b.MediaServer, b.MediaClient, src,
 					video.Config{Smooth: true, Seed: seed, Recovery: rec}, done)
@@ -561,7 +566,7 @@ func httpVideoTask(o Options, scenario string, buf int, player string) engine.Ta
 		mediaDur := time.Duration(oc.ClipSeconds*4) * time.Second
 		b := testbed.NewBackbone(testbed.Config{BufferDown: buf, Seed: seed, Scratch: cs.tb()})
 		wl.start(b)
-		var mosS, rateS stats.Sample
+		mosS, rateS := cs.sample(0), cs.sample(1)
 		remaining := oc.Reps
 		var next func()
 		if player == "progressive" {

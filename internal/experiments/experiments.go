@@ -34,6 +34,22 @@ type Options struct {
 	ClipSeconds int
 	// CDNFlows sizes the synthetic Section 3 population.
 	CDNFlows int
+	// CIHalfWidth, when > 0, enables adaptive replication: a rep-loop
+	// cell (VoIP, video, web) stops repeating once the 95% confidence
+	// interval of its per-repetition QoE score has half-width at most
+	// CIHalfWidth (in MOS points), instead of always running Reps
+	// repetitions. The rule is part of the cell's identity
+	// (CellSpec.Stop): adaptive and exhaustive runs cache separately,
+	// and an adaptive cell's realizations are the exhaustive cell's
+	// first n, so its result is within the configured half-width of the
+	// full run's. Zero (the default) reproduces the paper's exhaustive
+	// behavior bit-identically.
+	CIHalfWidth float64
+	// MinReps is the minimum repetitions before the stopping rule may
+	// fire; 0 defaults to 2 when CIHalfWidth is set (a variance needs
+	// two observations) and is clamped to Reps. Ignored when
+	// CIHalfWidth is 0.
+	MinReps int
 	// Collector, when non-nil, receives per-cell telemetry — the
 	// build/sim/score phase breakdown, simulator event counts, and
 	// JSON-lines trace events — from cells computed under these
@@ -67,6 +83,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CDNFlows <= 0 {
 		o.CDNFlows = 200000
+	}
+	if o.CIHalfWidth <= 0 {
+		// Disabled: zero both fields so every exhaustive spelling
+		// canonicalizes to the same (stop-free) cell specs.
+		o.CIHalfWidth, o.MinReps = 0, 0
+	} else {
+		if o.MinReps < 2 {
+			o.MinReps = 2
+		}
+		if o.MinReps > o.Reps {
+			o.MinReps = o.Reps
+		}
 	}
 	return o
 }

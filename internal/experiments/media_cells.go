@@ -8,7 +8,6 @@ import (
 	"bufferqoe/internal/qoe"
 	"bufferqoe/internal/sim"
 	"bufferqoe/internal/sizing"
-	"bufferqoe/internal/stats"
 	"bufferqoe/internal/telemetry"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/video"
@@ -29,10 +28,14 @@ const cellCap = 30 * time.Minute
 // each direction. The two directions of one call share the
 // conversational delay impairment, as in the paper's Section 7.2.
 // pc marks the end of the cell's simulation phase; a disabled clock
-// no-ops.
+// no-ops. With adaptive replication enabled, the loop halts as soon
+// as both directions' MOS confidence intervals are tight enough —
+// later pre-scheduled calls simply never start, so the completed
+// repetitions are exactly the exhaustive run's first n.
 func runVoIPPair(a *testbed.Access, o Options, cs *CellScratch, pc *telemetry.PhaseClock) (listen, talk float64) {
 	lib := cs.library(o.Seed)
-	var listenS, talkS stats.Sample
+	rule := o.stop()
+	listenS, talkS := cs.sample(0), cs.sample(1)
 	for i := 0; i < o.Reps; i++ {
 		i := i
 		a.Eng.Schedule(o.Warmup+time.Duration(i)*callSpacing, func() {
@@ -41,7 +44,7 @@ func runVoIPPair(a *testbed.Access, o Options, cs *CellScratch, pc *telemetry.Ph
 				func(pr voip.PairResult) {
 					listenS.Add(pr.Listen.MOS)
 					talkS.Add(pr.Talk.MOS)
-					if listenS.N() == o.Reps {
+					if listenS.N() == o.Reps || (rule.done(listenS) && rule.done(talkS)) {
 						a.Eng.Halt()
 					}
 				})
@@ -49,6 +52,7 @@ func runVoIPPair(a *testbed.Access, o Options, cs *CellScratch, pc *telemetry.Ph
 	}
 	a.Eng.RunFor(cellCap)
 	pc.Mark(telemetry.PhaseSim)
+	recordReps(o, listenS.N(), listenS.N() < o.Reps)
 	return listenS.Median(), talkS.Median()
 }
 
@@ -110,16 +114,21 @@ func fig8(s *Session, o Options) (*Result, error) {
 
 // videoReps streams the clip sequentially Reps times; start is
 // invoked per repetition with the completion callback. It returns the
-// median SSIM and PSNR across repetitions.
-func videoReps(se *sim.Engine, o Options, clipDur time.Duration, pc *telemetry.PhaseClock, start func(done func(video.Result))) videoScore {
-	var ssims, psnrs stats.Sample
+// median SSIM and PSNR across repetitions. The adaptive stopping rule
+// watches a shadow MOS sample (SSIM mapped through the paper's
+// SSIM-to-MOS curve) so the CI threshold means the same thing — MOS
+// points — across all media types.
+func videoReps(se *sim.Engine, o Options, clipDur time.Duration, cs *CellScratch, pc *telemetry.PhaseClock, start func(done func(video.Result))) videoScore {
+	rule := o.stop()
+	ssims, psnrs, mosS := cs.sample(0), cs.sample(1), cs.sample(2)
 	spacing := clipDur + video.StartupDelay + 5*time.Second
 	for i := 0; i < o.Reps; i++ {
 		se.Schedule(o.Warmup+time.Duration(i)*spacing, func() {
 			start(func(r video.Result) {
 				ssims.Add(r.MeanSSIM)
 				psnrs.Add(r.MeanPSNR)
-				if ssims.N() == o.Reps {
+				mosS.Add(qoe.SSIMToMOS(r.MeanSSIM))
+				if ssims.N() == o.Reps || rule.done(mosS) {
 					se.Halt()
 				}
 			})
@@ -127,6 +136,7 @@ func videoReps(se *sim.Engine, o Options, clipDur time.Duration, pc *telemetry.P
 	}
 	se.RunFor(cellCap)
 	pc.Mark(telemetry.PhaseSim)
+	recordReps(o, ssims.N(), ssims.N() < o.Reps)
 	return videoScore{SSIM: ssims.Median(), PSNR: psnrs.Median()}
 }
 
@@ -184,9 +194,12 @@ func fig9(s *Session, o Options, variant string) (*Result, error) {
 }
 
 // webReps fetches the page sequentially Reps times and returns the
-// median PLT.
-func webReps(se *sim.Engine, o Options, pc *telemetry.PhaseClock, fetch func(done func(web.Result))) time.Duration {
-	var plts stats.Sample
+// median PLT. mos maps a PLT onto the testbed's WebQoE model so the
+// adaptive stopping rule operates in MOS points, like every other
+// media type.
+func webReps(se *sim.Engine, o Options, cs *CellScratch, pc *telemetry.PhaseClock, mos func(time.Duration) float64, fetch func(done func(web.Result))) time.Duration {
+	rule := o.stop()
+	plts, mosS := cs.sample(0), cs.sample(1)
 	remaining := o.Reps
 	var next func()
 	next = func() {
@@ -197,12 +210,18 @@ func webReps(se *sim.Engine, o Options, pc *telemetry.PhaseClock, fetch func(don
 		remaining--
 		fetch(func(r web.Result) {
 			plts.Add(r.PLT.Seconds())
+			mosS.Add(mos(r.PLT))
+			if rule.done(mosS) {
+				se.Halt()
+				return
+			}
 			se.Schedule(time.Second, next)
 		})
 	}
 	se.Schedule(o.Warmup, next)
 	se.RunFor(cellCap)
 	pc.Mark(telemetry.PhaseSim)
+	recordReps(o, plts.N(), plts.N() < o.Reps)
 	return time.Duration(plts.Median() * float64(time.Second))
 }
 

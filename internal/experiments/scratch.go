@@ -3,6 +3,7 @@ package experiments
 import (
 	"bufferqoe/internal/engine"
 	"bufferqoe/internal/media"
+	"bufferqoe/internal/stats"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/video"
 )
@@ -20,8 +21,16 @@ import (
 // bit-identical to a rebuild; everything mutable lives behind Reset.
 type CellScratch struct {
 	// Testbed holds the queue/link monitors a testbed build would
-	// otherwise allocate per cell.
+	// otherwise allocate per cell, plus the cached testbed carcasses
+	// NewAccess/NewBackbone reset in place between cells.
 	Testbed testbed.Scratch
+
+	// repSamples is a fixed arena of per-repetition accumulators for
+	// the cell rep loops (MOS/SSIM/PLT per repetition). One cell runs
+	// on a scratch at a time and no rep loop needs more than four, so
+	// the backing arrays amortize across the whole sweep. Acquire via
+	// sample(i), which resets before handing out.
+	repSamples [4]stats.Sample
 
 	lib     map[uint64][]*media.Sample
 	sources map[sourceKey]*video.Source
@@ -52,6 +61,19 @@ func (cs *CellScratch) Reset() {
 func scratchOf(scr engine.Scratch) *CellScratch {
 	cs, _ := scr.(*CellScratch)
 	return cs
+}
+
+// sample returns the i-th arena accumulator, reset and ready to fill;
+// a nil scratch (direct cell invocation in tests) falls back to a
+// fresh allocation. The arena hands out at most len(repSamples)
+// distinct accumulators per cell.
+func (cs *CellScratch) sample(i int) *stats.Sample {
+	if cs == nil {
+		return &stats.Sample{}
+	}
+	s := &cs.repSamples[i]
+	s.Reset()
+	return s
 }
 
 // tb returns the testbed scratch to embed in a Config, or nil.

@@ -37,12 +37,13 @@ const SinkPort = 9000
 
 // RegisterSink installs a data sink on the stack: it accepts
 // connections, discards payload, and closes its half once the sender
-// finishes.
+// finishes. The accept hook installs shared function values, so a
+// sink adds no per-connection allocations.
 func RegisterSink(st *tcp.Stack, port uint16) {
-	st.Listen(port, func(c *tcp.Conn) {
-		c.OnPeerClose = func() { c.CloseWrite() }
-	})
+	st.Listen(port, sinkAccept)
 }
+
+func sinkAccept(c *tcp.Conn) { c.OnPeerClose = (*tcp.Conn).CloseWrite }
 
 // Stats aggregates generator-level counters.
 type Stats struct {
@@ -163,6 +164,10 @@ func (g *Generator) startInfinite(i int) {
 	}
 }
 
+// nopPeerClose is the shared no-op peer-close handler of the request
+// loops (a func literal per flow would allocate).
+func nopPeerClose(*tcp.Conn) {}
+
 func (g *Generator) runLoop(i int, spec Spec, size func(*sim.RNG) int64) {
 	n := size(g.rng)
 	st := g.pickSender(i)
@@ -174,7 +179,7 @@ func (g *Generator) runLoop(i int, spec Spec, size func(*sim.RNG) int64) {
 		conn.Send(n)
 		conn.CloseWrite()
 	}
-	conn.OnPeerClose = func() {} // sink closes after us; nothing to do
+	conn.OnPeerClose = nopPeerClose // sink closes after us; nothing to do
 	conn.OnClose = func(err error) {
 		g.active--
 		if err != nil {

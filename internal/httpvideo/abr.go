@@ -125,7 +125,7 @@ func RegisterABRServer(st *tcp.Stack, port uint16, cfg ABRConfig) {
 				c.CloseWrite()
 			}
 		}
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*tcp.Conn) { c.CloseWrite() }
 	})
 }
 
@@ -243,7 +243,7 @@ func (s *abrSession) maybeFetch() {
 		}
 		rx += n
 	}
-	conn.OnPeerClose = func() {
+	conn.OnPeerClose = func(*tcp.Conn) {
 		conn.CloseWrite()
 		if s.done {
 			return

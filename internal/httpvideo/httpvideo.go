@@ -93,7 +93,7 @@ func RegisterServer(st *tcp.Stack, port uint16, cfg Config) {
 				c.CloseWrite()
 			}
 		}
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*tcp.Conn) { c.CloseWrite() }
 	})
 }
 
@@ -110,7 +110,7 @@ func Watch(st *tcp.Stack, server netem.Addr, cfg Config, onDone func(Result)) {
 	var rxBytes int64
 	conn.OnEstablished = func() { conn.Send(200) }
 	conn.OnReadable = func(n int64) { rxBytes += n }
-	conn.OnPeerClose = func() { conn.CloseWrite() }
+	conn.OnPeerClose = func(*tcp.Conn) { conn.CloseWrite() }
 
 	var (
 		playing      bool

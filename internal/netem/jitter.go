@@ -39,6 +39,15 @@ func NewJitterBox(eng *sim.Engine, rng *sim.RNG, base, jitter time.Duration, dst
 	return &JitterBox{Base: base, Jitter: jitter, eng: eng, rng: rng, dst: dst}
 }
 
+// Reset re-seeds the jitter element for carcass reuse: a fresh RNG
+// stream, new delay parameters, and a rewound serialization horizon,
+// exactly as NewJitterBox would leave it.
+func (j *JitterBox) Reset(rng *sim.RNG, base, jitter time.Duration) {
+	j.Base, j.Jitter, j.MaxJitter = base, jitter, 0
+	j.rng = rng
+	j.free = 0
+}
+
 // Receive implements Receiver: it forwards the packet after the jittered
 // delay, preserving arrival order. Each delivery is a pooled
 // ArgHandler event, so the per-packet path allocates nothing.

@@ -77,6 +77,26 @@ func (l *Link) AttachMonitor(m *LinkMonitor) *LinkMonitor {
 	return m
 }
 
+// Reset returns the link to its never-used state for carcass reuse:
+// the packet in service and any drop-tail queue content are released
+// back to the packet pool, and the monitor and tap detach (the
+// bottleneck links re-attach theirs per run). The owned transmit timer
+// needs no attention — the engine's Reset already unhooked it, and
+// Timer.Reset rearms from any state. Non-drop-tail queues (AQMs) are
+// left to the garbage collector; the testbeds rebuild those per run.
+func (l *Link) Reset() {
+	if l.txPkt != nil {
+		l.txPkt.Release()
+		l.txPkt = nil
+	}
+	l.busy = false
+	l.Monitor = nil
+	l.Tap = nil
+	if dt, ok := l.Queue.(*DropTail); ok {
+		dt.Reset()
+	}
+}
+
 // Send offers a packet to the link. It reports whether the packet was
 // accepted (false = dropped by the queue, which releases the packet).
 func (l *Link) Send(p *Packet) bool {

@@ -44,6 +44,18 @@ type Node struct {
 	Undeliverable uint64
 }
 
+// Reset returns the node to its never-used state for carcass reuse:
+// port bindings and counters are cleared, the ephemeral port allocator
+// rewinds, and the static routing tables — a function of the topology,
+// not of any run — are kept. Applications re-Bind their ports each
+// run, so a reset node accepts the same bind sequence a fresh one
+// would.
+func (n *Node) Reset() {
+	clear(n.handlers)
+	n.nextPort = 0
+	n.Forwarded, n.Delivered, n.Undeliverable = 0, 0, 0
+}
+
 // SetRoute installs a next-hop link for a destination node.
 func (n *Node) SetRoute(dst NodeID, l *Link) {
 	n.routes[dst] = l
@@ -169,6 +181,15 @@ func (nw *Network) NewPacket() *Packet {
 // NewNetwork creates an empty network on the engine.
 func NewNetwork(eng *sim.Engine) *Network {
 	return &Network{Engine: eng}
+}
+
+// Reset rewinds the packet-ID counter and the recycle telemetry for
+// carcass reuse, keeping the nodes and the packet free-list: recycled
+// packets are fully zeroed on NewPacket, so a warm pool is
+// behavior-identical to a cold one.
+func (nw *Network) Reset() {
+	nw.packetID = 0
+	nw.recycles = 0
 }
 
 // NewNode adds a node with the given name.

@@ -49,6 +49,24 @@ func NewDropTail(capPackets int) *DropTail {
 	return &DropTail{CapPackets: capPackets}
 }
 
+// Reset empties the queue for carcass reuse, releasing any queued
+// packets back to their pool and keeping the ring storage. The monitor
+// is not notified: this is teardown bookkeeping, not simulated
+// dequeueing.
+func (d *DropTail) Reset() {
+	for d.n > 0 {
+		p := d.ring[d.head]
+		d.ring[d.head] = nil
+		d.head++
+		if d.head == len(d.ring) {
+			d.head = 0
+		}
+		d.n--
+		p.Release()
+	}
+	d.head, d.bytes = 0, 0
+}
+
 // Enqueue implements Queue.
 func (d *DropTail) Enqueue(p *Packet, now sim.Time) bool {
 	if d.n >= d.CapPackets {

@@ -27,6 +27,13 @@ func SpeechQuality(ref, deg []float64, sampleRate int) float64 {
 		return 1
 	}
 	bands := speechBands(sampleRate)
+	// One Hann window and two band-level buffers per call, shared by
+	// every frame: the per-sample cosine used to dominate the CPU
+	// profile (it was recomputed per band, per signal, per frame) and
+	// the per-frame level slices dominated the allocation profile.
+	win := hannWindow(frame)
+	lr := make([]float64, len(bands))
+	ld := make([]float64, len(bands))
 
 	// Two disturbance components, PESQ-style:
 	//   - gross temporal disruptions (concealment gaps, bursts) —
@@ -61,8 +68,8 @@ func SpeechQuality(ref, deg []float64, sampleRate int) float64 {
 		// signals there keeps quantization noise in empty bands from
 		// dominating the distortion.
 		floor := eRef*eRef*1e-4 + 1e-8
-		lr := bandLevels(rf, sampleRate, bands, floor)
-		ld := bandLevels(df, sampleRate, bands, floor)
+		bandLevels(lr, rf, win, sampleRate, bands, floor)
+		bandLevels(ld, df, win, sampleRate, bands, floor)
 		var d float64
 		for b := range bands {
 			diff := lr[b] - ld[b]
@@ -116,30 +123,42 @@ func speechBands(sampleRate int) []float64 {
 	return out
 }
 
-// bandLevels computes per-band log energies (dB) of a frame using
-// Goertzel filters — a stdlib-only substitute for an FFT front end.
-// Band powers below floor are clamped to it (energetic masking).
-func bandLevels(frame []float64, sampleRate int, bands []float64, floor float64) []float64 {
-	out := make([]float64, len(bands))
+// hannWindow returns the length-n Hann window used to reduce leakage
+// between Goertzel bands. The caller computes it once per signal; the
+// values (and therefore every downstream band level) are bit-identical
+// to the previous per-sample inline computation.
+func hannWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// bandLevels fills out with per-band log energies (dB) of a frame
+// using Goertzel filters — a stdlib-only substitute for an FFT front
+// end. Band powers below floor are clamped to it (energetic masking).
+func bandLevels(out, frame, win []float64, sampleRate int, bands []float64, floor float64) {
 	for i, f := range bands {
-		p := goertzelPower(frame, f, sampleRate)
+		p := goertzelPower(frame, win, f, sampleRate)
 		if p < floor {
 			p = floor
 		}
 		out[i] = 10 * math.Log10(p)
 	}
-	return out
 }
 
 // goertzelPower returns the normalized signal power at frequency f.
-func goertzelPower(x []float64, f float64, sampleRate int) float64 {
+// win must be hannWindow(len(x)); the accumulation expression must
+// stay exactly `v*win + coeff*s1 - s2` so the result is bit-identical
+// to the pre-windowing-hoist code on every architecture.
+func goertzelPower(x, win []float64, f float64, sampleRate int) float64 {
 	w := 2 * math.Pi * f / float64(sampleRate)
 	coeff := 2 * math.Cos(w)
 	var s0, s1, s2 float64
 	for i, v := range x {
-		// Hann window to reduce leakage between bands.
-		win := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(len(x)-1))
-		s0 = v*win + coeff*s1 - s2
+		wv := win[i]
+		s0 = v*wv + coeff*s1 - s2
 		s2 = s1
 		s1 = s0
 	}

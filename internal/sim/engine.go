@@ -208,6 +208,35 @@ func New() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to its freshly constructed state — clock at
+// zero, sequence counter at zero, empty event queue, counters cleared
+// — while keeping the pooled-timer free-list warm, so a reused engine
+// behaves bit-identically to a new one but stops paying the
+// steady-state timer allocations again. Pending events are discarded:
+// pooled timers are recycled, closure timers release their closures,
+// and owned timers are simply unhooked (their components may rearm
+// them with Reset/ResetAt as usual). MaxEvents is preserved.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset during Run")
+	}
+	for i, t := range e.events {
+		e.events[i] = nil
+		t.queued = false
+		switch {
+		case t.pooled:
+			e.recycle(t)
+		case t.fn != nil:
+			t.fn = nil
+		}
+	}
+	e.events = e.events[:0]
+	e.now, e.seq = 0, 0
+	e.halted = false
+	e.Executed = 0
+	e.met = Metrics{}
+}
+
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -115,8 +115,12 @@ type Conn struct {
 	// Application callbacks. All are optional.
 	OnEstablished func()
 	OnReadable    func(newBytes int64) // in-order payload delivered
-	OnPeerClose   func()               // peer's FIN consumed
-	OnClose       func(err error)      // fully closed or aborted
+	// OnPeerClose fires when the peer's FIN is consumed. It receives
+	// the connection so sinks can install one shared function (e.g.
+	// the (*Conn).CloseWrite method expression) instead of allocating
+	// a capturing closure per accepted connection.
+	OnPeerClose func(*Conn)
+	OnClose     func(err error) // fully closed or aborted
 
 	// Err records an abort reason (e.g. handshake failure).
 	Err error
@@ -726,7 +730,7 @@ func (c *Conn) processData(seg *Segment) {
 		if c.OnPeerClose != nil {
 			cb := c.OnPeerClose
 			c.OnPeerClose = nil
-			cb()
+			cb(c)
 		}
 	case !inOrder:
 		// Out-of-order or filling: immediate (duplicate) ACK.
@@ -771,6 +775,9 @@ func (c *Conn) finish(err error) {
 	if c.OnClose != nil {
 		c.OnClose(err)
 	}
+	// After OnClose returns nothing may touch this connection again;
+	// on reuse-enabled stacks its memory goes back to the free list.
+	c.stack.release(c)
 }
 
 func (c *Conn) abort(err error) { c.finish(err) }

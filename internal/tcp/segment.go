@@ -95,9 +95,16 @@ type interval struct{ start, end int64 }
 
 // intervalSet tracks out-of-order received byte ranges, kept sorted
 // and coalesced. The expected steady state is a handful of holes, so a
-// small slice beats any tree.
+// small slice beats any tree. Two buffers swap roles on every add so
+// steady-state merging allocates nothing.
 type intervalSet struct {
-	iv []interval
+	iv  []interval
+	tmp []interval
+}
+
+// clear empties the set, keeping both backing arrays for reuse.
+func (s *intervalSet) clear() {
+	s.iv = s.iv[:0]
 }
 
 // add merges [start, end) into the set.
@@ -105,10 +112,12 @@ func (s *intervalSet) add(start, end int64) {
 	if end <= start {
 		return
 	}
-	// A fresh slice: appending into s.iv[:0] would overwrite elements
-	// not yet visited once an insertion makes out longer than the
-	// read position.
-	out := make([]interval, 0, len(s.iv)+1)
+	// Build into the spare buffer: appending into s.iv[:0] in place
+	// would overwrite elements not yet visited once an insertion makes
+	// the output longer than the read position. Swapping the two
+	// buffers afterwards means both reach steady capacity after a few
+	// adds and merging stops allocating.
+	out := s.tmp[:0]
 	inserted := false
 	for _, v := range s.iv {
 		switch {
@@ -132,17 +141,23 @@ func (s *intervalSet) add(start, end int64) {
 	if !inserted {
 		out = append(out, interval{start, end})
 	}
-	s.iv = out
+	s.iv, s.tmp = out, s.iv
 }
 
 // advance returns the new contiguous frontier starting from pos,
-// consuming any intervals it absorbs.
+// consuming any intervals it absorbs. Survivors are copied down so the
+// backing array's full capacity stays usable by future adds.
 func (s *intervalSet) advance(pos int64) int64 {
-	for len(s.iv) > 0 && s.iv[0].start <= pos {
-		if s.iv[0].end > pos {
-			pos = s.iv[0].end
+	n := 0
+	for n < len(s.iv) && s.iv[n].start <= pos {
+		if s.iv[n].end > pos {
+			pos = s.iv[n].end
 		}
-		s.iv = s.iv[1:]
+		n++
+	}
+	if n > 0 {
+		m := copy(s.iv, s.iv[n:])
+		s.iv = s.iv[:m]
 	}
 	return pos
 }

@@ -108,6 +108,13 @@ type Stack struct {
 
 	conns     map[netem.Flow]*Conn // keyed by local->remote flow
 	listeners map[uint16]*Listener
+
+	// Conn reuse (opt-in, see SetConnReuse): closed connections park
+	// here and newConn revives them, keeping their interval backing
+	// arrays warm. The list survives Reset — a carcass reuse makes the
+	// next cell's flows allocation-free from the first connection.
+	reuse bool
+	free  []*Conn
 }
 
 // NewStack attaches a TCP stack to a node.
@@ -121,8 +128,38 @@ func NewStack(node *netem.Node, cfg Config) *Stack {
 	}
 }
 
+// Reset re-initializes the stack for carcass reuse with the next run's
+// configuration, leaving it exactly as NewStack would: no connections,
+// no listeners. The node's port bindings are cleared separately by
+// Node.Reset; dropped Conns carry their own timers, which the engine's
+// Reset already unhooked.
+func (s *Stack) Reset(cfg Config) {
+	s.cfg = Defaults(cfg)
+	clear(s.conns)
+	clear(s.listeners)
+}
+
 // Node returns the node this stack is bound to.
 func (s *Stack) Node() *netem.Node { return s.node }
+
+// SetConnReuse opts the stack into connection memory reuse: a fully
+// closed Conn is returned to a stack-local free list right after its
+// OnClose callback and revived by the next Dial or accepted SYN,
+// with identical semantics to a fresh allocation. Only enable it
+// when no caller retains a *Conn past its OnClose — background
+// traffic qualifies; applications that inspect finished connections
+// (and tests) must leave it off.
+func (s *Stack) SetConnReuse(on bool) { s.reuse = on }
+
+// release parks a closed connection for reuse; no-op unless the
+// stack opted in. finish has already stopped both owned timers (an
+// eager heap removal), so nothing in the engine references c.
+func (s *Stack) release(c *Conn) {
+	if !s.reuse {
+		return
+	}
+	s.free = append(s.free, c)
+}
 
 // Listen starts accepting connections on port; accept is invoked for
 // each new connection before its handshake completes (register
@@ -165,16 +202,23 @@ func (s *Stack) DialCC(remote netem.Addr, cc CongestionControl) *Conn {
 }
 
 func (s *Stack) newConn(flow netem.Flow, cc CongestionControl) *Conn {
-	c := &Conn{
-		stack:      s,
-		eng:        s.eng,
-		flow:       flow,
-		cfg:        s.cfg,
-		cc:         cc,
-		rto:        s.cfg.InitialRTO,
-		rwndPeer:   s.cfg.RcvWnd,
-		finSeqPeer: -1,
+	var c *Conn
+	if n := len(s.free); n > 0 {
+		// Revive a parked connection: zero everything but keep the
+		// interval-set backing arrays, which reach steady capacity
+		// after a few flows and then never allocate again.
+		c = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		sacked, ooo := c.sacked, c.ooo
+		sacked.clear()
+		ooo.clear()
+		*c = Conn{sacked: sacked, ooo: ooo}
+	} else {
+		c = &Conn{}
 	}
+	c.stack, c.eng, c.flow, c.cfg, c.cc = s, s.eng, flow, s.cfg, cc
+	c.rto, c.rwndPeer, c.finSeqPeer = s.cfg.InitialRTO, s.cfg.RcvWnd, -1
 	c.rtoF.c, c.delackF.c = c, c
 	s.eng.InitTimer(&c.rtoTimer, &c.rtoF)
 	s.eng.InitTimer(&c.delackTimer, &c.delackF)

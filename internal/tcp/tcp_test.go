@@ -44,13 +44,13 @@ func (tn *testNet) transfer(t *testing.T, n int64, dur time.Duration) (cc, sc *C
 			c.Send(n)
 			c.CloseWrite()
 		}
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*Conn) { c.CloseWrite() }
 	})
 	clientConn := tn.cStack.Dial(tn.server.Addr(80))
 	var completed sim.Time
 	got := int64(0)
 	clientConn.OnReadable = func(nb int64) { got += nb }
-	clientConn.OnPeerClose = func() {
+	clientConn.OnPeerClose = func(*Conn) {
 		completed = tn.eng.Now()
 		clientConn.CloseWrite()
 	}
@@ -175,7 +175,7 @@ func TestSelfInducedQueueingInflatesRTT(t *testing.T) {
 	// NewReno without SACK drains it after burst losses.
 	tn := newTestNet(1e6, 5*time.Millisecond, 256, Config{NewCC: NewCubic})
 	tn.sStack.Listen(80, func(c *Conn) {
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*Conn) { c.CloseWrite() }
 	})
 	up := tn.cStack.Dial(tn.server.Addr(80))
 	up.SendInfinite()
@@ -262,12 +262,12 @@ func TestManyConcurrentFlows(t *testing.T) {
 			c.Send(200_000)
 			c.CloseWrite()
 		}
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*Conn) { c.CloseWrite() }
 	})
 	doneCount := 0
 	for i := 0; i < 16; i++ {
 		cc := tn.cStack.Dial(tn.server.Addr(80))
-		cc.OnPeerClose = func() {
+		cc.OnPeerClose = func(*Conn) {
 			doneCount++
 			cc.CloseWrite()
 		}
@@ -290,14 +290,14 @@ func TestBidirectionalTransfer(t *testing.T) {
 				c.CloseWrite()
 			}
 		}
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*Conn) { c.CloseWrite() }
 	})
 	cc := tn.cStack.Dial(tn.server.Addr(80))
 	var respGot int64
 	closed := false
 	cc.OnEstablished = func() { cc.Send(300) }
 	cc.OnReadable = func(n int64) { respGot += n }
-	cc.OnPeerClose = func() {
+	cc.OnPeerClose = func(*Conn) {
 		closed = true
 		cc.CloseWrite()
 	}

@@ -110,6 +110,12 @@ type Collector struct {
 	PhaseNanos [PhaseCount]Counter
 	PhaseCells Counter // cells that reported a phase breakdown
 
+	// Adaptive replication (experiments layer): how many repetitions
+	// each rep-loop cell actually ran, and how many cells the CI
+	// stopping rule halted before their configured Reps.
+	RepsPerCell       *Histogram
+	CellsStoppedEarly Counter
+
 	// Facade-layer: sweep progress.
 	SweepCells Counter // sweep cells completed (incl. cache hits)
 
@@ -133,13 +139,19 @@ var storeLoadBounds = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 }
 
+// repsPerCellBounds are the repetitions-per-cell histogram's upper
+// bucket edges: small counts resolve exactly (adaptive runs usually
+// stop after a handful of reps), larger ones coarsen.
+var repsPerCellBounds = []float64{1, 2, 3, 5, 8, 12, 20, 30}
+
 // New creates a live collector. This is where every allocation the
 // collector will ever perform happens.
 func New() *Collector {
 	return &Collector{
-		start:     time.Now(),
-		CellWall:  NewHistogram(cellWallBounds...),
-		StoreLoad: NewHistogram(storeLoadBounds...),
+		start:       time.Now(),
+		CellWall:    NewHistogram(cellWallBounds...),
+		StoreLoad:   NewHistogram(storeLoadBounds...),
+		RepsPerCell: NewHistogram(repsPerCellBounds...),
 	}
 }
 
@@ -246,6 +258,11 @@ type Snapshot struct {
 	PhaseSeconds map[string]float64 `json:"phase_seconds"`
 	PhaseCells   uint64             `json:"phase_cells"`
 
+	// Adaptive replication: repetitions run per rep-loop cell and the
+	// number of cells the CI stopping rule halted early.
+	RepsPerCell       HistSnapshot `json:"reps_per_cell"`
+	CellsStoppedEarly uint64       `json:"cells_stopped_early"`
+
 	SweepCells uint64 `json:"sweep_cells"`
 }
 
@@ -278,9 +295,11 @@ func (c *Collector) Snapshot() Snapshot {
 			PacketRecycles: c.PacketRecycles.Value(),
 			HeapHighWater:  int(c.HeapHighWater.Value()),
 		},
-		PhaseSeconds: make(map[string]float64, PhaseCount),
-		PhaseCells:   c.PhaseCells.Value(),
-		SweepCells:   c.SweepCells.Value(),
+		PhaseSeconds:      make(map[string]float64, PhaseCount),
+		PhaseCells:        c.PhaseCells.Value(),
+		RepsPerCell:       c.RepsPerCell.Snapshot(),
+		CellsStoppedEarly: c.CellsStoppedEarly.Value(),
+		SweepCells:        c.SweepCells.Value(),
 	}
 	for ph := Phase(0); ph < PhaseCount; ph++ {
 		s.PhaseSeconds[ph.String()] = float64(c.PhaseNanos[ph].Value()) / 1e9

@@ -71,6 +71,18 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(ew, "qoe_cell_phase_seconds_total{phase=%q} %g\n", ph.String(), s.PhaseSeconds[ph.String()])
 	}
 	counter("qoe_cell_phase_cells_total", "Cells that reported a phase breakdown.", s.PhaseCells)
+
+	fmt.Fprintf(ew, "# HELP qoe_reps_per_cell Repetitions actually run per rep-loop cell.\n# TYPE qoe_reps_per_cell histogram\n")
+	for _, b := range s.RepsPerCell.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = fmt.Sprintf("%g", b.LE)
+		}
+		fmt.Fprintf(ew, "qoe_reps_per_cell_bucket{le=%q} %d\n", le, b.Count)
+	}
+	fmt.Fprintf(ew, "qoe_reps_per_cell_sum %g\nqoe_reps_per_cell_count %d\n", s.RepsPerCell.Sum, s.RepsPerCell.Count)
+	counter("qoe_cells_stopped_early_total", "Cells halted early by the adaptive-replication CI rule.", s.CellsStoppedEarly)
+
 	counter("qoe_sweep_cells_total", "Sweep cells completed (including cache hits).", s.SweepCells)
 	fcounter("qoe_collector_uptime_seconds_total", "Seconds since the collector was created.", s.UptimeSeconds)
 	return ew.err

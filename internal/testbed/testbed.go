@@ -83,18 +83,33 @@ func (lp LinkParams) IsDefault() bool {
 	}
 }
 
-// Scratch holds the per-run instrumentation a testbed build would
-// otherwise allocate fresh: the bottleneck queue and link monitors.
-// A worker reuses one Scratch across the cells it computes; every
-// monitor is Reset before each build, so results are identical to a
-// cold build. The access testbed uses all four monitors, the backbone
-// only the Down pair.
+// Scratch holds what a testbed build would otherwise allocate fresh:
+// the bottleneck queue and link monitors, and — the big one — the
+// assembled testbeds themselves. A worker reuses one Scratch across
+// the cells it computes. The first NewAccess/NewBackbone call with a
+// given Scratch builds the full node/link/stack graph and caches it
+// here; later calls reset that carcass in place (engine, packet pool,
+// nodes, links, TCP stacks) and reconfigure only what varies per cell
+// (buffer queues, link rates/delays, seeds, congestion control), so
+// the structural build cost is paid once per worker instead of once
+// per cell. Every reset restores the exact state a cold build would
+// produce, so results are bit-identical either way — the golden
+// cross-section test exercises precisely this path.
 type Scratch struct {
 	UpQueueMon, DownQueueMon netem.QueueMonitor
 	UpLinkMon, DownLinkMon   netem.LinkMonitor
+
+	// Cached testbed carcasses. The access carcass is keyed on jitter
+	// presence, the one knob that changes the receiver graph (a
+	// JitterBox interposed on the client LAN hop); everything else is
+	// reconfigurable in place.
+	access       *Access
+	accessJitter bool
+	backbone     *Backbone
 }
 
-// Reset clears all monitors for the next run.
+// Reset clears all monitors for the next run. Cached testbed
+// carcasses survive — they are reset on their next reuse.
 func (s *Scratch) Reset() {
 	s.UpQueueMon.Reset("")
 	s.DownQueueMon.Reset("")
@@ -163,11 +178,34 @@ type Access struct {
 	UpGen, DownGen *harpoon.Generator
 
 	seed uint64
+
+	// Carcass fields for in-place reuse: the structural pieces a reset
+	// reconfigures rather than rebuilds.
+	csHome, homeCs     *netem.Link // client LAN hop (ClientDelay varies)
+	ssDslam, dslamSs   *netem.Link // server LAN hop (ServerDelay varies)
+	lanLinks           []*netem.Link
+	jitterUp, jitterDn *netem.JitterBox
+	allStacks          []*tcp.Stack
 }
 
-// NewAccess builds the Figure 3a access testbed with the given
-// buffer configuration.
+// NewAccess builds the Figure 3a access testbed with the given buffer
+// configuration — or, when the Scratch already caches a compatible
+// carcass, resets that testbed in place, which is behavior-identical
+// and roughly an order of magnitude cheaper.
 func NewAccess(cfg Config) *Access {
+	if s := cfg.Scratch; s != nil && s.access != nil && s.accessJitter == (cfg.Jitter > 0) {
+		s.access.reuse(cfg)
+		return s.access
+	}
+	a := buildAccess(cfg)
+	if s := cfg.Scratch; s != nil {
+		s.access = a
+		s.accessJitter = cfg.Jitter > 0
+	}
+	return a
+}
+
+func buildAccess(cfg Config) *Access {
 	eng := sim.New()
 	nw := netem.NewNetwork(eng)
 	lp := cfg.Link.WithDefaults()
@@ -217,16 +255,18 @@ func NewAccess(cfg Config) *Access {
 	var toHome netem.Receiver = home
 	var toCswitch netem.Receiver = cswitch
 	if cfg.Jitter > 0 {
-		toHome = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-up"), 0, cfg.Jitter, home)
-		toCswitch = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-down"), 0, cfg.Jitter, cswitch)
+		a.jitterUp = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-up"), 0, cfg.Jitter, home)
+		a.jitterDn = netem.NewJitterBox(eng, sim.NewRNG(cfg.Seed, "wifi-down"), 0, cfg.Jitter, cswitch)
+		toHome, toCswitch = a.jitterUp, a.jitterDn
 	}
-	csHome := netem.NewLink(eng, "cswitch->home", gigabit, lp.ClientDelay, netem.NewDropTail(lanQueue), toHome)
-	homeCs := netem.NewLink(eng, "home->cswitch", gigabit, lp.ClientDelay, netem.NewDropTail(lanQueue), toCswitch)
-	cswitch.SetDefaultRoute(csHome)
+	a.csHome = netem.NewLink(eng, "cswitch->home", gigabit, lp.ClientDelay, netem.NewDropTail(lanQueue), toHome)
+	a.homeCs = netem.NewLink(eng, "home->cswitch", gigabit, lp.ClientDelay, netem.NewDropTail(lanQueue), toCswitch)
+	cswitch.SetDefaultRoute(a.csHome)
 	// Server side: 20 ms between DSLAM and server network.
-	ssDslam := netem.NewLink(eng, "sswitch->dslam", gigabit, lp.ServerDelay, netem.NewDropTail(lanQueue), dslam)
-	dslamSs := netem.NewLink(eng, "dslam->sswitch", gigabit, lp.ServerDelay, netem.NewDropTail(lanQueue), sswitch)
-	sswitch.SetDefaultRoute(ssDslam)
+	a.ssDslam = netem.NewLink(eng, "sswitch->dslam", gigabit, lp.ServerDelay, netem.NewDropTail(lanQueue), dslam)
+	a.dslamSs = netem.NewLink(eng, "dslam->sswitch", gigabit, lp.ServerDelay, netem.NewDropTail(lanQueue), sswitch)
+	sswitch.SetDefaultRoute(a.ssDslam)
+	a.lanLinks = append(a.lanLinks, a.csHome, a.homeCs, a.ssDslam, a.dslamSs)
 
 	home.SetDefaultRoute(a.UpLink)
 	dslam.SetDefaultRoute(a.DownLink)
@@ -240,18 +280,24 @@ func NewAccess(cfg Config) *Access {
 
 	addClient := func(name string) (*netem.Node, *tcp.Stack) {
 		n := nw.NewNode(name)
-		toSwitch, _ := nw.Connect(n, cswitch, gigabit, hostDelay, lanQueue)
+		toSwitch, back := nw.Connect(n, cswitch, gigabit, hostDelay, lanQueue)
 		n.SetDefaultRoute(toSwitch)
 		// Teach the core how to reach this host.
-		home.SetRoute(n.ID, homeCs)
-		return n, tcp.NewStack(n, tcpCfg)
+		home.SetRoute(n.ID, a.homeCs)
+		a.lanLinks = append(a.lanLinks, toSwitch, back)
+		st := tcp.NewStack(n, tcpCfg)
+		a.allStacks = append(a.allStacks, st)
+		return n, st
 	}
 	addServer := func(name string) (*netem.Node, *tcp.Stack) {
 		n := nw.NewNode(name)
-		toSwitch, _ := nw.Connect(n, sswitch, gigabit, hostDelay, lanQueue)
+		toSwitch, back := nw.Connect(n, sswitch, gigabit, hostDelay, lanQueue)
 		n.SetDefaultRoute(toSwitch)
-		dslam.SetRoute(n.ID, dslamSs)
-		return n, tcp.NewStack(n, tcpCfg)
+		dslam.SetRoute(n.ID, a.dslamSs)
+		a.lanLinks = append(a.lanLinks, toSwitch, back)
+		st := tcp.NewStack(n, tcpCfg)
+		a.allStacks = append(a.allStacks, st)
+		return n, st
 	}
 
 	a.MediaClient, a.MediaClientTCP = addClient("media-client")
@@ -261,8 +307,63 @@ func NewAccess(cfg Config) *Access {
 		a.BGClients = append(a.BGClients, st)
 		_, st2 := addServer(fmt.Sprintf("bg-server-%d", i))
 		a.BGServers = append(a.BGServers, st2)
+		// Background flows are fire-and-forget (harpoon never retains
+		// a conn past OnClose), so their stacks recycle Conn memory.
+		st.SetConnReuse(true)
+		st2.SetConnReuse(true)
 	}
 	return a
+}
+
+// reuse resets the cached access testbed in place for the next cell:
+// the engine, packet pool, nodes, links, and TCP stacks rewind to
+// their never-used state, and the per-cell configuration (bottleneck
+// queues and rates, LAN delays, seeds, congestion control) is applied
+// exactly where buildAccess would. Only reached with a non-nil
+// cfg.Scratch.
+func (a *Access) reuse(cfg Config) {
+	lp := cfg.Link.WithDefaults()
+	a.Eng.Reset()
+	a.Net.Reset()
+	for _, n := range a.Net.Nodes() {
+		n.Reset()
+	}
+	a.UpLink.Reset()
+	a.DownLink.Reset()
+	for _, l := range a.lanLinks {
+		l.Reset()
+	}
+	a.seed = cfg.Seed
+	a.UpGen, a.DownGen = nil, nil
+
+	cfg.Scratch.UpQueueMon.Reset("uplink")
+	cfg.Scratch.DownQueueMon.Reset("downlink")
+	a.UpMon = &cfg.Scratch.UpQueueMon
+	a.DownMon = &cfg.Scratch.DownQueueMon
+	a.UpLink.Queue = cfg.queue(cfg.UpQueue, cfg.BufferUp, a.UpMon)
+	a.DownLink.Queue = cfg.queue(cfg.DownQueue, cfg.BufferDown, a.DownMon)
+	a.UpLink.Rate, a.DownLink.Rate = lp.UpRate, lp.DownRate
+	cfg.Scratch.UpLinkMon.Reset()
+	cfg.Scratch.DownLinkMon.Reset()
+	a.UpLink.AttachMonitor(&cfg.Scratch.UpLinkMon)
+	a.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
+
+	a.csHome.Delay, a.homeCs.Delay = lp.ClientDelay, lp.ClientDelay
+	a.ssDslam.Delay, a.dslamSs.Delay = lp.ServerDelay, lp.ServerDelay
+	if cfg.Jitter > 0 {
+		a.jitterUp.Reset(sim.NewRNG(cfg.Seed, "wifi-up"), 0, cfg.Jitter)
+		a.jitterDn.Reset(sim.NewRNG(cfg.Seed, "wifi-down"), 0, cfg.Jitter)
+	}
+
+	ccUp := cfg.CC
+	if ccUp == nil {
+		ccUp = tcp.NewCubic
+	}
+	tcpCfg := cfg.TCP
+	tcpCfg.NewCC = ccUp
+	for _, st := range a.allStacks {
+		st.Reset(tcpCfg)
+	}
 }
 
 // Direction selects which congestion the access scenario applies
@@ -406,12 +507,31 @@ type Backbone struct {
 	Gen *harpoon.Generator
 
 	seed uint64
+
+	// Carcass fields for in-place reuse.
+	upLink    *netem.Link
+	lanLinks  []*netem.Link
+	allStacks []*tcp.Stack
 }
 
 // NewBackbone builds the Figure 3b backbone testbed: four client and
 // four server hosts, Cisco-class switches, two routers joined by an
-// OC3 bottleneck with a 30 ms one-way delay box.
+// OC3 bottleneck with a 30 ms one-way delay box. When the Scratch
+// already caches a backbone carcass, it is reset in place instead —
+// behavior-identical and far cheaper.
 func NewBackbone(cfg Config) *Backbone {
+	if s := cfg.Scratch; s != nil && s.backbone != nil {
+		s.backbone.reuse(cfg)
+		return s.backbone
+	}
+	b := buildBackbone(cfg)
+	if s := cfg.Scratch; s != nil {
+		s.backbone = b
+	}
+	return b
+}
+
+func buildBackbone(cfg Config) *Backbone {
 	eng := sim.New()
 	nw := netem.NewNetwork(eng)
 	b := &Backbone{Eng: eng, Net: nw, seed: cfg.Seed}
@@ -432,7 +552,7 @@ func NewBackbone(cfg Config) *Backbone {
 
 	// OC3 with the NetPath delay box folded into propagation.
 	b.DownLink = netem.NewLink(eng, "oc3-sc", BackboneRate, BackboneDelay, downQ, rc)
-	upLink := netem.NewLink(eng, "oc3-cs", BackboneRate, BackboneDelay, upQ, rs)
+	b.upLink = netem.NewLink(eng, "oc3-cs", BackboneRate, BackboneDelay, upQ, rs)
 	if cfg.Scratch != nil {
 		cfg.Scratch.DownLinkMon.Reset()
 		b.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
@@ -440,7 +560,7 @@ func NewBackbone(cfg Config) *Backbone {
 		b.DownLink.EnsureMonitor()
 	}
 	rs.SetDefaultRoute(b.DownLink)
-	rc.SetDefaultRoute(upLink)
+	rc.SetDefaultRoute(b.upLink)
 
 	csRc := netem.NewLink(eng, "cswitch->rc", gigabit, 100*time.Microsecond, netem.NewDropTail(lanQueue), rc)
 	rcCs := netem.NewLink(eng, "rc->cswitch", gigabit, 100*time.Microsecond, netem.NewDropTail(lanQueue), cswitch)
@@ -448,6 +568,7 @@ func NewBackbone(cfg Config) *Backbone {
 	rsSs := netem.NewLink(eng, "rs->sswitch", gigabit, 100*time.Microsecond, netem.NewDropTail(lanQueue), sswitch)
 	cswitch.SetDefaultRoute(csRc)
 	sswitch.SetDefaultRoute(ssRs)
+	b.lanLinks = append(b.lanLinks, csRc, rcCs, ssRs, rsSs)
 
 	cc := cfg.CC
 	if cc == nil {
@@ -458,10 +579,13 @@ func NewBackbone(cfg Config) *Backbone {
 
 	addHost := func(name string, sw *netem.Node, router *netem.Node, routerToSw *netem.Link) (*netem.Node, *tcp.Stack) {
 		n := nw.NewNode(name)
-		toSwitch, _ := nw.Connect(n, sw, gigabit, hostDelay, lanQueue)
+		toSwitch, back := nw.Connect(n, sw, gigabit, hostDelay, lanQueue)
 		n.SetDefaultRoute(toSwitch)
 		router.SetRoute(n.ID, routerToSw)
-		return n, tcp.NewStack(n, tcpCfg)
+		b.lanLinks = append(b.lanLinks, toSwitch, back)
+		st := tcp.NewStack(n, tcpCfg)
+		b.allStacks = append(b.allStacks, st)
+		return n, st
 	}
 
 	b.MediaClient, b.MediaClientTCP = addHost("media-client", cswitch, rc, rcCs)
@@ -471,8 +595,47 @@ func NewBackbone(cfg Config) *Backbone {
 		b.BGClients = append(b.BGClients, st)
 		_, st2 := addHost(fmt.Sprintf("bg-server-%d", i), sswitch, rs, rsSs)
 		b.BGServers = append(b.BGServers, st2)
+		// As on the access side: harpoon never retains a conn past
+		// OnClose, so background stacks recycle Conn memory.
+		st.SetConnReuse(true)
+		st2.SetConnReuse(true)
 	}
 	return b
+}
+
+// reuse resets the cached backbone testbed in place for the next
+// cell; see Access.reuse. The OC3 rates and delays are constants, so
+// only queues, monitors, seeds and TCP configuration vary.
+func (b *Backbone) reuse(cfg Config) {
+	b.Eng.Reset()
+	b.Net.Reset()
+	for _, n := range b.Net.Nodes() {
+		n.Reset()
+	}
+	b.DownLink.Reset()
+	b.upLink.Reset()
+	for _, l := range b.lanLinks {
+		l.Reset()
+	}
+	b.seed = cfg.Seed
+	b.Gen = nil
+
+	cfg.Scratch.DownQueueMon.Reset("oc3-down")
+	b.DownMon = &cfg.Scratch.DownQueueMon
+	b.DownLink.Queue = cfg.queue(cfg.DownQueue, cfg.BufferDown, b.DownMon)
+	b.upLink.Queue = cfg.queue(cfg.UpQueue, nonzero(cfg.BufferUp, cfg.BufferDown), nil)
+	cfg.Scratch.DownLinkMon.Reset()
+	b.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
+
+	cc := cfg.CC
+	if cc == nil {
+		cc = tcp.NewReno
+	}
+	tcpCfg := cfg.TCP
+	tcpCfg.NewCC = cc
+	for _, st := range b.allStacks {
+		st.Reset(tcpCfg)
+	}
 }
 
 func nonzero(a, b int) int {

@@ -16,10 +16,10 @@ func TestAccessBaseRTT(t *testing.T) {
 	a := NewAccess(Config{BufferUp: 8, BufferDown: 64, Seed: 1})
 	a.MediaServerTCP.Listen(80, func(c *tcp.Conn) {
 		c.OnEstablished = func() { c.Send(1000); c.CloseWrite() }
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*tcp.Conn) { c.CloseWrite() }
 	})
 	cc := a.MediaClientTCP.Dial(a.MediaServer.Addr(80))
-	cc.OnPeerClose = func() { cc.CloseWrite() }
+	cc.OnPeerClose = func(*tcp.Conn) { cc.CloseWrite() }
 	a.Eng.RunUntil(sim.Time(5 * time.Second))
 	rtt := cc.SRTT()
 	if rtt < 45*time.Millisecond || rtt > 90*time.Millisecond {
@@ -31,10 +31,10 @@ func TestBackboneBaseRTT(t *testing.T) {
 	b := NewBackbone(Config{BufferDown: 749, Seed: 1})
 	b.MediaServerTCP.Listen(80, func(c *tcp.Conn) {
 		c.OnEstablished = func() { c.Send(1000); c.CloseWrite() }
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*tcp.Conn) { c.CloseWrite() }
 	})
 	cc := b.MediaClientTCP.Dial(b.MediaServer.Addr(80))
-	cc.OnPeerClose = func() { cc.CloseWrite() }
+	cc.OnPeerClose = func(*tcp.Conn) { cc.CloseWrite() }
 	b.Eng.RunUntil(sim.Time(5 * time.Second))
 	rtt := cc.SRTT()
 	if rtt < 58*time.Millisecond || rtt > 90*time.Millisecond {

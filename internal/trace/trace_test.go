@@ -27,10 +27,10 @@ func rig(rate float64, delay time.Duration, qlen int) (*sim.Engine, *tcp.Stack, 
 func transfer(eng *sim.Engine, client, server *tcp.Stack, serverNode netem.NodeID, n int64, d time.Duration) {
 	server.Listen(80, func(c *tcp.Conn) {
 		c.OnEstablished = func() { c.Send(n); c.CloseWrite() }
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*tcp.Conn) { c.CloseWrite() }
 	})
 	cc := client.Dial(netem.Addr{Node: serverNode, Port: 80})
-	cc.OnPeerClose = func() { cc.CloseWrite() }
+	cc.OnPeerClose = func(*tcp.Conn) { cc.CloseWrite() }
 	eng.RunUntil(sim.Time(d))
 }
 

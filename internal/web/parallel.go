@@ -31,7 +31,7 @@ func RegisterBrowserServer(st *tcp.Stack, port uint16) {
 				c.CloseWrite()
 			}
 		}
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*tcp.Conn) { c.CloseWrite() }
 	})
 }
 
@@ -128,7 +128,7 @@ func FetchParallel(st *tcp.Stack, server netem.Addr, maxConns int, deadline time
 				onObjectDone(conn)
 			}
 		}
-		conn.OnPeerClose = func() { conn.CloseWrite() }
+		conn.OnPeerClose = func(*tcp.Conn) { conn.CloseWrite() }
 	}
 	launch(0)
 }

@@ -47,7 +47,7 @@ func RegisterServer(st *tcp.Stack, port uint16) {
 				next++
 			}
 		}
-		c.OnPeerClose = func() { c.CloseWrite() }
+		c.OnPeerClose = func(*tcp.Conn) { c.CloseWrite() }
 	})
 }
 
@@ -119,7 +119,7 @@ func Fetch(st *tcp.Stack, server netem.Addr, deadline time.Duration, onDone func
 			conn.CloseWrite()
 		}
 	}
-	conn.OnPeerClose = func() { conn.CloseWrite() }
+	conn.OnPeerClose = func(*tcp.Conn) { conn.CloseWrite() }
 	conn.OnClose = func(err error) {
 		if err != nil {
 			guard.Stop()

@@ -118,6 +118,15 @@ type Metrics struct {
 
 	// SweepCells counts sweep cells completed (cache hits included).
 	SweepCells uint64 `json:"sweep_cells"`
+
+	// RepsTotal and RepCells summarize adaptive replication:
+	// repetitions actually run across the RepCells rep-loop cells that
+	// reported (RepsTotal shrinks below RepCells x Options.Reps when
+	// the stopping rule saves work), and CellsStoppedEarly counts the
+	// cells the rule halted before the configured cap.
+	RepsTotal         float64 `json:"reps_total"`
+	RepCells          uint64  `json:"rep_cells"`
+	CellsStoppedEarly uint64  `json:"cells_stopped_early"`
 }
 
 func metricsFromSnapshot(s telemetry.Snapshot) Metrics {
@@ -147,6 +156,10 @@ func metricsFromSnapshot(s telemetry.Snapshot) Metrics {
 		PhaseSeconds:   s.PhaseSeconds,
 		PhaseCells:     s.PhaseCells,
 		SweepCells:     s.SweepCells,
+
+		RepsTotal:         s.RepsPerCell.Sum,
+		RepCells:          s.RepsPerCell.Count,
+		CellsStoppedEarly: s.CellsStoppedEarly,
 	}
 	if s.CellWall.Count > 0 {
 		m.CellWallMeanSeconds = s.CellWall.Sum / float64(s.CellWall.Count)
