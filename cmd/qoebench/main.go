@@ -11,6 +11,7 @@
 //	qoebench -sweep -workloads short-few,long-many -dir up -buffers 8,64,256 -progress
 //	qoebench -sweep -mix "up:long=2;down:web=16x3/1.5s" -buffers 8,64,256 -probes voip,web
 //	qoebench -sweep -uprate 1e9 -downrate 1e9 -aqm codel -probes voip,web -json
+//	qoebench -sweep -link wifi -stations 8 -cc bbr -probes voip,video:SD
 //	qoebench -sweep -workloads long-many -dir bidir -bufup 256 -probes voip
 //	qoebench -recommend -workloads long-many -dir up -probes voip,web -target max-mos
 //	qoebench -sweep -workloads short-few -dir up -metrics-addr localhost:6060 -trace cells.jsonl
@@ -27,11 +28,13 @@
 // at any parallelism.
 //
 // In -sweep mode the workload/buffer/probe axes are swept over one
-// network: a paper testbed (-network access|backbone) or a custom
+// network: a paper testbed (-network access|backbone), a custom
 // access-shaped link (-uprate/-downrate/-clientdelay/-serverdelay),
-// optionally under an AQM discipline (-aqm), a congestion control
-// (-cc), last-hop jitter (-jitter), and an asymmetric uplink buffer
-// (-bufup). The workload axis takes Table 1 preset names
+// or an 802.11 wireless last hop (-link wifi, tuned by -stations,
+// -wifiretry, -wifiagg), optionally under an AQM discipline (-aqm), a
+// congestion control (-cc, including the paced model-based bbr),
+// last-hop jitter (-jitter), packet reordering (-reorder), and an
+// asymmetric uplink buffer (-bufup). The workload axis takes Table 1 preset names
 // (-workloads/-dir) or a composable custom mix (-mix, grammar in
 // -list); a mix equal to a preset answers from the preset's cache
 // cells. -json emits machine-readable results plus engine statistics
@@ -187,8 +190,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		buffers   = fs.String("buffers", "", "sweep: comma-separated buffer sizes in packets (default: the paper's sweep for the network)")
 		probes    = fs.String("probes", "voip,web,video:SD", "sweep: comma-separated probes (voip, web, video[:SD|:HD])")
 		aqm       = fs.String("aqm", "", "sweep: queue discipline (droptail, codel, fq-codel, red, ared, pie)")
-		cc        = fs.String("cc", "", "sweep: congestion control (cubic, reno, bic)")
+		cc        = fs.String("cc", "", "sweep: congestion control (cubic, reno, bic, bbr)")
 		jitter    = fs.Duration("jitter", 0, "sweep: mean last-hop jitter (access shape)")
+
+		linkKind  = fs.String("link", "", "sweep: bottleneck link family: wired (default; customize with -uprate/-downrate/...) or wifi (802.11 MAC last hop)")
+		stations  = fs.Int("stations", 0, "sweep: wifi contending stations (default 4; requires -link wifi)")
+		wifiRetry = fs.Int("wifiretry", 0, "sweep: wifi per-aggregate retry limit (default 7; requires -link wifi)")
+		wifiAgg   = fs.Int("wifiagg", 0, "sweep: wifi A-MPDU aggregation cap in frames (default 16, 1 disables; requires -link wifi)")
+		reorder   = fs.Float64("reorder", 0, "sweep: packet reordering probability in [0,1) behind the bottleneck (access shape)")
 
 		recommend = fs.Bool("recommend", false, "search the buffer axis for the -target optimum instead of sweeping it exhaustively")
 		target    = fs.String("target", "min-mos", "recommend: min-mos (smallest buffer with every probe >= -threshold) or max-mos (best aggregate MOS)")
@@ -348,6 +357,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			aqm: *aqm, cc: *cc, jitter: *jitter,
 			upRate: *upRate, downRate: *downRate,
 			clientDelay: *clientDelay, serverDelay: *serverDelay,
+			link: *linkKind, stations: *stations,
+			wifiRetry: *wifiRetry, wifiAgg: *wifiAgg, reorder: *reorder,
 		}
 		if *recommend {
 			return runRecommend(ctx, session, opt, f, *target, *threshold, *jsonOut, stdout, stderr)
@@ -414,6 +425,9 @@ type sweepFlags struct {
 	jitter                                                 time.Duration
 	upRate, downRate                                       float64
 	clientDelay, serverDelay                               time.Duration
+	link                                                   string
+	stations, wifiRetry, wifiAgg                           int
+	reorder                                                float64
 }
 
 // compileSweep resolves the shared scenario/axis parameters of the
@@ -431,12 +445,9 @@ func (f sweepFlags) compileSweep() (scenarios []bufferqoe.Scenario, bufs []int, 
 		return nil, nil, nil, fmt.Errorf("unknown network %q (want access or backbone)", f.network)
 	}
 
-	var link *bufferqoe.Link
-	if f.upRate != 0 || f.downRate != 0 || f.clientDelay != 0 || f.serverDelay != 0 {
-		link = &bufferqoe.Link{
-			UpRate: f.upRate, DownRate: f.downRate,
-			ClientDelay: f.clientDelay, ServerDelay: f.serverDelay,
-		}
+	link, err := f.compileLink()
+	if err != nil {
+		return nil, nil, nil, err
 	}
 
 	if f.mix != "" {
@@ -483,6 +494,52 @@ func (f sweepFlags) compileSweep() (scenarios []bufferqoe.Scenario, bufs []int, 
 		return nil, nil, nil, err
 	}
 	return scenarios, bufs, probes, nil
+}
+
+// compileLink resolves the link-axis flags into a custom Link, or nil
+// for the network's stock bottleneck. -link wifi starts from the
+// WifiLink preset and overlays any explicit rate/delay/wifi knobs;
+// the wired default only becomes a custom link when a rate, delay, or
+// reorder flag asks for one.
+func (f sweepFlags) compileLink() (*bufferqoe.Link, error) {
+	switch f.link {
+	case "", "wired":
+		if f.stations != 0 || f.wifiRetry != 0 || f.wifiAgg != 0 {
+			return nil, fmt.Errorf("-stations/-wifiretry/-wifiagg configure the wifi MAC; add -link wifi")
+		}
+		if f.upRate == 0 && f.downRate == 0 && f.clientDelay == 0 && f.serverDelay == 0 && f.reorder == 0 {
+			return nil, nil
+		}
+		return &bufferqoe.Link{
+			UpRate: f.upRate, DownRate: f.downRate,
+			ClientDelay: f.clientDelay, ServerDelay: f.serverDelay,
+			Reorder: f.reorder,
+		}, nil
+	case "wifi":
+		st := f.stations
+		if st == 0 {
+			st = 4
+		}
+		l := bufferqoe.WifiLink(st)
+		if f.upRate != 0 {
+			l.UpRate = f.upRate
+		}
+		if f.downRate != 0 {
+			l.DownRate = f.downRate
+		}
+		if f.clientDelay != 0 {
+			l.ClientDelay = f.clientDelay
+		}
+		if f.serverDelay != 0 {
+			l.ServerDelay = f.serverDelay
+		}
+		l.Wifi.RetryLimit = f.wifiRetry
+		l.Wifi.MaxAggFrames = f.wifiAgg
+		l.Reorder = f.reorder
+		return &l, nil
+	default:
+		return nil, fmt.Errorf("unknown -link %q (want wired or wifi)", f.link)
+	}
 }
 
 // compileSweepFlags is the CLI wrapper around compileSweep: a
@@ -628,6 +685,8 @@ func runBenchJSON(path string, stdout, stderr io.Writer) int {
 		{"WholeCell", bench.WholeCell},
 		{"WholeCellTelemetry", bench.WholeCellTelemetry},
 		{"TestbedBuild", bench.TestbedBuild},
+		{"WifiCell", bench.WifiCell},
+		{"PacedCell", bench.PacedCell},
 		{"StatsAccumulate", bench.StatsAccumulate},
 		{"CellRepLoop", bench.CellRepLoop},
 	} {
@@ -700,7 +759,8 @@ func printList(stdout io.Writer) {
 	}
 	fmt.Fprintln(stdout, "probes (-probes): voip, web, video:SD, video:HD")
 	fmt.Fprintln(stdout, "aqms (-aqm): droptail (default), codel, fq-codel, red, ared, pie")
-	fmt.Fprintln(stdout, "congestion controls (-cc): default (cubic on access, reno on backbone), cubic, reno, bic")
+	fmt.Fprintln(stdout, "congestion controls (-cc): default (cubic on access, reno on backbone), cubic, reno, bic, bbr")
+	fmt.Fprintln(stdout, "links (-link): wired (default; customize with -uprate/-downrate/-clientdelay/-serverdelay), wifi (802.11 MAC last hop; -stations, -wifiretry, -wifiagg); -reorder adds packet reordering to either")
 	fmt.Fprintln(stdout, `mix grammar (-mix): "up:long=2;down:web=16x3/1.5s" — components long=n[xm] (bulk flows) and web=n[xm]/think (web sessions), sections joined by ';', optional scale=n`)
 }
 

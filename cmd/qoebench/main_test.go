@@ -158,6 +158,44 @@ func TestSweepCustomLink(t *testing.T) {
 	}
 }
 
+// TestSweepWifiBBR drives the wireless axes from the CLI: the wifi
+// preset link with tuned contention/aggregation, BBR congestion
+// control, and reordering sweep end to end and label accordingly.
+func TestSweepWifiBBR(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-sweep", "-link", "wifi", "-stations", "2", "-wifiagg", "8",
+		"-cc", "bbr", "-reorder", "0.01",
+		"-buffers", "16", "-probes", "voip")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"custom(65M/65M@2ms/15ms+wifi2+ro0.01)/noBG+bbr", "1 cells"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wifi sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepWifiBadFlags(t *testing.T) {
+	// Wifi knobs without the wifi link family must be rejected, not
+	// silently ignored on a wired cell.
+	if _, _, code := runCLI(t, "-sweep", "-stations", "4", "-buffers", "16", "-probes", "voip"); code != 2 {
+		t.Fatalf("orphan -stations: code %d", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-link", "token-ring", "-buffers", "16", "-probes", "voip"); code != 2 {
+		t.Fatalf("unknown -link: code %d", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-link", "wifi", "-stations", "-3", "-buffers", "16", "-probes", "voip"); code != 1 {
+		t.Fatalf("negative stations: code %d", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-reorder", "1.5", "-buffers", "16", "-probes", "voip"); code != 1 {
+		t.Fatalf("reorder out of range: code %d", code)
+	}
+	if _, _, code := runCLI(t, "-sweep", "-cc", "vegas", "-buffers", "16", "-probes", "voip"); code != 1 {
+		t.Fatalf("unknown cc: code %d", code)
+	}
+}
+
 func TestSweepJSON(t *testing.T) {
 	out, _, code := runCLI(t,
 		"-sweep", "-uprate", "1e9", "-downrate", "1e9",

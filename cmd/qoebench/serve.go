@@ -38,11 +38,18 @@ type serveRequest struct {
 	JitterMS  float64  `json:"jitter_ms,omitempty"`
 
 	// Custom link (enables an access-shaped custom link when any is
-	// non-zero).
+	// non-zero). Link selects the family ("wired" or "wifi"); the wifi
+	// knobs and Reorder mirror the -stations/-wifiretry/-wifiagg/
+	// -reorder flags.
+	Link          string  `json:"link,omitempty"`
 	UpRate        float64 `json:"uprate,omitempty"`
 	DownRate      float64 `json:"downrate,omitempty"`
 	ClientDelayMS float64 `json:"client_delay_ms,omitempty"`
 	ServerDelayMS float64 `json:"server_delay_ms,omitempty"`
+	Stations      int     `json:"stations,omitempty"`
+	WifiRetry     int     `json:"wifi_retry,omitempty"`
+	WifiAgg       int     `json:"wifi_agg,omitempty"`
+	Reorder       float64 `json:"reorder,omitempty"`
 
 	// Run options; zero fields inherit the server's -seed/-duration/
 	// -warmup/-reps/-clip defaults.
@@ -74,6 +81,11 @@ func (q serveRequest) flags() sweepFlags {
 		downRate:    q.DownRate,
 		clientDelay: time.Duration(q.ClientDelayMS * float64(time.Millisecond)),
 		serverDelay: time.Duration(q.ServerDelayMS * float64(time.Millisecond)),
+		link:        q.Link,
+		stations:    q.Stations,
+		wifiRetry:   q.WifiRetry,
+		wifiAgg:     q.WifiAgg,
+		reorder:     q.Reorder,
 	}
 	if f.workloads == "" {
 		f.workloads = "noBG"

@@ -90,6 +90,31 @@ func TestServeSweep(t *testing.T) {
 	}
 }
 
+// TestServeWifiSweep: the wireless axes travel the request schema
+// like every other flag — a wifi/BBR sweep over HTTP shares the
+// compileSweep authority with the CLI.
+func TestServeWifiSweep(t *testing.T) {
+	srv := newTestServer(t, bufferqoe.NewSession())
+	var r serveResponse
+	code := post(t, srv.URL+"/sweep",
+		`{"link": "wifi", "stations": 2, "cc": "bbr", "buffers": [16], "probes": ["voip"]}`, &r)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, r)
+	}
+	if r.Sweep == nil || len(r.Sweep.Cells) != 1 {
+		t.Fatalf("wifi sweep response = %+v", r)
+	}
+	if !strings.Contains(r.Sweep.Cells[0].Scenario, "wifi2") ||
+		!strings.Contains(r.Sweep.Cells[0].Scenario, "bbr") {
+		t.Fatalf("wifi cell labeled %q", r.Sweep.Cells[0].Scenario)
+	}
+	var bad serveResponse
+	if code := post(t, srv.URL+"/sweep",
+		`{"stations": 4, "buffers": [16], "probes": ["voip"]}`, &bad); code != http.StatusBadRequest {
+		t.Fatalf("orphan stations: status %d", code)
+	}
+}
+
 func TestServeRecommend(t *testing.T) {
 	srv := newTestServer(t, bufferqoe.NewSession())
 	var r serveResponse

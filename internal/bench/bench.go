@@ -41,6 +41,7 @@ import (
 	"bufferqoe/internal/netem"
 	"bufferqoe/internal/sim"
 	"bufferqoe/internal/stats"
+	"bufferqoe/internal/tcp"
 	"bufferqoe/internal/telemetry"
 	"bufferqoe/internal/testbed"
 	"bufferqoe/internal/voip"
@@ -232,6 +233,91 @@ func TestbedBuild(b *testing.B) {
 		if a.Eng == nil {
 			b.Fatal("no testbed")
 		}
+	}
+}
+
+// wifiLink is the WifiCell link configuration: the facade's 802.11n
+// preset with four contending stations.
+func wifiLink() testbed.LinkParams {
+	return testbed.LinkParams{
+		UpRate: 65e6, DownRate: 65e6,
+		ClientDelay: 2 * time.Millisecond, ServerDelay: 15 * time.Millisecond,
+		Wifi: testbed.WifiParams{Stations: 4},
+	}
+}
+
+// WifiCell is WholeCell on the 802.11 last hop: the same warm-carcass
+// VoIP cell with the bottleneck pair replaced by contending WifiLinks
+// (CSMA/CA backoff, collision retries, A-MPDU aggregation). Gated in
+// CI with its own allocs/op budget — the MAC's contend/transmit loop
+// runs on owned timers and pooled arg events, so the wireless service
+// process must not reintroduce per-event allocation.
+func WifiCell(b *testing.B) {
+	b.ReportAllocs()
+	lib := media.Library(42)
+	wl, err := testbed.LookupAccessScenario("short-few", testbed.DirDown)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scr testbed.Scratch
+	cfg := testbed.Config{BufferUp: 64, BufferDown: 64, Seed: 42, Scratch: &scr, Link: wifiLink()}
+	cell := func() {
+		scr.Reset()
+		a := testbed.NewAccess(cfg)
+		a.StartWorkload(wl)
+		got := false
+		a.Eng.Schedule(2*time.Second, func() {
+			voip.Start(a.MediaServer, a.MediaClient, lib[0], 0, func(r voip.Result) {
+				got = true
+				a.Eng.Halt()
+			})
+		})
+		a.Eng.RunFor(60 * time.Second)
+		if !got {
+			b.Fatal("call did not complete")
+		}
+	}
+	cell() // warm the wifi carcass outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell()
+	}
+}
+
+// PacedCell is WholeCell with the background workload running BBR:
+// every data segment the bulk flows send passes the pacing gate, so
+// the paced send path's owned pacing timer is on the measured path.
+// Its budget gates the claim that pacing is zero-allocation per
+// segment.
+func PacedCell(b *testing.B) {
+	b.ReportAllocs()
+	lib := media.Library(42)
+	wl, err := testbed.LookupAccessScenario("short-few", testbed.DirDown)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scr testbed.Scratch
+	cfg := testbed.Config{BufferUp: 64, BufferDown: 64, Seed: 42, Scratch: &scr, CC: tcp.NewBBRLite}
+	cell := func() {
+		scr.Reset()
+		a := testbed.NewAccess(cfg)
+		a.StartWorkload(wl)
+		got := false
+		a.Eng.Schedule(2*time.Second, func() {
+			voip.Start(a.MediaServer, a.MediaClient, lib[0], 0, func(r voip.Result) {
+				got = true
+				a.Eng.Halt()
+			})
+		})
+		a.Eng.RunFor(60 * time.Second)
+		if !got {
+			b.Fatal("call did not complete")
+		}
+	}
+	cell()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell()
 	}
 }
 

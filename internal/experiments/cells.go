@@ -106,14 +106,26 @@ func (v accessVariant) config(buf int, seed uint64) testbed.Config {
 // linkTag renders custom link parameters as the canonical
 // CellSpec.Link encoding; the paper's preset link encodes as "", so
 // probes of the default topology share cells with the experiment
-// grids no matter how their LinkParams were spelled.
+// grids no matter how their LinkParams were spelled. The wifi and
+// reorder axes append their own key=value fragments only when active,
+// so wired encodings are byte-identical to what they were before those
+// axes existed, and the encoding stays injective (every non-default
+// knob appears exactly once, defaults filled first).
 func linkTag(lp testbed.LinkParams) string {
 	if lp.IsDefault() {
 		return ""
 	}
 	lp = lp.WithDefaults()
-	return fmt.Sprintf("up=%g;down=%g;cd=%s;sd=%s",
+	tag := fmt.Sprintf("up=%g;down=%g;cd=%s;sd=%s",
 		lp.UpRate, lp.DownRate, lp.ClientDelay, lp.ServerDelay)
+	if lp.Wifi.Stations > 0 {
+		tag += fmt.Sprintf(";wifi=%d;retry=%d;agg=%d",
+			lp.Wifi.Stations, lp.Wifi.RetryLimit, lp.Wifi.MaxAggFrames)
+	}
+	if lp.Reorder > 0 {
+		tag += fmt.Sprintf(";ro=%g", lp.Reorder)
+	}
+	return tag
 }
 
 // workload bundles the canonical workload axis of a cell: the
@@ -268,7 +280,7 @@ func voipAccessTask(o Options, scenario string, dir testbed.Direction, buf int, 
 		score := voipScore{
 			Listen: listen, Talk: talk,
 			UpDelayMs: a.UpMon.MeanDelayMs(),
-			UpUtilPct: a.UpLink.Monitor.MeanUtilization(now),
+			UpUtilPct: a.UpLinkMonitor().MeanUtilization(now),
 		}
 		finishCell(&pc, sp, a.Eng, a.Net)
 		return score
@@ -636,16 +648,16 @@ func bgAccessTask(o Options, scenario string, dir testbed.Direction, bufUp, bufD
 		defer finishCell(&pc, sp, a.Eng, a.Net)
 		now := a.Eng.Now()
 		m := bgMetrics{
-			UtilUpPct:   a.UpLink.Monitor.MeanUtilization(now),
-			UtilDownPct: a.DownLink.Monitor.MeanUtilization(now),
-			SdUp:        a.UpLink.Monitor.UtilSamples.Std(),
-			SdDown:      a.DownLink.Monitor.UtilSamples.Std(),
+			UtilUpPct:   a.UpLinkMonitor().MeanUtilization(now),
+			UtilDownPct: a.DownLinkMonitor().MeanUtilization(now),
+			SdUp:        a.UpLinkMonitor().UtilSamples.Std(),
+			SdDown:      a.DownLinkMonitor().UtilSamples.Std(),
 			LossUpPct:   100 * a.UpMon.LossRate(),
 			LossDownPct: 100 * a.DownMon.LossRate(),
 			DelayUpMs:   a.UpMon.MeanDelayMs(),
 			DelayDownMs: a.DownMon.MeanDelayMs(),
-			UpBox:       stats.BoxplotOf(&a.UpLink.Monitor.UtilSamples),
-			DownBox:     stats.BoxplotOf(&a.DownLink.Monitor.UtilSamples),
+			UpBox:       stats.BoxplotOf(&a.UpLinkMonitor().UtilSamples),
+			DownBox:     stats.BoxplotOf(&a.DownLinkMonitor().UtilSamples),
 		}
 		if a.UpGen != nil {
 			m.Conc += a.UpGen.Stats().Concurrent.Mean()

@@ -58,7 +58,7 @@ type ProbeSpec struct {
 	AQM string
 	// CC selects background congestion control: "" (the testbed's
 	// paper default: CUBIC on access, Reno on backbone), "cubic",
-	// "reno", "bic".
+	// "reno", "bic", "bbr".
 	CC string
 	// Jitter adds a WiFi/LTE-like exponential per-packet delay on the
 	// access client hop.
@@ -139,8 +139,10 @@ func ccChoice(name, testbedName string) (func() tcp.CongestionControl, string, e
 		return tcp.NewReno, "cc=reno", nil
 	case "bic":
 		return tcp.NewBIC, "cc=bic", nil
+	case "bbr":
+		return tcp.NewBBRLite, "cc=bbr", nil
 	default:
-		return nil, "", fmt.Errorf("unknown congestion control %q (want cubic, reno, bic)", name)
+		return nil, "", fmt.Errorf("unknown congestion control %q (want cubic, reno, bic, bbr)", name)
 	}
 }
 
@@ -237,6 +239,18 @@ func (p ProbeSpec) normalize() (ProbeSpec, error) {
 		}
 		if p.Link.ClientDelay < 0 || p.Link.ServerDelay < 0 {
 			return p, fmt.Errorf("link delays must be non-negative, got %v/%v client/server", p.Link.ClientDelay, p.Link.ServerDelay)
+		}
+		if p.Link.Wifi.Stations < 0 {
+			return p, fmt.Errorf("wifi stations must be non-negative, got %d", p.Link.Wifi.Stations)
+		}
+		if p.Link.Wifi.Stations == 0 && (p.Link.Wifi.RetryLimit != 0 || p.Link.Wifi.MaxAggFrames != 0) {
+			return p, fmt.Errorf("wifi retry/aggregation knobs need Stations >= 1 to enable the 802.11 bottleneck")
+		}
+		if p.Link.Wifi.RetryLimit < 0 || p.Link.Wifi.MaxAggFrames < 0 {
+			return p, fmt.Errorf("wifi retry limit and aggregation must be non-negative, got %d/%d", p.Link.Wifi.RetryLimit, p.Link.Wifi.MaxAggFrames)
+		}
+		if p.Link.Reorder < 0 || p.Link.Reorder >= 1 {
+			return p, fmt.Errorf("reorder probability must be in [0,1), got %g", p.Link.Reorder)
 		}
 	}
 	if _, err := aqmFactory(p.AQM, 1e6, "x"); err != nil {

@@ -1,0 +1,261 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"bufferqoe/internal/netem"
+	"bufferqoe/internal/sim"
+)
+
+// timeSink records delivery times against the engine clock.
+type timeSink struct {
+	eng   *sim.Engine
+	ids   []uint64
+	times []sim.Time
+}
+
+func (s *timeSink) Receive(p *netem.Packet) {
+	s.ids = append(s.ids, p.ID)
+	s.times = append(s.times, s.eng.Now())
+}
+
+// drain pushes n full-size packets into a fresh WifiLink at t=0 and
+// runs until the queue empties, returning the time the last frame was
+// delivered (0 if not all arrived) and the link for counter checks.
+func drain(t *testing.T, n int, p Params, seed uint64) (time.Duration, *WifiLink, *timeSink) {
+	t.Helper()
+	eng := sim.New()
+	sink := &timeSink{eng: eng}
+	w := NewWifiLink(eng, "wifi", p, sim.NewRNG(seed, "wifi-test"),
+		netem.NewDropTail(n+1), NewMedium(), sink)
+	for i := 0; i < n; i++ {
+		w.Send(&netem.Packet{ID: uint64(i + 1), Size: 1500})
+	}
+	eng.RunFor(10 * time.Minute)
+	if len(sink.ids)+int(w.RetryDrops) != n {
+		t.Fatalf("sent %d, delivered %d, retry-dropped %d", n, len(sink.ids), w.RetryDrops)
+	}
+	if len(sink.times) == 0 {
+		return 0, w, sink
+	}
+	last := sink.times[len(sink.times)-1]
+	return time.Duration(last.Sub(sim.Time(0))), w, sink
+}
+
+// TestWifiThroughputNearPhyRate: with one station (no collisions) and
+// full aggregation, goodput should be a large fraction of the PHY rate
+// — the DIFS/backoff/preamble/ACK overhead is amortized over 16-frame
+// aggregates.
+func TestWifiThroughputNearPhyRate(t *testing.T) {
+	const n = 3200
+	elapsed, w, _ := drain(t, n, Params{PhyRate: 50e6, Stations: 1}, 1)
+	if w.Collisions != 0 {
+		t.Fatalf("single station collided %d times", w.Collisions)
+	}
+	goodput := float64(n*1500*8) / elapsed.Seconds()
+	if goodput < 0.75*50e6 || goodput > 50e6 {
+		t.Fatalf("goodput %.1f Mbit/s, want 75-100%% of the 50 Mbit/s PHY rate", goodput/1e6)
+	}
+}
+
+// TestWifiContentionSlowsDrain: more contending stations mean more
+// collision-wasted airtime, so the same workload takes longer — the
+// effective service rate is a function of contention, which is the
+// whole reason wired BDP rules break on this link.
+func TestWifiContentionSlowsDrain(t *testing.T) {
+	alone, _, _ := drain(t, 800, Params{PhyRate: 50e6, Stations: 1}, 1)
+	crowded, w, _ := drain(t, 800, Params{PhyRate: 50e6, Stations: 20}, 1)
+	if w.Collisions == 0 {
+		t.Fatal("20 stations produced zero collisions")
+	}
+	if crowded < alone*5/4 {
+		t.Fatalf("20-station drain %v not clearly slower than solo %v", crowded, alone)
+	}
+}
+
+// TestWifiAggregationAmortizesOverhead: per-TXOP overhead dominates at
+// MaxAggFrames=1; batching 16 frames per TXOP must drain the same
+// workload substantially faster.
+func TestWifiAggregationAmortizesOverhead(t *testing.T) {
+	single, ws, _ := drain(t, 800, Params{PhyRate: 50e6, Stations: 1, MaxAggFrames: 1}, 1)
+	batched, wb, _ := drain(t, 800, Params{PhyRate: 50e6, Stations: 1, MaxAggFrames: 16}, 1)
+	if ws.TxAggregates != 800 {
+		t.Fatalf("unaggregated link sent %d TXOPs for 800 frames", ws.TxAggregates)
+	}
+	if wb.TxAggregates >= ws.TxAggregates/8 {
+		t.Fatalf("aggregating link used %d TXOPs, want far fewer than %d", wb.TxAggregates, ws.TxAggregates)
+	}
+	if batched >= single*3/4 {
+		t.Fatalf("aggregated drain %v not clearly faster than unaggregated %v", batched, single)
+	}
+}
+
+// TestWifiRetryLimitDrops: under heavy contention with a tight retry
+// budget, some aggregates exhaust their retries and are dropped — the
+// MAC-level loss process that never touches the buffer.
+func TestWifiRetryLimitDrops(t *testing.T) {
+	_, w, sink := drain(t, 500, Params{PhyRate: 50e6, Stations: 40, RetryLimit: 1}, 1)
+	if w.RetryDrops == 0 {
+		t.Fatal("40 stations at RetryLimit=1 dropped nothing")
+	}
+	if uint64(len(sink.ids))+w.RetryDrops != 500 {
+		t.Fatalf("delivered %d + dropped %d != 500", len(sink.ids), w.RetryDrops)
+	}
+	// Survivors still arrive in order: the MAC is FIFO per link.
+	for i := 1; i < len(sink.ids); i++ {
+		if sink.ids[i] < sink.ids[i-1] {
+			t.Fatalf("delivery order inverted at %d: %d after %d", i, sink.ids[i], sink.ids[i-1])
+		}
+	}
+}
+
+// TestWifiDeterministic: identical seeds give bit-identical delivery
+// schedules and counters; a different seed diverges.
+func TestWifiDeterministic(t *testing.T) {
+	p := Params{PhyRate: 30e6, Stations: 10}
+	d1, w1, s1 := drain(t, 400, p, 42)
+	d2, w2, s2 := drain(t, 400, p, 42)
+	if d1 != d2 || w1.Collisions != w2.Collisions || w1.TxAggregates != w2.TxAggregates {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", d1, w1.Collisions, d2, w2.Collisions)
+	}
+	for i := range s1.times {
+		if s1.times[i] != s2.times[i] {
+			t.Fatalf("delivery time %d differs: %v vs %v", i, s1.times[i], s2.times[i])
+		}
+	}
+	d3, w3, _ := drain(t, 400, p, 43)
+	if d3 == d1 && w3.Collisions == w1.Collisions {
+		t.Fatal("independent seeds produced identical runs")
+	}
+}
+
+// TestWifiSharedMediumSerializes: two links contending on one medium
+// cannot both run at full speed; splitting them onto separate media
+// must drain the same joint workload faster.
+func TestWifiSharedMediumSerializes(t *testing.T) {
+	run := func(shared bool) time.Duration {
+		eng := sim.New()
+		sink := &timeSink{eng: eng}
+		medA := NewMedium()
+		medB := medA
+		if !shared {
+			medB = NewMedium()
+		}
+		p := Params{PhyRate: 30e6, Stations: 1}
+		up := NewWifiLink(eng, "up", p, sim.NewRNG(1, "up"), netem.NewDropTail(600), medA, sink)
+		down := NewWifiLink(eng, "down", p, sim.NewRNG(1, "down"), netem.NewDropTail(600), medB, sink)
+		for i := 0; i < 500; i++ {
+			up.Send(&netem.Packet{ID: uint64(i + 1), Size: 1500})
+			down.Send(&netem.Packet{ID: uint64(i + 1001), Size: 1500})
+		}
+		eng.RunFor(10 * time.Minute)
+		if len(sink.ids) != 1000 {
+			t.Fatalf("delivered %d of 1000", len(sink.ids))
+		}
+		return time.Duration(sink.times[len(sink.times)-1].Sub(sim.Time(0)))
+	}
+	shared, separate := run(true), run(false)
+	if shared < separate*3/2 {
+		t.Fatalf("shared medium drain %v not clearly slower than separate %v", shared, separate)
+	}
+}
+
+// TestWifiMonitorIntegration: the LinkMonitor sees transmitted frames
+// and reports utilization against the PHY rate.
+func TestWifiMonitorIntegration(t *testing.T) {
+	eng := sim.New()
+	sink := &timeSink{eng: eng}
+	w := NewWifiLink(eng, "wifi", Params{PhyRate: 50e6, Stations: 1},
+		sim.NewRNG(1, "mon"), netem.NewDropTail(2000), NewMedium(), sink)
+	mon := w.EnsureMonitor()
+	mon.StartSampling(eng, 100*time.Millisecond)
+	for i := 0; i < 1600; i++ {
+		w.Send(&netem.Packet{ID: uint64(i + 1), Size: 1500})
+	}
+	eng.RunFor(10 * time.Minute)
+	if mon.PktsSent != 1600 || mon.BytesSent != 1600*1500 {
+		t.Fatalf("monitor saw %d pkts / %d bytes", mon.PktsSent, mon.BytesSent)
+	}
+	if mon.UtilSamples.N() == 0 {
+		t.Fatal("no utilization samples recorded")
+	}
+}
+
+// TestWifiDelayAppliesAfterAir: with propagation delay configured, the
+// first delivery cannot beat contention + airtime + delay.
+func TestWifiDelayAppliesAfterAir(t *testing.T) {
+	eng := sim.New()
+	sink := &timeSink{eng: eng}
+	const delay = 5 * time.Millisecond
+	w := NewWifiLink(eng, "wifi", Params{PhyRate: 50e6, Delay: delay, Stations: 1},
+		sim.NewRNG(1, "delay"), netem.NewDropTail(10), NewMedium(), sink)
+	w.Send(&netem.Packet{ID: 1, Size: 1500})
+	eng.RunFor(time.Second)
+	if len(sink.ids) != 1 {
+		t.Fatalf("delivered %d of 1", len(sink.ids))
+	}
+	min := delay + DIFS + Preamble
+	if got := time.Duration(sink.times[0].Sub(sim.Time(0))); got < min {
+		t.Fatalf("delivered after %v, impossible before %v", got, min)
+	}
+}
+
+// TestWifiResetReusable: after an engine reset, Reset rewinds the link
+// and a rerun with the same seed reproduces the original run exactly.
+func TestWifiResetReusable(t *testing.T) {
+	eng := sim.New()
+	sink := &timeSink{eng: eng}
+	p := Params{PhyRate: 30e6, Stations: 10}
+	med := NewMedium()
+	w := NewWifiLink(eng, "wifi", p, sim.NewRNG(7, "reset"), netem.NewDropTail(300), med, sink)
+	feed := func() {
+		for i := 0; i < 250; i++ {
+			w.Send(&netem.Packet{ID: uint64(i + 1), Size: 1500})
+		}
+		eng.RunFor(10 * time.Minute)
+	}
+	feed()
+	first := append([]sim.Time(nil), sink.times...)
+	firstColl := w.Collisions
+
+	eng.Reset()
+	med.Reset()
+	w.Reset(p, sim.NewRNG(7, "reset"), netem.NewDropTail(300))
+	sink.ids, sink.times = nil, nil
+	feed()
+
+	if w.Collisions != firstColl {
+		t.Fatalf("rerun collisions %d != first run %d", w.Collisions, firstColl)
+	}
+	if len(sink.times) != len(first) {
+		t.Fatalf("rerun delivered %d, first %d", len(sink.times), len(first))
+	}
+	for i := range first {
+		if sink.times[i] != first[i] {
+			t.Fatalf("rerun delivery %d at %v, first run at %v", i, sink.times[i], first[i])
+		}
+	}
+}
+
+// TestWifiQueueDropStillBounded: the bottleneck queue still enforces
+// its capacity in front of the MAC (buffer sizing remains meaningful).
+func TestWifiQueueDropStillBounded(t *testing.T) {
+	eng := sim.New()
+	sink := &timeSink{eng: eng}
+	q := netem.NewDropTail(8)
+	mon := &netem.QueueMonitor{Name: "wifi-q"}
+	q.Monitor = mon
+	w := NewWifiLink(eng, "wifi", Params{PhyRate: 10e6, Stations: 1, MaxAggFrames: 1},
+		sim.NewRNG(1, "qdrop"), q, NewMedium(), sink)
+	for i := 0; i < 100; i++ {
+		w.Send(&netem.Packet{ID: uint64(i + 1), Size: 1500})
+	}
+	eng.RunFor(time.Minute)
+	if mon.Dropped == 0 {
+		t.Fatal("burst into an 8-packet buffer dropped nothing")
+	}
+	if int(mon.Dropped)+len(sink.ids) != 100 {
+		t.Fatalf("dropped %d + delivered %d != 100", mon.Dropped, len(sink.ids))
+	}
+}

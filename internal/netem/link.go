@@ -62,7 +62,7 @@ func NewLink(eng *sim.Engine, name string, rate float64, delay time.Duration, qu
 // the bottleneck links whose utilization the experiments measure.
 func (l *Link) EnsureMonitor() *LinkMonitor {
 	if l.Monitor == nil {
-		l.Monitor = &LinkMonitor{Name: l.Name, link: l}
+		l.Monitor = &LinkMonitor{Name: l.Name, carrier: l}
 	}
 	return l.Monitor
 }
@@ -71,11 +71,13 @@ func (l *Link) EnsureMonitor() *LinkMonitor {
 // monitor to the link, replacing any current one. The monitor should
 // be Reset by the caller before reuse.
 func (l *Link) AttachMonitor(m *LinkMonitor) *LinkMonitor {
-	m.Name = l.Name
-	m.link = l
+	m.Attach(l.Name, l)
 	l.Monitor = m
 	return m
 }
+
+// NominalRate implements RatedCarrier.
+func (l *Link) NominalRate() float64 { return l.Rate }
 
 // Reset returns the link to its never-used state for carcass reuse:
 // the packet in service and any drop-tail queue content are released

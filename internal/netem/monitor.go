@@ -85,6 +85,17 @@ func (m *QueueMonitor) LossRate() float64 {
 // milliseconds.
 func (m *QueueMonitor) MeanDelayMs() float64 { return m.DelayMean.Mean() }
 
+// RatedCarrier is what a LinkMonitor observes: any transmission channel
+// with a nominal capacity. The wired Link implements it; so does the
+// 802.11 MAC link, whose nominal rate is the PHY rate (utilization is
+// then reported against the raw air rate, contention overhead
+// included).
+type RatedCarrier interface {
+	// NominalRate returns the channel capacity in bits per second; 0
+	// means infinite (pure delay elements are never monitored).
+	NominalRate() float64
+}
+
 // LinkMonitor measures link throughput and per-interval utilization
 // samples (the boxplots of Figure 5 and the utilization columns of
 // Table 1).
@@ -98,22 +109,31 @@ type LinkMonitor struct {
 	// StartSampling has been called.
 	UtilSamples stats.Sample
 
-	link      *Link
+	carrier   RatedCarrier
 	lastBytes uint64
 	startTime sim.Time
 	started   bool
 }
 
-// Reset clears the monitor for reuse on another run (the link
-// attachment is re-established by Link.AttachMonitor).
+// Reset clears the monitor for reuse on another run (the carrier
+// attachment is re-established by Link.AttachMonitor or
+// LinkMonitor.Attach).
 func (m *LinkMonitor) Reset() {
 	m.Name = ""
 	m.BytesSent, m.PktsSent = 0, 0
 	m.UtilSamples.Reset()
-	m.link = nil
+	m.carrier = nil
 	m.lastBytes = 0
 	m.startTime = 0
 	m.started = false
+}
+
+// Attach wires the monitor to a carrier under the given name. Carrier
+// implementations outside this package (the mac link) use it the way
+// Link.AttachMonitor is used for wired links.
+func (m *LinkMonitor) Attach(name string, c RatedCarrier) {
+	m.Name = name
+	m.carrier = c
 }
 
 func (m *LinkMonitor) transmitted(p *Packet) {
@@ -121,11 +141,16 @@ func (m *LinkMonitor) transmitted(p *Packet) {
 	m.PktsSent++
 }
 
+// NoteTransmit records a transmitted packet from a carrier
+// implementation outside this package (mirroring the QueueMonitor
+// Note* hooks the aqm disciplines use).
+func (m *LinkMonitor) NoteTransmit(p *Packet) { m.transmitted(p) }
+
 // StartSampling records a utilization sample every interval until the
-// engine stops. Utilization is the fraction of link capacity used
+// engine stops. Utilization is the fraction of carrier capacity used
 // during each interval, in percent.
 func (m *LinkMonitor) StartSampling(eng *sim.Engine, interval time.Duration) {
-	if m.link == nil || m.started {
+	if m.carrier == nil || m.started {
 		return
 	}
 	m.started = true
@@ -135,7 +160,7 @@ func (m *LinkMonitor) StartSampling(eng *sim.Engine, interval time.Duration) {
 	tick = func() {
 		sent := m.BytesSent - m.lastBytes
 		m.lastBytes = m.BytesSent
-		cap := m.link.Rate * interval.Seconds() / 8
+		cap := m.carrier.NominalRate() * interval.Seconds() / 8
 		if cap > 0 {
 			m.UtilSamples.Add(100 * float64(sent) / cap)
 		}
@@ -147,12 +172,16 @@ func (m *LinkMonitor) StartSampling(eng *sim.Engine, interval time.Duration) {
 // MeanUtilization returns the overall utilization percentage since the
 // start of the run (or since StartSampling).
 func (m *LinkMonitor) MeanUtilization(now sim.Time) float64 {
-	if m.link == nil || m.link.Rate == 0 {
+	if m.carrier == nil {
+		return 0
+	}
+	rate := m.carrier.NominalRate()
+	if rate == 0 {
 		return 0
 	}
 	elapsed := now.Sub(m.startTime).Seconds()
 	if elapsed <= 0 {
 		return 0
 	}
-	return 100 * float64(m.BytesSent) * 8 / (m.link.Rate * elapsed)
+	return 100 * float64(m.BytesSent) * 8 / (rate * elapsed)
 }

@@ -18,6 +18,14 @@ type HandlerFunc func(p *Packet)
 // HandlePacket implements Handler.
 func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
 
+// Egress is anything a node can route packets into: a wired Link, or an
+// alternative last-hop implementation such as the 802.11 MAC link. Send
+// reports whether the first hop accepted the packet (false = dropped by
+// the queue, which releases the packet).
+type Egress interface {
+	Send(p *Packet) bool
+}
+
 type portKey struct {
 	proto Protocol
 	port  uint16
@@ -33,8 +41,8 @@ type Node struct {
 
 	eng      *sim.Engine
 	net      *Network
-	routes   map[NodeID]*Link
-	defRoute *Link
+	routes   map[NodeID]Egress
+	defRoute Egress
 	handlers map[portKey]Handler
 	nextPort uint16
 	// Forwarded counts transit packets, Delivered local deliveries,
@@ -56,14 +64,14 @@ func (n *Node) Reset() {
 	n.Forwarded, n.Delivered, n.Undeliverable = 0, 0, 0
 }
 
-// SetRoute installs a next-hop link for a destination node.
-func (n *Node) SetRoute(dst NodeID, l *Link) {
+// SetRoute installs a next-hop egress for a destination node.
+func (n *Node) SetRoute(dst NodeID, l Egress) {
 	n.routes[dst] = l
 }
 
-// SetDefaultRoute installs the next-hop link for all unmatched
+// SetDefaultRoute installs the next-hop egress for all unmatched
 // destinations.
-func (n *Node) SetDefaultRoute(l *Link) { n.defRoute = l }
+func (n *Node) SetDefaultRoute(l Egress) { n.defRoute = l }
 
 // Bind registers a handler for a protocol/port pair. It panics on
 // double binds, which are always programming errors in the models.
@@ -199,7 +207,7 @@ func (nw *Network) NewNode(name string) *Node {
 		Name:     name,
 		eng:      nw.Engine,
 		net:      nw,
-		routes:   make(map[NodeID]*Link),
+		routes:   make(map[NodeID]Egress),
 		handlers: make(map[portKey]Handler),
 	}
 	nw.nodes = append(nw.nodes, n)

@@ -1,0 +1,65 @@
+package netem
+
+import (
+	"time"
+
+	"bufferqoe/internal/sim"
+)
+
+// ReorderBox is a delay element that reorders packets: with probability
+// Prob a packet is held back by Extra while its successors are
+// delivered on time and overtake it. This is the netem-style reorder
+// model (the bassosimone/netem lesson: TCP robustness against
+// reordering — spurious dup-ACKs, DSACK-less retransmits — is a
+// dimension the jitter knob deliberately cannot exercise, because
+// JitterBox serializes delivery and preserves arrival order).
+//
+// Unlike JitterBox there is no FIFO horizon: a held packet does NOT
+// block the packets behind it — that is the whole point.
+type ReorderBox struct {
+	// Prob is the probability a packet is held back.
+	Prob float64
+	// Extra is how long a held packet lags its on-time peers. Zero
+	// means a default of 5 ms, enough to let several full-size packets
+	// at access rates overtake.
+	Extra time.Duration
+
+	eng *sim.Engine
+	rng *sim.RNG
+	dst Receiver
+}
+
+// DefaultReorderLag is the hold-back applied to reordered packets when
+// Extra is left zero.
+const DefaultReorderLag = 5 * time.Millisecond
+
+// NewReorderBox creates a reordering element delivering to dst.
+func NewReorderBox(eng *sim.Engine, rng *sim.RNG, prob float64, dst Receiver) *ReorderBox {
+	return &ReorderBox{Prob: prob, eng: eng, rng: rng, dst: dst}
+}
+
+// Reset re-seeds the element for carcass reuse: a fresh RNG stream and
+// new reorder probability, exactly as NewReorderBox would leave it.
+func (r *ReorderBox) Reset(rng *sim.RNG, prob float64) {
+	r.Prob, r.Extra = prob, 0
+	r.rng = rng
+}
+
+// Receive implements Receiver: on-time packets are forwarded
+// immediately (a zero-delay pooled event keeps delivery ordering
+// deterministic relative to held packets), held packets after Extra.
+func (r *ReorderBox) Receive(p *Packet) {
+	var d time.Duration
+	if r.rng.Bool(r.Prob) {
+		d = r.Extra
+		if d == 0 {
+			d = DefaultReorderLag
+		}
+	}
+	r.eng.ScheduleArg(d, r, p)
+}
+
+// FireArg implements sim.ArgHandler: deliver the packet downstream.
+func (r *ReorderBox) FireArg(now sim.Time, arg any) {
+	r.dst.Receive(arg.(*Packet))
+}

@@ -1,0 +1,248 @@
+package tcp
+
+import (
+	"math"
+	"time"
+
+	"bufferqoe/internal/sim"
+)
+
+// Pacer is the optional pacing extension of CongestionControl:
+// algorithms that pace return the spacing to the next new-data segment
+// after sending one of the given size. Zero means "send immediately".
+// The connection checks for the interface once at construction, so the
+// unpaced fast path costs a single nil comparison.
+type Pacer interface {
+	PacingInterval(c *Conn, bytes int64) time.Duration
+}
+
+// BBRLite is a paced, model-based congestion control in the spirit of
+// BBR (Cardwell et al. 2016), scoped to what the buffer-sizing
+// experiments need: it estimates the path's bottleneck bandwidth
+// (windowed max of per-round delivery rate) and round-trip propagation
+// delay (windowed min RTT), paces transmissions at pacing_gain x
+// estimated bandwidth, and caps inflight at cwnd_gain x BDP. Unlike
+// loss-based algorithms it does not interpret loss as a congestion
+// signal, which is exactly why it needs far less buffer (Spang et al.,
+// "Updating the Theory of Buffer Sizing"): the standing queue is
+// bounded by the model, not by the buffer's drop point.
+//
+// Differences from real BBR, deliberate for model economy: no
+// ProbeRTT phase (cells are short and rtProp re-samples on any lower
+// RTT), no explicit ack aggregation compensation, and the delivery
+// rate is measured from cumulative-ack progress per round rather than
+// per-packet delivery rate samples. All state is deterministic — no
+// randomized cycle phase.
+type BBRLite struct {
+	// Bottleneck bandwidth filter: per-round delivery-rate samples in
+	// bytes/sec, windowed max over the last bbrBWFilterLen rounds.
+	bwSamples [bbrBWFilterLen]float64
+	bwIdx     int
+
+	// RTprop: windowed min of the connection's RTT estimate.
+	rtProp      time.Duration
+	rtPropStamp sim.Time
+
+	// Round trips, delimited by sndUna crossing nextRoundSeq.
+	nextRoundSeq int64
+	roundStart   sim.Time
+	roundBytes   int64
+
+	// State machine: startup -> drain -> probe-bw.
+	mode         int
+	fullBW       float64
+	fullBWRounds int
+	cycleIdx     int
+	cycleStamp   sim.Time
+	pacingGain   float64
+}
+
+const (
+	bbrStartup = iota
+	bbrDrain
+	bbrProbeBW
+)
+
+const (
+	// bbrBWFilterLen is the max-filter window in rounds (BBR uses 10).
+	bbrBWFilterLen = 10
+	// bbrStartupGain is 2/ln2, the slow-start-equivalent pacing gain.
+	bbrStartupGain = 2.885
+	// bbrCwndGain bounds inflight at 2x the estimated BDP, allowing
+	// full utilization with delayed/stretched ACKs.
+	bbrCwndGain = 2.0
+	// bbrRTPropWindow expires a stale min-RTT estimate.
+	bbrRTPropWindow = 10 * time.Second
+	// bbrMinCwndSegs keeps at least 4 segments in flight so the ACK
+	// clock never stalls.
+	bbrMinCwndSegs = 4
+)
+
+// bbrCycleGains is the probe-bw pacing-gain cycle: probe above the
+// estimate for one RTprop, drain the probe's queue, then cruise.
+var bbrCycleGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBRLite returns a BBRLite congestion control instance (for
+// Config.NewCC or DialCC).
+func NewBBRLite() CongestionControl { return &BBRLite{} }
+
+// Name implements CongestionControl.
+func (b *BBRLite) Name() string { return "bbr" }
+
+// OnInit implements CongestionControl.
+func (b *BBRLite) OnInit(c *Conn) {
+	*b = BBRLite{
+		mode:       bbrStartup,
+		pacingGain: bbrStartupGain,
+		roundStart: c.eng.Now(),
+	}
+}
+
+// maxBW returns the current bottleneck bandwidth estimate in
+// bytes/sec (0 until the first round completes).
+func (b *BBRLite) maxBW() float64 {
+	bw := 0.0
+	for _, s := range b.bwSamples {
+		if s > bw {
+			bw = s
+		}
+	}
+	return bw
+}
+
+// bdp returns the estimated bandwidth-delay product in bytes (0 until
+// both estimates exist).
+func (b *BBRLite) bdp() float64 {
+	if b.rtProp <= 0 {
+		return 0
+	}
+	return b.maxBW() * b.rtProp.Seconds()
+}
+
+// targetCwnd returns the model's inflight cap in bytes.
+func (b *BBRLite) targetCwnd(c *Conn) float64 {
+	mss := float64(c.cfg.MSS)
+	floor := bbrMinCwndSegs * mss
+	bdp := b.bdp()
+	if bdp <= 0 {
+		return math.Max(c.cwnd, floor)
+	}
+	gain := bbrCwndGain
+	if b.mode == bbrStartup {
+		gain = bbrStartupGain
+	}
+	return math.Max(gain*bdp, floor)
+}
+
+// OnAck implements CongestionControl.
+func (b *BBRLite) OnAck(c *Conn, acked int64, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	b.roundBytes += acked
+
+	// RTprop: track the minimum RTT estimate, expiring stale minima so
+	// a route change (or early srtt inflation) cannot pin the model.
+	if c.srtt > 0 {
+		if b.rtProp <= 0 || c.srtt <= b.rtProp || now.Sub(b.rtPropStamp) > bbrRTPropWindow {
+			b.rtProp = c.srtt
+			b.rtPropStamp = now
+		}
+	}
+
+	// Round boundary: the data outstanding when the round started has
+	// been cumulatively acked.
+	if c.sndUna >= b.nextRoundSeq {
+		if dur := now.Sub(b.roundStart); dur > 0 && b.roundBytes > 0 {
+			rate := float64(b.roundBytes) / dur.Seconds()
+			b.bwIdx = (b.bwIdx + 1) % bbrBWFilterLen
+			b.bwSamples[b.bwIdx] = rate
+			b.onRoundEnd(c, now)
+		}
+		b.nextRoundSeq = c.sndNxt
+		b.roundStart = now
+		b.roundBytes = 0
+	}
+
+	// Drain ends once the startup overshoot has left the queue.
+	if b.mode == bbrDrain && c.inflight() <= b.bdp() {
+		b.enterProbeBW(now)
+	}
+
+	// Probe-bw gain cycling: one phase per RTprop.
+	if b.mode == bbrProbeBW && b.rtProp > 0 && now.Sub(b.cycleStamp) >= b.rtProp {
+		b.cycleIdx = (b.cycleIdx + 1) % len(bbrCycleGains)
+		b.pacingGain = bbrCycleGains[b.cycleIdx]
+		b.cycleStamp = now
+	}
+
+	// Inflight cap: the model window, not an AIMD ramp. Before the
+	// first bandwidth sample exists, grow like slow start so the very
+	// first round can fill the pipe.
+	if b.bdp() > 0 {
+		c.cwnd = b.targetCwnd(c)
+	} else {
+		c.cwnd += math.Min(float64(acked), mss)
+	}
+}
+
+// onRoundEnd advances the startup full-pipe detector at round
+// boundaries: bandwidth must keep growing >=25% per round or the pipe
+// is considered full after three flat rounds.
+func (b *BBRLite) onRoundEnd(c *Conn, now sim.Time) {
+	bw := b.maxBW()
+	if bw > b.fullBW*1.25 {
+		b.fullBW = bw
+		b.fullBWRounds = 0
+		return
+	}
+	b.fullBWRounds++
+	if b.mode == bbrStartup && b.fullBWRounds >= 3 {
+		b.mode = bbrDrain
+		b.pacingGain = 1 / bbrStartupGain
+	}
+}
+
+func (b *BBRLite) enterProbeBW(now sim.Time) {
+	b.mode = bbrProbeBW
+	b.cycleIdx = 0
+	b.pacingGain = bbrCycleGains[0]
+	b.cycleStamp = now
+}
+
+// OnPacketLoss implements CongestionControl. BBR is loss-agnostic:
+// losses do not change the model's estimates. The connection's shared
+// recovery logic deflates cwnd to ssthresh, so pointing ssthresh at
+// the model target makes recovery a no-op for the window (only the
+// holes are repaired).
+func (b *BBRLite) OnPacketLoss(c *Conn, now sim.Time) {
+	mss := float64(c.cfg.MSS)
+	if bdp := b.bdp(); bdp > 0 {
+		c.ssthresh = math.Max(bbrCwndGain*bdp, bbrMinCwndSegs*mss)
+	} else {
+		c.ssthresh = math.Max(c.inflight()/2, bbrMinCwndSegs*mss)
+	}
+}
+
+// OnTimeout implements CongestionControl. The connection collapses
+// cwnd to one segment for the go-back-N resend; ssthresh is set to the
+// model target so the very next acks restore the model window.
+func (b *BBRLite) OnTimeout(c *Conn, now sim.Time) {
+	b.OnPacketLoss(c, now)
+}
+
+// PacingInterval implements Pacer: space segments at pacing_gain x
+// estimated bandwidth. Before the first bandwidth sample, pace off
+// cwnd/srtt (the rate slow start would achieve), so even the opening
+// burst is smoothed — the property that lets shallow buffers survive.
+func (b *BBRLite) PacingInterval(c *Conn, bytes int64) time.Duration {
+	rate := b.pacingGain * b.maxBW()
+	if rate <= 0 {
+		if c.srtt <= 0 || c.cwnd <= 0 {
+			return 0
+		}
+		rate = b.pacingGain * c.cwnd / c.srtt.Seconds()
+	}
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / rate * float64(time.Second))
+}

@@ -93,8 +93,17 @@ type Conn struct {
 	// these are by far the highest-frequency timers in a congested cell.
 	rtoTimer    sim.Timer
 	delackTimer sim.Timer
+	paceTimer   sim.Timer
 	rtoF        rtoFirer
 	delackF     delackFirer
+	paceF       paceFirer
+
+	// Pacing state: pacer is the congestion control's Pacer extension
+	// (nil for unpaced algorithms — the nil path is byte-identical to a
+	// connection without the hook), paceNext the earliest time trySend
+	// may emit the next new-data segment.
+	pacer    Pacer
+	paceNext sim.Time
 
 	// ECN state (RFC 3168). ecnOK is set when both ends negotiated
 	// ECN; the sender reduces once per window on ECE and confirms with
@@ -138,6 +147,10 @@ func (f *rtoFirer) Fire(now sim.Time) { f.c.onTimeout() }
 type delackFirer struct{ c *Conn }
 
 func (f *delackFirer) Fire(now sim.Time) { f.c.onDelack() }
+
+type paceFirer struct{ c *Conn }
+
+func (f *paceFirer) Fire(now sim.Time) { f.c.trySend() }
 
 // connError is a minimal error type for aborts.
 type connError string
@@ -312,6 +325,10 @@ func (c *Conn) ackValue() int64 {
 }
 
 // trySend transmits as much as the congestion and peer windows allow.
+// Paced connections additionally space new-data segments by the
+// pacer's interval, parking on the owned pace timer when ahead of
+// schedule; retransmissions (which go through retransmitOne*) are
+// never paced.
 func (c *Conn) trySend() {
 	if c.state != StateEstablished && c.state != StateClosing {
 		return
@@ -325,6 +342,14 @@ func (c *Conn) trySend() {
 		room := c.sndUna + wnd - c.sndNxt
 		avail := c.dataEnd() - c.sndNxt
 		if avail > 0 && room > 0 {
+			if c.pacer != nil {
+				if now := c.eng.Now(); now < c.paceNext {
+					if !c.paceTimer.Armed() {
+						c.paceTimer.ResetAt(c.paceNext)
+					}
+					return
+				}
+			}
 			n := min64(mss, min64(avail, room))
 			// Avoid silly-window tinygrams: send sub-MSS only if it
 			// finishes the stream.
@@ -337,6 +362,15 @@ func (c *Conn) trySend() {
 			c.Stat.BytesSent += n
 			c.sndNxt += n
 			c.armRTO()
+			if c.pacer != nil {
+				if iv := c.pacer.PacingInterval(c, n); iv > 0 {
+					base := c.eng.Now()
+					if c.paceNext > base {
+						base = c.paceNext
+					}
+					c.paceNext = base.Add(iv)
+				}
+			}
 			continue
 		}
 		// FIN transmission once the stream is fully sent.
@@ -771,6 +805,7 @@ func (c *Conn) finish(err error) {
 	c.Stat.ClosedAt = c.eng.Now()
 	c.stopRTO()
 	c.stopDelack()
+	c.paceTimer.Stop()
 	c.stack.remove(c)
 	if c.OnClose != nil {
 		c.OnClose(err)

@@ -170,95 +170,3 @@ func TestECNCWRStopsEcho(t *testing.T) {
 		t.Fatal("sender reduced on ECE but never sent CWR")
 	}
 }
-
-// --- BIC unit tests -----------------------------------------------------
-
-func TestBICBinarySearchJumpsHalfway(t *testing.T) {
-	c := mkConn(NewBIC())
-	mss := float64(c.cfg.MSS)
-	b := c.cc.(*BIC)
-	c.cwnd = 100 * mss
-	c.ssthresh = 50 * mss // CA regime
-	b.wMax = 200 * mss
-	// One RTT of ACKs: (200-100)/2 = 50 segments away, capped at Smax
-	// 32 → expect ~32 MSS growth.
-	for i := 0; i < 100; i++ {
-		c.cc.OnAck(c, int64(mss), 0)
-	}
-	growth := (c.cwnd - 100*mss) / mss
-	if growth < 20 || growth > 45 {
-		t.Fatalf("BIC additive-phase growth %.1f segs/RTT, want ~32", growth)
-	}
-}
-
-func TestBICPlateausNearWMax(t *testing.T) {
-	c := mkConn(NewBIC())
-	mss := float64(c.cfg.MSS)
-	b := c.cc.(*BIC)
-	c.cwnd = 199 * mss
-	c.ssthresh = 50 * mss
-	b.wMax = 200 * mss
-	for i := 0; i < 199; i++ {
-		c.cc.OnAck(c, int64(mss), 0)
-	}
-	growth := (c.cwnd - 199*mss) / mss
-	if growth > 1.5 {
-		t.Fatalf("BIC grew %.2f segs/RTT at the plateau, want < 1.5", growth)
-	}
-}
-
-func TestBICReducesByBeta(t *testing.T) {
-	c := mkConn(NewBIC())
-	mss := float64(c.cfg.MSS)
-	c.cwnd = 100 * mss
-	c.cc.OnPacketLoss(c, 0)
-	if got := c.cwnd / mss; got < 79 || got > 81 {
-		t.Fatalf("BIC post-loss window %.1f segs, want 80", got)
-	}
-}
-
-func TestBICFastConvergenceLowersWMax(t *testing.T) {
-	c := mkConn(NewBIC())
-	mss := float64(c.cfg.MSS)
-	b := c.cc.(*BIC)
-	b.wMax = 200 * mss
-	c.cwnd = 150 * mss // lost before regaining the old maximum
-	c.cc.OnPacketLoss(c, 0)
-	if b.wMax >= 200*mss {
-		t.Fatalf("fast convergence did not lower wMax: %.0f", b.wMax/mss)
-	}
-	if b.wMax < 100*mss {
-		t.Fatalf("wMax collapsed too far: %.0f segs", b.wMax/mss)
-	}
-}
-
-func TestBICRenoModeAtSmallWindows(t *testing.T) {
-	c := mkConn(NewBIC())
-	mss := float64(c.cfg.MSS)
-	b := c.cc.(*BIC)
-	b.wMax = 200 * mss
-	c.cwnd = 8 * mss // below low-window threshold
-	c.ssthresh = 4 * mss
-	for i := 0; i < 8; i++ {
-		c.cc.OnAck(c, int64(mss), 0)
-	}
-	growth := (c.cwnd - 8*mss) / mss
-	if growth < 0.8 || growth > 1.3 {
-		t.Fatalf("BIC low-window growth %.2f segs/RTT, want ~1 (Reno)", growth)
-	}
-}
-
-func TestBICTransfersComplete(t *testing.T) {
-	cfg := Config{NewCC: NewBIC}
-	tn := newTestNet(10e6, 10*time.Millisecond, 50, cfg)
-	_, _, done := tn.transfer(t, 2_000_000, 60*time.Second)
-	if done == 0 {
-		t.Fatal("BIC transfer never completed")
-	}
-}
-
-func TestBICName(t *testing.T) {
-	if NewBIC().Name() != "bic" {
-		t.Fatal("wrong name")
-	}
-}

@@ -219,9 +219,11 @@ func (s *Stack) newConn(flow netem.Flow, cc CongestionControl) *Conn {
 	}
 	c.stack, c.eng, c.flow, c.cfg, c.cc = s, s.eng, flow, s.cfg, cc
 	c.rto, c.rwndPeer, c.finSeqPeer = s.cfg.InitialRTO, s.cfg.RcvWnd, -1
-	c.rtoF.c, c.delackF.c = c, c
+	c.rtoF.c, c.delackF.c, c.paceF.c = c, c, c
+	c.pacer, _ = cc.(Pacer)
 	s.eng.InitTimer(&c.rtoTimer, &c.rtoF)
 	s.eng.InitTimer(&c.delackTimer, &c.delackF)
+	s.eng.InitTimer(&c.paceTimer, &c.paceF)
 	return c
 }
 

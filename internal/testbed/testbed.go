@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bufferqoe/internal/harpoon"
+	"bufferqoe/internal/mac"
 	"bufferqoe/internal/netem"
 	"bufferqoe/internal/sim"
 	"bufferqoe/internal/tcp"
@@ -43,21 +44,48 @@ const (
 // ablations substitute CoDel/RED here.
 type QueueFactory func(capPackets int) netem.Queue
 
+// WifiParams selects an 802.11 MAC (internal/mac) for the access
+// bottleneck instead of the wired DSL pair. Stations == 0 (the zero
+// value) keeps the paper's wired bottleneck; Stations >= 1 replaces
+// both bottleneck links with mac.WifiLinks contending on one shared
+// medium, with the buffer under test still sitting in front of each.
+type WifiParams struct {
+	// Stations is the number of stations contending for the medium
+	// (1 = no collisions); 0 disables wifi entirely.
+	Stations int
+	// RetryLimit bounds per-aggregate retransmission attempts
+	// (default mac.DefaultRetryLimit).
+	RetryLimit int
+	// MaxAggFrames caps A-MPDU aggregation (default
+	// mac.DefaultMaxAggFrames; 1 disables aggregation).
+	MaxAggFrames int
+}
+
 // LinkParams overrides the access testbed's bottleneck rates and
 // one-way propagation delays, turning the fixed DSL topology of
 // Figure 3a into a template for arbitrary access networks (fiber,
-// LTE, cable). Zero fields keep the paper's values.
+// LTE, cable, and — via Wifi — 802.11). Zero fields keep the paper's
+// values.
 type LinkParams struct {
 	// UpRate / DownRate are the bottleneck rates in bits/s
-	// (paper: 1 Mbit/s up, 16 Mbit/s down).
+	// (paper: 1 Mbit/s up, 16 Mbit/s down). With Wifi enabled they are
+	// the PHY air rates of the two directions.
 	UpRate, DownRate float64
 	// ClientDelay is the one-way delay between the client network and
 	// the home router (paper: 5 ms); ServerDelay between the DSLAM and
 	// the server network (paper: 20 ms).
 	ClientDelay, ServerDelay time.Duration
+	// Wifi, when Stations > 0, swaps the wired bottleneck for the
+	// 802.11 MAC model.
+	Wifi WifiParams
+	// Reorder, when > 0, interposes a reordering stage after each
+	// bottleneck link that delays each packet independently with this
+	// probability, letting successors overtake it (netem.ReorderBox).
+	Reorder float64
 }
 
-// WithDefaults fills zero fields with the paper's DSL values.
+// WithDefaults fills zero fields with the paper's DSL values (and,
+// when wifi is enabled, the 802.11 retry/aggregation defaults).
 func (lp LinkParams) WithDefaults() LinkParams {
 	if lp.UpRate <= 0 {
 		lp.UpRate = AccessUpRate
@@ -70,6 +98,14 @@ func (lp LinkParams) WithDefaults() LinkParams {
 	}
 	if lp.ServerDelay <= 0 {
 		lp.ServerDelay = AccessServerDelay
+	}
+	if lp.Wifi.Stations > 0 {
+		if lp.Wifi.RetryLimit <= 0 {
+			lp.Wifi.RetryLimit = mac.DefaultRetryLimit
+		}
+		if lp.Wifi.MaxAggFrames <= 0 {
+			lp.Wifi.MaxAggFrames = mac.DefaultMaxAggFrames
+		}
 	}
 	return lp
 }
@@ -99,13 +135,16 @@ type Scratch struct {
 	UpQueueMon, DownQueueMon netem.QueueMonitor
 	UpLinkMon, DownLinkMon   netem.LinkMonitor
 
-	// Cached testbed carcasses. The access carcass is keyed on jitter
-	// presence, the one knob that changes the receiver graph (a
-	// JitterBox interposed on the client LAN hop); everything else is
-	// reconfigurable in place.
-	access       *Access
-	accessJitter bool
-	backbone     *Backbone
+	// Cached testbed carcasses. The access carcass is keyed on the
+	// knobs that change the receiver graph — jitter (a JitterBox on
+	// the client LAN hop), wifi (mac.WifiLinks instead of the wired
+	// bottleneck pair), and reordering (ReorderBoxes after the
+	// bottleneck); everything else is reconfigurable in place.
+	access        *Access
+	accessJitter  bool
+	accessWifi    bool
+	accessReorder bool
+	backbone      *Backbone
 }
 
 // Reset clears all monitors for the next run. Cached testbed
@@ -170,8 +209,12 @@ type Access struct {
 	// Background traffic endpoints.
 	BGClients, BGServers []*tcp.Stack
 
-	// Bottleneck instrumentation.
+	// Bottleneck instrumentation. Exactly one pair is non-nil: the
+	// wired links for the paper's DSL bottleneck, or the wifi links
+	// when cfg.Link.Wifi selects the 802.11 MAC. Read monitors through
+	// UpLinkMonitor/DownLinkMonitor, which hide the distinction.
 	UpLink, DownLink *netem.Link
+	UpWifi, DownWifi *mac.WifiLink
 	UpMon, DownMon   *netem.QueueMonitor
 
 	// Workload generators (nil until StartWorkload).
@@ -181,11 +224,30 @@ type Access struct {
 
 	// Carcass fields for in-place reuse: the structural pieces a reset
 	// reconfigures rather than rebuilds.
-	csHome, homeCs     *netem.Link // client LAN hop (ClientDelay varies)
-	ssDslam, dslamSs   *netem.Link // server LAN hop (ServerDelay varies)
-	lanLinks           []*netem.Link
-	jitterUp, jitterDn *netem.JitterBox
-	allStacks          []*tcp.Stack
+	csHome, homeCs       *netem.Link // client LAN hop (ClientDelay varies)
+	ssDslam, dslamSs     *netem.Link // server LAN hop (ServerDelay varies)
+	lanLinks             []*netem.Link
+	jitterUp, jitterDn   *netem.JitterBox
+	reorderUp, reorderDn *netem.ReorderBox
+	medium               *mac.Medium
+	allStacks            []*tcp.Stack
+}
+
+// UpLinkMonitor returns the bottleneck uplink's monitor regardless of
+// whether the bottleneck is wired or wifi.
+func (a *Access) UpLinkMonitor() *netem.LinkMonitor {
+	if a.UpWifi != nil {
+		return a.UpWifi.Monitor
+	}
+	return a.UpLink.Monitor
+}
+
+// DownLinkMonitor returns the bottleneck downlink's monitor.
+func (a *Access) DownLinkMonitor() *netem.LinkMonitor {
+	if a.DownWifi != nil {
+		return a.DownWifi.Monitor
+	}
+	return a.DownLink.Monitor
 }
 
 // NewAccess builds the Figure 3a access testbed with the given buffer
@@ -193,7 +255,10 @@ type Access struct {
 // carcass, resets that testbed in place, which is behavior-identical
 // and roughly an order of magnitude cheaper.
 func NewAccess(cfg Config) *Access {
-	if s := cfg.Scratch; s != nil && s.access != nil && s.accessJitter == (cfg.Jitter > 0) {
+	wifi := cfg.Link.Wifi.Stations > 0
+	reorder := cfg.Link.Reorder > 0
+	if s := cfg.Scratch; s != nil && s.access != nil &&
+		s.accessJitter == (cfg.Jitter > 0) && s.accessWifi == wifi && s.accessReorder == reorder {
 		s.access.reuse(cfg)
 		return s.access
 	}
@@ -201,8 +266,23 @@ func NewAccess(cfg Config) *Access {
 	if s := cfg.Scratch; s != nil {
 		s.access = a
 		s.accessJitter = cfg.Jitter > 0
+		s.accessWifi = wifi
+		s.accessReorder = reorder
 	}
 	return a
+}
+
+// wifiParams maps the testbed's link axis onto one direction's MAC
+// parameters; the 100 us wired-bottleneck propagation delay carries
+// over so wifi and wired cells differ only in the MAC itself.
+func wifiParams(lp LinkParams, rate float64) mac.Params {
+	return mac.Params{
+		PhyRate:      rate,
+		Delay:        100 * time.Microsecond,
+		Stations:     lp.Wifi.Stations,
+		RetryLimit:   lp.Wifi.RetryLimit,
+		MaxAggFrames: lp.Wifi.MaxAggFrames,
+	}
 }
 
 func buildAccess(cfg Config) *Access {
@@ -235,20 +315,50 @@ func buildAccess(cfg Config) *Access {
 	// downlink buffer in the DSLAM (Section 5.3: the bottleneck
 	// interface is "the only location where packet loss occurs").
 	// Monitors go on the bottleneck links only (the experiments read
-	// nothing else); LAN links stay on the unmonitored fast path.
-	a.UpLink = netem.NewLink(eng, "uplink", lp.UpRate, 100*time.Microsecond, upQ, dslam)
-	a.DownLink = netem.NewLink(eng, "downlink", lp.DownRate, 100*time.Microsecond, downQ, home)
-	if cfg.Scratch != nil {
-		cfg.Scratch.UpLinkMon.Reset()
-		cfg.Scratch.DownLinkMon.Reset()
-		a.UpLink.AttachMonitor(&cfg.Scratch.UpLinkMon)
-		a.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
-	} else {
-		a.UpLink.EnsureMonitor()
-		a.DownLink.EnsureMonitor()
+	// nothing else); LAN links stay on the unmonitored fast path. An
+	// optional reordering stage sits right behind each bottleneck, and
+	// cfg.Link.Wifi swaps the wired pair for 802.11 MAC links sharing
+	// one medium.
+	var upDst netem.Receiver = dslam
+	var downDst netem.Receiver = home
+	if lp.Reorder > 0 {
+		a.reorderUp = netem.NewReorderBox(eng, sim.NewRNG(cfg.Seed, "reorder-up"), lp.Reorder, dslam)
+		a.reorderDn = netem.NewReorderBox(eng, sim.NewRNG(cfg.Seed, "reorder-down"), lp.Reorder, home)
+		upDst, downDst = a.reorderUp, a.reorderDn
 	}
-	home.SetRoute(dslam.ID, a.UpLink)
-	dslam.SetRoute(home.ID, a.DownLink)
+	var upEgress, downEgress netem.Egress
+	if lp.Wifi.Stations > 0 {
+		a.medium = mac.NewMedium()
+		a.UpWifi = mac.NewWifiLink(eng, "uplink", wifiParams(lp, lp.UpRate),
+			sim.NewRNG(cfg.Seed, "mac-up"), upQ, a.medium, upDst)
+		a.DownWifi = mac.NewWifiLink(eng, "downlink", wifiParams(lp, lp.DownRate),
+			sim.NewRNG(cfg.Seed, "mac-down"), downQ, a.medium, downDst)
+		if cfg.Scratch != nil {
+			cfg.Scratch.UpLinkMon.Reset()
+			cfg.Scratch.DownLinkMon.Reset()
+			a.UpWifi.AttachMonitor(&cfg.Scratch.UpLinkMon)
+			a.DownWifi.AttachMonitor(&cfg.Scratch.DownLinkMon)
+		} else {
+			a.UpWifi.EnsureMonitor()
+			a.DownWifi.EnsureMonitor()
+		}
+		upEgress, downEgress = a.UpWifi, a.DownWifi
+	} else {
+		a.UpLink = netem.NewLink(eng, "uplink", lp.UpRate, 100*time.Microsecond, upQ, upDst)
+		a.DownLink = netem.NewLink(eng, "downlink", lp.DownRate, 100*time.Microsecond, downQ, downDst)
+		if cfg.Scratch != nil {
+			cfg.Scratch.UpLinkMon.Reset()
+			cfg.Scratch.DownLinkMon.Reset()
+			a.UpLink.AttachMonitor(&cfg.Scratch.UpLinkMon)
+			a.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
+		} else {
+			a.UpLink.EnsureMonitor()
+			a.DownLink.EnsureMonitor()
+		}
+		upEgress, downEgress = a.UpLink, a.DownLink
+	}
+	home.SetRoute(dslam.ID, upEgress)
+	dslam.SetRoute(home.ID, downEgress)
 
 	// Client side: 5 ms between client network and home router; an
 	// optional jitter box models a WiFi-like last hop.
@@ -268,8 +378,8 @@ func buildAccess(cfg Config) *Access {
 	sswitch.SetDefaultRoute(a.ssDslam)
 	a.lanLinks = append(a.lanLinks, a.csHome, a.homeCs, a.ssDslam, a.dslamSs)
 
-	home.SetDefaultRoute(a.UpLink)
-	dslam.SetDefaultRoute(a.DownLink)
+	home.SetDefaultRoute(upEgress)
+	dslam.SetDefaultRoute(downEgress)
 
 	ccUp := cfg.CC
 	if ccUp == nil {
@@ -328,8 +438,10 @@ func (a *Access) reuse(cfg Config) {
 	for _, n := range a.Net.Nodes() {
 		n.Reset()
 	}
-	a.UpLink.Reset()
-	a.DownLink.Reset()
+	if a.UpLink != nil {
+		a.UpLink.Reset()
+		a.DownLink.Reset()
+	}
 	for _, l := range a.lanLinks {
 		l.Reset()
 	}
@@ -340,13 +452,27 @@ func (a *Access) reuse(cfg Config) {
 	cfg.Scratch.DownQueueMon.Reset("downlink")
 	a.UpMon = &cfg.Scratch.UpQueueMon
 	a.DownMon = &cfg.Scratch.DownQueueMon
-	a.UpLink.Queue = cfg.queue(cfg.UpQueue, cfg.BufferUp, a.UpMon)
-	a.DownLink.Queue = cfg.queue(cfg.DownQueue, cfg.BufferDown, a.DownMon)
-	a.UpLink.Rate, a.DownLink.Rate = lp.UpRate, lp.DownRate
+	upQ := cfg.queue(cfg.UpQueue, cfg.BufferUp, a.UpMon)
+	downQ := cfg.queue(cfg.DownQueue, cfg.BufferDown, a.DownMon)
 	cfg.Scratch.UpLinkMon.Reset()
 	cfg.Scratch.DownLinkMon.Reset()
-	a.UpLink.AttachMonitor(&cfg.Scratch.UpLinkMon)
-	a.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
+	if a.UpWifi != nil {
+		a.medium.Reset()
+		a.UpWifi.Reset(wifiParams(lp, lp.UpRate), sim.NewRNG(cfg.Seed, "mac-up"), upQ)
+		a.DownWifi.Reset(wifiParams(lp, lp.DownRate), sim.NewRNG(cfg.Seed, "mac-down"), downQ)
+		a.UpWifi.AttachMonitor(&cfg.Scratch.UpLinkMon)
+		a.DownWifi.AttachMonitor(&cfg.Scratch.DownLinkMon)
+	} else {
+		a.UpLink.Queue = upQ
+		a.DownLink.Queue = downQ
+		a.UpLink.Rate, a.DownLink.Rate = lp.UpRate, lp.DownRate
+		a.UpLink.AttachMonitor(&cfg.Scratch.UpLinkMon)
+		a.DownLink.AttachMonitor(&cfg.Scratch.DownLinkMon)
+	}
+	if a.reorderUp != nil {
+		a.reorderUp.Reset(sim.NewRNG(cfg.Seed, "reorder-up"), lp.Reorder)
+		a.reorderDn.Reset(sim.NewRNG(cfg.Seed, "reorder-down"), lp.Reorder)
+	}
 
 	a.csHome.Delay, a.homeCs.Delay = lp.ClientDelay, lp.ClientDelay
 	a.ssDslam.Delay, a.dslamSs.Delay = lp.ServerDelay, lp.ServerDelay
@@ -477,8 +603,8 @@ func (a *Access) StartWorkload(s Spec) {
 		}
 		a.UpGen.StartConcurrencySampling(time.Second)
 	}
-	a.UpLink.Monitor.StartSampling(a.Eng, time.Second)
-	a.DownLink.Monitor.StartSampling(a.Eng, time.Second)
+	a.UpLinkMonitor().StartSampling(a.Eng, time.Second)
+	a.DownLinkMonitor().StartSampling(a.Eng, time.Second)
 }
 
 func sinkAddrs(stacks []*tcp.Stack) []netem.Addr {

@@ -17,12 +17,38 @@ import (
 // bottleneck pair, servers behind the far switch — which covers
 // fiber, cable, and cellular access networks alike.
 type Link struct {
-	// UpRate / DownRate are the bottleneck rates in bits/s.
+	// UpRate / DownRate are the bottleneck rates in bits/s. When Wifi
+	// is enabled they are the PHY air rates of the two directions.
 	UpRate, DownRate float64
 	// ClientDelay / ServerDelay are the one-way propagation delays
 	// between the client network and the bottleneck, and between the
 	// bottleneck and the server network.
 	ClientDelay, ServerDelay time.Duration
+	// Wifi, when Stations > 0, swaps the wired bottleneck for an
+	// 802.11 MAC model: CSMA/CA contention among Stations stations on
+	// one shared medium, collision retries with exponential backoff,
+	// and A-MPDU frame aggregation. The buffer under test still sits
+	// in front of the MAC, so the sizing question is unchanged — only
+	// the service process is wireless.
+	Wifi Wifi
+	// Reorder, when in (0,1), reorders packets after the bottleneck:
+	// each packet is independently held back with this probability,
+	// letting its successors overtake it.
+	Reorder float64
+}
+
+// Wifi configures the 802.11 MAC of a wireless Link. The zero value
+// disables it.
+type Wifi struct {
+	// Stations is the number of stations contending for the medium
+	// (1 = a single station, no collisions); 0 keeps the wired link.
+	Stations int
+	// RetryLimit bounds per-aggregate retransmissions before the MAC
+	// drops the frames (default 7).
+	RetryLimit int
+	// MaxAggFrames caps A-MPDU aggregation (default 16; 1 disables
+	// aggregation).
+	MaxAggFrames int
 }
 
 // DSLLink is the paper's access link (Figure 3a): 1 Mbit/s up,
@@ -53,10 +79,30 @@ func LTELink() Link {
 	}
 }
 
+// WifiLink is an 802.11n-like home WLAN last hop: a 65 Mbit/s PHY
+// shared by both directions, the given number of contending stations,
+// default retry limit and A-MPDU aggregation, and short last-mile
+// delay. The paper's testbeds deliberately omit WiFi
+// connectivity (§5.1); this preset re-asks its buffer-sizing question
+// on the link type it excluded.
+func WifiLink(stations int) Link {
+	return Link{
+		UpRate: 65e6, DownRate: 65e6,
+		ClientDelay: 2 * time.Millisecond, ServerDelay: 15 * time.Millisecond,
+		Wifi: Wifi{Stations: stations},
+	}
+}
+
 func (l Link) internal() testbed.LinkParams {
 	return testbed.LinkParams{
 		UpRate: l.UpRate, DownRate: l.DownRate,
 		ClientDelay: l.ClientDelay, ServerDelay: l.ServerDelay,
+		Wifi: testbed.WifiParams{
+			Stations:     l.Wifi.Stations,
+			RetryLimit:   l.Wifi.RetryLimit,
+			MaxAggFrames: l.Wifi.MaxAggFrames,
+		},
+		Reorder: l.Reorder,
 	}
 }
 
@@ -80,12 +126,17 @@ const (
 type CC string
 
 // Congestion control algorithms. DefaultCC is the paper's choice for
-// the testbed: CUBIC on the access shape, Reno on the backbone.
+// the testbed: CUBIC on the access shape, Reno on the backbone. BBR
+// is the paced model-based algorithm (post-paper): it estimates
+// bottleneck bandwidth and propagation delay, paces at the estimated
+// rate, and caps inflight near the BDP, so it needs far less buffer
+// than the loss-based family the paper measured.
 const (
 	DefaultCC CC = ""
 	Cubic     CC = "cubic"
 	Reno      CC = "reno"
 	BIC       CC = "bic"
+	BBR       CC = "bbr"
 )
 
 // Scenario declares one network-plus-workload configuration: where
@@ -151,6 +202,12 @@ func (sc Scenario) Label() string {
 		// there derive distinct labels.
 		if sc.Link.ClientDelay != 0 || sc.Link.ServerDelay != 0 {
 			dims += "@" + delayLabel(sc.Link.ClientDelay) + "/" + delayLabel(sc.Link.ServerDelay)
+		}
+		if sc.Link.Wifi.Stations > 0 {
+			dims += fmt.Sprintf("+wifi%d", sc.Link.Wifi.Stations)
+		}
+		if sc.Link.Reorder > 0 {
+			dims += fmt.Sprintf("+ro%g", sc.Link.Reorder)
 		}
 		net = "custom(" + dims + ")"
 	}

@@ -1,0 +1,190 @@
+package bufferqoe
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bufferqoe/internal/sizing"
+)
+
+// wifiSweep is the wifi/BBR grid the determinism tests below pin: an
+// 802.11 last hop with contention, paced model-based congestion
+// control, and a reordering variant, across two buffer sizes and two
+// probe media.
+func wifiSweep() Sweep {
+	wifi := WifiLink(8)
+	reorder := WifiLink(4)
+	reorder.Reorder = 0.02
+	return Sweep{
+		Scenarios: []Scenario{
+			{Name: "wifi-bbr", Link: &wifi, Workload: "long-many", Direction: Down, CC: BBR},
+			{Name: "wifi-reorder", Link: &reorder, CC: BBR},
+		},
+		Buffers: []int{16, 64},
+		Probes:  []Probe{{Media: VoIP}, {Media: Web}},
+	}
+}
+
+func wifiOpts() Options {
+	return Options{Seed: 17, Duration: 4 * time.Second, Warmup: 1 * time.Second, Reps: 1, ClipSeconds: 1}
+}
+
+// TestWifiBBRSweepDeterminism is the new subsystem's engine-contract
+// test: wifi/BBR cells must render bit-identically when simulated
+// sequentially, fanned out across workers, answered from the warm
+// in-memory cache, and answered from a warm persistent store.
+func TestWifiBBRSweepDeterminism(t *testing.T) {
+	dir := t.TempDir()
+
+	s := NewSession()
+	if err := s.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.SetParallelism(1)
+	sequential, err := s.Sweep(wifiSweep(), wifiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := s.Stats()
+	if cold.Misses == 0 || cold.StoreWrites != cold.Misses {
+		t.Fatalf("cold run stats = %+v", cold)
+	}
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewSession()
+	p.SetParallelism(8)
+	parallel, err := p.Sweep(wifiSweep(), wifiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gridJSON(t, sequential), gridJSON(t, parallel)) {
+		t.Fatalf("parallel wifi grid differs from sequential:\n%s\n---\n%s",
+			gridJSON(t, sequential), gridJSON(t, parallel))
+	}
+
+	// Warm cache: same session, zero new computes.
+	before := p.Stats()
+	warm, err := p.Sweep(wifiSweep(), wifiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := p.Stats(); after.Misses != before.Misses {
+		t.Fatalf("warm-cache run simulated %d new cells", after.Misses-before.Misses)
+	}
+	if !bytes.Equal(gridJSON(t, sequential), gridJSON(t, warm)) {
+		t.Fatal("warm-cache wifi grid differs from cold grid")
+	}
+
+	// Warm store: a fresh session sharing the directory answers every
+	// cell from disk.
+	w := NewSession()
+	if err := w.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer w.CloseStore()
+	stored, err := w.Sweep(wifiSweep(), wifiOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Misses != 0 || st.StoreHits != cold.Misses {
+		t.Fatalf("warm-store run stats = %+v, want 0 misses / %d store hits", st, cold.Misses)
+	}
+	if !bytes.Equal(gridJSON(t, sequential), gridJSON(t, stored)) {
+		t.Fatal("warm-store wifi grid differs from cold grid")
+	}
+}
+
+// TestClaimWiredBDPOverbuffersWifiBBR is the headline demonstration
+// of this subsystem: the paper's Table 2 BDP rule, applied to the
+// wifi link's nominal 65 Mbit/s PHY rate and 34 ms base RTT, asks for
+// ~185 packets — and on a wired link running loss-based congestion
+// control that buffer genuinely pays (CUBIC needs the queue for
+// throughput). On the 802.11 last hop under contention with paced
+// BBR, the same recommendation is pure over-buffering: the small
+// buffer is at least as good on every probe and the BDP buffer
+// clearly worse on web PLT, so the wired sizing rule and the
+// wifi/BBR optimum disagree.
+func TestClaimWiredBDPOverbuffersWifiBBR(t *testing.T) {
+	wifi := WifiLink(8)
+	wired := wifi
+	wired.Wifi = Wifi{} // same rates and delays, wired service process
+	bdp := sizing.BDPPackets(wifi.DownRate, 2*(wifi.ClientDelay+wifi.ServerDelay))
+	if bdp < 100 {
+		t.Fatalf("BDP of the wifi preset = %d packets; the demonstration needs a large wired recommendation", bdp)
+	}
+	sw := Sweep{
+		Scenarios: []Scenario{
+			{Name: "wired-cubic", Link: &wired, Workload: "long-many", Direction: Down},
+			{Name: "wifi-bbr", Link: &wifi, Workload: "long-many", Direction: Down, CC: BBR},
+		},
+		Buffers: []int{16, bdp},
+		Probes:  []Probe{{Media: VoIP}, {Media: Web}},
+	}
+	s := NewSession()
+	g, err := s.Sweep(sw, Options{Seed: 11, Duration: 6 * time.Second, Warmup: 2 * time.Second, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(scen, probe string, buf int) SweepCell {
+		c, ok := g.Cell(scen, probe, buf)
+		if !ok {
+			t.Fatalf("missing %s/%s/%d cell", scen, probe, buf)
+		}
+		return c
+	}
+
+	// Wired, loss-based: the BDP buffer earns its size — shrinking it
+	// to 16 packets costs web QoE badly.
+	wiredSmall, wiredBDP := cell("wired-cubic", "web", 16), cell("wired-cubic", "web", bdp)
+	if wiredSmall.Value < 1.5*wiredBDP.Value {
+		t.Fatalf("wired CUBIC web PLT: 16 pkts %.2fs vs BDP %.2fs — the wired BDP rule should pay here",
+			wiredSmall.Value, wiredBDP.Value)
+	}
+
+	// WiFi + BBR: the same BDP recommendation over-buffers. The small
+	// buffer wins web PLT outright and concedes nothing on VoIP.
+	wifiSmall, wifiBDP := cell("wifi-bbr", "web", 16), cell("wifi-bbr", "web", bdp)
+	if wifiBDP.Value < 1.3*wifiSmall.Value {
+		t.Fatalf("wifi/BBR web PLT: BDP %.2fs vs 16 pkts %.2fs — the BDP buffer should be clearly worse",
+			wifiBDP.Value, wifiSmall.Value)
+	}
+	if vSmall, vBDP := cell("wifi-bbr", "voip", 16), cell("wifi-bbr", "voip", bdp); vSmall.MOS < vBDP.MOS {
+		t.Fatalf("wifi/BBR VoIP MOS: 16 pkts %.2f vs BDP %.2f — the small buffer should concede nothing",
+			vSmall.MOS, vBDP.MOS)
+	}
+}
+
+// TestWifiScenarioValidation: the facade rejects malformed wifi and
+// reorder configurations instead of silently folding them onto wired
+// cells.
+func TestWifiScenarioValidation(t *testing.T) {
+	bad := []Link{
+		{Wifi: Wifi{Stations: -1}},
+		{Wifi: Wifi{RetryLimit: 3}},               // retry without stations
+		{Wifi: Wifi{MaxAggFrames: 8}},             // aggregation without stations
+		{Wifi: Wifi{Stations: 2, RetryLimit: -1}}, // negative retry
+		{Wifi: Wifi{Stations: 2, MaxAggFrames: -1}},
+		{Reorder: -0.1},
+		{Reorder: 1},
+	}
+	for _, l := range bad {
+		l := l
+		sc := Scenario{Link: &l}
+		if err := sc.Validate(Probe{Media: VoIP}); err == nil {
+			t.Fatalf("bad link %+v accepted", l)
+		}
+	}
+	wifi := WifiLink(4)
+	if err := (Scenario{Network: Backbone, Link: &wifi}).Validate(Probe{Media: VoIP}); err == nil {
+		t.Fatal("wifi link on the backbone accepted")
+	}
+	good := WifiLink(4)
+	good.Reorder = 0.05
+	if err := (Scenario{Link: &good, CC: BBR}).Validate(Probe{Media: VoIP}); err != nil {
+		t.Fatalf("good wifi+reorder+bbr scenario rejected: %v", err)
+	}
+}
