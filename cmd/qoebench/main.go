@@ -762,6 +762,7 @@ func printList(stdout io.Writer) {
 	fmt.Fprintln(stdout, "congestion controls (-cc): default (cubic on access, reno on backbone), cubic, reno, bic, bbr")
 	fmt.Fprintln(stdout, "links (-link): wired (default; customize with -uprate/-downrate/-clientdelay/-serverdelay), wifi (802.11 MAC last hop; -stations, -wifiretry, -wifiagg); -reorder adds packet reordering to either")
 	fmt.Fprintln(stdout, `mix grammar (-mix): "up:long=2;down:web=16x3/1.5s" — components long=n[xm] (bulk flows) and web=n[xm]/think (web sessions), sections joined by ';', optional scale=n`)
+	fmt.Fprintln(stdout, "hotpath-audited packages (//qoe:hotpath, enforced by 'go vet -vettool=qoelint'): internal/sim (event dispatch, timer heap), internal/netem (link transmit/deliver), internal/tcp (segment emit/receive), internal/mac (802.11 TXOP), internal/telemetry (record primitives)")
 }
 
 func joinInts(xs []int) string {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bufferqoe/internal/lint"
+)
+
+// TestSelfClean is the tree's own gate: the full analyzer suite over
+// the whole module must report nothing (every deliberate escape is a
+// justified //lint:allow). This is the same check CI's lint job runs
+// through `go vet -vettool`, kept here as a plain test so a violation
+// fails `go test ./...` too.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module lint in -short mode")
+	}
+	pkgs, err := lint.Load("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestStandaloneCleanModule runs the standalone driver over the clean
+// fixture: zero findings, zero exit.
+func TestStandaloneCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-list-backed lint in -short mode")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "testdata/clean", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d on clean module\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings on clean module:\n%s", out.String())
+	}
+}
+
+// TestStandaloneSeededModule runs the standalone driver over the
+// determinism golden module, which deliberately contains unsuppressed
+// violations: nonzero exit naming them.
+func TestStandaloneSeededModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-list-backed lint in -short mode")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../../internal/lint/testdata/determinism", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on seeded module, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "time.Now reads the wall clock") {
+		t.Errorf("findings missing the seeded time.Now violation:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "qoelint/determinism") {
+		t.Errorf("findings missing the analyzer tag:\n%s", out.String())
+	}
+}
+
+// TestVettoolProtocol builds the qoelint binary and drives it through
+// `go vet -vettool` exactly like CI: the seeded module must fail with
+// the violation on stderr, the clean module must pass.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping vettool end-to-end in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "qoelint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qoelint: %v\n%s", err, out)
+	}
+
+	seeded := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	seeded.Dir = "../../internal/lint/testdata/determinism"
+	out, err := seeded.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on the seeded module\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now reads the wall clock") {
+		t.Errorf("vet output missing the seeded violation:\n%s", out)
+	}
+
+	cleanRun := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cleanRun.Dir = "testdata/clean"
+	if out, err := cleanRun.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on the clean module: %v\n%s", err, out)
+	}
+}
+
+// TestProtocolProbes covers the two pre-flag probes the go command
+// sends a vet tool.
+func TestProtocolProbes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	fields := strings.Fields(out.String())
+	if len(fields) < 3 || fields[0] != "qoelint" || fields[1] != "version" {
+		t.Errorf("-V=full output %q does not match the '<name> version <id>' shape", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("-flags output %q, want []", out.String())
+	}
+}
+
+// TestAnalyzerCatalog checks -analyzers lists the full suite.
+func TestAnalyzerCatalog(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers"}, &out, &errb); code != 0 {
+		t.Fatalf("-analyzers exit %d\n%s", code, errb.String())
+	}
+	for _, name := range []string{"determinism", "injectivity", "hotpath", "nilguard"} {
+		if !strings.Contains(out.String(), "qoelint/"+name) {
+			t.Errorf("catalog missing qoelint/%s:\n%s", name, out.String())
+		}
+	}
+}

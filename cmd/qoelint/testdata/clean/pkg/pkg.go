@@ -1,0 +1,59 @@
+// Package pkg is a fixture with every annotation in its compliant
+// form: qoelint must report nothing here.
+package pkg
+
+// Spec is a fully-encoded axis struct.
+type Spec struct {
+	Name string
+	Buf  int
+}
+
+// Key covers every field.
+//
+//qoe:encodes Spec
+func (s Spec) Key() string {
+	return s.Name + "|" + itoa(s.Buf)
+}
+
+// Hot is allocation-clean.
+//
+//qoe:hotpath
+func Hot(dst []byte, s Spec) []byte {
+	return append(dst, s.Name...)
+}
+
+// Meter no-ops when nil.
+//
+//qoe:nilsafe
+type Meter struct{ n int }
+
+// Add records when the meter is live.
+func (m *Meter) Add(d int) {
+	if m == nil {
+		return
+	}
+	m.n += d
+}
+
+// itoa avoids strconv just to keep the fixture dependency-free.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	buf := make([]byte, 0, 20)
+	for n > 0 {
+		buf = append(buf, byte('0'+n%10))
+		n /= 10
+	}
+	if neg {
+		buf = append(buf, '-')
+	}
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return string(buf)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+
+	"bufferqoe/internal/lint"
+)
+
+// vetConfig is the package description the go command writes for a
+// vet tool (the fields cmd/go's vet action serializes that qoelint
+// consumes; same schema as x/tools' unitchecker).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package unit handed over by `go vet
+// -vettool=qoelint`: parse the unit's files, type-check against the
+// export data the go command already built, run the suite, and report
+// findings on stderr with a nonzero exit (which go vet surfaces like
+// compiler errors).
+func runVetUnit(cfgFile string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "qoelint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "qoelint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// qoelint produces no cross-package facts, but the go command
+	// expects the vetx output of every unit it scheduled.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "qoelint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, "qoelint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	imp := lint.ExportDataImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	tpkg, info, err := lint.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "qoelint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg := &lint.Package{
+		PkgPath:   cfg.ImportPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "qoelint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -396,10 +396,12 @@ func (e *Engine) DoCtx(ctx context.Context, spec CellSpec, fn CellFunc) (any, er
 func (e *Engine) storeGet(st CellStore, k string, col *telemetry.Collector) (any, bool) {
 	var start time.Time
 	if col != nil {
+		//lint:allow qoelint/determinism observational latency telemetry only; never flows into a cell result or seed
 		start = time.Now()
 	}
 	v, ok := st.Get(k)
 	if col != nil {
+		//lint:allow qoelint/determinism observational latency telemetry only; never flows into a cell result or seed
 		col.StoreLoad.Observe(time.Since(start).Seconds())
 	}
 	if ok {
@@ -425,12 +427,14 @@ func (e *Engine) compute(ctx context.Context, spec CellSpec, fn CellFunc, k stri
 	var start time.Time
 	if col != nil {
 		col.CellsInFlight.Add(1)
+		//lint:allow qoelint/determinism observational wall-time telemetry only; never flows into a cell result or seed
 		start = time.Now()
 	}
 	completed := false
 	defer func() {
 		e.inFlight.Add(-1)
 		if col != nil {
+			//lint:allow qoelint/determinism observational wall-time telemetry only; never flows into a cell result or seed
 			wall := time.Since(start)
 			col.CellsInFlight.Add(-1)
 			col.WorkerBusy.Add(uint64(wall))

@@ -113,6 +113,8 @@ func (s CellSpec) Canonical() CellSpec {
 // content address it had before adaptive replication existed (the
 // persistent store stays valid across the upgrade); the suffix cannot
 // collide with a suffix-free key because those always end in "cdn=<n>".
+//
+//qoe:encodes CellSpec
 func (s CellSpec) Key() string {
 	c := s.Canonical()
 	k := fmt.Sprintf("tb=%s|sc=%s|dir=%s|buf=%d|bufup=%d|media=%s|var=%s|link=%s|seed=%d|dur=%d|warm=%d|reps=%d|clip=%d|cdn=%d",

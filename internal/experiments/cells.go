@@ -111,6 +111,8 @@ func (v accessVariant) config(buf int, seed uint64) testbed.Config {
 // so wired encodings are byte-identical to what they were before those
 // axes existed, and the encoding stays injective (every non-default
 // knob appears exactly once, defaults filled first).
+//
+//qoe:encodes testbed.LinkParams testbed.WifiParams
 func linkTag(lp testbed.LinkParams) string {
 	if lp.IsDefault() {
 		return ""

@@ -1,0 +1,48 @@
+// Package analysis is a minimal, dependency-free core of the
+// golang.org/x/tools/go/analysis API, just large enough to host the
+// qoelint analyzers. The build environment is hermetic (no module
+// proxy), so the real framework cannot be vendored; this package keeps
+// the analyzers source-compatible with it — an Analyzer here has the
+// same Name/Doc/Run shape and a Pass carries the same
+// Fset/Files/Pkg/TypesInfo/Report fields — so they can migrate to the
+// upstream framework by changing one import path if the dependency
+// ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// diagnostics and suppression comments (`//lint:allow qoelint/<Name>`),
+// Doc the one-paragraph contract shown by `qoelint -analyzers`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, positioned inside Pass.Fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bufferqoe/internal/lint/analysis"
+)
+
+// Determinism forbids nondeterminism inside the simulator core. A
+// cell's value must be a pure function of its CellSpec: the golden
+// cross-section tests, CRN seed pairing, warm-cache bit-identity and
+// the content-addressed store are all unsound the moment a sim-core
+// package reads the wall clock or the process-global random state.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterminism in the simulator core
+
+Flags, in the sim-core packages (` + strings.Join(simCoreSuffixes, ", ") + `):
+wall-clock reads (time.Now, time.Since), real sleeps (time.Sleep), and
+calls to the process-global math/rand / math/rand/v2 generators
+(constructors like rand.New/NewPCG that wrap an explicit seed are
+fine). Additionally — in every package — map iteration inside a
+canonical encoding function (//qoe:encodes, or Key/SeedKey/Encode/
+Canonical/encode* in sim-core packages), because map order would make
+the rendered cache key nondeterministic.`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	simCore := isSimCore(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasDirective("encodes", fn.Doc) || (simCore && isEncoderName(fn.Name.Name)) {
+				checkEncoderMapRange(pass, fn)
+			}
+		}
+		if simCore {
+			checkClockAndRand(pass, file)
+		}
+	}
+	return nil, nil
+}
+
+// isEncoderName recognizes the canonical-encoding naming convention of
+// the sim-core packages.
+func isEncoderName(name string) bool {
+	switch name {
+	case "Key", "SeedKey", "Encode", "Canonical":
+		return true
+	}
+	return strings.HasPrefix(name, "encode")
+}
+
+// checkEncoderMapRange flags `for range m` over a map anywhere inside
+// a canonical encoding function, nested closures included.
+func checkEncoderMapRange(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.Pos(), "map iteration order is nondeterministic inside canonical encoding %s; iterate a sorted slice instead", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkClockAndRand flags wall-clock reads and global-generator
+// math/rand calls anywhere in a sim-core file.
+func checkClockAndRand(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods (e.g. (*rand.Rand).Intn) are seed-driven
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in sim-core package %s: nondeterministic, corrupts CRN pairing and bit-identical replay; derive time from the sim.Engine clock", fn.Name(), pass.Pkg.Name())
+			case "Sleep", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+				pass.Reportf(sel.Pos(), "time.%s waits on real time in sim-core package %s; schedule simulated events on the sim.Engine instead", fn.Name(), pass.Pkg.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			// Constructors (New, NewPCG, NewSource, NewZipf, ...) build
+			// explicitly-seeded generators and are the sanctioned way in;
+			// every other top-level function draws from the global,
+			// nondeterministically-seeded source.
+			if !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(sel.Pos(), "rand.%s draws from the process-global random source in sim-core package %s; draw from a sim.RNG stream derived from the CellSpec seed instead", fn.Name(), pass.Pkg.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //qoe:<name> [args...] source annotation.
+// Annotations live in the doc comment of the declaration they govern
+// (function, type, or struct field).
+type directive struct {
+	name string // "hotpath", "encodes", "notaxis", "nilsafe"
+	args []string
+	pos  token.Pos
+}
+
+const directivePrefix = "qoe:"
+
+// directivesIn parses the //qoe: directives of the given comment
+// groups (nil groups are fine).
+func directivesIn(groups ...*ast.CommentGroup) []directive {
+	var out []directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			// A "//" token ends the directive: everything after it is
+			// commentary (the golden tests use it for want markers).
+			fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+			for i, f := range fields {
+				if f == "//" {
+					fields = fields[:i]
+					break
+				}
+			}
+			if len(fields) == 0 {
+				continue
+			}
+			out = append(out, directive{name: fields[0], args: fields[1:], pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether any group carries //qoe:<name>.
+func hasDirective(name string, groups ...*ast.CommentGroup) bool {
+	for _, d := range directivesIn(groups...) {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// simCoreSuffixes are the packages whose code feeds simulation
+// outcomes and cache/store addresses: anything nondeterministic there
+// breaks CRN seed pairing, bit-identical replay, or content
+// addressing.
+var simCoreSuffixes = []string{
+	"internal/sim",
+	"internal/netem",
+	"internal/tcp",
+	"internal/mac",
+	"internal/engine",
+	"internal/store",
+	"internal/testbed",
+}
+
+// isSimCore reports whether the import path is one of the simulator
+// core packages. Matching is by path suffix on a segment boundary so
+// the golden-test modules under testdata/ qualify the same way the
+// real module does.
+func isSimCore(path string) bool {
+	for _, s := range simCoreSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bufferqoe/internal/lint"
+	"bufferqoe/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata/hotpath", lint.Hotpath)
+}

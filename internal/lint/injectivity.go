@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bufferqoe/internal/lint/analysis"
+)
+
+// Injectivity checks that canonical encoding functions read every
+// field of the axis structs they claim to encode. The engine's cache,
+// the CRN seed derivation and the persistent content-addressed store
+// all key on rendered encodings (CellSpec.Key, the Link/Workload
+// tags): a field that exists on the struct but never enters its
+// encoding makes the encoding non-injective, and two cells differing
+// only in that field silently collapse onto one cache entry — the
+// worst possible failure mode, because it poisons results instead of
+// crashing.
+var Injectivity = &analysis.Analyzer{
+	Name: "injectivity",
+	Doc: `canonical encodings must read every axis field
+
+A function annotated
+
+	//qoe:encodes T [T2 ...]
+
+declares itself the canonical encoding of struct type T (package-local
+"T" or imported "pkg.T"). The analyzer collects every struct field
+read by the function and the package-local functions it (transitively)
+references, and reports any field of T the encoding never touches.
+Deliberately unencoded fields are declared either on the field
+("//qoe:notaxis <reason>") or on the encoder
+("//qoe:notaxis T.Field <reason>" for imported types); both forms
+require a reason.`,
+	Run: runInjectivity,
+}
+
+func runInjectivity(pass *analysis.Pass) (any, error) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var encoders []*ast.FuncDecl
+	excluded := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+					decls[fn] = d
+				}
+				if hasDirective("encodes", d.Doc) {
+					encoders = append(encoders, d)
+				}
+			case *ast.GenDecl:
+				collectFieldExclusions(pass, d, excluded)
+			}
+		}
+	}
+	for _, enc := range encoders {
+		checkEncoder(pass, enc, decls, excluded)
+	}
+	return nil, nil
+}
+
+// collectFieldExclusions records struct fields annotated
+// `//qoe:notaxis <reason>` on their declaration.
+func collectFieldExclusions(pass *analysis.Pass, d *ast.GenDecl, excluded map[types.Object]bool) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			for _, dir := range directivesIn(field.Doc, field.Comment) {
+				if dir.name != "notaxis" {
+					continue
+				}
+				if len(dir.args) == 0 {
+					pass.Reportf(dir.pos, "//qoe:notaxis on a field requires a reason explaining why the field is not a cache axis")
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						excluded[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkEncoder verifies one annotated encoding function against its
+// declared axis structs.
+func checkEncoder(pass *analysis.Pass, enc *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, excluded map[types.Object]bool) {
+	// Encoder-side exclusions: //qoe:notaxis T.Field <reason>.
+	funcExcl := make(map[string]bool) // "T.Field" -> excluded
+	var targets []directive
+	for _, dir := range directivesIn(enc.Doc) {
+		switch dir.name {
+		case "encodes":
+			targets = append(targets, dir)
+		case "notaxis":
+			if len(dir.args) < 2 {
+				pass.Reportf(dir.pos, "//qoe:notaxis on an encoder takes a field (T.Field or pkg.T.Field) and a reason")
+				continue
+			}
+			ref := dir.args[0]
+			if parts := strings.Split(ref, "."); len(parts) >= 2 {
+				funcExcl[parts[len(parts)-2]+"."+parts[len(parts)-1]] = true
+			}
+		}
+	}
+
+	covered := coveredFields(pass, enc, decls)
+	for _, dir := range targets {
+		if len(dir.args) == 0 {
+			pass.Reportf(dir.pos, "//qoe:encodes requires at least one struct type (T or pkg.T)")
+			continue
+		}
+		for _, ref := range dir.args {
+			named, err := resolveTypeRef(pass, ref)
+			if err != nil {
+				pass.Reportf(dir.pos, "//qoe:encodes %s: %v", ref, err)
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				pass.Reportf(dir.pos, "//qoe:encodes %s: not a struct type", ref)
+				continue
+			}
+			typeName := named.Obj().Name()
+			for i := 0; i < st.NumFields(); i++ {
+				fld := st.Field(i)
+				if fld.Name() == "_" || excluded[fld] || funcExcl[typeName+"."+fld.Name()] {
+					continue
+				}
+				if !covered[fld] {
+					pass.Reportf(enc.Name.Pos(),
+						"%s.%s is never read by canonical encoding %s or its local callees: two specs differing only in %s would collide on one cache/store entry; encode the field or mark it //qoe:notaxis with a reason",
+						typeName, fld.Name(), enc.Name.Name, fld.Name())
+				}
+			}
+		}
+	}
+}
+
+// coveredFields walks the encoder and every package-local function it
+// transitively references, returning the set of struct-field objects
+// those bodies read (selectors and keyed composite literals both
+// resolve to field objects in Uses).
+func coveredFields(pass *analysis.Pass, enc *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) map[types.Object]bool {
+	covered := make(map[types.Object]bool)
+	seen := map[*ast.FuncDecl]bool{enc: true}
+	queue := []*ast.FuncDecl{enc}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		ast.Inspect(d, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch obj := pass.TypesInfo.Uses[id].(type) {
+			case *types.Var:
+				if obj.IsField() {
+					covered[obj] = true
+				}
+			case *types.Func:
+				if obj.Pkg() == pass.Pkg {
+					if dd, ok := decls[obj]; ok && !seen[dd] {
+						seen[dd] = true
+						queue = append(queue, dd)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// resolveTypeRef resolves "T" in the current package or "pkg.T" in a
+// directly imported package to its named type.
+func resolveTypeRef(pass *analysis.Pass, ref string) (*types.Named, error) {
+	var obj types.Object
+	if pkgName, typeName, ok := strings.Cut(ref, "."); ok {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				obj = imp.Scope().Lookup(typeName)
+				break
+			}
+		}
+		if obj == nil {
+			return nil, fmt.Errorf("cannot resolve %s in the imports of %s", ref, pass.Pkg.Path())
+		}
+	} else {
+		if obj = pass.Pkg.Scope().Lookup(ref); obj == nil {
+			return nil, fmt.Errorf("no type %s in package %s", ref, pass.Pkg.Path())
+		}
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("%s is not a type", ref)
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, fmt.Errorf("%s is not a named type", ref)
+	}
+	return named, nil
+}

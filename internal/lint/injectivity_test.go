@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bufferqoe/internal/lint"
+	"bufferqoe/internal/lint/linttest"
+)
+
+func TestInjectivity(t *testing.T) {
+	linttest.Run(t, "testdata/injectivity", lint.Injectivity)
+}

@@ -1,0 +1,209 @@
+// Package lint hosts qoelint, the project's static-analysis suite. It
+// mechanically enforces the three invariants the reproduction's
+// headline results rest on — bit-identical determinism of the
+// simulator core, injectivity of the canonical cache encodings, and
+// the zero-allocation / nil-collector discipline of the hot paths —
+// so that a future change cannot silently weaken what today is only
+// guarded by after-the-fact tests.
+//
+// The analyzers are driven by source annotations:
+//
+//   - //qoe:hotpath on a function puts its body under the hotpath
+//     allocation rules.
+//   - //qoe:encodes T [T2 ...] on a function declares it the canonical
+//     encoding of struct type T; the injectivity analyzer checks every
+//     field of T is read by the function or its package-local callees.
+//   - //qoe:notaxis T.Field <reason> (alongside //qoe:encodes, or on
+//     the field itself) deliberately excludes a field from encoding
+//     coverage.
+//   - //qoe:nilsafe on a type requires every exported pointer-receiver
+//     method to begin with a nil guard.
+//
+// A finding is silenced — never silently, always with a visible
+// justification — by a suppression comment on the flagged line or the
+// line above:
+//
+//	//lint:allow qoelint/<analyzer> <justification>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"bufferqoe/internal/lint/analysis"
+)
+
+// All returns the full qoelint analyzer suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Determinism, Injectivity, Hotpath, Nilguard}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Finding is one resolved diagnostic.
+type Finding struct {
+	Pos      token.Position `json:"pos"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [qoelint/%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies the analyzers to every package, filters findings through
+// the //lint:allow suppression comments, and returns what remains
+// sorted by position. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		raw, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, Suppress(pkg.Fset, pkg.Syntax, raw)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// runPackage runs the analyzers over one package and resolves raw
+// diagnostics to positions, without suppression filtering.
+func runPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(d.Pos),
+				Analyzer: name,
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("qoelint/%s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	return out, nil
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string // analyzer name, without the qoelint/ prefix
+	reason   string
+	pos      token.Pos
+}
+
+const allowPrefix = "lint:allow"
+
+// Suppress filters findings through the files' //lint:allow comments.
+// An allow comment silences findings of the named analyzer on its own
+// line and on the line below (so it can trail the flagged statement or
+// sit immediately above it). Allows that are malformed or carry no
+// justification are themselves reported as findings — the whole point
+// of the syntax is that every escape documents why it is sound.
+func Suppress(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	// allowed[file][line] -> analyzers allowed on that line
+	allowed := make(map[string]map[int][]string)
+	var out []Finding
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				d, err := parseAllow(text, c.Pos())
+				if err != nil {
+					out = append(out, Finding{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "suppress",
+						Message:  err.Error(),
+					})
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				if allowed[fname] == nil {
+					allowed[fname] = make(map[int][]string)
+				}
+				allowed[fname][line] = append(allowed[fname][line], d.analyzer)
+				allowed[fname][line+1] = append(allowed[fname][line+1], d.analyzer)
+			}
+		}
+	}
+	for _, f := range findings {
+		if contains(allowed[f.Pos.Filename][f.Pos.Line], f.Analyzer) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// parseAllow parses "lint:allow qoelint/<name> <justification>". A
+// "//" inside the comment ends the directive (commentary beyond it,
+// e.g. golden-test want markers, is not part of the justification).
+func parseAllow(text string, pos token.Pos) (allowDirective, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	if cut, _, found := strings.Cut(rest, "//"); found {
+		rest = strings.TrimSpace(cut)
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	const pfx = "qoelint/"
+	if !strings.HasPrefix(name, pfx) || name == pfx {
+		return allowDirective{}, fmt.Errorf("suppression %q must name an analyzer as qoelint/<name>", "//"+allowPrefix+" "+rest)
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return allowDirective{}, fmt.Errorf("suppression //%s %s requires a justification after the analyzer name", allowPrefix, name)
+	}
+	return allowDirective{analyzer: strings.TrimPrefix(name, pfx), reason: reason, pos: pos}, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file is a _test.go file. The
+// analyzers skip those: the enforced invariants govern shipped
+// simulator code, while tests may freely use wall clocks, global
+// randomness and fmt.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,122 @@
+// Package linttest is a miniature analysistest: it loads a golden
+// module under testdata/, runs qoelint analyzers over it, applies the
+// //lint:allow suppression filter (suppression behavior is part of
+// what the golden files pin), and diffs the surviving findings against
+// `want` expectations written in the source.
+//
+// An expectation is a comment containing the word `want` followed by
+// one or more quoted regular expressions:
+//
+//	time.Now() // want `time\.Now reads the wall clock`
+//
+// Every finding must match an expectation on its exact line, and every
+// expectation must be consumed by a finding. Backquoted and
+// double-quoted forms are both accepted.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bufferqoe/internal/lint"
+	"bufferqoe/internal/lint/analysis"
+)
+
+// expectation is one `want` regex at a file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the module rooted at dir, applies the analyzers, and
+// reports any mismatch between findings and want expectations.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	wants := make(map[string]map[int][]*expectation) // file -> line -> expectations
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, re := range parseWant(t, pos.String(), c.Text) {
+						if wants[pos.Filename] == nil {
+							wants[pos.Filename] = make(map[int][]*expectation)
+						}
+						wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		exps := wants[f.Pos.Filename][f.Pos.Line]
+		ok := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(f.Message) {
+				e.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no finding matched want %q", file, line, e.re)
+				}
+			}
+		}
+	}
+}
+
+// wantRe locates the expectation marker inside a comment.
+var wantRe = regexp.MustCompile(`(?:^|\s)want\s+(.*)`)
+
+// parseWant extracts the quoted regexes of a want comment (nil when
+// the comment carries no marker).
+func parseWant(t *testing.T, pos, comment string) []*regexp.Regexp {
+	t.Helper()
+	text := strings.TrimPrefix(comment, "//")
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("%s: malformed want expectation %q (expected quoted regexps)", pos, comment)
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want expectation %q: %v", pos, comment, err)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want expectation %q: %v", pos, comment, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return out
+}

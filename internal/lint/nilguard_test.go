@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bufferqoe/internal/lint"
+	"bufferqoe/internal/lint/linttest"
+)
+
+func TestNilguard(t *testing.T) {
+	linttest.Run(t, "testdata/nilguard", lint.Nilguard)
+}

@@ -1,0 +1,42 @@
+// Package app is not a sim-core package: wall clocks and global
+// randomness are allowed here — but a function annotated as a
+// canonical encoder still may not iterate maps.
+package app
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Uptime may read the wall clock outside the simulator core.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Jitter may use the global generator outside the simulator core.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Cfg is an axis struct encoded by Render.
+type Cfg struct {
+	Tags map[string]bool
+}
+
+// Render is declared a canonical encoding by annotation, so the
+// map-range rule applies even outside sim-core packages.
+//
+//qoe:encodes Cfg
+func Render(c Cfg) string {
+	keys := make([]string, 0, len(c.Tags))
+	for k := range c.Tags { // want `map iteration order is nondeterministic inside canonical encoding Render`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ";"
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module simcore
+
+go 1.24

@@ -1,0 +1,42 @@
+// Package engine is a golden sim-core package exercising the
+// canonical-encoding map-iteration rules.
+package engine
+
+import (
+	"sort"
+	"strings"
+)
+
+// Spec is a toy cell spec with a map-valued axis.
+type Spec struct {
+	Axes map[string]string
+}
+
+// Key renders the cache key; ranging over the map makes the rendered
+// key order nondeterministic even though the parts are sorted after.
+func (s Spec) Key() string {
+	var parts []string
+	for k, v := range s.Axes { // want `map iteration order is nondeterministic inside canonical encoding Key`
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// encodeAxes is caught by the encode* naming convention.
+func encodeAxes(m map[string]string) string {
+	out := ""
+	for k := range m { // want `map iteration order is nondeterministic inside canonical encoding encodeAxes`
+		out += k
+	}
+	return out
+}
+
+// Count is not an encoding function, so map iteration is fine here.
+func (s Spec) Count() int {
+	n := 0
+	for range s.Axes {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+// Package sim is a golden sim-core package: its import path ends in
+// internal/sim, so the determinism analyzer applies in full.
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// BadClock reads the wall clock inside the simulator core.
+func BadClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// BadElapsed measures real elapsed time.
+func BadElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// BadSleep blocks on real time.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep waits on real time`
+}
+
+// BadTimer waits on a real timer.
+func BadTimer() {
+	<-time.After(time.Second) // want `time\.After waits on real time`
+}
+
+// BadRand draws from the global generator.
+func BadRand() int {
+	return rand.IntN(10) // want `rand\.IntN draws from the process-global random source`
+}
+
+// BadShuffle permutes with the global generator.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global random source`
+}
+
+// GoodRand derives an explicitly seeded stream: constructors are the
+// sanctioned way in.
+func GoodRand(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, 1))
+	return r.Float64()
+}
+
+// GoodDuration only uses time's types and constants, which are fine.
+func GoodDuration(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}
+
+// AllowedClock documents a deliberate wall-clock read.
+func AllowedClock() time.Time {
+	//lint:allow qoelint/determinism observational timing for logs, never enters cell state
+	return time.Now()
+}
+
+// BadAllow has a suppression with no justification: the suppression
+// itself is a finding and the original finding survives.
+func BadAllow() time.Time {
+	//lint:allow qoelint/determinism // want `requires a justification`
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,140 @@
+// Package hot exercises the //qoe:hotpath allocation rules.
+package hot
+
+import "fmt"
+
+// T is a toy dispatcher.
+type T struct {
+	sink  func()
+	buf   []int
+	boxes []any
+}
+
+func take(v any) {}
+
+func consume(xs ...any) {}
+
+// Dispatch allocates a closure per call.
+//
+//qoe:hotpath
+func (t *T) Dispatch(n int) {
+	t.sink = func() { _ = n } // want `function literal allocates a closure`
+}
+
+// Log formats on the hot path. The closure rule does not re-flag the
+// arguments: fmt is the single finding.
+//
+//qoe:hotpath
+func (t *T) Log(n int) {
+	fmt.Println("n =", n) // want `fmt\.Println allocates and reflects`
+}
+
+// BoxAssign boxes an int into an interface variable.
+//
+//qoe:hotpath
+func (t *T) BoxAssign(n int) {
+	var sink any
+	sink = n // want `int value boxed into any allocates`
+	_ = sink
+}
+
+// BoxCall boxes through a parameter; pointer-shaped values are exempt.
+//
+//qoe:hotpath
+func (t *T) BoxCall(d int64) {
+	take(d)          // want `int64 value boxed into any allocates`
+	take(t)          // pointer: free
+	take(nil)        // nil: free
+	take("constant") // constant: materialized statically
+}
+
+// BoxVariadic boxes each non-exempt variadic element.
+//
+//qoe:hotpath
+func (t *T) BoxVariadic(x int, y *T) {
+	consume(x, y) // want `int value boxed into any allocates`
+}
+
+// BoxSpread passes an existing slice through: no per-element boxing.
+//
+//qoe:hotpath
+func (t *T) BoxSpread() {
+	consume(t.boxes...)
+}
+
+// BoxReturn boxes on return.
+//
+//qoe:hotpath
+func (t *T) BoxReturn(n int) any {
+	return n // want `int value boxed into any allocates`
+}
+
+// Grow appends to a slice declared with zero capacity.
+//
+//qoe:hotpath
+func (t *T) Grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append grows out from zero capacity`
+	}
+	return out
+}
+
+// GrowEmptyLit is the literal spelling of the same bug.
+//
+//qoe:hotpath
+func (t *T) GrowEmptyLit(n int) []int {
+	out := []int{}
+	return append(out, n) // want `append grows out from zero capacity`
+}
+
+// GrowMakeZero grows from make with zero length and no capacity.
+//
+//qoe:hotpath
+func (t *T) GrowMakeZero(n int) []int {
+	out := make([]int, 0)
+	return append(out, n) // want `append grows out from zero capacity`
+}
+
+// GrowOK preallocates.
+//
+//qoe:hotpath
+func (t *T) GrowOK(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// GrowField appends to a field: the owner is responsible for its
+// capacity, so the analyzer trusts it.
+//
+//qoe:hotpath
+func (t *T) GrowField(n int) {
+	t.buf = append(t.buf, n)
+}
+
+// GrowParam appends to a caller-owned slice: trusted likewise.
+//
+//qoe:hotpath
+func GrowParam(dst []int, n int) []int {
+	return append(dst, n)
+}
+
+// Allowed documents a deliberate once-per-setup closure.
+//
+//qoe:hotpath
+func (t *T) Allowed() {
+	//lint:allow qoelint/hotpath one closure per engine lifetime, not per event
+	t.sink = func() {}
+}
+
+// Cold is unannotated: closures, fmt and interface boxing are its own
+// business.
+func (t *T) Cold(n int) {
+	t.sink = func() { fmt.Println(n) }
+	take(n)
+	out := []int{}
+	t.buf = append(out, n)
+}

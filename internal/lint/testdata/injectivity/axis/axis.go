@@ -1,0 +1,83 @@
+// Package axis declares cache-axis structs and same-package canonical
+// encoders for the injectivity golden tests.
+package axis
+
+import "fmt"
+
+// Spec is fully covered: Name and Buf are encoded directly, Reps via
+// the repTag helper, and Debug is a declared non-axis.
+type Spec struct {
+	Name string
+	Buf  int
+	Reps int
+	// Debug is display-only; it never shapes a cell's value.
+	//qoe:notaxis display-only knob, never shapes the cell value
+	Debug string
+}
+
+// Key renders the canonical cache key for Spec.
+//
+//qoe:encodes Spec
+func (s Spec) Key() string {
+	return fmt.Sprintf("name=%s|buf=%d|%s", s.Name, s.Buf, repTag(s))
+}
+
+// repTag is a package-local callee; fields it reads count as covered.
+func repTag(s Spec) string {
+	return fmt.Sprintf("reps=%d", s.Reps)
+}
+
+// Leaky has a field its encoder never reads.
+type Leaky struct {
+	Name string
+	Skew int
+}
+
+// LeakyKey forgets Skew: two Leaky specs differing only in Skew would
+// share one cache entry.
+//
+//qoe:encodes Leaky
+func (l Leaky) LeakyKey() string { // want `Leaky\.Skew is never read by canonical encoding LeakyKey`
+	return "name=" + l.Name
+}
+
+// Reasonless exercises the field-annotation syntax check.
+type Reasonless struct {
+	//qoe:notaxis // want `requires a reason`
+	X int
+}
+
+// ReasonlessKey covers X anyway so the only finding is the bad
+// annotation itself.
+//
+//qoe:encodes Reasonless
+func (r Reasonless) ReasonlessKey() string {
+	return fmt.Sprint(r.X)
+}
+
+// Wide is encoded from another package (see inj/enc); Legacy is
+// excluded there with an encoder-side //qoe:notaxis.
+type Wide struct {
+	A, B   int
+	Legacy string
+}
+
+// Nested exercises multi-type coverage: the encoder must read the
+// outer and inner fields.
+type Nested struct {
+	Label string
+	Inner Inner
+}
+
+// Inner is the nested axis struct.
+type Inner struct {
+	Rate  float64
+	Burst int
+}
+
+// NestedKey covers Nested but forgets Inner.Burst.
+//
+//qoe:encodes Nested Inner
+func (n Nested) NestedKey() string { // want `Inner\.Burst is never read by canonical encoding NestedKey`
+	return fmt.Sprintf("%s|rate=%g", n.Label, n.Inner.Rate)
+}

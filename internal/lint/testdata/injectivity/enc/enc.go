@@ -1,0 +1,44 @@
+// Package enc encodes axis structs from another package, the way the
+// real experiments package renders testbed.LinkParams.
+package enc
+
+import (
+	"fmt"
+
+	"inj/axis"
+)
+
+// Tag canonically encodes axis.Wide; Legacy is deliberately excluded
+// with an encoder-side exclusion (field annotations in the axis
+// package are invisible from here, so the exclusion must ride on the
+// encoder).
+//
+//qoe:encodes axis.Wide
+//qoe:notaxis Wide.Legacy carried for config migration, never keyed
+func Tag(w axis.Wide) string {
+	return fmt.Sprintf("a=%d;b=%d", w.A, w.B)
+}
+
+// LeakyTag forgets B on an imported struct.
+//
+//qoe:encodes axis.Wide
+func LeakyTag(w axis.Wide) string { // want `Wide\.B is never read by canonical encoding LeakyTag` `Wide\.Legacy is never read by canonical encoding LeakyTag`
+	return fmt.Sprintf("a=%d", w.A)
+}
+
+// BadRef names a type that does not resolve.
+//
+//qoe:encodes axis.Missing // want `cannot resolve axis\.Missing`
+func BadRef() string {
+	return ""
+}
+
+// AllowedLeak shows a suppressed coverage hole: the findings land on
+// the function declaration, so the suppression sits directly above it
+// (with a justification, as always).
+//
+//qoe:encodes axis.Wide
+//lint:allow qoelint/injectivity demo escape: B and Legacy are folded into A upstream
+func AllowedLeak(w axis.Wide) string {
+	return fmt.Sprintf("a=%d", w.A)
+}

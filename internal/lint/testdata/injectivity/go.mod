@@ -1,0 +1,3 @@
+module inj
+
+go 1.24

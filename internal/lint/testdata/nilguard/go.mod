@@ -1,0 +1,3 @@
+module nils
+
+go 1.24

@@ -1,0 +1,87 @@
+// Package tel exercises the nil-guard contract for telemetry types.
+package tel
+
+// Collector is the disabled-when-nil aggregate.
+//
+//qoe:nilsafe
+type Collector struct {
+	c *Collector
+	n int
+}
+
+// Good guards the receiver first.
+func (c *Collector) Good() int {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// GoodBare guards with a bare return.
+func (c *Collector) GoodBare(d int) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// GoodFieldGuard guards a receiver field, the PhaseClock shape.
+func (c *Collector) GoodFieldGuard(d int) {
+	if c.c == nil {
+		return
+	}
+	c.c.n += d
+}
+
+// Enabled is a single nil-comparison return: it is its own guard.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Bad does work with no guard.
+func (c *Collector) Bad() int { // want `must begin with a nil guard`
+	return c.n
+}
+
+// BadOrder guards too late.
+func (c *Collector) BadOrder(d int) { // want `must begin with a nil guard`
+	v := c.n + d
+	if c == nil {
+		return
+	}
+	c.n = v
+}
+
+// BadNoExit has a guard that does not leave the method.
+func (c *Collector) BadNoExit(d int) { // want `must begin with a nil guard`
+	if c == nil {
+		d = 0
+	}
+	c.n += d
+}
+
+// BadWrongOp guards with != instead of an early nil exit.
+func (c *Collector) BadWrongOp(d int) { // want `must begin with a nil guard`
+	if c != nil {
+		c.n += d
+	}
+}
+
+// internal is unexported: callers inside the package guard for it.
+func (c *Collector) internal() int { return c.n }
+
+// Reading is a value-receiver method: a nil pointer dereferences
+// before the call, which is outside this contract.
+func (c Collector) Reading() int { return c.n }
+
+// Allowed documents a method that is only reachable with a live
+// collector.
+//
+//lint:allow qoelint/nilguard only called by Snapshot after its own guard
+func (c *Collector) Allowed() int {
+	return c.n
+}
+
+// Plain has no annotation and therefore no guard obligation.
+type Plain struct{ n int }
+
+// Get needs no guard.
+func (p *Plain) Get() int { return p.n }

@@ -205,6 +205,8 @@ func (w *WifiLink) EnsureMonitor() *netem.LinkMonitor {
 
 // Send implements netem.Egress: offer a packet to the bottleneck
 // queue and kick the MAC if idle.
+//
+//qoe:hotpath
 func (w *WifiLink) Send(p *netem.Packet) bool {
 	if !w.Queue.Enqueue(p, w.eng.Now()) {
 		p.Release()
@@ -223,6 +225,8 @@ func (w *WifiLink) Receive(p *netem.Packet) { w.Send(p) }
 
 // startTxop drains up to MaxAggFrames frames into one aggregate and
 // begins contending for the medium.
+//
+//qoe:hotpath
 func (w *WifiLink) startTxop() {
 	now := w.eng.Now()
 	for len(w.agg) < w.MaxAggFrames {
@@ -245,6 +249,8 @@ func (w *WifiLink) startTxop() {
 // aggregate's airtime. The collision outcome is drawn up front (the
 // model needs no per-slot events), and the medium is held for the
 // attempt either way — colliding transmissions occupy air too.
+//
+//qoe:hotpath
 func (w *WifiLink) contend() {
 	start := w.med.free
 	if now := w.eng.Now(); now > start {
@@ -288,6 +294,8 @@ func (w *WifiLink) airtime(success bool) time.Duration {
 }
 
 // Fire implements sim.Handler: the current attempt's airtime ended.
+//
+//qoe:hotpath
 func (w *WifiLink) Fire(now sim.Time) {
 	if w.collided {
 		w.Collisions++
@@ -328,6 +336,8 @@ func (w *WifiLink) Fire(now sim.Time) {
 
 // FireArg implements sim.ArgHandler: a frame finished propagating —
 // hand it to the receiver.
+//
+//qoe:hotpath
 func (w *WifiLink) FireArg(now sim.Time, arg any) {
 	w.dst.Receive(arg.(*netem.Packet))
 }

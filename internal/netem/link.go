@@ -101,6 +101,8 @@ func (l *Link) Reset() {
 
 // Send offers a packet to the link. It reports whether the packet was
 // accepted (false = dropped by the queue, which releases the packet).
+//
+//qoe:hotpath
 func (l *Link) Send(p *Packet) bool {
 	if l.Rate == 0 {
 		// Pure delay element: no serialization, no queueing.
@@ -126,6 +128,8 @@ func (l *Link) Send(p *Packet) bool {
 // transmitNext serializes the head-of-line packet. The next
 // transmission starts when serialization (not propagation) completes,
 // so the link can hold Delay/serialization many packets in flight.
+//
+//qoe:hotpath
 func (l *Link) transmitNext() {
 	p := l.Queue.Dequeue(l.eng.Now())
 	if p == nil {
@@ -140,6 +144,8 @@ func (l *Link) transmitNext() {
 
 // Fire implements sim.Handler: the packet in service finished
 // serializing — start its propagation and pull the next one.
+//
+//qoe:hotpath
 func (l *Link) Fire(now sim.Time) {
 	p := l.txPkt
 	l.txPkt = nil
@@ -155,6 +161,8 @@ func (l *Link) Fire(now sim.Time) {
 
 // FireArg implements sim.ArgHandler: a packet finished propagating —
 // hand it to the receiver.
+//
+//qoe:hotpath
 func (l *Link) FireArg(now sim.Time, arg any) {
 	l.dst.Receive(arg.(*Packet))
 }

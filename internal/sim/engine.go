@@ -104,6 +104,8 @@ type Timer struct {
 // Stop cancels the timer, removing it from the event heap immediately.
 // It reports whether the call prevented the timer from firing (false
 // if it had already fired, been stopped, or was never armed).
+//
+//qoe:hotpath
 func (t *Timer) Stop() bool {
 	if t == nil || t.stopped || t.fired || !t.queued {
 		return false
@@ -130,6 +132,8 @@ func (t *Timer) Armed() bool { return t != nil && t.queued }
 // timers prepared with InitTimer. Like every arming operation it draws
 // a fresh sequence number, so a Reset orders after events already
 // scheduled for the same instant.
+//
+//qoe:hotpath
 func (t *Timer) Reset(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -139,6 +143,8 @@ func (t *Timer) Reset(d time.Duration) {
 
 // ResetAt is Reset with an absolute fire time. Times in the past are
 // clamped to now.
+//
+//qoe:hotpath
 func (t *Timer) ResetAt(at Time) {
 	e := t.eng
 	if e == nil || t.h == nil && t.ah == nil {
@@ -285,6 +291,8 @@ func (e *Engine) InitTimer(t *Timer, h Handler) {
 // ScheduleHandler fires h after delay d. The event's Timer comes from
 // the engine's free-list and is recycled when it fires: steady-state
 // scheduling allocates nothing, and no handle is returned.
+//
+//qoe:hotpath
 func (e *Engine) ScheduleHandler(d time.Duration, h Handler) {
 	if d < 0 {
 		d = 0
@@ -294,6 +302,8 @@ func (e *Engine) ScheduleHandler(d time.Duration, h Handler) {
 
 // AtHandler fires h at absolute time t (clamped to Now), using a
 // pooled Timer.
+//
+//qoe:hotpath
 func (e *Engine) AtHandler(t Time, h Handler) {
 	if h == nil {
 		panic("sim: AtHandler called with nil handler")
@@ -304,6 +314,8 @@ func (e *Engine) AtHandler(t Time, h Handler) {
 
 // ScheduleArg fires h with the given payload after delay d, using a
 // pooled Timer.
+//
+//qoe:hotpath
 func (e *Engine) ScheduleArg(d time.Duration, h ArgHandler, arg any) {
 	if d < 0 {
 		d = 0
@@ -313,6 +325,8 @@ func (e *Engine) ScheduleArg(d time.Duration, h ArgHandler, arg any) {
 
 // AtArg fires h with the given payload at absolute time t (clamped to
 // Now), using a pooled Timer.
+//
+//qoe:hotpath
 func (e *Engine) AtArg(t Time, h ArgHandler, arg any) {
 	if h == nil {
 		panic("sim: AtArg called with nil handler")
@@ -324,6 +338,8 @@ func (e *Engine) AtArg(t Time, h ArgHandler, arg any) {
 
 // getPooled takes a timer from the free-list (or allocates one), arms
 // it at t with a fresh sequence number, and pushes it on the heap.
+//
+//qoe:hotpath
 func (e *Engine) getPooled(t Time) *Timer {
 	if t < e.now {
 		t = e.now
@@ -343,6 +359,8 @@ func (e *Engine) getPooled(t Time) *Timer {
 }
 
 // recycle returns a pooled timer to the free-list.
+//
+//qoe:hotpath
 func (e *Engine) recycle(t *Timer) {
 	t.h, t.ah, t.arg, t.fn = nil, nil, nil, nil
 	t.stopped, t.fired, t.pooled = false, false, false
@@ -366,12 +384,15 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= t, then advances the clock to
 // exactly t (if t is beyond the last event). It stops early if the
 // queue empties or Halt is called.
+//
+//qoe:hotpath
 func (e *Engine) RunUntil(t Time) {
 	if e.running {
 		panic("sim: re-entrant Run")
 	}
 	e.running = true
 	e.halted = false
+	//lint:allow qoelint/hotpath one closure per RunUntil call, not per event; dispatch below is allocation-free
 	defer func() { e.running = false }()
 
 	for len(e.events) > 0 && !e.halted {
@@ -385,7 +406,7 @@ func (e *Engine) RunUntil(t Time) {
 		}
 		e.Executed++
 		if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
-			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+			e.maxEventsExceeded()
 		}
 		// Read the dispatch target into locals first: a pooled timer is
 		// recycled before its handler runs, so the handler (or anything
@@ -424,6 +445,13 @@ func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now.Add(d))
 }
 
+// maxEventsExceeded panics describing the runaway event loop. It is a
+// separate, unannotated function so the formatting stays off the
+// RunUntil dispatch path.
+func (e *Engine) maxEventsExceeded() {
+	panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+}
+
 // --- event heap -------------------------------------------------------
 //
 // A 4-ary min-heap on (at, seq) with index tracking. The wider node
@@ -435,6 +463,8 @@ func (e *Engine) RunFor(d time.Duration) {
 
 // less orders timers by (time, sequence); seq is unique, so the order
 // is total and pop order is independent of heap layout.
+//
+//qoe:hotpath
 func less(a, b *Timer) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -442,6 +472,7 @@ func less(a, b *Timer) bool {
 	return a.seq < b.seq
 }
 
+//qoe:hotpath
 func (e *Engine) heapPush(t *Timer) {
 	t.idx = len(e.events)
 	t.queued = true
@@ -453,6 +484,8 @@ func (e *Engine) heapPush(t *Timer) {
 }
 
 // heapRemove unlinks the timer at any position.
+//
+//qoe:hotpath
 func (e *Engine) heapRemove(t *Timer) {
 	i := t.idx
 	last := len(e.events) - 1
@@ -472,12 +505,15 @@ func (e *Engine) heapRemove(t *Timer) {
 
 // heapFix repositions a timer whose key changed in place (Reset on an
 // armed timer).
+//
+//qoe:hotpath
 func (e *Engine) heapFix(t *Timer) {
 	if !e.siftDown(t.idx) {
 		e.siftUp(t.idx)
 	}
 }
 
+//qoe:hotpath
 func (e *Engine) siftUp(i int) {
 	t := e.events[i]
 	for i > 0 {
@@ -495,6 +531,8 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown reports whether the element moved.
+//
+//qoe:hotpath
 func (e *Engine) siftDown(i int) bool {
 	t := e.events[i]
 	n := len(e.events)

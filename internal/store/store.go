@@ -149,6 +149,7 @@ func Open(dir, version string, codec Codec) (*Store, error) {
 		case strings.HasPrefix(name, tmpPrefix):
 			// A temp file is an in-flight write or a crash leftover; only
 			// sweep ones old enough that no live writer can own them.
+			//lint:allow qoelint/determinism startup tmp-file hygiene against file mtimes; no simulation state involved
 			if info, err := de.Info(); err == nil && time.Since(info.ModTime()) > tmpMaxAge {
 				os.Remove(filepath.Join(dir, name))
 			}

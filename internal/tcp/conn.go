@@ -219,6 +219,7 @@ func (c *Conn) inflight() float64 { return float64(c.sndNxt - c.sndUna) }
 
 // --- segment emission -------------------------------------------------
 
+//qoe:hotpath
 func (c *Conn) emit(seg *Segment) {
 	seg.Wnd = c.cfg.RcvWnd
 	seg.TSval = c.eng.Now()
@@ -257,6 +258,7 @@ func (c *Conn) sendSyn(withAck bool) {
 	c.armRTO()
 }
 
+//qoe:hotpath
 func (c *Conn) sendAck() {
 	c.stopDelack()
 	c.unackedSegs = 0
@@ -329,6 +331,8 @@ func (c *Conn) ackValue() int64 {
 // pacer's interval, parking on the owned pace timer when ahead of
 // schedule; retransmissions (which go through retransmitOne*) are
 // never paced.
+//
+//qoe:hotpath
 func (c *Conn) trySend() {
 	if c.state != StateEstablished && c.state != StateClosing {
 		return
@@ -541,6 +545,8 @@ func (c *Conn) sampleRTT(tsecr sim.Time) {
 
 // handleSegment processes one inbound segment addressed to this
 // connection.
+//
+//qoe:hotpath
 func (c *Conn) handleSegment(seg *Segment) {
 	if c.state == StateClosed {
 		return
@@ -599,6 +605,7 @@ func (c *Conn) becomeEstablished() {
 	}
 }
 
+//qoe:hotpath
 func (c *Conn) processAck(seg *Segment) {
 	c.rwndPeer = seg.Wnd
 	finSeq := c.sndLimit // FIN occupies [sndLimit, sndLimit+1)
@@ -710,6 +717,7 @@ func (c *Conn) processAck(seg *Segment) {
 	}
 }
 
+//qoe:hotpath
 func (c *Conn) processData(seg *Segment) {
 	if c.ecnOK {
 		// CWR tells us the sender responded; a fresh CE re-arms the

@@ -73,6 +73,8 @@ var segPool = sync.Pool{New: func() any { return new(Segment) }}
 
 // newSegment returns a fully zeroed segment, reusing pool memory and
 // the SACK backing array.
+//
+//qoe:hotpath
 func newSegment() *Segment {
 	s := segPool.Get().(*Segment)
 	sack := s.SACK[:0]
@@ -82,6 +84,8 @@ func newSegment() *Segment {
 
 // releaseSegment returns a consumed segment to the pool. The caller
 // (the receive-side dispatcher) must not touch it afterwards.
+//
+//qoe:hotpath
 func releaseSegment(s *Segment) { segPool.Put(s) }
 
 // wireSize returns the on-wire IP packet size for this segment.

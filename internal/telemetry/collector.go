@@ -78,6 +78,8 @@ func (m *SimMetrics) Add(o SimMetrics) {
 //
 // One Collector may serve several sessions or sweeps concurrently;
 // all methods are safe for concurrent use.
+//
+//qoe:nilsafe
 type Collector struct {
 	start time.Time
 
@@ -164,6 +166,8 @@ func (c *Collector) Start() time.Time {
 }
 
 // FlushSim accumulates one cell's simulator counters. Safe on nil.
+//
+//qoe:hotpath
 func (c *Collector) FlushSim(m SimMetrics) {
 	if c == nil {
 		return
@@ -190,6 +194,8 @@ func (c *Collector) StartCell() PhaseClock {
 // PhaseClock tracks one cell's phase breakdown. The zero value is the
 // disabled clock: every method no-ops. A PhaseClock is used by one
 // goroutine (the cell's worker).
+//
+//qoe:nilsafe
 type PhaseClock struct {
 	c    *Collector
 	last time.Time

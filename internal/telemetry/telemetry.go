@@ -33,9 +33,13 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//qoe:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//qoe:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -46,9 +50,13 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Add moves the gauge by d (negative to decrement).
+//
+//qoe:hotpath
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Set replaces the gauge value.
+//
+//qoe:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Value returns the current level.
@@ -59,6 +67,8 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 type HighWater struct{ v atomic.Int64 }
 
 // Observe raises the mark to v if v exceeds it.
+//
+//qoe:hotpath
 func (h *HighWater) Observe(v int64) {
 	for {
 		cur := h.v.Load()
@@ -98,6 +108,8 @@ func NewHistogram(bounds ...float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//qoe:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -211,6 +211,8 @@ func (w Workload) Mask(dir Direction) Workload {
 // detection is separate (MatchAccessPreset / MatchBackbonePreset):
 // builders must map preset-equal mixes to the preset's name so both
 // spellings share one cache cell.
+//
+//qoe:encodes Workload Component
 func (w Workload) Encode() string {
 	c := w.Canonical()
 	var parts []string
